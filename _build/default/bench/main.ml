@@ -1,0 +1,124 @@
+(* bench/main.exe — regenerates every table and figure of the paper's
+   evaluation (§5) from the simulator, then runs one Bechamel
+   micro-benchmark per figure measuring the wall-clock cost of the
+   simulated experiment underlying it.
+
+   Usage:
+     dune exec bench/main.exe              # everything, paper-scale shapes
+     dune exec bench/main.exe -- --quick   # small machines (8 cores)
+     dune exec bench/main.exe -- --figures-only | --bechamel-only
+*)
+
+module Figures = Hare_experiments.Figures
+module Driver = Hare_experiments.Driver
+module World = Hare_experiments.World
+module Config = Hare_config.Config
+module HD = Driver.Make (World.Hare_w)
+module LD = Driver.Make (World.Linux_w)
+
+let bench name = Hare_workloads.All.find name
+
+let hare_run ?placement ?nprocs ~ncores name =
+  let config =
+    match placement with
+    | Some p -> { (Driver.default_config ~ncores) with Config.placement = p }
+    | None -> Driver.default_config ~ncores
+  in
+  fun () -> ignore (HD.run ~config ?nprocs (bench name))
+
+(* One Bechamel test per figure: each run executes the simulated
+   experiment that figure is built from (on a small machine, so a single
+   sample stays around a millisecond of wall-clock). *)
+let bechamel_tests () =
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    t "fig4/sloc" (fun () ->
+        match Hare_stats.Sloc.repo_root () with
+        | Some root -> ignore (Hare_stats.Sloc.count_tree (Filename.concat root "lib/msg"))
+        | None -> ());
+    t "fig5/opmix-creates" (hare_run ~ncores:2 "creates");
+    t "fig6/scaling-step" (hare_run ~ncores:4 "creates");
+    t "fig7/split-config" (hare_run ~placement:(Config.Split 2) ~ncores:4 "creates");
+    t "fig8/unfs-baseline" (fun () ->
+        let config = World.unfs_config (Driver.default_config ~ncores:2) in
+        ignore (HD.run ~config ~nprocs:1 (bench "creates")));
+    t "fig8/linux-baseline" (fun () ->
+        ignore (LD.run ~config:(Driver.default_config ~ncores:1) ~nprocs:1 (bench "creates")));
+    t "fig10/dist-ablation" (fun () ->
+        let config =
+          { (Driver.default_config ~ncores:4) with Config.dir_distribution = false }
+        in
+        ignore (HD.run ~config (bench "creates")));
+    t "fig11/bcast-ablation" (fun () ->
+        let config =
+          { (Driver.default_config ~ncores:4) with Config.dir_broadcast = false }
+        in
+        ignore (HD.run ~config (bench "pfind dense")));
+    t "fig12/direct-ablation" (fun () ->
+        let config =
+          { (Driver.default_config ~ncores:4) with Config.direct_access = false }
+        in
+        ignore (HD.run ~config (bench "writes")));
+    t "fig13/dcache-ablation" (fun () ->
+        let config =
+          { (Driver.default_config ~ncores:4) with Config.dir_cache = false }
+        in
+        ignore (HD.run ~config (bench "renames")));
+    t "fig14/affinity-ablation" (fun () ->
+        let config =
+          { (Driver.default_config ~ncores:4) with Config.creation_affinity = false }
+        in
+        ignore (HD.run ~config (bench "punzip")));
+    t "fig15/linux-parallel" (fun () ->
+        ignore (LD.run ~config:(Driver.default_config ~ncores:4) (bench "creates")));
+    t "micro/rename-latency" (hare_run ~ncores:1 ~nprocs:1 "renames");
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "\n================ Bechamel micro-benchmarks ================\n";
+  print_endline "(wall-clock cost of the simulated experiment behind each figure)\n";
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let tests = bechamel_tests () in
+  let results =
+    List.map
+      (fun test ->
+        let tbl = Benchmark.all cfg instances test in
+        let ols =
+          Analyze.all
+            (Analyze.ols ~r_square:false ~bootstrap:0
+               ~predictors:[| Measure.run |])
+            Toolkit.Instance.monotonic_clock tbl
+        in
+        Hashtbl.fold (fun name v acc -> (name, v) :: acc) ols [])
+      (List.map (fun t -> Bechamel.Test.make_grouped ~name:"" [ t ]) tests)
+    |> List.concat
+  in
+  let rows =
+    results
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map (fun (name, ols) ->
+           let est =
+             match Analyze.OLS.estimates ols with
+             | Some (e :: _) -> Printf.sprintf "%.3f ms/run" (e /. 1e6)
+             | _ -> "n/a"
+           in
+           [ name; est ])
+  in
+  Hare_stats.Table.print ~headers:[ "experiment"; "wall-clock" ] rows
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let figures_only = List.mem "--figures-only" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  let opts = if quick then Figures.quick else Figures.default in
+  let t0 = Unix.gettimeofday () in
+  if not bechamel_only then Figures.print_all opts;
+  if not figures_only then run_bechamel ();
+  Printf.printf "\ntotal wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,328 @@
+(* hare-cli: run Hare benchmarks and regenerate the paper's figures.
+
+   Examples:
+     hare_cli list
+     hare_cli bench creates --cores 8 --world linux
+     hare_cli bench "build linux" --cores 16 --scale 2
+     hare_cli fig 6 --quick
+     hare_cli fig all
+*)
+
+open Cmdliner
+module Config = Hare_config.Config
+module Figures = Hare_experiments.Figures
+module Driver = Hare_experiments.Driver
+module World = Hare_experiments.World
+module HD = Driver.Make (World.Hare_w)
+module LD = Driver.Make (World.Linux_w)
+
+(* ---------- shared options ---------------------------------------------- *)
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc:"Number of cores.")
+
+let nprocs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "nprocs" ] ~docv:"N"
+        ~doc:"Worker processes (default: one per application core).")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"K"
+        ~doc:
+          "Workload scale multiplier (1 = fast default; larger approaches \
+           paper-size runs).")
+
+let world_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hare", `Hare); ("linux", `Linux); ("unfs", `Unfs) ]) `Hare
+    & info [ "world" ] ~docv:"WORLD"
+        ~doc:"System under test: hare, linux (tmpfs baseline), unfs.")
+
+let split_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "split" ] ~docv:"S"
+        ~doc:"Dedicate $(docv) cores to file servers (default: timeshare).")
+
+let flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let no_dist = flag "no-dist" "Disable directory distribution."
+
+let no_bcast = flag "no-broadcast" "Disable directory broadcast."
+
+let no_direct = flag "no-direct" "Disable direct buffer-cache access."
+
+let no_dcache = flag "no-dircache" "Disable the directory cache."
+
+let no_affinity = flag "no-affinity" "Disable creation affinity."
+
+let width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "width" ] ~docv:"W"
+        ~doc:
+          "Distribute each directory over only $(docv) servers (extension,            paper §6).")
+
+let steal =
+  flag "steal" "Enable block stealing between servers (extension, §3.2)."
+
+let mk_config cores split nd nb ndir ndc na width st =
+  let c = Driver.default_config ~ncores:cores in
+  let c =
+    match split with
+    | Some s -> { c with Config.placement = Config.Split s }
+    | None -> c
+  in
+  {
+    c with
+    Config.dir_distribution = not nd;
+    dir_broadcast = not nb;
+    direct_access = not ndir;
+    dir_cache = not ndc;
+    creation_affinity = not na;
+    dist_width = width;
+    block_stealing = st;
+  }
+
+(* ---------- bench command ----------------------------------------------- *)
+
+let run_bench name cores nprocs scale world split nd nb ndir ndc na width st
+    verbose =
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | spec ->
+      let config = mk_config cores split nd nb ndir ndc na width st in
+      let result =
+        match world with
+        | `Hare -> HD.run ~config ?nprocs ~scale spec
+        | `Linux -> LD.run ~config ?nprocs ~scale spec
+        | `Unfs -> HD.run ~config:(World.unfs_config config) ?nprocs ~scale spec
+      in
+      Printf.printf
+        "%s on %s: %d procs, %d ops in %.6f simulated seconds = %.0f ops/s\n"
+        result.Driver.bench result.Driver.world result.Driver.nprocs
+        result.Driver.ops result.Driver.elapsed result.Driver.throughput;
+      if verbose then begin
+        print_endline "system-call mix:";
+        Format.printf "%a@." Hare_stats.Opcount.pp result.Driver.syscalls
+      end;
+      0
+
+let bench_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see `hare_cli list`).")
+  in
+  let verbose = flag "verbose" "Also print the system-call mix." in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run one benchmark and print its throughput.")
+    Term.(
+      const run_bench $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
+      $ world_arg $ split_arg $ no_dist $ no_bcast $ no_direct $ no_dcache
+      $ no_affinity $ width_arg $ steal $ verbose)
+
+(* ---------- fig command ------------------------------------------------- *)
+
+let run_fig which quick scale =
+  let opts =
+    let base = if quick then Figures.quick else Figures.default in
+    { base with Figures.scale }
+  in
+  (match which with
+  | "4" -> Figures.print_fig4 ()
+  | "5" -> Figures.print_fig5 opts
+  | "6" -> Figures.print_fig6 opts
+  | "7" -> Figures.print_fig7 opts
+  | "8" -> Figures.print_fig8 opts
+  | "9" | "10" | "11" | "12" | "13" | "14" -> Figures.print_techniques opts
+  | "15" -> Figures.print_fig15 opts
+  | "micro" -> Figures.print_micro opts
+  | "ext" | "extensions" -> Figures.print_extensions opts
+  | "all" -> Figures.print_all opts
+  | other ->
+      Printf.eprintf "unknown figure %S (use 4-15, micro, all)\n" other;
+      exit 1);
+  0
+
+let fig_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIG" ~doc:"Figure number (4-15), 'micro', 'ext', or 'all'.")
+  in
+  let quick =
+    flag "quick" "Use small machine sizes (8 cores) for a fast run."
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate one of the paper's figures or tables.")
+    Term.(const run_fig $ which $ quick $ scale_arg)
+
+(* ---------- shell command ----------------------------------------------- *)
+
+(* An interactive shell over a live simulated machine: each command is a
+   POSIX call issued by the init process; the simulation advances while
+   the command executes. *)
+let shell_help =
+  {|commands:
+  ls [dir]            readdir
+  cat FILE            print a file
+  write FILE TEXT..   create/overwrite a file
+  append FILE TEXT..  append to a file
+  mkdir [-d] DIR      create a directory (-d: distributed)
+  rm FILE | rmdir DIR
+  mv OLD NEW          rename
+  stat PATH           attributes
+  cd DIR | pwd
+  spawn N             run N remote workers that each create a file in /shell
+  time                simulated time so far
+  help | exit
+|}
+
+let run_shell cores =
+  let module Posix = Hare.Posix in
+  let config = mk_config cores None false false false false false None false in
+  let m = Hare.Machine.boot config in
+  Hare.Machine.register_program m "shell-worker" (fun p args ->
+      let id = match args with a :: _ -> a | [] -> "?" in
+      let fd =
+        Posix.openf p
+          (Printf.sprintf "/shell/worker-%s-core%d" id p.Hare_proc.Process.core_id)
+          Hare_proto.Types.flags_w
+      in
+      ignore (Posix.write p fd ("written by worker " ^ id));
+      Posix.close p fd;
+      0);
+  let init, _console =
+    Hare.Machine.spawn_init m ~name:"shell" (fun p _ ->
+        print_string shell_help;
+        let quit = ref false in
+        while not !quit do
+          Printf.printf "hare:%s> %!" (Posix.getcwd p);
+          match In_channel.input_line In_channel.stdin with
+          | None -> quit := true
+          | Some line -> (
+              let words =
+                String.split_on_char ' ' line |> List.filter (( <> ) "")
+              in
+              try
+                match words with
+                | [] -> ()
+                | [ "exit" ] | [ "quit" ] -> quit := true
+                | [ "help" ] -> print_string shell_help
+                | [ "pwd" ] -> print_endline (Posix.getcwd p)
+                | [ "cd"; d ] -> Posix.chdir p d
+                | [ "ls" ] | [ "ls"; _ ] ->
+                    let dir = match words with [ _; d ] -> d | _ -> "." in
+                    List.iter
+                      (fun (e : Hare_proto.Wire.entry) ->
+                        Printf.printf "%s%s
+" e.Hare_proto.Wire.e_name
+                          (if e.Hare_proto.Wire.e_ftype = Hare_proto.Types.Dir
+                           then "/"
+                           else ""))
+                      (Posix.readdir p dir)
+                | [ "cat"; f ] ->
+                    let fd = Posix.openf p f Hare_proto.Types.flags_r in
+                    print_endline (Posix.read_all p fd);
+                    Posix.close p fd
+                | "write" :: f :: rest ->
+                    let fd = Posix.openf p f Hare_proto.Types.flags_w in
+                    ignore (Posix.write p fd (String.concat " " rest));
+                    Posix.close p fd
+                | "append" :: f :: rest ->
+                    let fd = Posix.openf p f Hare_proto.Types.flags_a in
+                    ignore (Posix.write p fd (String.concat " " rest));
+                    Posix.close p fd
+                | [ "mkdir"; "-d"; d ] -> Posix.mkdir p ~dist:true d
+                | [ "mkdir"; d ] -> Posix.mkdir p d
+                | [ "rm"; f ] -> Posix.unlink p f
+                | [ "rmdir"; d ] -> Posix.rmdir p d
+                | [ "mv"; a; b ] -> Posix.rename p a b
+                | [ "stat"; path ] ->
+                    let a = Posix.stat p path in
+                    Printf.printf "ino=%d:%d type=%s size=%d dist=%b
+"
+                      a.Hare_proto.Types.a_ino.Hare_proto.Types.server
+                      a.Hare_proto.Types.a_ino.Hare_proto.Types.ino
+                      (match a.Hare_proto.Types.a_ftype with
+                      | Hare_proto.Types.Dir -> "dir"
+                      | Hare_proto.Types.Reg -> "file"
+                      | Hare_proto.Types.Fifo -> "fifo")
+                      a.Hare_proto.Types.a_size a.Hare_proto.Types.a_dist
+                | [ "spawn"; n ] ->
+                    if not (Posix.exists p "/shell") then
+                      Posix.mkdir p ~dist:true "/shell";
+                    let pids =
+                      List.init (int_of_string n) (fun i ->
+                          Posix.spawn p ~prog:"shell-worker"
+                            ~args:[ string_of_int i ])
+                    in
+                    List.iter
+                      (fun pid ->
+                        Printf.printf "pid %d -> exit %d
+" pid
+                          (Posix.waitpid p pid))
+                      pids
+                | [ "time" ] ->
+                    Printf.printf "%.3f simulated ms
+"
+                      (Hare.Machine.seconds m *. 1000.0)
+                | _ -> print_endline "unknown command; try 'help'"
+              with Hare_proto.Errno.Error (e, ctx) ->
+                Printf.printf "error: %s (%s)
+" (Hare_proto.Errno.to_string e)
+                  ctx)
+        done;
+        0)
+  in
+  Hare.Machine.run m;
+  ignore init;
+  0
+
+let shell_cmd =
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:
+         "Interactive shell on a live simulated Hare machine (reads \
+          commands from stdin; try 'help').")
+    Term.(const run_shell $ cores_arg)
+
+(* ---------- list command ------------------------------------------------ *)
+
+let run_list () =
+  List.iter
+    (fun (s : Hare_workloads.Spec.t) ->
+      Printf.printf "%-14s (%s placement%s)\n" s.Hare_workloads.Spec.name
+        (match s.Hare_workloads.Spec.exec_policy with
+        | Config.Random_placement -> "random"
+        | Config.Round_robin -> "round-robin")
+        (if s.Hare_workloads.Spec.uses_dist then ", distributed dirs" else ""))
+    Hare_workloads.All.specs;
+  0
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available benchmarks.")
+    Term.(const run_list $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "hare_cli" ~version:"1.0"
+       ~doc:
+         "Hare, a file system for non-cache-coherent multicores, in \
+          simulation: benchmarks and paper-figure reproduction.")
+    [ bench_cmd; fig_cmd; list_cmd; shell_cmd ]
+
+let () = exit (Cmd.eval' main)

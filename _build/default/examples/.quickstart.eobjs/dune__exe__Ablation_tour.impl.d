@@ -1,0 +1,1 @@
+examples/ablation_tour.ml: Array Hare_config Hare_experiments Hare_workloads List Printf String Sys

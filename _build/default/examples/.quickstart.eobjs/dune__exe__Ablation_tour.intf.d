@@ -1,0 +1,1 @@
+examples/ablation_tour.mli:

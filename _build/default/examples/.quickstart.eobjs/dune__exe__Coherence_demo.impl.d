@@ -1,0 +1,1 @@
+examples/coherence_demo.ml: Core_res Dram Engine Hare_config Hare_mem Hare_sim Pcache Printf

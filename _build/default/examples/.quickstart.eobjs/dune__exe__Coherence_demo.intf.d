@@ -1,0 +1,1 @@
+examples/coherence_demo.mli:

@@ -1,0 +1,1 @@
+examples/mail_server.ml: Buffer Hare Hare_config Hare_proc Hare_proto List Printf

@@ -1,0 +1,1 @@
+examples/mail_server.mli:

@@ -1,0 +1,1 @@
+examples/parallel_build.ml: Buffer Filename Hare Hare_config Hare_proc Hare_proto List Printf String

@@ -1,0 +1,1 @@
+lib/api/api.ml: Buffer Errno Hare_proto String Types

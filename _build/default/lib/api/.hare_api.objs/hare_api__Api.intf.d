@@ -1,0 +1,1 @@
+lib/api/api.mli: Hare_proto Types

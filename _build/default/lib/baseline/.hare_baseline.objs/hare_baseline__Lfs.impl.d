@@ -1,0 +1,1 @@
+lib/baseline/lfs.ml: Array Bytes Core_res Engine Errno Hare_client Hare_config Hare_mem Hare_proto Hare_sim Hare_stats Hashtbl List Printf Queue Slock String

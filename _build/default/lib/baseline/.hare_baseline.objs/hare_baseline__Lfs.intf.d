@@ -1,0 +1,1 @@
+lib/baseline/lfs.mli: Hare_config Hare_proto Hare_sim Hare_stats Types

@@ -1,0 +1,1 @@
+lib/baseline/linux_world.ml: Array Bqueue Buffer Core_res Engine Errno Hare_api Hare_client Hare_config Hare_proto Hare_server Hare_sim Hashtbl Ivar Lfs List Printf Rng String Types

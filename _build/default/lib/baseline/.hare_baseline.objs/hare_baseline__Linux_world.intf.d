@@ -1,0 +1,1 @@
+lib/baseline/linux_world.mli: Buffer Hare_api Hare_config Hare_stats Lfs

@@ -1,0 +1,1 @@
+lib/baseline/slock.ml: Core_res Engine Hare_sim Queue

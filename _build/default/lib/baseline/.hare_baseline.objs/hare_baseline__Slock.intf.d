@@ -1,0 +1,1 @@
+lib/baseline/slock.mli: Hare_sim

@@ -1,0 +1,32 @@
+open Hare_sim
+
+type t = {
+  name : string;
+  mutable held : bool;
+  waiters : Engine.waker Queue.t;
+  mutable contended : int;
+}
+
+let create ~name = { name; held = false; waiters = Queue.create (); contended = 0 }
+
+let acquire t ~core ~cost =
+  if t.held then begin
+    t.contended <- t.contended + 1;
+    Engine.suspend (fun waker -> Queue.push waker t.waiters)
+    (* The releaser hands the lock over before waking us. *)
+  end
+  else t.held <- true;
+  Core_res.compute core cost
+
+let release t =
+  if not t.held then invalid_arg ("Slock.release: " ^ t.name ^ " not held");
+  match Queue.take_opt t.waiters with
+  | Some waker -> waker () (* ownership passes directly; stays held *)
+  | None -> t.held <- false
+
+let hold t ~core ~cost ~work =
+  acquire t ~core ~cost;
+  if work > 0 then Core_res.compute core work;
+  release t
+
+let contended t = t.contended

@@ -1,0 +1,23 @@
+(** Simulated kernel lock for the shared-memory (Linux) baseline.
+
+    On a cache-coherent machine the kernel serializes directory and inode
+    updates with locks; contention on them is what limits the Linux
+    columns of Figure 15. Acquisition charges a small cost; the caller
+    holds the lock across its own simulated compute, so queueing delay
+    emerges naturally. *)
+
+type t
+
+val create : name:string -> t
+
+(** [acquire t ~core] blocks until the lock is free, charging the
+    acquisition cost to [core]. *)
+val acquire : t -> core:Hare_sim.Core_res.t -> cost:int -> unit
+
+val release : t -> unit
+
+(** [hold t ~core ~cost ~work] = acquire; compute [work] cycles; release. *)
+val hold : t -> core:Hare_sim.Core_res.t -> cost:int -> work:int -> unit
+
+val contended : t -> int
+(** Number of acquisitions that had to wait. *)

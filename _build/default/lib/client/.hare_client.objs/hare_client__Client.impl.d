@@ -1,0 +1,1 @@
+lib/client/client.ml: Array Buffer Bytes Core_res Dircache Engine Errno Fdtable Hare_config Hare_mem Hare_msg Hare_proto Hare_sim Hare_stats Hashtbl Ivar List Logs Path Result String Types Wire

@@ -1,0 +1,1 @@
+lib/client/client.mli: Dircache Fdtable Hare_config Hare_mem Hare_msg Hare_proto Hare_sim Hare_stats Types Wire

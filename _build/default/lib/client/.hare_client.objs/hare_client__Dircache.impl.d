@@ -1,0 +1,1 @@
+lib/client/dircache.ml: Hare_msg Hare_proto Hashtbl Types Wire

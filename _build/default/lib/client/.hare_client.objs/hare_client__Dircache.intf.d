@@ -1,0 +1,1 @@
+lib/client/dircache.mli: Hare_msg Hare_proto

@@ -1,0 +1,1 @@
+lib/client/fdtable.ml: Errno Hare_proto Hashtbl List Types Wire

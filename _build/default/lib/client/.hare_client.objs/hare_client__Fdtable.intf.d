@@ -1,0 +1,1 @@
+lib/client/fdtable.mli: Hare_proto Hashtbl Types Wire

@@ -1,0 +1,1 @@
+lib/client/path.ml: Errno Hare_proto List String

@@ -1,0 +1,1 @@
+lib/client/path.mli:

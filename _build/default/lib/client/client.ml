@@ -1,0 +1,991 @@
+open Hare_sim
+open Hare_proto
+open Hare_proto.Types
+
+let src = Logs.Src.create "hare.client" ~doc:"Hare client library"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let bs = Hare_mem.Layout.block_size
+
+type t = {
+  engine : Engine.t;
+  config : Hare_config.Config.t;
+  costs : Hare_config.Costs.t;
+  cid : int;
+  core : Core_res.t;
+  pcache : Hare_mem.Pcache.t;
+  servers : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array;
+  server_sockets : int array;
+  local_server : int;
+  root_dist : bool;
+  dircache : Dircache.t;
+  syscalls : Hare_stats.Opcount.t;
+  mutable rpc_count : int;
+}
+
+let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
+    ~local_server ~root_dist ~inval_port () =
+  let costs = config.Hare_config.Config.costs in
+  {
+    engine;
+    config;
+    costs;
+    cid;
+    core;
+    pcache;
+    servers;
+    server_sockets;
+    local_server;
+    root_dist;
+    dircache =
+      Dircache.create ~enabled:config.Hare_config.Config.dir_cache
+        ~port:inval_port ();
+    syscalls = Hare_stats.Opcount.create ();
+    rpc_count = 0;
+  }
+
+let cid t = t.cid
+
+let core t = t.core
+
+let dircache t = t.dircache
+
+let syscalls t = t.syscalls
+
+let rpc_count t = t.rpc_count
+
+let nservers t = Array.length t.servers
+
+(* Effective distribution width: the whole machine (the paper), or the
+   configured subset size (§6 extension). *)
+let width t =
+  match t.config.Hare_config.Config.dist_width with
+  | Some w -> max 1 (min w (nservers t))
+  | None -> nservers t
+
+(* Every intercepted system call pays the interposition cost (§4). *)
+let syscall t name =
+  Hare_stats.Opcount.incr t.syscalls name;
+  Core_res.compute t.core t.costs.syscall_trap
+
+(* ---------- RPC helpers ------------------------------------------------ *)
+
+let rpc_result t ?payload_lines srv req =
+  t.rpc_count <- t.rpc_count + 1;
+  Hare_msg.Rpc.call t.servers.(srv) ~from:t.core ?payload_lines req
+
+let rpc t ?payload_lines srv req =
+  match rpc_result t ?payload_lines srv req with
+  | Ok payload -> payload
+  | Error e -> Errno.raise_errno e (Wire.req_name req)
+
+(* Fan a request out to a set of servers: overlapped when directory
+   broadcast is enabled (§3.6.2), one-at-a-time otherwise. *)
+let multicast t ids (mk : int -> Wire.fs_req) =
+  if t.config.Hare_config.Config.dir_broadcast then begin
+    let futures =
+      List.map
+        (fun srv ->
+          t.rpc_count <- t.rpc_count + 1;
+          Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core (mk srv))
+        ids
+    in
+    List.map (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs) futures
+  end
+  else List.map (fun srv -> rpc_result t srv (mk srv)) ids
+
+(* ---------- path resolution -------------------------------------------- *)
+
+type dirref = { d_ino : ino; d_dist : bool }
+
+let rootref t = { d_ino = root_ino; d_dist = t.root_dist }
+
+let entry_server t (dir : dirref) name =
+  Types.dentry_server ~dist:dir.d_dist ~width:(width t)
+    ~nservers:(nservers t) ~dir:dir.d_ino ~name
+
+let shard_servers t (dir : ino) =
+  Types.shard_servers ~dist:true ~width:(width t) ~nservers:(nservers t) ~dir
+
+let lookup_entry t (dir : dirref) name : Wire.entry_info =
+  match Dircache.find t.dircache ~dir:dir.d_ino ~name with
+  | Some e -> e
+  | None -> (
+      let srv = entry_server t dir name in
+      match rpc t srv (Wire.Lookup { dir = dir.d_ino; name; client = t.cid }) with
+      | Wire.P_lookup { target; ftype; dist } ->
+          let e = { Wire.t_ino = target; t_ftype = ftype; t_dist = dist } in
+          Dircache.add t.dircache ~dir:dir.d_ino ~name e;
+          e
+      | _ -> assert false)
+
+let resolve_dir t comps =
+  List.fold_left
+    (fun dir comp ->
+      let e = lookup_entry t dir comp in
+      match e.Wire.t_ftype with
+      | Dir -> { d_ino = e.Wire.t_ino; d_dist = e.Wire.t_dist }
+      | Reg | Fifo -> Errno.raise_errno Errno.ENOTDIR comp)
+    (rootref t) comps
+
+let resolve_parent t ~cwd path =
+  let comps = Path.normalize ~cwd path in
+  let parent_comps, name = Path.parent_and_name comps in
+  (resolve_dir t parent_comps, name)
+
+(* The server placement for a new inode (§3.6.4, creation affinity): the
+   entry's server when it is already close (or when affinity is off, to
+   maximize coalescing); otherwise this client's designated local
+   server. *)
+let choose_inode_server t entry_srv =
+  if not t.config.Hare_config.Config.creation_affinity then entry_srv
+  else if t.server_sockets.(entry_srv) = Core_res.socket t.core then entry_srv
+  else t.local_server
+
+(* ---------- close-to-open cache actions -------------------------------- *)
+
+let direct_mode t = t.config.Hare_config.Config.direct_access
+
+let invalidate_blocks t blocks =
+  Array.iter (fun b -> Hare_mem.Pcache.invalidate_block t.pcache b) blocks
+
+let writeback_dirty t (fs : Fdtable.file_state) =
+  Hashtbl.iter
+    (fun b () -> Hare_mem.Pcache.writeback_block t.pcache b)
+    fs.f_dirty;
+  Hashtbl.reset fs.f_dirty
+
+(* ---------- open -------------------------------------------------------- *)
+
+let file_entry t ~(flags : open_flags) ~ino ~(oi : Wire.open_info) : Fdtable.entry
+    =
+  let start = if flags.append then oi.isize else 0 in
+  (* Close-to-open (§3.2): invalidate our private cache's copies of the
+     file's blocks, which another core may have rewritten since we last
+     saw them. Only needed when we will access the buffer cache
+     directly. *)
+  if direct_mode t then invalidate_blocks t oi.blocks;
+  {
+    Fdtable.desc =
+      Fdtable.File
+        {
+          f_ino = ino;
+          f_token = oi.token;
+          f_flags = flags;
+          f_pos = Fdtable.Local start;
+          f_blocks = oi.blocks;
+          f_size = oi.isize;
+          f_dirty = Hashtbl.create 8;
+          f_wrote = false;
+        };
+    local_refs = 1;
+  }
+
+let open_existing t (flags : open_flags) (target : ino) =
+  match
+    rpc t target.server
+      (Wire.Open_inode { ino = target; trunc = flags.trunc; client = t.cid })
+  with
+  | Wire.P_open oi -> (target, oi)
+  | _ -> assert false
+
+let create_file t (dir : dirref) name (flags : open_flags) =
+  let entry_srv = entry_server t dir name in
+  let inode_srv = choose_inode_server t entry_srv in
+  if inode_srv = entry_srv then begin
+    (* Coalesced create: inode + entry + fd in one message (§3.6.3). *)
+    match
+      rpc t entry_srv
+        (Wire.Create_open
+           {
+             dir = dir.d_ino;
+             name;
+             excl = flags.excl;
+             trunc = flags.trunc;
+             client = t.cid;
+           })
+    with
+    | Wire.P_open_ino { oi; ino } ->
+        Dircache.add t.dircache ~dir:dir.d_ino ~name
+          { Wire.t_ino = ino; t_ftype = Reg; t_dist = false };
+        (ino, oi)
+    | Wire.P_lookup { target; ftype; dist } ->
+        (* The name exists but its inode lives on another server. *)
+        Dircache.add t.dircache ~dir:dir.d_ino ~name
+          { Wire.t_ino = target; t_ftype = ftype; t_dist = dist };
+        if ftype = Dir then Errno.raise_errno Errno.EISDIR name
+        else open_existing t flags target
+    | _ -> assert false
+  end
+  else begin
+    match
+      rpc t inode_srv
+        (Wire.Create_inode { ftype = Reg; dist = false; and_open = true })
+    with
+    | Wire.P_open_ino { oi; ino } -> (
+        match
+          rpc_result t entry_srv
+            (Wire.Add_map
+               {
+                 dir = dir.d_ino;
+                 name;
+                 target = ino;
+                 ftype = Reg;
+                 dist = false;
+                 replace = false;
+                 client = t.cid;
+               })
+        with
+        | Ok _ ->
+            Dircache.add t.dircache ~dir:dir.d_ino ~name
+              { Wire.t_ino = ino; t_ftype = Reg; t_dist = false };
+            (ino, oi)
+        | Error err ->
+            (* Lost a create race, or the directory vanished: roll the
+               fresh inode back before reporting. *)
+            ignore (rpc t ino.server (Wire.Close_fd { token = oi.token; size = None }));
+            ignore (rpc t ino.server (Wire.Unlink_ino { ino }));
+            if err <> Errno.EEXIST then Errno.raise_errno err name
+            else if flags.excl then Errno.raise_errno Errno.EEXIST name
+            else
+              let e = lookup_entry t dir name in
+              if e.Wire.t_ftype = Dir then Errno.raise_errno Errno.EISDIR name
+              else open_existing t flags e.Wire.t_ino)
+    | _ -> assert false
+  end
+
+let openf t fdt ~cwd path (flags : open_flags) =
+  syscall t "open";
+  let dir, name = resolve_parent t ~cwd path in
+  let ino, oi =
+    if flags.creat then
+      if flags.excl then create_file t dir name flags
+      else begin
+        (* Common fast path: try the (possibly cached) existing file
+           first only if the cache knows it; otherwise go create. *)
+        match Dircache.find t.dircache ~dir:dir.d_ino ~name with
+        | Some e when e.Wire.t_ftype = Reg -> open_existing t flags e.Wire.t_ino
+        | Some e when e.Wire.t_ftype = Dir -> Errno.raise_errno Errno.EISDIR name
+        | _ -> create_file t dir name flags
+      end
+    else begin
+      let e = lookup_entry t dir name in
+      match e.Wire.t_ftype with
+      | Dir -> Errno.raise_errno Errno.EISDIR name
+      | Fifo -> Errno.raise_errno Errno.EINVAL name
+      | Reg -> open_existing t flags e.Wire.t_ino
+    end
+  in
+  Fdtable.alloc fdt (file_entry t ~flags ~ino ~oi)
+
+(* ---------- read / write / seek ---------------------------------------- *)
+
+let console_write t (c : Wire.console_ref) data =
+  match c with
+  | Wire.Console_local buf ->
+      Buffer.add_string buf data;
+      String.length data
+  | Wire.Console_remote port ->
+      let ack = Ivar.create () in
+      Hare_msg.Mailbox.send port ~from:t.core
+        ~payload_lines:((String.length data / 64) + 1)
+        (Wire.Pm_console_write { data; ack });
+      Ivar.read ack;
+      String.length data
+
+(* Refresh client-side file state after a shared descriptor migrates back
+   to local mode: the server performed I/O meanwhile, so both the block
+   list and our private cache's view may be stale. *)
+let demote_to_local t (fs : Fdtable.file_state) offset =
+  fs.f_pos <- Fdtable.Local offset;
+  if direct_mode t then begin
+    match rpc t fs.f_ino.server (Wire.Get_blocks { ino = fs.f_ino }) with
+    | Wire.P_blocks { blocks; bsize } ->
+        fs.f_blocks <- blocks;
+        fs.f_size <- bsize;
+        invalidate_blocks t blocks
+    | _ -> assert false
+  end
+
+let direct_read t (fs : Fdtable.file_state) ~off ~len =
+  let len = max 0 (min len (fs.f_size - off)) in
+  if len = 0 then ""
+  else begin
+    let out = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let foff = off + !pos in
+      let bi = foff / bs and boff = foff mod bs in
+      let n = min (len - !pos) (bs - boff) in
+      Hare_mem.Pcache.read t.pcache ~block:fs.f_blocks.(bi) ~off:boff ~len:n
+        ~dst:out ~dst_off:!pos;
+      pos := !pos + n
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+let ensure_client_blocks t (fs : Fdtable.file_state) ~size =
+  let need = if size <= 0 then 0 else ((size - 1) / bs) + 1 in
+  let have = Array.length fs.f_blocks in
+  if need > have then begin
+    match
+      rpc t fs.f_ino.server
+        (Wire.Alloc_blocks { ino = fs.f_ino; count = need - have })
+    with
+    | Wire.P_blocks { blocks; bsize = _ } ->
+        (* Invalidate the fresh blocks: our cache may hold stale lines
+           from the blocks' previous life in another file. *)
+        let added = Array.sub blocks have (Array.length blocks - have) in
+        invalidate_blocks t added;
+        fs.f_blocks <- blocks
+    | _ -> assert false
+  end
+
+let direct_write t (fs : Fdtable.file_state) ~off data =
+  let len = String.length data in
+  ensure_client_blocks t fs ~size:(off + len);
+  let srcb = Bytes.unsafe_of_string data in
+  let pos = ref 0 in
+  while !pos < len do
+    let foff = off + !pos in
+    let bi = foff / bs and boff = foff mod bs in
+    let n = min (len - !pos) (bs - boff) in
+    Hare_mem.Pcache.write t.pcache ~block:fs.f_blocks.(bi) ~off:boff ~len:n
+      ~src:srcb ~src_off:!pos;
+    Hashtbl.replace fs.f_dirty fs.f_blocks.(bi) ();
+    pos := !pos + n
+  done;
+  if off + len > fs.f_size then fs.f_size <- off + len;
+  fs.f_wrote <- true;
+  len
+
+let payload_of data = (String.length data / 64) + 1
+
+let file_read t (fs : Fdtable.file_state) ~len =
+  match fs.f_pos with
+  | Fdtable.Local off when direct_mode t ->
+      let data = direct_read t fs ~off ~len in
+      fs.f_pos <- Fdtable.Local (off + String.length data);
+      data
+  | Fdtable.Local off -> (
+      match
+        rpc t fs.f_ino.server
+          (Wire.Read_fd { token = fs.f_token; off = Some off; len })
+      with
+      | Wire.P_read { data; _ } ->
+          fs.f_pos <- Fdtable.Local (off + String.length data);
+          data
+      | _ -> assert false)
+  | Fdtable.Shared -> (
+      match
+        rpc t fs.f_ino.server
+          (Wire.Read_fd { token = fs.f_token; off = None; len })
+      with
+      | Wire.P_read { data; now_local } ->
+          (match now_local with
+          | Some off -> demote_to_local t fs off
+          | None -> ());
+          data
+      | _ -> assert false)
+
+let file_write t (fs : Fdtable.file_state) data =
+  match fs.f_pos with
+  | Fdtable.Local off ->
+      let off = if fs.f_flags.append then fs.f_size else off in
+      if direct_mode t then begin
+        let n = direct_write t fs ~off data in
+        fs.f_pos <- Fdtable.Local (off + n);
+        n
+      end
+      else begin
+        match
+          rpc t fs.f_ino.server
+            ~payload_lines:(payload_of data)
+            (Wire.Write_fd { token = fs.f_token; off = Some off; data })
+        with
+        | Wire.P_write { written; size; _ } ->
+            fs.f_size <- size;
+            fs.f_wrote <- true;
+            fs.f_pos <- Fdtable.Local (off + written);
+            written
+        | _ -> assert false
+      end
+  | Fdtable.Shared -> (
+      match
+        rpc t fs.f_ino.server
+          ~payload_lines:(payload_of data)
+          (Wire.Write_fd { token = fs.f_token; off = None; data })
+      with
+      | Wire.P_write { written; size; now_local } ->
+          fs.f_size <- size;
+          fs.f_wrote <- true;
+          (match now_local with
+          | Some off -> demote_to_local t fs off
+          | None -> ());
+          written
+      | _ -> assert false)
+
+let read t fdt fd ~len =
+  syscall t "read";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.File fs -> file_read t fs ~len
+  | Fdtable.Pipe p -> (
+      if p.p_write then Errno.raise_errno Errno.EBADF "write end of pipe"
+      else
+        match rpc t p.p_ino.server (Wire.Pipe_read { token = p.p_token; len }) with
+        | Wire.P_read { data; _ } -> data
+        | _ -> assert false)
+  | Fdtable.Console _ -> ""
+
+let write t fdt fd data =
+  syscall t "write";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.File fs -> file_write t fs data
+  | Fdtable.Pipe p -> (
+      if not p.p_write then Errno.raise_errno Errno.EBADF "read end of pipe"
+      else
+        match
+          rpc t p.p_ino.server
+            ~payload_lines:(payload_of data)
+            (Wire.Pipe_write { token = p.p_token; data })
+        with
+        | Wire.P_write { written; _ } -> written
+        | _ -> assert false)
+  | Fdtable.Console c -> console_write t c data
+
+let lseek t fdt fd ~pos whence =
+  syscall t "lseek";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.Pipe _ | Fdtable.Console _ -> Errno.raise_errno Errno.ESPIPE "lseek"
+  | Fdtable.File fs -> (
+      match fs.f_pos with
+      | Fdtable.Local cur ->
+          let target =
+            match whence with
+            | Seek_set -> pos
+            | Seek_cur -> cur + pos
+            | Seek_end -> fs.f_size + pos
+          in
+          if target < 0 then Errno.raise_errno Errno.EINVAL "negative offset";
+          fs.f_pos <- Fdtable.Local target;
+          target
+      | Fdtable.Shared -> (
+          match
+            rpc t fs.f_ino.server
+              (Wire.Lseek_fd { token = fs.f_token; pos; whence })
+          with
+          | Wire.P_lseek target -> target
+          | _ -> assert false))
+
+(* ---------- close / fsync / truncate ----------------------------------- *)
+
+let release_desc t (entry : Fdtable.entry) =
+  match entry.Fdtable.desc with
+  | Fdtable.File fs ->
+      if fs.f_wrote && direct_mode t then writeback_dirty t fs;
+      (* Report our size view only while the offset (and hence the size)
+         is client-owned; for a shared descriptor the server's view is
+         authoritative (§3.4). *)
+      let size =
+        match fs.f_pos with
+        | Fdtable.Local _ when fs.f_wrote && direct_mode t -> Some fs.f_size
+        | Fdtable.Local _ | Fdtable.Shared -> None
+      in
+      ignore (rpc t fs.f_ino.server (Wire.Close_fd { token = fs.f_token; size }))
+  | Fdtable.Pipe p ->
+      ignore
+        (rpc t p.p_ino.server (Wire.Close_fd { token = p.p_token; size = None }))
+  | Fdtable.Console _ -> ()
+
+let close t fdt fd =
+  syscall t "close";
+  let entry = Fdtable.find_exn fdt fd in
+  Fdtable.remove fdt fd;
+  entry.Fdtable.local_refs <- entry.Fdtable.local_refs - 1;
+  if entry.Fdtable.local_refs <= 0 then release_desc t entry
+
+let close_all t fdt =
+  (* Process exit: release everything we can; one sick descriptor must
+     not keep the rest (and their server-side state) alive. *)
+  List.iter
+    (fun fd -> try close t fdt fd with Errno.Error _ -> ())
+    (Fdtable.fds fdt)
+
+let fsync t fdt fd =
+  syscall t "fsync";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.File fs ->
+      if fs.f_wrote && direct_mode t then begin
+        writeback_dirty t fs;
+        ignore
+          (rpc t fs.f_ino.server
+             (Wire.Update_size { token = fs.f_token; size = fs.f_size }))
+      end
+  | Fdtable.Pipe _ | Fdtable.Console _ -> ()
+
+let ftruncate t fdt fd ~size =
+  syscall t "ftruncate";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.Pipe _ | Fdtable.Console _ -> Errno.raise_errno Errno.EINVAL "ftruncate"
+  | Fdtable.File fs -> (
+      (* Surviving bytes must be in DRAM before the server scrubs the
+         tail; flush our dirty lines first. *)
+      if fs.f_wrote && direct_mode t then begin
+        writeback_dirty t fs;
+        ignore
+          (rpc t fs.f_ino.server
+             (Wire.Update_size { token = fs.f_token; size = fs.f_size }))
+      end;
+      ignore (rpc t fs.f_ino.server (Wire.Truncate { ino = fs.f_ino; size }));
+      fs.f_size <- size;
+      if direct_mode t then
+        match rpc t fs.f_ino.server (Wire.Get_blocks { ino = fs.f_ino }) with
+        | Wire.P_blocks { blocks; bsize } ->
+            fs.f_blocks <- blocks;
+            fs.f_size <- bsize;
+            invalidate_blocks t blocks
+        | _ -> assert false)
+
+let fstat t fdt fd =
+  syscall t "fstat";
+  let entry = Fdtable.find_exn fdt fd in
+  match entry.Fdtable.desc with
+  | Fdtable.File fs -> (
+      match rpc t fs.f_ino.server (Wire.Get_attr { ino = fs.f_ino }) with
+      | Wire.P_attr a -> a
+      | _ -> assert false)
+  | Fdtable.Pipe p -> (
+      match rpc t p.p_ino.server (Wire.Get_attr { ino = p.p_ino }) with
+      | Wire.P_attr a -> a
+      | _ -> assert false)
+  | Fdtable.Console _ -> Errno.raise_errno Errno.EINVAL "fstat on console"
+
+(* ---------- dup / pipe -------------------------------------------------- *)
+
+let dup t fdt fd =
+  syscall t "dup";
+  let entry = Fdtable.find_exn fdt fd in
+  entry.Fdtable.local_refs <- entry.Fdtable.local_refs + 1;
+  Fdtable.alloc fdt entry
+
+let dup2 t fdt ~src ~dst =
+  syscall t "dup2";
+  let entry = Fdtable.find_exn fdt src in
+  if src = dst then dst
+  else begin
+    (match Fdtable.find fdt dst with
+    | Some old ->
+        Fdtable.remove fdt dst;
+        old.Fdtable.local_refs <- old.Fdtable.local_refs - 1;
+        if old.Fdtable.local_refs <= 0 then release_desc t old
+    | None -> ());
+    entry.Fdtable.local_refs <- entry.Fdtable.local_refs + 1;
+    Fdtable.alloc_at fdt dst entry;
+    dst
+  end
+
+let pipe t fdt =
+  syscall t "pipe";
+  match rpc t t.local_server (Wire.Pipe_create { client = t.cid }) with
+  | Wire.P_pipe { pipe_ino; rd; wr } ->
+      let mk token write =
+        {
+          Fdtable.desc =
+            Fdtable.Pipe { p_ino = pipe_ino; p_token = token; p_write = write };
+          local_refs = 1;
+        }
+      in
+      let rfd = Fdtable.alloc fdt (mk rd false) in
+      let wfd = Fdtable.alloc fdt (mk wr true) in
+      (rfd, wfd)
+  | _ -> assert false
+
+(* ---------- name-space operations --------------------------------------- *)
+
+let unlink t ~cwd path =
+  syscall t "unlink";
+  let dir, name = resolve_parent t ~cwd path in
+  let srv = entry_server t dir name in
+  match rpc t srv
+      (Wire.Rm_map { dir = dir.d_ino; name; only_if = None; client = t.cid }) with
+  | Wire.P_removed { target; ftype } ->
+      Dircache.remove t.dircache ~dir:dir.d_ino ~name;
+      if ftype = Dir then begin
+        (* Roll back: directories are removed with rmdir. *)
+        ignore
+          (rpc t srv
+             (Wire.Add_map
+                {
+                  dir = dir.d_ino;
+                  name;
+                  target;
+                  ftype;
+                  dist = true;
+                  replace = false;
+                  client = t.cid;
+                }));
+        Errno.raise_errno Errno.EISDIR name
+      end;
+      ignore (rpc t target.server (Wire.Unlink_ino { ino = target }))
+  | _ -> assert false
+
+let mkdir t ~cwd ?(dist = false) path =
+  syscall t "mkdir";
+  let dir, name = resolve_parent t ~cwd path in
+  let dist = dist && t.config.Hare_config.Config.dir_distribution in
+  let entry_srv = entry_server t dir name in
+  let home_srv = choose_inode_server t entry_srv in
+  if home_srv = entry_srv then begin
+    (* Coalesced mkdir (§3.6.3): one message creates inode + entry. *)
+    match
+      rpc t entry_srv
+        (Wire.Create_dir { dir = dir.d_ino; name; dist; client = t.cid })
+    with
+    | Wire.P_created_ino ino ->
+        Dircache.add t.dircache ~dir:dir.d_ino ~name
+          { Wire.t_ino = ino; t_ftype = Dir; t_dist = dist }
+    | _ -> assert false
+  end
+  else
+  match
+    rpc t home_srv (Wire.Create_inode { ftype = Dir; dist; and_open = false })
+  with
+  | Wire.P_created_ino ino -> (
+      match
+        rpc_result t entry_srv
+          (Wire.Add_map
+             {
+               dir = dir.d_ino;
+               name;
+               target = ino;
+               ftype = Dir;
+               dist;
+               replace = false;
+               client = t.cid;
+             })
+      with
+      | Ok _ ->
+          Dircache.add t.dircache ~dir:dir.d_ino ~name
+            { Wire.t_ino = ino; t_ftype = Dir; t_dist = dist }
+      | Error e ->
+          ignore (rpc t home_srv (Wire.Unlink_ino { ino }));
+          Errno.raise_errno e name)
+  | _ -> assert false
+
+let rmdir t ~cwd path =
+  syscall t "rmdir";
+  let dir, name = resolve_parent t ~cwd path in
+  let e = lookup_entry t dir name in
+  if e.Wire.t_ftype <> Dir then Errno.raise_errno Errno.ENOTDIR name;
+  let target = e.Wire.t_ino in
+  let home = target.server in
+  if not e.Wire.t_dist then begin
+    (* Centralized directory: the home server holds every entry, so the
+       emptiness check and removal coalesce into one atomic message; only
+       the parent's entry needs a second RPC. *)
+    ignore (rpc t home (Wire.Rmdir_local { dir = target; client = t.cid }));
+    (* conditional: a same-named directory may already have been
+       recreated; its entry is not ours to remove *)
+    (match
+       rpc_result t (entry_server t dir name)
+         (Wire.Rm_map
+            { dir = dir.d_ino; name; only_if = Some target; client = t.cid })
+     with
+    | Ok _ | Error Errno.ENOENT -> ()
+    | Error err -> Errno.raise_errno err name);
+    Dircache.remove t.dircache ~dir:dir.d_ino ~name
+  end
+  else begin
+  (* Phase 0: serialize concurrent rmdirs at the home server (§3.3). The
+     lock reply arrives only once we hold it; ENOENT means the directory
+     vanished while we waited. *)
+  (match rpc_result t home (Wire.Rmdir_lock { dir = target }) with
+  | Ok _ -> ()
+  | Error err -> Errno.raise_errno err name);
+  let servers_involved =
+    List.sort_uniq compare (home :: shard_servers t target)
+  in
+  (* Phase 1: ask every involved server to mark-for-deletion; succeeds
+     only on empty shards. *)
+  let prepare_results =
+    multicast t servers_involved (fun _srv -> Wire.Rmdir_prepare { dir = target })
+  in
+  let all_ok = List.for_all Result.is_ok prepare_results in
+  if all_ok then begin
+    (* Unlink the directory's own entry from its parent, then commit. *)
+    let srv = entry_server t dir name in
+    (match
+       rpc_result t srv
+         (Wire.Rm_map
+            { dir = dir.d_ino; name; only_if = Some target; client = t.cid })
+     with
+    | Ok _ -> Dircache.remove t.dircache ~dir:dir.d_ino ~name
+    | Error _ -> ());
+    ignore
+      (multicast t servers_involved (fun _ ->
+           Wire.Rmdir_commit { dir = target; client = t.cid }))
+    (* The commit at the home server destroys the lock with the inode. *)
+  end
+  else begin
+    List.iter
+      (fun srv -> ignore (rpc_result t srv (Wire.Rmdir_abort { dir = target })))
+      servers_involved;
+    ignore (rpc_result t home (Wire.Rmdir_unlock { dir = target }));
+    Errno.raise_errno Errno.ENOTEMPTY name
+  end
+  end
+
+let readdir t ~cwd path =
+  syscall t "readdir";
+  let comps = Path.normalize ~cwd path in
+  let dir = resolve_dir t comps in
+  if dir.d_dist then begin
+    let results =
+      multicast t (shard_servers t dir.d_ino) (fun _ ->
+          Wire.Readdir_shard { dir = dir.d_ino })
+    in
+    List.concat_map
+      (function
+        | Ok (Wire.P_entries es) -> es
+        | Ok _ -> assert false
+        | Error _ -> [])
+      results
+  end
+  else
+    match rpc t dir.d_ino.server (Wire.Readdir_shard { dir = dir.d_ino }) with
+    | Wire.P_entries es -> es
+    | _ -> assert false
+
+let rename t ~cwd oldp newp =
+  syscall t "rename";
+  let odir, oname = resolve_parent t ~cwd oldp in
+  let ndir, nname = resolve_parent t ~cwd newp in
+  if odir.d_ino = ndir.d_ino && oname = nname then ()
+  else begin
+    let e = lookup_entry t odir oname in
+    let target = e.Wire.t_ino in
+    (* The paper's rename: ADD_MAP at the new name's server, then RM_MAP
+       at the old name's (§3.3) — two RPCs (§5.3.3). A concurrent unlink
+       or rename of the old name can win the race; because the removal is
+       conditional on the entry still denoting [target] (and inode ids
+       are never reused), we detect that and compensate by removing the
+       entry we just added, so no dangling name survives. *)
+    let nsrv = entry_server t ndir nname in
+    let replaced =
+      match
+        rpc t nsrv
+          (Wire.Add_map
+             {
+               dir = ndir.d_ino;
+               name = nname;
+               target;
+               ftype = e.Wire.t_ftype;
+               dist = e.Wire.t_dist;
+               replace = true;
+               client = t.cid;
+             })
+      with
+      | Wire.P_removed { target = victim; ftype = Reg } -> Some victim
+      | Wire.P_removed _ | Wire.P_unit -> None
+      | _ -> assert false
+    in
+    Dircache.add t.dircache ~dir:ndir.d_ino ~name:nname e;
+    let osrv = entry_server t odir oname in
+    let unlink_victim () =
+      match replaced with
+      | Some victim when victim <> target ->
+          ignore (rpc_result t victim.server (Wire.Unlink_ino { ino = victim }))
+      | _ -> ()
+    in
+    match
+      rpc_result t osrv
+        (Wire.Rm_map
+           { dir = odir.d_ino; name = oname; only_if = Some target; client = t.cid })
+    with
+    | Ok _ ->
+        Dircache.remove t.dircache ~dir:odir.d_ino ~name:oname;
+        unlink_victim ()
+    | Error Errno.ENOENT ->
+        (* lost the race for the old name: undo our half *)
+        Dircache.remove t.dircache ~dir:ndir.d_ino ~name:nname;
+        ignore
+          (rpc_result t nsrv
+             (Wire.Rm_map
+                {
+                  dir = ndir.d_ino;
+                  name = nname;
+                  only_if = Some target;
+                  client = t.cid;
+                }));
+        unlink_victim ();
+        Errno.raise_errno Errno.ENOENT oname
+    | Error err -> Errno.raise_errno err oname
+  end
+
+let stat t ~cwd path =
+  syscall t "stat";
+  let comps = Path.normalize ~cwd path in
+  match comps with
+  | [] -> (
+      match rpc t root_ino.server (Wire.Get_attr { ino = root_ino }) with
+      | Wire.P_attr a -> a
+      | _ -> assert false)
+  | _ ->
+      let parent_comps, name = Path.parent_and_name comps in
+      let dir = resolve_dir t parent_comps in
+      let e = lookup_entry t dir name in
+      (match rpc t e.Wire.t_ino.server (Wire.Get_attr { ino = e.Wire.t_ino }) with
+      | Wire.P_attr a -> a
+      | _ -> assert false)
+
+(* ---------- descriptor transfer ----------------------------------------- *)
+
+let fork_fds t fdt =
+  let child = Fdtable.create () in
+  let mapping = ref [] in
+  let share (entry : Fdtable.entry) : Fdtable.entry =
+    match List.assq_opt entry !mapping with
+    | Some e -> e
+    | None ->
+        let child_entry =
+          match entry.Fdtable.desc with
+          | Fdtable.File fs ->
+              let offset =
+                match fs.f_pos with
+                | Fdtable.Local o -> Some o
+                | Fdtable.Shared -> None
+              in
+              (* Synchronous share RPC (§3.4): bump the server refcount
+                 and migrate the offset; descriptor I/O now routes through
+                 the server in both processes. *)
+              ignore
+                (rpc t fs.f_ino.server
+                   (Wire.Inc_fd_ref { token = fs.f_token; offset }));
+              if fs.f_wrote && direct_mode t then begin
+                (* Make our writes visible before the other process reads
+                   through the server. *)
+                writeback_dirty t fs;
+                ignore
+                  (rpc t fs.f_ino.server
+                     (Wire.Update_size { token = fs.f_token; size = fs.f_size }))
+              end;
+              fs.f_pos <- Fdtable.Shared;
+              {
+                Fdtable.desc =
+                  Fdtable.File
+                    {
+                      fs with
+                      f_pos = Fdtable.Shared;
+                      f_dirty = Hashtbl.create 8;
+                    };
+                local_refs = 0;
+              }
+          | Fdtable.Pipe p ->
+              ignore
+                (rpc t p.p_ino.server
+                   (Wire.Inc_fd_ref { token = p.p_token; offset = None }));
+              { Fdtable.desc = Fdtable.Pipe p; local_refs = 0 }
+          | Fdtable.Console c ->
+              { Fdtable.desc = Fdtable.Console c; local_refs = 0 }
+        in
+        mapping := (entry, child_entry) :: !mapping;
+        child_entry
+  in
+  List.iter
+    (fun (fd, entry) ->
+      let child_entry = share entry in
+      child_entry.Fdtable.local_refs <- child_entry.Fdtable.local_refs + 1;
+      Fdtable.alloc_at child fd child_entry)
+    (Fdtable.bindings fdt);
+  child
+
+let export_fds fdt =
+  List.map
+    (fun (fd, (entry : Fdtable.entry)) ->
+      let x =
+        match entry.Fdtable.desc with
+        | Fdtable.File fs ->
+            Wire.Xfile
+              {
+                ino = fs.f_ino;
+                token = fs.f_token;
+                flags = fs.f_flags;
+                pos =
+                  (match fs.f_pos with
+                  | Fdtable.Local o -> Wire.Xlocal o
+                  | Fdtable.Shared -> Wire.Xshared);
+              }
+        | Fdtable.Pipe p ->
+            Wire.Xpipe
+              { pipe_ino = p.p_ino; token = p.p_token; write_end = p.p_write }
+        | Fdtable.Console c -> Wire.Xconsole c
+      in
+      (fd, x))
+    (Fdtable.bindings fdt)
+
+let import_fds t xfers =
+  let fdt = Fdtable.create () in
+  let by_token : (int * Fdtable.entry) list ref = ref [] in
+  let entry_of (x : Wire.xfer_fd) =
+    let keyed token mk =
+      match List.assoc_opt token !by_token with
+      | Some e -> e
+      | None ->
+          let e = mk () in
+          by_token := (token, e) :: !by_token;
+          e
+    in
+    match x with
+    | Wire.Xfile { ino; token; flags; pos } ->
+        keyed token (fun () ->
+            let blocks, size =
+              if direct_mode t then begin
+                match rpc t ino.server (Wire.Get_blocks { ino }) with
+                | Wire.P_blocks { blocks; bsize } ->
+                    invalidate_blocks t blocks;
+                    (blocks, bsize)
+                | _ -> assert false
+              end
+              else ([||], 0)
+            in
+            {
+              Fdtable.desc =
+                Fdtable.File
+                  {
+                    f_ino = ino;
+                    f_token = token;
+                    f_flags = flags;
+                    f_pos =
+                      (match pos with
+                      | Wire.Xlocal o -> Fdtable.Local o
+                      | Wire.Xshared -> Fdtable.Shared);
+                    f_blocks = blocks;
+                    f_size = size;
+                    f_dirty = Hashtbl.create 8;
+                    f_wrote = false;
+                  };
+              local_refs = 0;
+            })
+    | Wire.Xpipe { pipe_ino; token; write_end } ->
+        keyed token (fun () ->
+            {
+              Fdtable.desc =
+                Fdtable.Pipe
+                  { p_ino = pipe_ino; p_token = token; p_write = write_end };
+              local_refs = 0;
+            })
+    | Wire.Xconsole c -> { Fdtable.desc = Fdtable.Console c; local_refs = 0 }
+  in
+  List.iter
+    (fun (fd, x) ->
+      let e = entry_of x in
+      e.Fdtable.local_refs <- e.Fdtable.local_refs + 1;
+      Fdtable.alloc_at fdt fd e)
+    xfers;
+  fdt

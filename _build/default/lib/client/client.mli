@@ -1,0 +1,102 @@
+(** The Hare client library (one instance per core, Figure 2).
+
+    Implements the file-system half of the POSIX API: path resolution
+    through the directory cache, direct reads/writes of the shared buffer
+    cache with close-to-open consistency, hybrid (local/shared) file
+    descriptor state, the client side of the three-phase rmdir protocol,
+    parallel directory broadcast, message coalescing and creation
+    affinity. Process-level calls (fork/exec/wait) live in the [Hare]
+    facade; they use {!fork_fds}/{!export_fds}/{!import_fds} from here.
+
+    All calls must run inside a simulation fiber pinned to this client's
+    core, and raise {!Hare_proto.Errno.Error} on failure. *)
+
+open Hare_proto
+
+type t
+
+val create :
+  engine:Hare_sim.Engine.t ->
+  config:Hare_config.Config.t ->
+  cid:int ->
+  core:Hare_sim.Core_res.t ->
+  pcache:Hare_mem.Pcache.t ->
+  servers:(Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array ->
+  server_sockets:int array ->
+  local_server:int ->
+  root_dist:bool ->
+  inval_port:Wire.inval Hare_msg.Mailbox.t ->
+  unit ->
+  t
+(** [inval_port] must be the mailbox registered with every file server for
+    this client id; the directory cache drains it before each lookup. *)
+
+val cid : t -> int
+
+val core : t -> Hare_sim.Core_res.t
+
+val dircache : t -> Dircache.t
+
+val syscalls : t -> Hare_stats.Opcount.t
+(** POSIX-call mix issued through this client (Figure 5). *)
+
+val rpc_count : t -> int
+
+(** {1 File calls} *)
+
+val openf : t -> Fdtable.t -> cwd:string -> string -> Types.open_flags -> int
+
+val close : t -> Fdtable.t -> int -> unit
+
+val close_all : t -> Fdtable.t -> unit
+
+val read : t -> Fdtable.t -> int -> len:int -> string
+(** Returns [""] at EOF; short data at end-of-file or for pipes. *)
+
+val write : t -> Fdtable.t -> int -> string -> int
+
+val lseek : t -> Fdtable.t -> int -> pos:int -> Types.whence -> int
+
+val dup : t -> Fdtable.t -> int -> int
+
+val dup2 : t -> Fdtable.t -> src:int -> dst:int -> int
+
+val pipe : t -> Fdtable.t -> int * int
+(** Returns (read fd, write fd). *)
+
+val fsync : t -> Fdtable.t -> int -> unit
+
+val ftruncate : t -> Fdtable.t -> int -> size:int -> unit
+
+val fstat : t -> Fdtable.t -> int -> Types.attr
+
+(** {1 Name-space calls} *)
+
+val unlink : t -> cwd:string -> string -> unit
+
+val mkdir : t -> cwd:string -> ?dist:bool -> string -> unit
+(** [dist] (default false) requests a distributed directory — the
+    paper's per-directory sharding flag (§3.3); honoured only when the
+    configuration enables directory distribution. *)
+
+val rmdir : t -> cwd:string -> string -> unit
+
+val rename : t -> cwd:string -> string -> string -> unit
+
+val readdir : t -> cwd:string -> string -> Wire.entry list
+
+val stat : t -> cwd:string -> string -> Types.attr
+
+(** {1 Descriptor transfer (fork / exec)} *)
+
+val fork_fds : t -> Fdtable.t -> Fdtable.t
+(** Clone a table for a forked child: every file/pipe descriptor becomes
+    shared — a synchronous refcount RPC per open description, with local
+    offsets migrating to the servers (§3.4). *)
+
+val export_fds : Fdtable.t -> (int * Wire.xfer_fd) list
+(** Snapshot for an exec RPC; ownership moves with the snapshot (no
+    refcount change — the proxy left behind stops using the fds). *)
+
+val import_fds : t -> (int * Wire.xfer_fd) list -> Fdtable.t
+(** Rebuild a table from an exec snapshot on the destination core. *)

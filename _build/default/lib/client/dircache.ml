@@ -1,0 +1,59 @@
+open Hare_proto
+
+type key = Types.ino * string
+
+type t = {
+  enabled : bool;
+  entries : (key, Wire.entry_info) Hashtbl.t;
+  port : Wire.inval Hare_msg.Mailbox.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ~enabled ~port () =
+  {
+    enabled;
+    entries = Hashtbl.create 512;
+    port;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let enabled t = t.enabled
+
+let port t = t.port
+
+let rec drain t =
+  match Hare_msg.Mailbox.poll t.port with
+  | None -> ()
+  | Some { Wire.i_dir; i_name } ->
+      Hashtbl.remove t.entries (i_dir, i_name);
+      t.invalidations <- t.invalidations + 1;
+      drain t
+
+let find t ~dir ~name =
+  drain t;
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.entries (dir, name) with
+    | Some _ as hit ->
+        t.hits <- t.hits + 1;
+        hit
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+let add t ~dir ~name info =
+  if t.enabled then Hashtbl.replace t.entries (dir, name) info
+
+let remove t ~dir ~name = Hashtbl.remove t.entries (dir, name)
+
+let size t = Hashtbl.length t.entries
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let invalidations t = t.invalidations

@@ -1,0 +1,42 @@
+(** Client-side directory lookup cache (§3.6.1).
+
+    One per client library (i.e. per core). Before every consultation the
+    cache drains its invalidation mailbox: thanks to atomic message
+    delivery, any invalidation a server sent before this lookup began is
+    already queued, so draining first guarantees the cache never returns
+    an entry the server invalidated before the lookup started. *)
+
+type t
+
+val create :
+  enabled:bool -> port:Hare_proto.Wire.inval Hare_msg.Mailbox.t -> unit -> t
+
+val enabled : t -> bool
+
+val port : t -> Hare_proto.Wire.inval Hare_msg.Mailbox.t
+
+(** [drain t] processes all pending invalidations. Called internally by
+    {!find}; exposed for the syscall paths that mutate without looking
+    up. *)
+val drain : t -> unit
+
+(** [find t ~dir ~name] drains invalidations, then consults the cache.
+    Always [None] when the cache is disabled. *)
+val find :
+  t ->
+  dir:Hare_proto.Types.ino ->
+  name:string ->
+  Hare_proto.Wire.entry_info option
+
+val add :
+  t -> dir:Hare_proto.Types.ino -> name:string -> Hare_proto.Wire.entry_info -> unit
+
+val remove : t -> dir:Hare_proto.Types.ino -> name:string -> unit
+
+val size : t -> int
+
+val hits : t -> int
+
+val misses : t -> int
+
+val invalidations : t -> int

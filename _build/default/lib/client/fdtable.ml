@@ -1,0 +1,71 @@
+open Hare_proto
+
+type file_state = {
+  f_ino : Types.ino;
+  f_token : Types.fd_token;
+  f_flags : Types.open_flags;
+  mutable f_pos : pos;
+  mutable f_blocks : int array;
+  mutable f_size : int;
+  f_dirty : (int, unit) Hashtbl.t;
+  mutable f_wrote : bool;
+}
+
+and pos = Local of int | Shared
+
+type pipe_state = {
+  p_ino : Types.ino;
+  p_token : Types.fd_token;
+  p_write : bool;
+}
+
+type desc =
+  | File of file_state
+  | Pipe of pipe_state
+  | Console of Wire.console_ref
+
+type entry = { mutable desc : desc; mutable local_refs : int }
+
+type t = { slots : (int, entry) Hashtbl.t }
+
+let max_fds = 1024
+
+let create () = { slots = Hashtbl.create 16 }
+
+let alloc t entry =
+  let rec scan fd =
+    if fd >= max_fds then Errno.raise_errno Errno.EMFILE "fd table full"
+    else if Hashtbl.mem t.slots fd then scan (fd + 1)
+    else begin
+      Hashtbl.replace t.slots fd entry;
+      fd
+    end
+  in
+  scan 0
+
+let alloc_at t fd entry =
+  if fd < 0 || fd >= max_fds then Errno.raise_errno Errno.EBADF "fd out of range";
+  Hashtbl.replace t.slots fd entry
+
+let find t fd = Hashtbl.find_opt t.slots fd
+
+let find_exn t fd =
+  match find t fd with
+  | Some e -> e
+  | None -> Errno.raise_errno Errno.EBADF (string_of_int fd)
+
+let remove t fd = Hashtbl.remove t.slots fd
+
+let fds t =
+  Hashtbl.fold (fun fd _ acc -> fd :: acc) t.slots [] |> List.sort compare
+
+let bindings t =
+  Hashtbl.fold (fun fd e acc -> (fd, e) :: acc) t.slots []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let distinct_entries t =
+  let seen = ref [] in
+  Hashtbl.iter
+    (fun _ e -> if not (List.memq e !seen) then seen := e :: !seen)
+    t.slots;
+  !seen

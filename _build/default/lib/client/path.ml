@@ -1,0 +1,25 @@
+open Hare_proto
+
+let split path =
+  String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+
+let normalize ~cwd path =
+  if path = "" then Errno.raise_errno Errno.EINVAL "empty path";
+  if String.length cwd = 0 || cwd.[0] <> '/' then
+    Errno.raise_errno Errno.EINVAL ("relative cwd: " ^ cwd);
+  let base = if path.[0] = '/' then [] else split cwd in
+  let resolve acc comp =
+    match comp with
+    | ".." -> ( match acc with [] -> [] | _ :: rest -> rest)
+    | c -> c :: acc
+  in
+  List.fold_left resolve (List.rev base) (split path) |> List.rev
+
+let to_string comps = "/" ^ String.concat "/" comps
+
+let join cwd path = to_string (normalize ~cwd path)
+
+let parent_and_name comps =
+  match List.rev comps with
+  | [] -> Errno.raise_errno Errno.EINVAL "path is the root"
+  | name :: rparent -> (List.rev rparent, name)

@@ -1,0 +1,1 @@
+lib/config/config.ml: Costs Fmt Fun List

@@ -1,0 +1,1 @@
+lib/config/config.mli: Costs Format

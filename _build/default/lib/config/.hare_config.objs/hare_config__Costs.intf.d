@@ -1,0 +1,1 @@
+lib/config/costs.mli:

@@ -1,0 +1,98 @@
+type placement = Timeshare | Split of int
+
+type exec_policy = Random_placement | Round_robin
+
+type t = {
+  ncores : int;
+  placement : placement;
+  exec_policy : exec_policy;
+  cores_per_socket : int;
+  dir_distribution : bool;
+  dir_broadcast : bool;
+  direct_access : bool;
+  dir_cache : bool;
+  creation_affinity : bool;
+  root_distributed : bool;
+  dist_width : int option;
+  block_stealing : bool;
+  buffer_cache_blocks : int;
+  pcache_lines : int;
+  seed : int64;
+  costs : Costs.t;
+}
+
+let default =
+  {
+    ncores = 40;
+    placement = Timeshare;
+    exec_policy = Round_robin;
+    cores_per_socket = 10;
+    dir_distribution = true;
+    dir_broadcast = true;
+    direct_access = true;
+    dir_cache = true;
+    creation_affinity = true;
+    root_distributed = false;
+    dist_width = None;
+    block_stealing = false;
+    (* 2 GB of 4 KiB blocks, as in the paper's setup (§4). *)
+    buffer_cache_blocks = 2 * 1024 * 256;
+    (* 512 KiB of 64-byte lines per core: the per-core L2 of the E7-4850
+       family, the cache level that matters for write-back traffic. *)
+    pcache_lines = 8192;
+    seed = 42L;
+    costs = Costs.default;
+  }
+
+let v ?ncores ?placement ?exec_policy ?seed () =
+  let t = default in
+  let t = match ncores with Some n -> { t with ncores = n } | None -> t in
+  let t = match placement with Some p -> { t with placement = p } | None -> t in
+  let t =
+    match exec_policy with Some p -> { t with exec_policy = p } | None -> t
+  in
+  match seed with Some s -> { t with seed = s } | None -> t
+
+let validate t =
+  if t.ncores <= 0 then Error "ncores must be positive"
+  else if t.cores_per_socket <= 0 then Error "cores_per_socket must be positive"
+  else if t.buffer_cache_blocks <= 0 then Error "buffer cache must be non-empty"
+  else if t.pcache_lines <= 0 then Error "private cache must be non-empty"
+  else
+    match t.placement with
+    | Timeshare -> Ok ()
+    | Split n ->
+        if n <= 0 then Error "split server count must be positive"
+        else if n >= t.ncores then
+          Error "split must leave at least one application core"
+        else Ok ()
+
+let nservers t =
+  match t.placement with Timeshare -> t.ncores | Split n -> n
+
+let server_cores t =
+  match t.placement with
+  | Timeshare -> List.init t.ncores Fun.id
+  | Split n -> List.init n Fun.id
+
+let app_cores t =
+  match t.placement with
+  | Timeshare -> List.init t.ncores Fun.id
+  | Split n -> List.init (t.ncores - n) (fun i -> n + i)
+
+let socket_of_core t core = core / t.cores_per_socket
+
+let pp_placement ppf = function
+  | Timeshare -> Fmt.string ppf "timeshare"
+  | Split n -> Fmt.pf ppf "split:%d" n
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>cores=%d placement=%a policy=%s@,\
+     dist=%b bcast=%b direct=%b dcache=%b affinity=%b seed=%Ld@]"
+    t.ncores pp_placement t.placement
+    (match t.exec_policy with
+    | Random_placement -> "random"
+    | Round_robin -> "round-robin")
+    t.dir_distribution t.dir_broadcast t.direct_access t.dir_cache
+    t.creation_affinity t.seed

@@ -1,0 +1,77 @@
+(** Machine and Hare configuration.
+
+    Mirrors the paper's experimental knobs: number of cores, number and
+    placement of file servers (timeshared with applications vs. dedicated
+    split), the exec placement policy, and the five individually-ablatable
+    techniques of §3.6 / §5.4. *)
+
+type placement =
+  | Timeshare  (** one file server per core, sharing the core with apps. *)
+  | Split of int
+      (** [Split n]: file servers on [n] dedicated cores; applications and
+          scheduling servers on the remaining cores. *)
+
+type exec_policy = Random_placement | Round_robin
+
+type t = {
+  ncores : int;
+  placement : placement;
+  exec_policy : exec_policy;
+  cores_per_socket : int;  (** NUMA geometry, for creation affinity. *)
+  (* §3.6 techniques, individually ablatable (Figures 9-14). *)
+  dir_distribution : bool;
+      (** honour the distributed-directory flag at mkdir; when off, all
+          directories are centralized at their home server. *)
+  dir_broadcast : bool;
+      (** contact all servers in parallel for readdir/rmdir; when off, the
+          per-server RPCs are issued sequentially. *)
+  direct_access : bool;
+      (** client libraries read/write the shared buffer cache directly;
+          when off, file data moves through RPCs to the server. *)
+  dir_cache : bool;  (** client-side directory lookup cache. *)
+  creation_affinity : bool;
+      (** place new inodes on a server close to the creating core. *)
+  root_distributed : bool;
+      (** shard the root directory's entries (benchmarks that create in
+          [/] want this; real trees mkdir their own distributed dirs). *)
+  dist_width : int option;
+      (** {e extension} (§6): distribute each directory over only this
+          many servers instead of all of them, so broadcast operations
+          (readdir, rmdir) touch a bounded subset. [None] reproduces the
+          paper: every distributed directory spans every server. *)
+  block_stealing : bool;
+      (** {e extension} (§3.2): when a server's buffer-cache partition
+          runs dry it steals free blocks from a peer instead of failing
+          with ENOSPC. The paper describes this but does not implement
+          it; default off for fidelity. *)
+  buffer_cache_blocks : int;  (** total shared buffer cache, in 4K blocks. *)
+  pcache_lines : int;  (** private-cache capacity per core, in 64B lines. *)
+  seed : int64;
+  costs : Costs.t;
+}
+
+val default : t
+(** 40 cores (4 sockets × 10), timeshare placement, round-robin exec
+    placement, all techniques enabled, 2 GB buffer cache — the paper's
+    standard configuration. *)
+
+val v : ?ncores:int -> ?placement:placement -> ?exec_policy:exec_policy -> ?seed:int64 -> unit -> t
+(** [v ()] is {!default} with the given overrides. *)
+
+val validate : t -> (unit, string) result
+(** Check internal consistency (positive sizes, split bounds, ...). *)
+
+val nservers : t -> int
+(** Number of file servers implied by the placement. *)
+
+val server_cores : t -> int list
+(** Core ids that run a file server. *)
+
+val app_cores : t -> int list
+(** Core ids available to applications (and scheduling servers). *)
+
+val socket_of_core : t -> int -> int
+
+val pp_placement : Format.formatter -> placement -> unit
+
+val pp : Format.formatter -> t -> unit

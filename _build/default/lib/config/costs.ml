@@ -1,0 +1,53 @@
+type t = {
+  cycles_per_us : int;
+  ctx_switch : int;
+  syscall_trap : int;
+  send : int;
+  recv : int;
+  cache_hit_line : int;
+  dram_line : int;
+  invalidate_line : int;
+  server_dispatch : int;
+  send_cross_socket : int;
+  dram_cross_socket_line : int;
+  msg_per_line : int;
+  loopback_rpc : int;
+  linux_syscall : int;
+  linux_lock : int;
+  linux_dirlock_hold : int;
+  spawn_process : int;
+}
+
+(* Calibration sketch (paper §5.3.3, 2 GHz clock):
+   - rename = ADD_MAP + RM_MAP, two RPCs. Server-side an ADD_MAP costs
+     recv(500) + dispatch(300) + handler(≈400) ≈ 1200 cycles — the paper
+     measures 1211; RM_MAP ≈ 800 vs. the paper's 756.
+   - Split-core rename latency: 2 × (send 1200 + server 1200/800 +
+     reply 1200 + recv 500) ≈ 7800 cycles ≈ 3.9 µs vs. the measured
+     4.171 µs.
+   - Sharing a core adds two context switches per RPC; ctx_switch=1500
+     brings the rename to ≈6.9 µs vs. the measured 7.204 µs. *)
+let default =
+  {
+    cycles_per_us = 2000;
+    ctx_switch = 1500;
+    syscall_trap = 150;
+    send = 1200;
+    recv = 500;
+    cache_hit_line = 30;
+    dram_line = 100;
+    invalidate_line = 2;
+    server_dispatch = 300;
+    send_cross_socket = 150;
+    dram_cross_socket_line = 40;
+    msg_per_line = 15;
+    loopback_rpc = 30000;
+    linux_syscall = 500;
+    linux_lock = 80;
+    linux_dirlock_hold = 1200;
+    spawn_process = 30000;
+  }
+
+let us_of_cycles t cycles = Int64.to_float cycles /. float_of_int t.cycles_per_us
+
+let seconds_of_cycles t cycles = us_of_cycles t cycles /. 1_000_000.0

@@ -1,0 +1,50 @@
+(** Cycle-cost model for the simulated machine.
+
+    Constants are calibrated against the measurements reported in the paper
+    (§5.3.3): an ADD_MAP RPC costs ≈2434 cycles at the client and ≈1211 at
+    the server; the messaging overhead is ≈1000 cycles per operation; a
+    rename takes 4.171 µs when client and server run on separate cores and
+    7.204 µs when they share one (context switches + icache pollution). *)
+
+type t = {
+  cycles_per_us : int;  (** clock rate: cycles per microsecond (2 GHz). *)
+  ctx_switch : int;
+      (** penalty when a core switches between fibers (Linux scheduling +
+          switch + icache/TLB pollution; the paper mitigates it with PCID
+          but it still dominates single-core RPC latency). *)
+  syscall_trap : int;
+      (** per-intercepted-syscall overhead of the [linux-gate.so]
+          interposition layer. *)
+  send : int;  (** client/server cost to send one message (Pika channel). *)
+  recv : int;  (** cost to dequeue and decode one message. *)
+  cache_hit_line : int;  (** private-cache hit, per 64-byte line. *)
+  dram_line : int;  (** shared-DRAM transfer of one 64-byte line. *)
+  invalidate_line : int;  (** dropping one private-cache line. *)
+  server_dispatch : int;  (** base cost of decoding + dispatching a request. *)
+  send_cross_socket : int;
+      (** extra cost of delivering a message to a core on another socket. *)
+  dram_cross_socket_line : int;
+      (** extra cost per 64-byte line when the block lives in another
+          socket's DRAM partition (NUMA; what creation affinity avoids). *)
+  msg_per_line : int;
+      (** marshalling cost per 64 bytes of RPC payload (data moved through
+          messages rather than the shared buffer cache). *)
+  loopback_rpc : int;
+      (** extra cost per RPC through the kernel loopback network stack
+          (UNFS3 baseline). *)
+  linux_syscall : int;  (** base in-kernel syscall cost (ramfs baseline). *)
+  linux_lock : int;  (** uncontended kernel lock acquire+release. *)
+  linux_dirlock_hold : int;
+      (** cycles a directory lock is held for a create/unlink/rename
+          (ramfs baseline serialization unit). *)
+  spawn_process : int;
+      (** fork+exec of a program image at the scheduling server (§3.5). *)
+}
+
+val default : t
+
+(** [us_of_cycles t c] converts simulated cycles to microseconds. *)
+val us_of_cycles : t -> int64 -> float
+
+(** [seconds_of_cycles t c] converts simulated cycles to seconds. *)
+val seconds_of_cycles : t -> int64 -> float

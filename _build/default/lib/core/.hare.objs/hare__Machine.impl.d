@@ -1,0 +1,1 @@
+lib/core/machine.ml: Array Buffer Core_res Engine Fun Hare_client Hare_config Hare_mem Hare_msg Hare_proc Hare_proto Hare_sched Hare_server Hare_sim Hare_stats Hashtbl Int64 Ivar List Types Wire

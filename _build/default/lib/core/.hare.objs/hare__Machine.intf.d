@@ -1,0 +1,1 @@
+lib/core/machine.mli: Buffer Hare_client Hare_config Hare_mem Hare_proc Hare_server Hare_sim Hare_stats

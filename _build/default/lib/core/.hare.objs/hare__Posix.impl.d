@@ -1,0 +1,1 @@
+lib/core/posix.ml: Array Bqueue Buffer Core_res Errno Hare_client Hare_config Hare_msg Hare_proc Hare_proto Hare_sched Hare_sim Ivar List Logs String Types Wire

@@ -1,0 +1,1 @@
+lib/core/posix.mli: Hare_proc Hare_proto Types Wire

@@ -1,0 +1,181 @@
+open Hare_sim
+open Hare_proto
+module Config = Hare_config.Config
+module Costs = Hare_config.Costs
+module Server = Hare_server.Server
+module Client = Hare_client.Client
+module Fdtable = Hare_client.Fdtable
+module Process = Hare_proc.Process
+module Program = Hare_proc.Program
+
+type t = {
+  engine : Engine.t;
+  config : Config.t;
+  cores : Core_res.t array;
+  dram : Hare_mem.Dram.t;
+  servers : Server.t array;
+  clients : Client.t array;
+  scheds : Hare_sched.Sched_server.t array;
+  registry : Program.t;
+  kctx : Process.kctx;
+}
+
+let boot (config : Config.t) =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Machine.boot: " ^ msg));
+  let engine = Engine.create ~seed:config.seed () in
+  let costs = config.costs in
+  let ncores = config.ncores in
+  let cores =
+    Array.init ncores (fun i ->
+        Core_res.create engine ~id:i
+          ~socket:(Config.socket_of_core config i)
+          ~ctx_switch:costs.ctx_switch)
+  in
+  let nservers = Config.nservers config in
+  let server_cores = Array.of_list (Config.server_cores config) in
+  (* The buffer cache is partitioned evenly among the file servers; each
+     partition physically lives on its server's socket (NUMA). *)
+  let per_server = max 16 (config.buffer_cache_blocks / nservers) in
+  let dram = Hare_mem.Dram.create ~nblocks:(per_server * nservers) in
+  let server_sockets =
+    Array.map (fun c -> Core_res.socket cores.(c)) server_cores
+  in
+  let block_socket b = server_sockets.(min (b / per_server) (nservers - 1)) in
+  let pcaches =
+    Array.init ncores (fun i ->
+        Hare_mem.Pcache.create ~block_socket dram ~core:cores.(i) ~costs
+          ~capacity_lines:config.pcache_lines)
+  in
+  let inval_ports =
+    Array.init ncores (fun i -> Hare_msg.Mailbox.create ~owner:cores.(i) ~costs ())
+  in
+  let servers =
+    Array.init nservers (fun s ->
+        Server.create ~engine ~config ~sid:s
+          ~core:cores.(server_cores.(s))
+          ~pcache:pcaches.(server_cores.(s))
+          ~dram ~blocks_first:(s * per_server) ~blocks_count:per_server
+          ~inval_ports ())
+  in
+  Server.install_root servers.(Types.root_ino.server)
+    ~dist:(config.root_distributed && config.dir_distribution);
+  Array.iter Server.start servers;
+  let endpoints = Array.map Server.endpoint servers in
+  Array.iter (fun s -> Server.set_peers s endpoints) servers;
+  (* Designated local server per client (§3.6.4): prefer a same-socket
+     server, spreading the clients of a socket across its servers. *)
+  let local_server_of core_id =
+    let sock = Core_res.socket cores.(core_id) in
+    let same =
+      List.filter
+        (fun s -> server_sockets.(s) = sock)
+        (List.init nservers Fun.id)
+    in
+    match same with
+    | [] -> core_id mod nservers
+    | l -> List.nth l (core_id mod List.length l)
+  in
+  let clients =
+    Array.init ncores (fun i ->
+        Client.create ~engine ~config ~cid:i ~core:cores.(i) ~pcache:pcaches.(i)
+          ~servers:endpoints ~server_sockets ~local_server:(local_server_of i)
+          ~root_dist:(config.root_distributed && config.dir_distribution)
+          ~inval_port:inval_ports.(i) ())
+  in
+  let sched_ports =
+    Array.init ncores (fun i -> Hare_msg.Rpc.endpoint ~owner:cores.(i) ~costs ())
+  in
+  let kctx =
+    {
+      Process.k_engine = engine;
+      k_config = config;
+      k_cores = cores;
+      k_clients = clients;
+      k_sched_ports = sched_ports;
+      k_app_cores = Array.of_list (Config.app_cores config);
+      k_pid_seq = Array.make ncores 1;
+      k_proc_tables = Array.init ncores (fun _ -> Hashtbl.create 64);
+    }
+  in
+  let registry = Program.create () in
+  let scheds =
+    Array.init ncores (fun i ->
+        Hare_sched.Sched_server.create ~kctx ~registry ~core_id:i
+          ~endpoint:sched_ports.(i) ())
+  in
+  Array.iter Hare_sched.Sched_server.start scheds;
+  { engine; config; cores; dram; servers; clients; scheds; registry; kctx }
+
+let engine t = t.engine
+
+let config t = t.config
+
+let kctx t = t.kctx
+
+let servers t = t.servers
+
+let clients t = t.clients
+
+let dram t = t.dram
+
+let register_program t name body = Program.register t.registry name body
+
+let spawn_init t ?core ?(cwd = "/") ?(args = []) ~name body =
+  let core =
+    match core with Some c -> c | None -> t.kctx.Process.k_app_cores.(0)
+  in
+  let console = Buffer.create 256 in
+  let fdt = Fdtable.create () in
+  let entry =
+    {
+      Fdtable.desc = Fdtable.Console (Wire.Console_local console);
+      local_refs = 3;
+    }
+  in
+  Fdtable.alloc_at fdt 0 entry;
+  Fdtable.alloc_at fdt 1 entry;
+  Fdtable.alloc_at fdt 2 entry;
+  let proc =
+    Process.make ~k:t.kctx ~core ~fdt ~cwd ~env:[ ("INIT", name) ] ~rr_next:0 ()
+  in
+  Process.run proc (fun p -> body p args);
+  (proc, console)
+
+let run t = Engine.run t.engine
+
+let run_for t budget = Engine.run_for t.engine budget
+
+let exit_status _t (proc : Process.t) = Ivar.peek proc.Process.exit_status
+
+let now t = Engine.now t.engine
+
+let seconds t = Costs.seconds_of_cycles t.config.Config.costs (now t)
+
+let total_syscalls t =
+  let acc = Hare_stats.Opcount.create () in
+  Array.iter
+    (fun c -> Hare_stats.Opcount.merge ~into:acc (Client.syscalls c))
+    t.clients;
+  acc
+
+let total_server_ops t =
+  let acc = Hare_stats.Opcount.create () in
+  Array.iter
+    (fun s -> Hare_stats.Opcount.merge ~into:acc (Server.ops s))
+    t.servers;
+  acc
+
+let total_rpcs t =
+  Array.fold_left (fun acc c -> acc + Client.rpc_count c) 0 t.clients
+
+let total_invals t =
+  Array.fold_left (fun acc s -> acc + Server.invals_sent s) 0 t.servers
+
+let utilization t =
+  let elapsed = Int64.to_float (max 1L (now t)) in
+  Array.to_list t.cores
+  |> List.map (fun core ->
+         ( Core_res.id core,
+           Int64.to_float (Core_res.busy_cycles core) /. elapsed ))

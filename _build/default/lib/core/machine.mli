@@ -1,0 +1,74 @@
+(** Booting and running a simulated Hare machine.
+
+    [boot] assembles the full system of Figure 2 on the simulated
+    non-cache-coherent multicore: one core resource and private cache per
+    core, the shared DRAM holding the partitioned buffer cache, a file
+    server per configured server core, a client library and a scheduling
+    server per core, and the root directory on the designated server.
+
+    Typical use:
+    {[
+      let m = Machine.boot (Config.v ~ncores:4 ()) in
+      Machine.register_program m "worker" (fun proc args -> ...);
+      let init, console = Machine.spawn_init m (fun proc -> ...) in
+      Machine.run m;
+      assert (Machine.exit_status m init = Some 0)
+    ]} *)
+
+type t
+
+val boot : Hare_config.Config.t -> t
+
+val engine : t -> Hare_sim.Engine.t
+
+val config : t -> Hare_config.Config.t
+
+val kctx : t -> Hare_proc.Process.kctx
+
+val servers : t -> Hare_server.Server.t array
+
+val clients : t -> Hare_client.Client.t array
+
+val dram : t -> Hare_mem.Dram.t
+
+val register_program : t -> string -> Hare_proc.Program.body -> unit
+
+val spawn_init :
+  t ->
+  ?core:int ->
+  ?cwd:string ->
+  ?args:string list ->
+  name:string ->
+  (Hare_proc.Process.t -> string list -> int) ->
+  Hare_proc.Process.t * Buffer.t
+(** Create an initial process (fds 0-2 bound to a fresh console buffer,
+    returned) on [core] (default: the first application core) and
+    schedule its body. *)
+
+val run : t -> unit
+(** Run the simulation to completion (all processes exited). *)
+
+val run_for : t -> int64 -> unit
+
+val exit_status : t -> Hare_proc.Process.t -> int option
+
+val now : t -> int64
+(** Simulated time, cycles. *)
+
+val seconds : t -> float
+(** Simulated time, seconds. *)
+
+(** {1 Aggregate statistics} *)
+
+val total_syscalls : t -> Hare_stats.Opcount.t
+(** Merged per-client POSIX-call counts (Figure 5). *)
+
+val total_server_ops : t -> Hare_stats.Opcount.t
+
+val total_rpcs : t -> int
+
+val total_invals : t -> int
+
+val utilization : t -> (int * float) list
+(** Per-core busy fraction (busy cycles / elapsed cycles) — how evenly
+    the run loaded the machine. *)

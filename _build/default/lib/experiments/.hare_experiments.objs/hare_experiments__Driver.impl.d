@@ -1,0 +1,1 @@
+lib/experiments/driver.ml: Hare_api Hare_config Hare_stats Hare_workloads List Printf World

@@ -1,0 +1,1 @@
+lib/experiments/driver.mli: Hare_config Hare_stats Hare_workloads World

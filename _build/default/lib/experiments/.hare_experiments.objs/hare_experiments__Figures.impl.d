@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Driver Filename Hare Hare_config Hare_proto Hare_server Hare_stats Hare_workloads List Option Printf String World

@@ -1,0 +1,1 @@
+lib/experiments/world.ml: Hare Hare_api Hare_baseline Hare_config Hare_proc Hare_proto Hare_sim Hare_stats List Wire

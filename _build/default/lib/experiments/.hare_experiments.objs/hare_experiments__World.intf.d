@@ -1,0 +1,1 @@
+lib/experiments/world.mli: Hare Hare_api Hare_baseline Hare_config Hare_proc Hare_stats

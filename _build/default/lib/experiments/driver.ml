@@ -1,0 +1,92 @@
+module Api = Hare_api.Api
+module Config = Hare_config.Config
+module Spec = Hare_workloads.Spec
+
+type result = {
+  bench : string;
+  world : string;
+  nprocs : int;
+  scale : int;
+  elapsed : float;
+  ops : int;
+  throughput : float;
+  syscalls : Hare_stats.Opcount.t;
+}
+
+let default_config ~ncores =
+  {
+    Config.default with
+    Config.ncores;
+    (* 512 MiB of (lazily materialized) buffer cache: big enough that no
+       per-server partition empties even when creation affinity clusters
+       a whole tree's inodes on one server (the paper's 2 GiB never
+       fills; block stealing is unimplemented, as in the prototype). *)
+    buffer_cache_blocks = 131072;
+    pcache_lines = 4096;
+  }
+
+module Make (W : World.WORLD) = struct
+  let run ?config ?nprocs ?(scale = 1) (spec : Spec.t) =
+    let config =
+      match config with Some c -> c | None -> default_config ~ncores:4
+    in
+    let config = { config with Config.exec_policy = spec.Spec.exec_policy } in
+    let nprocs =
+      match nprocs with
+      | Some n -> n
+      | None -> List.length (Config.app_cores config)
+    in
+    let w = W.boot config in
+    let api = W.api w in
+    List.iter
+      (fun (prog, body) -> api.Api.register_program prog body)
+      (spec.Spec.programs api);
+    api.Api.register_program "bench-worker" (fun p args ->
+        let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+        spec.Spec.worker api p ~idx ~nprocs ~scale;
+        0);
+    let t0 = ref 0.0 and t1 = ref 0.0 in
+    let ops_before = ref (Hare_stats.Opcount.create ()) in
+    let init =
+      W.spawn_init w ~name:("bench-" ^ spec.Spec.name) (fun p ->
+          spec.Spec.setup api p ~nprocs ~scale;
+          ops_before := Hare_stats.Opcount.snapshot (W.syscalls w);
+          t0 := W.seconds w;
+          let workers =
+            match spec.Spec.mode with Spec.Workers -> nprocs | Spec.Make -> 1
+          in
+          let pids =
+            List.init workers (fun i ->
+                api.Api.spawn p ~prog:"bench-worker"
+                  ~args:[ string_of_int i ])
+          in
+          let failures =
+            List.fold_left
+              (fun acc pid ->
+                if api.Api.waitpid p pid <> 0 then acc + 1 else acc)
+              0 pids
+          in
+          t1 := W.seconds w;
+          failures)
+    in
+    W.run w;
+    (match W.exit_status w init with
+    | Some 0 -> ()
+    | Some n ->
+        failwith
+          (Printf.sprintf "%s on %s: %d worker(s) failed" spec.Spec.name W.name n)
+    | None -> failwith (spec.Spec.name ^ ": init never finished"));
+    let elapsed = !t1 -. !t0 in
+    let ops = spec.Spec.ops ~nprocs ~scale in
+    {
+      bench = spec.Spec.name;
+      world = W.name;
+      nprocs;
+      scale;
+      elapsed;
+      ops;
+      throughput = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
+      (* the timed region's op mix only — setup excluded (Figure 5) *)
+      syscalls = Hare_stats.Opcount.diff ~since:!ops_before (W.syscalls w);
+    }
+end

@@ -1,0 +1,37 @@
+(** Runs one benchmark on one world and measures it.
+
+    The driver boots a fresh machine, registers the benchmark's helper
+    programs and a worker program, runs the (untimed) setup in the init
+    process, then spawns the workers via [spawn] — i.e. the workers are
+    placed on cores by the system's own policy, exactly like the paper's
+    benchmark processes — and times from after setup to the last worker
+    exit. *)
+
+type result = {
+  bench : string;
+  world : string;
+  nprocs : int;
+  scale : int;
+  elapsed : float;  (** simulated seconds of the timed region. *)
+  ops : int;
+  throughput : float;  (** ops per simulated second. *)
+  syscalls : Hare_stats.Opcount.t;  (** whole-run op mix. *)
+}
+
+val default_config : ncores:int -> Hare_config.Config.t
+(** The experiments' standard configuration: [ncores] cores, a scaled
+    64 MiB buffer cache (the paper's 2 GiB would dominate host memory),
+    everything else as {!Hare_config.Config.default}. *)
+
+module Make (W : World.WORLD) : sig
+  val run :
+    ?config:Hare_config.Config.t ->
+    ?nprocs:int ->
+    ?scale:int ->
+    Hare_workloads.Spec.t ->
+    result
+  (** [run spec] executes the benchmark. [nprocs] defaults to the number
+      of application cores; the benchmark's exec-placement policy
+      overrides the configuration's. Raises [Failure] if any worker
+      exits nonzero. *)
+end

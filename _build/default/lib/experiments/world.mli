@@ -1,0 +1,42 @@
+(** Runnable "worlds" — the systems under evaluation.
+
+    A world boots a machine from a {!Hare_config.Config.t} and exposes
+    the {!Hare_api.Api.t} surface plus enough control to run an init
+    process and read the simulated clock. Three worlds reproduce the
+    paper's three systems: Hare itself, Linux tmpfs/ramfs, and the
+    UNFS3-style loopback NFS. *)
+
+module type WORLD = sig
+  type world
+
+  type proc
+
+  val name : string
+
+  val boot : Hare_config.Config.t -> world
+
+  val api : world -> proc Hare_api.Api.t
+
+  val spawn_init : world -> name:string -> (proc -> int) -> proc
+
+  val run : world -> unit
+
+  val seconds : world -> float
+
+  val syscalls : world -> Hare_stats.Opcount.t
+
+  val exit_status : world -> proc -> int option
+end
+
+module Hare_w : WORLD with type world = Hare.Machine.t and type proc = Hare_proc.Process.t
+
+module Linux_w :
+  WORLD
+    with type world = Hare_baseline.Linux_world.t
+     and type proc = Hare_baseline.Linux_world.proc
+
+(** [unfs_config base] turns a configuration into the UNFS3 baseline: a
+    single dedicated file-server core, all data through RPC (no direct
+    buffer-cache access), centralized directories, and the kernel
+    loopback network-stack cost added to every message (§5.3.3). *)
+val unfs_config : Hare_config.Config.t -> Hare_config.Config.t

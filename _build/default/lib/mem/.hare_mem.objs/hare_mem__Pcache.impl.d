@@ -1,0 +1,1 @@
+lib/mem/pcache.ml: Bytes Core_res Dram Hare_config Hare_sim Hashtbl Layout List String

@@ -1,0 +1,1 @@
+lib/mem/pcache.mli: Bytes Dram Hare_config Hare_sim

@@ -1,0 +1,55 @@
+type t = { nblocks : int; pages : Bytes.t option array }
+
+let create ~nblocks =
+  if nblocks <= 0 then invalid_arg "Dram.create: nblocks must be positive";
+  { nblocks; pages = Array.make nblocks None }
+
+let nblocks t = t.nblocks
+
+let check_line t ~block ~line =
+  if block < 0 || block >= t.nblocks then
+    invalid_arg (Printf.sprintf "Dram: block %d out of range" block);
+  if line < 0 || line >= Layout.lines_per_block then
+    invalid_arg (Printf.sprintf "Dram: line %d out of range" line)
+
+(* Pages materialize on first write; unwritten blocks read as zeroes. *)
+let page t block =
+  match t.pages.(block) with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make Layout.block_size '\000' in
+      t.pages.(block) <- Some p;
+      p
+
+let read_line t ~block ~line ~dst ~dst_off =
+  check_line t ~block ~line;
+  match t.pages.(block) with
+  | None -> Bytes.fill dst dst_off Layout.line_size '\000'
+  | Some p -> Bytes.blit p (line * Layout.line_size) dst dst_off Layout.line_size
+
+let write_line t ~block ~line ~src ~src_off =
+  check_line t ~block ~line;
+  Bytes.blit src src_off (page t block) (line * Layout.line_size)
+    Layout.line_size
+
+let zero_block t ~block =
+  check_line t ~block ~line:0;
+  match t.pages.(block) with
+  | None -> ()
+  | Some p -> Bytes.fill p 0 Layout.block_size '\000'
+
+let zero_range t ~block ~off ~len =
+  if off < 0 || len < 0 || off + len > Layout.block_size then
+    invalid_arg "Dram.zero_range: range escapes block";
+  check_line t ~block ~line:0;
+  match t.pages.(block) with
+  | None -> ()
+  | Some p -> Bytes.fill p off len '\000'
+
+let unsafe_read t ~block ~off ~len =
+  if off < 0 || len < 0 || off + len > Layout.block_size then
+    invalid_arg "Dram.unsafe_read: range escapes block";
+  check_line t ~block ~line:0;
+  match t.pages.(block) with
+  | None -> String.make len '\000'
+  | Some p -> Bytes.sub_string p off len

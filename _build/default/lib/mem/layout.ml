@@ -1,0 +1,13 @@
+let block_size = 4096
+
+let line_size = 64
+
+let lines_per_block = block_size / line_size
+
+let line_of_offset off = off / line_size
+
+let lines_touched ~off ~len =
+  if len <= 0 then invalid_arg "Layout.lines_touched: empty range";
+  if off < 0 || off + len > block_size then
+    invalid_arg "Layout.lines_touched: range escapes block";
+  (line_of_offset off, line_of_offset (off + len - 1))

@@ -1,0 +1,269 @@
+open Hare_sim
+
+type line = {
+  key : int; (* block * lines_per_block + line index *)
+  data : Bytes.t; (* Layout.line_size bytes *)
+  mutable dirty : bool;
+  mutable prev : line option;
+  mutable next : line option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+  invalidated : int;
+}
+
+type t = {
+  dram : Dram.t;
+  core : Core_res.t;
+  costs : Hare_config.Costs.t;
+  block_socket : int -> int;
+  capacity : int;
+  table : (int, line) Hashtbl.t;
+  (* LRU list: head = most recently used, tail = eviction victim. *)
+  mutable head : line option;
+  mutable tail : line option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable invalidated : int;
+}
+
+let create ?block_socket dram ~core ~costs ~capacity_lines =
+  if capacity_lines <= 0 then invalid_arg "Pcache.create: empty capacity";
+  let block_socket =
+    match block_socket with
+    | Some f -> f
+    | None -> fun (_ : int) -> Core_res.socket core
+  in
+  {
+    dram;
+    core;
+    costs;
+    block_socket;
+    capacity = capacity_lines;
+    table = Hashtbl.create (2 * capacity_lines);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    invalidated = 0;
+  }
+
+let core t = t.core
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+    invalidated = t.invalidated;
+  }
+
+let resident_lines t = Hashtbl.length t.table
+
+let key_of ~block ~line = (block * Layout.lines_per_block) + line
+
+(* DRAM transfer cost for one line of [block], NUMA-aware. *)
+let dram_cost t block =
+  if t.block_socket block <> Core_res.socket t.core then
+    t.costs.dram_line + t.costs.dram_cross_socket_line
+  else t.costs.dram_line
+
+let block_of_key key = key / Layout.lines_per_block
+
+let line_of_key key = key mod Layout.lines_per_block
+
+(* --- intrusive LRU list ---------------------------------------------- *)
+
+let unlink t l =
+  (match l.prev with Some p -> p.next <- l.next | None -> t.head <- l.next);
+  (match l.next with Some n -> n.prev <- l.prev | None -> t.tail <- l.prev);
+  l.prev <- None;
+  l.next <- None
+
+let push_front t l =
+  l.next <- t.head;
+  l.prev <- None;
+  (match t.head with Some h -> h.prev <- Some l | None -> t.tail <- Some l);
+  t.head <- Some l
+
+let touch t l =
+  if t.head != Some l then begin
+    unlink t l;
+    push_front t l
+  end
+
+let flush_line t l =
+  if l.dirty then begin
+    Dram.write_line t.dram ~block:(block_of_key l.key)
+      ~line:(line_of_key l.key) ~src:l.data ~src_off:0;
+    l.dirty <- false;
+    t.writebacks <- t.writebacks + 1;
+    true
+  end
+  else false
+
+let drop_line t l =
+  unlink t l;
+  Hashtbl.remove t.table l.key
+
+(* Evict the LRU victim; returns the cycle cost of any write-back. *)
+let evict_one t =
+  match t.tail with
+  | None -> 0
+  | Some victim ->
+      let cost =
+        if flush_line t victim then dram_cost t (block_of_key victim.key)
+        else 0
+      in
+      drop_line t victim;
+      t.evictions <- t.evictions + 1;
+      cost
+
+(* Fetch-or-miss one line; returns (line, cycle cost). *)
+let ensure_line t ~block ~line =
+  let key = key_of ~block ~line in
+  match Hashtbl.find_opt t.table key with
+  | Some l ->
+      touch t l;
+      t.hits <- t.hits + 1;
+      (l, t.costs.cache_hit_line)
+  | None ->
+      t.misses <- t.misses + 1;
+      let evict_cost =
+        if Hashtbl.length t.table >= t.capacity then evict_one t else 0
+      in
+      let data = Bytes.create Layout.line_size in
+      Dram.read_line t.dram ~block ~line ~dst:data ~dst_off:0;
+      let l = { key; data; dirty = false; prev = None; next = None } in
+      Hashtbl.replace t.table key l;
+      push_front t l;
+      (l, evict_cost + dram_cost t block + t.costs.cache_hit_line)
+
+let check_range ~off ~len =
+  if len <= 0 then invalid_arg "Pcache: empty range";
+  if off < 0 || off + len > Layout.block_size then
+    invalid_arg "Pcache: range escapes block"
+
+let access t ~block ~off ~len ~(per_line : line -> unit) =
+  check_range ~off ~len;
+  let first, last = Layout.lines_touched ~off ~len in
+  let cost = ref 0 in
+  for line = first to last do
+    let l, c = ensure_line t ~block ~line in
+    cost := !cost + c;
+    per_line l
+  done;
+  Core_res.compute t.core !cost
+
+let read t ~block ~off ~len ~dst ~dst_off =
+  let per_line l =
+    let line = line_of_key l.key in
+    let line_start = line * Layout.line_size in
+    let from = max off line_start in
+    let upto = min (off + len) (line_start + Layout.line_size) in
+    Bytes.blit l.data (from - line_start) dst (dst_off + from - off) (upto - from)
+  in
+  access t ~block ~off ~len ~per_line
+
+let write t ~block ~off ~len ~src ~src_off =
+  let per_line l =
+    let line = line_of_key l.key in
+    let line_start = line * Layout.line_size in
+    let from = max off line_start in
+    let upto = min (off + len) (line_start + Layout.line_size) in
+    Bytes.blit src (src_off + from - off) l.data (from - line_start) (upto - from);
+    l.dirty <- true
+  in
+  access t ~block ~off ~len ~per_line
+
+let read_string t ~block ~off ~len =
+  let dst = Bytes.create len in
+  read t ~block ~off ~len ~dst ~dst_off:0;
+  Bytes.unsafe_to_string dst
+
+let write_string t ~block ~off s =
+  write t ~block ~off ~len:(String.length s) ~src:(Bytes.unsafe_of_string s)
+    ~src_off:0
+
+let lines_of_block t block =
+  (* Collect first: callbacks mutate the LRU list. *)
+  let acc = ref [] in
+  for line = 0 to Layout.lines_per_block - 1 do
+    match Hashtbl.find_opt t.table (key_of ~block ~line) with
+    | Some l -> acc := l :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let invalidate_block t block =
+  let lines = lines_of_block t block in
+  List.iter
+    (fun l ->
+      drop_line t l;
+      t.invalidated <- t.invalidated + 1)
+    lines;
+  Core_res.compute t.core (List.length lines * t.costs.invalidate_line)
+
+let writeback_block t block =
+  let lines = lines_of_block t block in
+  let cost = ref 0 in
+  List.iter
+    (fun l -> if flush_line t l then cost := !cost + dram_cost t block)
+    lines;
+  Core_res.compute t.core !cost
+
+(* Coherent accessors: model an MESI machine by keeping DRAM authoritative
+   — every write goes through to DRAM, every read refetches the line.
+   Costs: a resident (hit) line moves at near-cache speed (the hardware
+   satisfies it from cache / posted write-backs); only misses pay the
+   full DRAM transfer. *)
+
+let coherent_line_cost t (l : line) c =
+  (* [c] is the ensure_line cost: hit or miss+fill. Resident lines add a
+     small write-through/snoop overhead instead of a DRAM round trip. *)
+  ignore l;
+  if c <= t.costs.cache_hit_line then t.costs.cache_hit_line + (t.costs.dram_line / 8)
+  else c
+
+let read_coherent t ~block ~off ~len ~dst ~dst_off =
+  check_range ~off ~len;
+  let first, last = Layout.lines_touched ~off ~len in
+  let cost = ref 0 in
+  for line = first to last do
+    let l, c = ensure_line t ~block ~line in
+    (* Refresh from DRAM: another (coherent) core may have written. *)
+    Dram.read_line t.dram ~block ~line ~dst:l.data ~dst_off:0;
+    l.dirty <- false;
+    let line_start = line * Layout.line_size in
+    let from = max off line_start in
+    let upto = min (off + len) (line_start + Layout.line_size) in
+    Bytes.blit l.data (from - line_start) dst (dst_off + from - off) (upto - from);
+    cost := !cost + coherent_line_cost t l c
+  done;
+  Core_res.compute t.core !cost
+
+let write_coherent t ~block ~off ~len ~src ~src_off =
+  check_range ~off ~len;
+  let first, last = Layout.lines_touched ~off ~len in
+  let cost = ref 0 in
+  for line = first to last do
+    let l, c = ensure_line t ~block ~line in
+    let line_start = line * Layout.line_size in
+    let from = max off line_start in
+    let upto = min (off + len) (line_start + Layout.line_size) in
+    Bytes.blit src (src_off + from - off) l.data (from - line_start) (upto - from);
+    (* Write-through: immediately visible to all cores. *)
+    Dram.write_line t.dram ~block ~line ~src:l.data ~src_off:0;
+    l.dirty <- false;
+    cost := !cost + coherent_line_cost t l c
+  done;
+  Core_res.compute t.core !cost

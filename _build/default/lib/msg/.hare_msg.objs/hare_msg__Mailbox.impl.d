@@ -1,0 +1,1 @@
+lib/msg/mailbox.ml: Bqueue Core_res Hare_config Hare_sim

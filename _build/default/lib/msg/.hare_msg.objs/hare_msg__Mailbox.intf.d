@@ -1,0 +1,1 @@
+lib/msg/mailbox.mli: Hare_config Hare_sim

@@ -1,0 +1,1 @@
+lib/msg/rpc.ml: Core_res Hare_config Hare_sim Ivar Mailbox

@@ -1,0 +1,1 @@
+lib/msg/rpc.mli: Hare_config Hare_sim

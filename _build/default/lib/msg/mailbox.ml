@@ -1,0 +1,46 @@
+open Hare_sim
+
+type 'a t = {
+  queue : 'a Bqueue.t;
+  owner : Core_res.t;
+  costs : Hare_config.Costs.t;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let create ~owner ~costs () =
+  { queue = Bqueue.create (); owner; costs; sent = 0; received = 0 }
+
+let owner t = t.owner
+
+let send t ~from ?(payload_lines = 0) msg =
+  let cost = t.costs.send + (payload_lines * t.costs.msg_per_line) in
+  let cost =
+    if Core_res.socket from <> Core_res.socket t.owner then
+      cost + t.costs.send_cross_socket
+    else cost
+  in
+  Core_res.compute from cost;
+  (* Atomic delivery: the enqueue happens before send returns. *)
+  Bqueue.push t.queue msg;
+  t.sent <- t.sent + 1
+
+let recv t =
+  let msg = Bqueue.pop t.queue in
+  t.received <- t.received + 1;
+  Core_res.compute t.owner t.costs.recv;
+  msg
+
+let poll t =
+  match Bqueue.pop_nonblocking t.queue with
+  | None -> None
+  | Some msg ->
+      t.received <- t.received + 1;
+      Core_res.compute t.owner t.costs.recv;
+      Some msg
+
+let pending t = Bqueue.length t.queue
+
+let sent t = t.sent
+
+let received t = t.received

@@ -1,0 +1,38 @@
+(** Inter-core message channel with {e atomic delivery}.
+
+    Modelled after the Pika messaging library the paper builds on: each
+    endpoint owns a receive queue in shared memory. The property Hare's
+    directory-cache invalidation protocol relies on (§3.6.1) holds by
+    construction: when {!send} returns, the message {e is} in the
+    receiver's queue, so a receiver that drains its queue before acting
+    can never miss a message sent before its action began.
+
+    Sending charges the sender's core; receiving charges the owner's
+    core. Cross-socket sends pay a NUMA penalty. *)
+
+type 'a t
+
+val create :
+  owner:Hare_sim.Core_res.t -> costs:Hare_config.Costs.t -> unit -> 'a t
+
+val owner : 'a t -> Hare_sim.Core_res.t
+
+(** [send t ~from msg] delivers [msg]; on return the message is queued at
+    the receiver. [payload_lines] (default 0) charges marshalling cost for
+    bulk payloads. *)
+val send : 'a t -> from:Hare_sim.Core_res.t -> ?payload_lines:int -> 'a -> unit
+
+(** [recv t] blocks until a message is available and returns it, charging
+    the receive cost to the owner core. *)
+val recv : 'a t -> 'a
+
+(** [poll t] returns a message if one is queued (charging receive cost),
+    or [None] without cost — the cheap queue-empty check that makes the
+    invalidation-drain-before-lookup pattern viable. *)
+val poll : 'a t -> 'a option
+
+val pending : 'a t -> int
+
+val sent : 'a t -> int
+
+val received : 'a t -> int

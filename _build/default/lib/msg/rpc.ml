@@ -1,0 +1,43 @@
+open Hare_sim
+
+type ('req, 'resp) t = {
+  mailbox : ('req * 'resp Ivar.t) Mailbox.t;
+  costs : Hare_config.Costs.t;
+}
+
+let endpoint ~owner ~costs () = { mailbox = Mailbox.create ~owner ~costs (); costs }
+
+let owner t = Mailbox.owner t.mailbox
+
+let call_async t ~from ?payload_lines req =
+  let reply = Ivar.create () in
+  Mailbox.send t.mailbox ~from ?payload_lines (req, reply);
+  reply
+
+let await ~from ~costs future =
+  let resp = Ivar.read future in
+  Core_res.compute from costs.Hare_config.Costs.recv;
+  resp
+
+let call t ~from ?payload_lines req =
+  await ~from ~costs:t.costs (call_async t ~from ?payload_lines req)
+
+let reply_fn t ivar ?(payload_lines = 0) resp =
+  (* The response is a message from the endpoint's core back to the
+     caller; the responder pays the send cost. *)
+  Core_res.compute (Mailbox.owner t.mailbox)
+    (t.costs.Hare_config.Costs.send
+    + (payload_lines * t.costs.Hare_config.Costs.msg_per_line));
+  Ivar.fill ivar resp
+
+let recv t =
+  let req, ivar = Mailbox.recv t.mailbox in
+  (req, fun ?payload_lines resp -> reply_fn t ivar ?payload_lines resp)
+
+let poll t =
+  match Mailbox.poll t.mailbox with
+  | None -> None
+  | Some (req, ivar) ->
+      Some (req, fun ?payload_lines resp -> reply_fn t ivar ?payload_lines resp)
+
+let pending t = Mailbox.pending t.mailbox

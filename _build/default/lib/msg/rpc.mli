@@ -1,0 +1,51 @@
+(** Request/response messaging over {!Mailbox}.
+
+    A server owns an endpoint and loops on {!recv}; each request carries a
+    reply slot. Replies are themselves messages (the responder pays a send
+    cost, the caller a receive cost). {!call_async}/{!await} let a client
+    overlap several outstanding RPCs — the mechanism behind directory
+    broadcast (§3.6.2). *)
+
+type ('req, 'resp) t
+
+val endpoint :
+  owner:Hare_sim.Core_res.t -> costs:Hare_config.Costs.t -> unit -> ('req, 'resp) t
+
+val owner : ('req, 'resp) t -> Hare_sim.Core_res.t
+
+(** [call t ~from req] sends [req] and blocks until the response arrives. *)
+val call :
+  ('req, 'resp) t ->
+  from:Hare_sim.Core_res.t ->
+  ?payload_lines:int ->
+  'req ->
+  'resp
+
+(** [call_async t ~from req] sends [req]; {!await} the returned future. *)
+val call_async :
+  ('req, 'resp) t ->
+  from:Hare_sim.Core_res.t ->
+  ?payload_lines:int ->
+  'req ->
+  'resp Hare_sim.Ivar.t
+
+(** [await ~from ~costs future] blocks for the response and charges the
+    receive cost to [from]. *)
+val await :
+  from:Hare_sim.Core_res.t ->
+  costs:Hare_config.Costs.t ->
+  'resp Hare_sim.Ivar.t ->
+  'resp
+
+(** [recv t] (server side) blocks for a request and returns it with its
+    reply function. The reply function charges the send cost to the
+    endpoint's owner core when invoked; it may be stashed and invoked
+    later (how servers park blocking operations — pipe reads, rmdir
+    serialization — without blocking their dispatch loop). *)
+val recv : ('req, 'resp) t -> 'req * (?payload_lines:int -> 'resp -> unit)
+
+(** [poll t] is the non-blocking {!recv}. *)
+val poll :
+  ('req, 'resp) t -> ('req * (?payload_lines:int -> 'resp -> unit)) option
+
+val pending : ('req, 'resp) t -> int

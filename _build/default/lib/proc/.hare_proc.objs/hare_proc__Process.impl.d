@@ -1,0 +1,1 @@
+lib/proc/process.ml: Array Bqueue Core_res Engine Errno Hare_client Hare_config Hare_msg Hare_proto Hare_sim Hashtbl Ivar List Logs Printf Rng Types Wire

@@ -1,0 +1,1 @@
+lib/proc/process.mli: Hare_client Hare_config Hare_msg Hare_proto Hare_sim Hashtbl Types Wire

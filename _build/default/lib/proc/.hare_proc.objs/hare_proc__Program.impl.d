@@ -1,0 +1,1 @@
+lib/proc/program.ml: Hashtbl List Process

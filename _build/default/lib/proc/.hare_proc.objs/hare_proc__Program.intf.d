@@ -1,0 +1,1 @@
+lib/proc/program.mli: Process

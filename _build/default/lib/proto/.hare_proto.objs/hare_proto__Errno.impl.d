@@ -1,0 +1,1 @@
+lib/proto/errno.ml: Format Printexc Printf

@@ -1,0 +1,1 @@
+lib/proto/types.ml: Char Format Int64 List String

@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Buffer Errno Format Hare_msg Hare_sim Types

@@ -1,0 +1,52 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | EPIPE
+  | ENOSPC
+  | ESPIPE
+  | ECHILD
+  | ESRCH
+  | EMFILE
+  | ENOSYS
+  | ENOEXEC
+  | EACCES
+  | EBUSY
+
+exception Error of t * string
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | EPIPE -> "EPIPE"
+  | ENOSPC -> "ENOSPC"
+  | ESPIPE -> "ESPIPE"
+  | ECHILD -> "ECHILD"
+  | ESRCH -> "ESRCH"
+  | EMFILE -> "EMFILE"
+  | ENOSYS -> "ENOSYS"
+  | ENOEXEC -> "ENOEXEC"
+  | EACCES -> "EACCES"
+  | EBUSY -> "EBUSY"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let raise_errno e ctx = raise (Error (e, ctx))
+
+let get op what = function
+  | Ok v -> v
+  | Error e -> raise_errno e (op ^ " " ^ what)
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, ctx) -> Some (Printf.sprintf "Errno.Error(%s, %s)" (to_string e) ctx)
+    | _ -> None)

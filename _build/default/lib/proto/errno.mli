@@ -1,0 +1,33 @@
+(** POSIX-style error codes returned by Hare system calls. *)
+
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | EPIPE
+  | ENOSPC
+  | ESPIPE
+  | ECHILD
+  | ESRCH
+  | EMFILE
+  | ENOSYS
+  | ENOEXEC
+  | EACCES
+  | EBUSY
+
+exception Error of t * string
+(** Raised by the [*_exn] convenience wrappers; the string names the
+    operation and operand. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val raise_errno : t -> string -> 'a
+
+(** [get op what r] unwraps [Ok] or raises {!Error}. *)
+val get : string -> string -> ('a, t) result -> 'a

@@ -1,0 +1,158 @@
+open Types
+
+type fs_req =
+  | Lookup of { dir : ino; name : string; client : client_id }
+  | Add_map of {
+      dir : ino;
+      name : string;
+      target : ino;
+      ftype : ftype;
+      dist : bool;
+      replace : bool;
+      client : client_id;
+    }
+  | Rm_map of {
+      dir : ino;
+      name : string;
+      only_if : ino option;
+      client : client_id;
+    }
+  | Readdir_shard of { dir : ino }
+  | Create_open of {
+      dir : ino;
+      name : string;
+      excl : bool;
+      trunc : bool;
+      client : client_id;
+    }
+  | Create_inode of { ftype : ftype; dist : bool; and_open : bool }
+  | Create_dir of { dir : ino; name : string; dist : bool; client : client_id }
+  | Open_inode of { ino : ino; trunc : bool; client : client_id }
+  | Close_fd of { token : fd_token; size : int option }
+  | Read_fd of { token : fd_token; off : int option; len : int }
+  | Write_fd of { token : fd_token; off : int option; data : string }
+  | Lseek_fd of { token : fd_token; pos : int; whence : whence }
+  | Alloc_blocks of { ino : ino; count : int }
+  | Get_blocks of { ino : ino }
+  | Update_size of { token : fd_token; size : int }
+  | Get_attr of { ino : ino }
+  | Truncate of { ino : ino; size : int }
+  | Unlink_ino of { ino : ino }
+  | Link_ino of { ino : ino }
+  | Inc_fd_ref of { token : fd_token; offset : int option }
+  | Rmdir_lock of { dir : ino }
+  | Rmdir_unlock of { dir : ino }
+  | Rmdir_prepare of { dir : ino }
+  | Rmdir_commit of { dir : ino; client : client_id }
+  | Rmdir_abort of { dir : ino }
+  | Rmdir_local of { dir : ino; client : client_id }
+  | Pipe_create of { client : client_id }
+  | Pipe_read of { token : fd_token; len : int }
+  | Pipe_write of { token : fd_token; data : string }
+  | Steal_blocks of { count : int }
+
+type open_info = { token : fd_token; blocks : int array; isize : int }
+
+(** What a directory entry denotes: the target inode, its type, and (for
+    directories) its distribution flag — denormalized so a single lookup
+    RPC suffices to keep walking a path. *)
+type entry_info = { t_ino : ino; t_ftype : ftype; t_dist : bool }
+
+type entry = { e_name : string; e_ino : ino; e_ftype : ftype }
+
+type fs_payload =
+  | P_unit
+  | P_ino of ino
+  | P_attr of attr
+  | P_lookup of { target : ino; ftype : ftype; dist : bool }
+  | P_open of open_info
+  | P_create of open_info
+  | P_created_ino of ino
+  | P_read of { data : string; now_local : int option }
+  | P_write of { written : int; size : int; now_local : int option }
+  | P_lseek of int
+  | P_entries of entry list
+  | P_blocks of { blocks : int array; bsize : int }
+  | P_removed of { target : ino; ftype : ftype }
+  | P_pipe of { pipe_ino : ino; rd : fd_token; wr : fd_token }
+  | P_open_ino of { oi : open_info; ino : ino }
+
+type fs_resp = (fs_payload, Errno.t) result
+
+type inval = { i_dir : ino; i_name : string }
+
+type proxy_msg =
+  | Pm_child_exit of int
+  | Pm_console_write of { data : string; ack : unit Hare_sim.Ivar.t }
+  | Pm_signal of int
+
+type console_ref =
+  | Console_local of Buffer.t
+  | Console_remote of proxy_msg Hare_msg.Mailbox.t
+
+type xfer_fd =
+  | Xfile of { ino : ino; token : fd_token; flags : open_flags; pos : xfer_pos }
+  | Xpipe of { pipe_ino : ino; token : fd_token; write_end : bool }
+  | Xconsole of console_ref
+
+and xfer_pos = Xlocal of int | Xshared
+
+type sched_req =
+  | S_exec of {
+      prog : string;
+      args : string list;
+      env : (string * string) list;
+      cwd_path : string;
+      fds : (int * xfer_fd) list;
+      proxy : proxy_msg Hare_msg.Mailbox.t;
+      rr_next : int;
+    }
+  | S_signal of { pid : pid; signal : int }
+
+type sched_resp = (pid, Errno.t) result
+
+let req_name = function
+  | Lookup _ -> "LOOKUP"
+  | Add_map _ -> "ADD_MAP"
+  | Rm_map _ -> "RM_MAP"
+  | Readdir_shard _ -> "READDIR"
+  | Create_open _ -> "CREATE_OPEN"
+  | Create_inode _ -> "CREATE_INODE"
+  | Create_dir _ -> "CREATE_DIR"
+  | Open_inode _ -> "OPEN"
+  | Close_fd _ -> "CLOSE"
+  | Read_fd _ -> "READ"
+  | Write_fd _ -> "WRITE"
+  | Lseek_fd _ -> "LSEEK"
+  | Alloc_blocks _ -> "ALLOC"
+  | Get_blocks _ -> "GET_BLOCKS"
+  | Update_size _ -> "UPDATE_SIZE"
+  | Get_attr _ -> "GETATTR"
+  | Truncate _ -> "TRUNCATE"
+  | Unlink_ino _ -> "UNLINK_INO"
+  | Link_ino _ -> "LINK_INO"
+  | Inc_fd_ref _ -> "INC_FD_REF"
+  | Rmdir_lock _ -> "RMDIR_LOCK"
+  | Rmdir_unlock _ -> "RMDIR_UNLOCK"
+  | Rmdir_prepare _ -> "RMDIR_PREPARE"
+  | Rmdir_commit _ -> "RMDIR_COMMIT"
+  | Rmdir_abort _ -> "RMDIR_ABORT"
+  | Rmdir_local _ -> "RMDIR_LOCAL"
+  | Pipe_create _ -> "PIPE_CREATE"
+  | Pipe_read _ -> "PIPE_READ"
+  | Pipe_write _ -> "PIPE_WRITE"
+  | Steal_blocks _ -> "STEAL_BLOCKS"
+
+let pp_fs_req ppf req =
+  match req with
+  | Lookup { dir; name; _ } ->
+      Format.fprintf ppf "LOOKUP(%a, %s)" pp_ino dir name
+  | Add_map { dir; name; target; _ } ->
+      Format.fprintf ppf "ADD_MAP(%a, %s -> %a)" pp_ino dir name pp_ino target
+  | Rm_map { dir; name; _ } ->
+      Format.fprintf ppf "RM_MAP(%a, %s)" pp_ino dir name
+  | Create_open { dir; name; _ } ->
+      Format.fprintf ppf "CREATE_OPEN(%a, %s)" pp_ino dir name
+  | Open_inode { ino; _ } -> Format.fprintf ppf "OPEN(%a)" pp_ino ino
+  | Readdir_shard { dir } -> Format.fprintf ppf "READDIR(%a)" pp_ino dir
+  | _ -> Format.pp_print_string ppf (req_name req)

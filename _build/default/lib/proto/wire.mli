@@ -1,0 +1,152 @@
+(** Message formats of the Hare protocol.
+
+    File-system requests are grouped by the server that handles them:
+    directory-entry operations go to the shard server determined by
+    {!Types.dentry_server}; inode/file-descriptor operations go to the
+    inode's home server; the three-phase rmdir protocol (§3.3) touches the
+    home server (lock) and then every server (prepare/commit/abort).
+
+    Coalesced messages ({!fs_req.Create_open}) implement §3.6.3: when the
+    directory entry and the new inode land on the same server, create +
+    link + open travel as one message. *)
+
+open Types
+
+type fs_req =
+  (* directory-entry (shard) operations *)
+  | Lookup of { dir : ino; name : string; client : client_id }
+  | Add_map of {
+      dir : ino;
+      name : string;
+      target : ino;
+      ftype : ftype;
+      dist : bool;  (** target's distribution flag, denormalized into the
+                        entry so lookups need one RPC (§3.6.1). *)
+      replace : bool;
+      client : client_id;
+    }
+  | Rm_map of {
+      dir : ino;
+      name : string;
+      only_if : ino option;
+          (** remove only if the entry still points here — rename's
+              compensation relies on inode ids never being reused. *)
+      client : client_id;
+    }
+  | Readdir_shard of { dir : ino }
+  | Create_open of {
+      dir : ino;
+      name : string;
+      excl : bool;
+      trunc : bool;
+      client : client_id;
+    }  (** coalesced create-inode + add-map + open for regular files. *)
+  (* inode (home server) operations *)
+  | Create_inode of { ftype : ftype; dist : bool; and_open : bool }
+  | Create_dir of { dir : ino; name : string; dist : bool; client : client_id }
+      (** coalesced mkdir: inode + entry when both land on one server
+          (§3.6.3). *)
+  | Open_inode of { ino : ino; trunc : bool; client : client_id }
+  | Close_fd of { token : fd_token; size : int option }
+  | Read_fd of { token : fd_token; off : int option; len : int }
+  | Write_fd of { token : fd_token; off : int option; data : string }
+  | Lseek_fd of { token : fd_token; pos : int; whence : whence }
+  | Alloc_blocks of { ino : ino; count : int }
+  | Get_blocks of { ino : ino }
+  | Update_size of { token : fd_token; size : int }
+  | Get_attr of { ino : ino }
+  | Truncate of { ino : ino; size : int }
+  | Unlink_ino of { ino : ino }
+  | Link_ino of { ino : ino }
+      (** add a link count: the first half of rename's link+unlink pair,
+          protecting the inode from a concurrent unlink of the old
+          name. *)
+  | Inc_fd_ref of { token : fd_token; offset : int option }
+      (** fork-time share: the client's local offset migrates in. *)
+  (* three-phase rmdir *)
+  | Rmdir_lock of { dir : ino }
+  | Rmdir_unlock of { dir : ino }
+  | Rmdir_prepare of { dir : ino }
+  | Rmdir_commit of { dir : ino; client : client_id }
+  | Rmdir_abort of { dir : ino }
+  | Rmdir_local of { dir : ino; client : client_id }
+      (** coalesced rmdir of a {e centralized} directory: emptiness check
+          and inode removal are atomic at the home server, so the
+          three-phase protocol is unnecessary. *)
+  (* pipes *)
+  | Pipe_create of { client : client_id }
+  | Pipe_read of { token : fd_token; len : int }
+  | Pipe_write of { token : fd_token; data : string }
+  | Steal_blocks of { count : int }
+      (** server→server ({e extension}, §3.2): ask a peer to donate free
+          buffer-cache blocks when this server's partition is dry. *)
+
+type open_info = { token : fd_token; blocks : int array; isize : int }
+
+(** What a directory entry denotes: the target inode, its type, and (for
+    directories) its distribution flag — denormalized so a single lookup
+    RPC suffices to keep walking a path. *)
+type entry_info = { t_ino : ino; t_ftype : ftype; t_dist : bool }
+
+type entry = { e_name : string; e_ino : ino; e_ftype : ftype }
+
+type fs_payload =
+  | P_unit
+  | P_ino of ino
+  | P_attr of attr
+  | P_lookup of { target : ino; ftype : ftype; dist : bool }
+  | P_open of open_info
+  | P_create of open_info  (** reply to [Create_open]; token's ino inside. *)
+  | P_created_ino of ino  (** reply to [Create_inode]. *)
+  | P_read of { data : string; now_local : int option }
+      (** [now_local]: lazy demotion — the fd's shared refcount dropped to
+          one, the offset migrates back to the client (§3.4). *)
+  | P_write of { written : int; size : int; now_local : int option }
+  | P_lseek of int
+  | P_entries of entry list
+  | P_blocks of { blocks : int array; bsize : int }
+  | P_removed of { target : ino; ftype : ftype }
+  | P_pipe of { pipe_ino : ino; rd : fd_token; wr : fd_token }
+  | P_open_ino of { oi : open_info; ino : ino }
+
+type fs_resp = (fs_payload, Errno.t) result
+
+(** Directory-cache invalidation pushed from server to client (§3.6.1). *)
+type inval = { i_dir : ino; i_name : string }
+
+(** Messages to a proxy process left behind by a remote exec (§3.5). *)
+type proxy_msg =
+  | Pm_child_exit of int
+  | Pm_console_write of { data : string; ack : unit Hare_sim.Ivar.t }
+  | Pm_signal of int  (** relayed from the proxy's parent to the child. *)
+
+type console_ref =
+  | Console_local of Buffer.t
+  | Console_remote of proxy_msg Hare_msg.Mailbox.t
+
+(** File-descriptor snapshot carried by an exec RPC. *)
+type xfer_fd =
+  | Xfile of { ino : ino; token : fd_token; flags : open_flags; pos : xfer_pos }
+  | Xpipe of { pipe_ino : ino; token : fd_token; write_end : bool }
+  | Xconsole of console_ref
+
+and xfer_pos = Xlocal of int | Xshared
+
+type sched_req =
+  | S_exec of {
+      prog : string;
+      args : string list;
+      env : (string * string) list;
+      cwd_path : string;
+      fds : (int * xfer_fd) list;
+      proxy : proxy_msg Hare_msg.Mailbox.t;
+      rr_next : int;  (** round-robin placement state, parent→child. *)
+    }
+  | S_signal of { pid : pid; signal : int }
+
+type sched_resp = (pid, Errno.t) result
+
+val pp_fs_req : Format.formatter -> fs_req -> unit
+
+val req_name : fs_req -> string
+(** Short opcode name, for per-operation statistics. *)

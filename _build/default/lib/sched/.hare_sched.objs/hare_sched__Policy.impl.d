@@ -1,0 +1,1 @@
+lib/sched/policy.ml: Array Hare_config Hare_proc Hare_sim Process

@@ -1,0 +1,1 @@
+lib/sched/policy.mli: Hare_proc

@@ -1,0 +1,1 @@
+lib/sched/sched_server.ml: Array Core_res Engine Errno Hare_client Hare_config Hare_msg Hare_proc Hare_proto Hare_sim Logs Printf Process Program Wire

@@ -1,0 +1,1 @@
+lib/sched/sched_server.mli: Hare_msg Hare_proc Hare_proto

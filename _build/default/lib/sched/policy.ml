@@ -1,0 +1,11 @@
+open Hare_proc
+
+let pick_core (p : Process.t) =
+  let app_cores = p.Process.k.Process.k_app_cores in
+  match p.Process.k.Process.k_config.Hare_config.Config.exec_policy with
+  | Hare_config.Config.Random_placement ->
+      Hare_sim.Rng.pick p.Process.prng app_cores
+  | Hare_config.Config.Round_robin ->
+      let i = p.Process.rr_next mod Array.length app_cores in
+      p.Process.rr_next <- p.Process.rr_next + 1;
+      app_cores.(i)

@@ -1,0 +1,7 @@
+(** Exec placement policies (§3.5): random, or round-robin with the
+    cursor propagated from parent to child. *)
+
+val pick_core : Hare_proc.Process.t -> int
+(** Chooses an application core for the process's next [exec] according
+    to the machine's configured policy, advancing per-process policy
+    state. *)

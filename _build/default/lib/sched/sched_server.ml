@@ -1,0 +1,72 @@
+open Hare_sim
+open Hare_proto
+open Hare_proc
+
+let src = Logs.Src.create "hare.sched" ~doc:"Hare scheduling server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  kctx : Process.kctx;
+  registry : Program.t;
+  core_id : int;
+  core : Core_res.t;
+  costs : Hare_config.Costs.t;
+  endpoint : (Wire.sched_req, Wire.sched_resp) Hare_msg.Rpc.t;
+  mutable execs : int;
+}
+
+let create ~kctx ~registry ~core_id ~endpoint () =
+  {
+    kctx;
+    registry;
+    core_id;
+    core = kctx.Process.k_cores.(core_id);
+    costs = kctx.Process.k_config.Hare_config.Config.costs;
+    endpoint;
+    execs = 0;
+  }
+
+let execs t = t.execs
+
+let handle_exec t ~prog ~args ~env ~cwd_path ~fds ~proxy ~rr_next reply =
+  match Program.find t.registry prog with
+  | None -> reply (Error Errno.ENOEXEC)
+  | Some body ->
+      t.execs <- t.execs + 1;
+      (* fork + exec of the image on this core. *)
+      Core_res.compute t.core t.costs.spawn_process;
+      let client = t.kctx.Process.k_clients.(t.core_id) in
+      let fdt = Hare_client.Client.import_fds client fds in
+      let proc =
+        Process.make ~k:t.kctx ~core:t.core_id ~fdt ~cwd:cwd_path ~env ~rr_next
+          ()
+      in
+      reply (Ok proc.Process.pid);
+      Process.run proc
+        ~on_exit:(fun status ->
+          (* Tell the proxy so the original parent sees the status. *)
+          Hare_msg.Mailbox.send proxy ~from:t.core (Wire.Pm_child_exit status))
+        (fun p -> body p args)
+
+let handle_signal t ~pid ~signal reply =
+  match Process.find t.kctx pid with
+  | None -> reply (Error Errno.ESRCH)
+  | Some target ->
+      Process.deliver_signal target ~from:t.core signal;
+      reply (Ok pid)
+
+let start t =
+  let rec loop () =
+    let req, reply = Hare_msg.Rpc.recv t.endpoint in
+    Core_res.compute t.core t.costs.server_dispatch;
+    (match req with
+    | Wire.S_exec { prog; args; env; cwd_path; fds; proxy; rr_next } ->
+        handle_exec t ~prog ~args ~env ~cwd_path ~fds ~proxy ~rr_next reply
+    | Wire.S_signal { pid; signal } -> handle_signal t ~pid ~signal reply);
+    loop ()
+  in
+  ignore
+    (Engine.spawn t.kctx.Process.k_engine ~daemon:true
+       ~name:(Printf.sprintf "sched-%d" t.core_id)
+       loop)

@@ -1,0 +1,1 @@
+lib/server/blocklist.ml: Array Hashtbl Option Printf Queue

@@ -1,0 +1,1 @@
+lib/server/inode.ml: Hare_mem Hare_proto Pipe_state

@@ -1,0 +1,1 @@
+lib/server/inode.mli: Hare_proto Pipe_state

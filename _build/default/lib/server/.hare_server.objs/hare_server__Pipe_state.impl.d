@@ -1,0 +1,1 @@
+lib/server/pipe_state.ml: Buffer Hare_proto Queue String

@@ -1,0 +1,1 @@
+lib/server/pipe_state.mli: Hare_proto

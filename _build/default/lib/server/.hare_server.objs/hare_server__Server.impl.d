@@ -1,0 +1,1 @@
+lib/server/server.ml: Array Blocklist Bytes Core_res Engine Errno Hare_config Hare_mem Hare_msg Hare_proto Hare_sim Hare_stats Hashtbl Inode List Logs Option Pipe_state Printf Queue String Wire

@@ -1,0 +1,1 @@
+lib/server/server.mli: Hare_config Hare_mem Hare_msg Hare_proto Hare_sim Hare_stats

@@ -1,0 +1,60 @@
+type t = {
+  first : int;
+  count : int;
+  free : int Queue.t;
+  allocated : (int, unit) Hashtbl.t;
+  adopted : (int, unit) Hashtbl.t;
+}
+
+let create ~first ~count =
+  if first < 0 || count <= 0 then invalid_arg "Blocklist.create";
+  let free = Queue.create () in
+  for b = first to first + count - 1 do
+    Queue.push b free
+  done;
+  { first; count; free; allocated = Hashtbl.create 64; adopted = Hashtbl.create 16 }
+
+let first t = t.first
+
+let count t = t.count
+
+let available t = Queue.length t.free
+
+let owns t block =
+  (block >= t.first && block < t.first + t.count) || Hashtbl.mem t.adopted block
+
+let alloc t =
+  match Queue.take_opt t.free with
+  | None -> None
+  | Some b ->
+      Hashtbl.replace t.allocated b ();
+      Some b
+
+let alloc_many t n =
+  if n < 0 then invalid_arg "Blocklist.alloc_many";
+  if Queue.length t.free < n then None
+  else Some (Array.init n (fun _ -> Option.get (alloc t)))
+
+let free t block =
+  if not (owns t block) then
+    invalid_arg (Printf.sprintf "Blocklist.free: block %d not owned" block);
+  if not (Hashtbl.mem t.allocated block) then
+    invalid_arg (Printf.sprintf "Blocklist.free: block %d already free" block);
+  Hashtbl.remove t.allocated block;
+  Queue.push block t.free
+
+let free_many t blocks = Array.iter (free t) blocks
+
+let donate t n =
+  let got = min n (Queue.length t.free) in
+  Array.init got (fun _ ->
+      let b = Queue.pop t.free in
+      Hashtbl.remove t.adopted b;
+      b)
+
+let adopt t blocks =
+  Array.iter
+    (fun b ->
+      if not (owns t b) then Hashtbl.replace t.adopted b ();
+      Queue.push b t.free)
+    blocks

@@ -1,0 +1,39 @@
+(** Per-server partition of the shared buffer cache (§3.2).
+
+    Each file server owns a contiguous range of DRAM blocks and allocates
+    them to its files; when a server runs out it reports [None] (block
+    stealing between servers is not implemented, as in the paper's
+    prototype). *)
+
+type t
+
+val create : first:int -> count:int -> t
+
+val first : t -> int
+
+val count : t -> int
+
+val available : t -> int
+
+(** [alloc t] takes one free block. *)
+val alloc : t -> int option
+
+(** [alloc_many t n] takes [n] blocks, all-or-nothing. *)
+val alloc_many : t -> int -> int array option
+
+val free : t -> int -> unit
+
+val free_many : t -> int array -> unit
+
+(** [owns t block] tests partition membership (including adopted
+    blocks). *)
+val owns : t -> int -> bool
+
+(** [donate t n] removes up to [n] free blocks from this partition so
+    another server can adopt them (block stealing, §3.2). *)
+val donate : t -> int -> int array
+
+(** [adopt t blocks] adds blocks stolen from another partition to this
+    server's free list; they remain addressable (same DRAM), and this
+    server now owns them. *)
+val adopt : t -> int array -> unit

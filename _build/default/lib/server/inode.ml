@@ -1,0 +1,48 @@
+type t = {
+  lid : int;
+  ftype : Hare_proto.Types.ftype;
+  dist : bool;
+  mutable size : int;
+  mutable nlink : int;
+  mutable blocks : int array;
+  mutable open_tokens : int;
+  mutable unlinked : bool;
+  mutable orphans : int array;
+  pipe : Pipe_state.t option;
+}
+
+let make ~lid ~ftype ~dist ~pipe =
+  {
+    lid;
+    ftype;
+    dist;
+    size = 0;
+    nlink = 1;
+    blocks = [||];
+    open_tokens = 0;
+    unlinked = false;
+    orphans = [||];
+    pipe;
+  }
+
+let file ~lid = make ~lid ~ftype:Hare_proto.Types.Reg ~dist:false ~pipe:None
+
+let dir ~lid ~dist = make ~lid ~ftype:Hare_proto.Types.Dir ~dist ~pipe:None
+
+let fifo ~lid ~capacity =
+  make ~lid ~ftype:Hare_proto.Types.Fifo ~dist:false
+    ~pipe:(Some (Pipe_state.create ~capacity))
+
+let blocks_for ~size =
+  if size <= 0 then 0
+  else ((size - 1) / Hare_mem.Layout.block_size) + 1
+
+let attr t ~server =
+  Hare_proto.Types.
+    {
+      a_ino = { server; ino = t.lid };
+      a_ftype = t.ftype;
+      a_size = t.size;
+      a_nlink = t.nlink;
+      a_dist = t.dist;
+    }

@@ -1,0 +1,33 @@
+(** Server-side inode records.
+
+    An inode is owned by exactly one server and only ever touched by that
+    server's dispatch loop — Hare's metadata is partitioned, not shared
+    (§3.1). The record tracks what §3.2/§3.4 require: the block list, the
+    link count, the count of open fd tokens, the unlinked flag (files
+    stay readable through open descriptors after unlink), and orphaned
+    blocks whose reuse is deferred until the last descriptor closes. *)
+
+type t = {
+  lid : int;  (** per-server inode number. *)
+  ftype : Hare_proto.Types.ftype;
+  dist : bool;  (** directories: distributed entries (immutable). *)
+  mutable size : int;
+  mutable nlink : int;
+  mutable blocks : int array;
+  mutable open_tokens : int;
+  mutable unlinked : bool;
+  mutable orphans : int array;  (** truncated blocks awaiting last close. *)
+  pipe : Pipe_state.t option;
+}
+
+val file : lid:int -> t
+
+val dir : lid:int -> dist:bool -> t
+
+val fifo : lid:int -> capacity:int -> t
+
+(** [blocks_for ~size] is the number of blocks needed to back [size]
+    bytes. *)
+val blocks_for : size:int -> int
+
+val attr : t -> server:int -> Hare_proto.Types.attr

@@ -1,0 +1,43 @@
+(** Server-side pipe object.
+
+    Pipes live at a file server and are driven by [PIPE_READ]/[PIPE_WRITE]
+    RPCs. A server must never block its dispatch loop, so operations that
+    cannot complete park a continuation here; state changes (new data,
+    new space, an end closing) pump the parked queues. This is how Hare
+    supports the shared pipe that make's jobserver requires (§5.2). *)
+
+type t
+
+val create : capacity:int -> t
+
+val buffered : t -> int
+
+val readers : t -> int
+
+val writers : t -> int
+
+(** [add_reader t] / [add_writer t] register one more share of an end
+    (pipe creation, fork, exec transfer). *)
+val add_reader : t -> unit
+
+val add_writer : t -> unit
+
+(** [close_reader t] / [close_writer t] drop one share; reaching zero
+    wakes parked peers (EOF for readers, EPIPE for writers). *)
+val close_reader : t -> unit
+
+val close_writer : t -> unit
+
+(** [read t ~len k] delivers up to [len] buffered bytes to [k] as soon as
+    any are available; [k ""] signals EOF (no buffered data and no open
+    writers). *)
+val read : t -> len:int -> (string -> unit) -> unit
+
+(** [write t data k] appends [data] once there is space; [k] receives the
+    byte count or [EPIPE] if no read end remains. Writes of a chunk are
+    atomic (the chunk is never interleaved with another writer's). *)
+val write : t -> string -> ((int, Hare_proto.Errno.t) result -> unit) -> unit
+
+val parked_readers : t -> int
+
+val parked_writers : t -> int

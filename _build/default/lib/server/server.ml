@@ -1,0 +1,931 @@
+open Hare_sim
+open Hare_proto
+open Hare_proto.Types
+
+let src = Logs.Src.create "hare.server" ~doc:"Hare file server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type reply = ?payload_lines:int -> Wire.fs_resp -> unit
+
+exception Out_of_blocks
+(* Raised when the local buffer-cache partition is dry; the dispatch loop
+   turns it into ENOSPC or, with the block-stealing extension enabled,
+   parks the request and steals from a peer (§3.2). *)
+
+(* Server-side open file descriptor state (§3.4): [refcount] counts the
+   processes sharing the descriptor; [shared_offset] is present exactly
+   while the descriptor is in "shared" state (offset lives here, all I/O
+   goes through this server). *)
+type ofd = {
+  token : int;
+  inode : Inode.t;
+  mutable refcount : int;
+  mutable shared_offset : int option;
+  pipe_end : [ `R | `W ] option;
+}
+
+type mark = { parked : (Wire.fs_req * reply) Queue.t }
+
+type dirlock = { mutable held : bool; lock_waiters : reply Queue.t }
+
+type t = {
+  sid : int;
+  engine : Engine.t;
+  config : Hare_config.Config.t;
+  costs : Hare_config.Costs.t;
+  core : Core_res.t;
+  pcache : Hare_mem.Pcache.t;
+  dram : Hare_mem.Dram.t;
+  blocks : Blocklist.t;
+  endpoint : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t;
+  inodes : (int, Inode.t) Hashtbl.t;
+  mutable next_lid : int;
+  tokens : (int, ofd) Hashtbl.t;
+  mutable next_token : int;
+  (* directory-entry shards: dir ino -> name -> dentry *)
+  dirs : (ino, (string, Wire.entry_info) Hashtbl.t) Hashtbl.t;
+  (* invalidation tracking lists: dir ino -> name -> client set *)
+  tracking : (ino, (string, (int, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
+  marks : (ino, mark) Hashtbl.t;
+  locks : (ino, dirlock) Hashtbl.t;
+  (* tombstones: directories whose removal this server committed. A
+     create can race past the mark window (looked up the parent before
+     the removal, arrived after commit); shard servers cannot check the
+     remote inode, so the tombstone refuses it. Inode ids are never
+     reused, so a tombstone can live forever. *)
+  dead_dirs : (ino, unit) Hashtbl.t;
+  inval_ports : Wire.inval Hare_msg.Mailbox.t array;
+  ops : Hare_stats.Opcount.t;
+  mutable invals_sent : int;
+  (* block stealing (extension) *)
+  mutable peers : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array;
+  steal_parked : (Wire.fs_req * reply) Queue.t;
+  mutable steal_inflight : bool;
+  mutable steal_victim : int;
+  mutable steal_failures : int;
+  mutable blocks_stolen : int;
+}
+
+let bs = Hare_mem.Layout.block_size
+
+let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
+    ~inval_ports () =
+  {
+    sid;
+    engine;
+    config;
+    costs = config.Hare_config.Config.costs;
+    core;
+    pcache;
+    dram;
+    blocks = Blocklist.create ~first:blocks_first ~count:blocks_count;
+    endpoint =
+      Hare_msg.Rpc.endpoint ~owner:core ~costs:config.Hare_config.Config.costs ();
+    inodes = Hashtbl.create 1024;
+    next_lid = 1;
+    tokens = Hashtbl.create 256;
+    next_token = 1;
+    dirs = Hashtbl.create 256;
+    tracking = Hashtbl.create 256;
+    marks = Hashtbl.create 16;
+    locks = Hashtbl.create 16;
+    dead_dirs = Hashtbl.create 16;
+    inval_ports;
+    ops = Hare_stats.Opcount.create ();
+    invals_sent = 0;
+    peers = [||];
+    steal_parked = Queue.create ();
+    steal_inflight = false;
+    steal_victim = sid;
+    steal_failures = 0;
+    blocks_stolen = 0;
+  }
+
+let sid t = t.sid
+
+let core t = t.core
+
+let endpoint t = t.endpoint
+
+let ops t = t.ops
+
+let invals_sent t = t.invals_sent
+
+let available_blocks t = Blocklist.available t.blocks
+
+let inode_count t = Hashtbl.length t.inodes
+
+let open_tokens t = Hashtbl.length t.tokens
+
+let set_peers t peers = t.peers <- peers
+
+let blocks_stolen t = t.blocks_stolen
+
+(* ---------- inode and token helpers ----------------------------------- *)
+
+let alloc_lid t =
+  let lid = t.next_lid in
+  t.next_lid <- t.next_lid + 1;
+  lid
+
+let register_inode t inode = Hashtbl.replace t.inodes inode.Inode.lid inode
+
+let find_inode t ino =
+  if ino.server <> t.sid then None else Hashtbl.find_opt t.inodes ino.ino
+
+let global t (inode : Inode.t) = { server = t.sid; ino = inode.lid }
+
+let new_token t inode ~pipe_end =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  let ofd = { token; inode; refcount = 1; shared_offset = None; pipe_end } in
+  Hashtbl.replace t.tokens token ofd;
+  inode.Inode.open_tokens <- inode.Inode.open_tokens + 1;
+  ofd
+
+let free_blocks t blocks = Blocklist.free_many t.blocks blocks
+
+(* Deferred reuse (§3.2): orphaned and unlinked blocks return to the free
+   list only once no descriptor can still address them. *)
+let maybe_release t (inode : Inode.t) =
+  if inode.open_tokens = 0 then begin
+    if Array.length inode.orphans > 0 then begin
+      free_blocks t inode.orphans;
+      inode.orphans <- [||]
+    end;
+    if inode.unlinked && inode.nlink <= 0 then begin
+      free_blocks t inode.blocks;
+      inode.blocks <- [||];
+      Hashtbl.remove t.inodes inode.lid
+    end
+  end
+
+(* Allocate (zeroed) blocks so the file covers [size] bytes. Raises
+   {!Out_of_blocks} — with no state mutated — when the partition is dry,
+   so the whole request can be retried after stealing. *)
+let ensure_blocks t (inode : Inode.t) ~size =
+  let have = Array.length inode.blocks in
+  let need = Inode.blocks_for ~size in
+  if need > have then
+    match Blocklist.alloc_many t.blocks (need - have) with
+    | None -> raise Out_of_blocks
+    | Some fresh ->
+        Array.iter (fun b -> Hare_mem.Dram.zero_block t.dram ~block:b) fresh;
+        inode.blocks <- Array.append inode.blocks fresh
+
+let do_truncate t (inode : Inode.t) ~size =
+  if size < inode.size then begin
+    let keep = Inode.blocks_for ~size in
+    let have = Array.length inode.blocks in
+    if keep < have then begin
+      let excess = Array.sub inode.blocks keep (have - keep) in
+      inode.blocks <- Array.sub inode.blocks 0 keep;
+      if inode.open_tokens > 0 then
+        inode.orphans <- Array.append inode.orphans excess
+      else free_blocks t excess
+    end;
+    (* POSIX: bytes past the new size read back as zero if the file is
+       later extended — scrub the kept block's tail. *)
+    (if keep > 0 then
+       let tail = size mod bs in
+       if tail > 0 then
+         Hare_mem.Dram.zero_range t.dram
+           ~block:inode.blocks.(keep - 1)
+           ~off:tail ~len:(bs - tail));
+    inode.size <- size
+  end
+  else if size > inode.size then begin
+    ensure_blocks t inode ~size;
+    inode.size <- size
+  end
+
+(* ---------- server-mediated file data (shared fds, RPC-mode I/O) ------ *)
+
+let read_data t (inode : Inode.t) ~off ~len =
+  let len = max 0 (min len (inode.size - off)) in
+  if len = 0 then ""
+  else begin
+    let out = Bytes.create len in
+    let pos = ref 0 in
+    while !pos < len do
+      let foff = off + !pos in
+      let bi = foff / bs and boff = foff mod bs in
+      let n = min (len - !pos) (bs - boff) in
+      Hare_mem.Pcache.read_coherent t.pcache ~block:inode.blocks.(bi)
+        ~off:boff ~len:n ~dst:out ~dst_off:!pos;
+      pos := !pos + n
+    done;
+    Bytes.unsafe_to_string out
+  end
+
+let write_data t (inode : Inode.t) ~off data =
+  let len = String.length data in
+  ensure_blocks t inode ~size:(off + len);
+  let src = Bytes.unsafe_of_string data in
+  let pos = ref 0 in
+  while !pos < len do
+    let foff = off + !pos in
+    let bi = foff / bs and boff = foff mod bs in
+    let n = min (len - !pos) (bs - boff) in
+    Hare_mem.Pcache.write_coherent t.pcache ~block:inode.blocks.(bi)
+      ~off:boff ~len:n ~src ~src_off:!pos;
+    pos := !pos + n
+  done;
+  if off + len > inode.size then inode.size <- off + len;
+  len
+
+(* ---------- directory shards and invalidation ------------------------- *)
+
+let shard t dir =
+  match Hashtbl.find_opt t.dirs dir with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace t.dirs dir s;
+      s
+
+let shard_entries t dir =
+  match Hashtbl.find_opt t.dirs dir with
+  | None -> []
+  | Some s ->
+      Hashtbl.fold
+        (fun name (e : Wire.entry_info) acc -> (name, e.t_ino) :: acc)
+        s []
+
+let shard_size t dir =
+  match Hashtbl.find_opt t.dirs dir with
+  | None -> 0
+  | Some s -> Hashtbl.length s
+
+let track t ~dir ~name ~client =
+  let per_dir =
+    match Hashtbl.find_opt t.tracking dir with
+    | Some m -> m
+    | None ->
+        let m = Hashtbl.create 16 in
+        Hashtbl.replace t.tracking dir m;
+        m
+  in
+  let clients =
+    match Hashtbl.find_opt per_dir name with
+    | Some c -> c
+    | None ->
+        let c = Hashtbl.create 4 in
+        Hashtbl.replace per_dir name c;
+        c
+  in
+  Hashtbl.replace clients client ()
+
+(* AFS-style one-shot callbacks (§3.6.1): notify every tracked client but
+   the originator, then forget them — a client re-registers by looking the
+   name up again. Atomic message delivery means the server proceeds as
+   soon as the sends return. *)
+let send_invals t ~dir ~name ~except =
+  match Hashtbl.find_opt t.tracking dir with
+  | None -> ()
+  | Some per_dir -> (
+      match Hashtbl.find_opt per_dir name with
+      | None -> ()
+      | Some clients ->
+          Hashtbl.iter
+            (fun client () ->
+              if client <> except then begin
+                Hare_msg.Mailbox.send t.inval_ports.(client) ~from:t.core
+                  { Wire.i_dir = dir; i_name = name };
+                t.invals_sent <- t.invals_sent + 1
+              end)
+            clients;
+          Hashtbl.remove per_dir name)
+
+let install_root t ~dist =
+  assert (t.sid = root_ino.server);
+  let inode = Inode.dir ~lid:root_ino.ino ~dist in
+  register_inode t inode;
+  t.next_lid <- max t.next_lid (root_ino.ino + 1)
+
+(* ---------- request handlers ------------------------------------------ *)
+
+let op_cost (req : Wire.fs_req) =
+  match req with
+  | Wire.Lookup _ -> 200
+  | Wire.Add_map _ -> 400
+  | Wire.Rm_map _ -> 0
+  | Wire.Readdir_shard _ -> 200
+  | Wire.Create_open _ -> 900
+  | Wire.Create_inode _ -> 500
+  | Wire.Create_dir _ -> 800
+  | Wire.Open_inode _ -> 400
+  | Wire.Close_fd _ -> 200
+  | Wire.Read_fd _ -> 300
+  | Wire.Write_fd _ -> 300
+  | Wire.Lseek_fd _ -> 100
+  | Wire.Alloc_blocks { count; _ } -> 150 * max 1 count
+  | Wire.Get_blocks _ -> 150
+  | Wire.Update_size _ -> 100
+  | Wire.Get_attr _ -> 150
+  | Wire.Truncate _ -> 300
+  | Wire.Unlink_ino _ -> 250
+  | Wire.Link_ino _ -> 150
+  | Wire.Inc_fd_ref _ -> 150
+  | Wire.Rmdir_lock _ | Wire.Rmdir_unlock _ -> 150
+  | Wire.Rmdir_prepare _ | Wire.Rmdir_commit _ | Wire.Rmdir_abort _ -> 250
+  | Wire.Rmdir_local _ -> 400
+  | Wire.Pipe_create _ -> 500
+  | Wire.Pipe_read _ -> 200
+  | Wire.Pipe_write _ -> 200
+  | Wire.Steal_blocks _ -> 300
+
+let open_info (ofd : ofd) : Wire.open_info =
+  {
+    Wire.token = ofd.token;
+    blocks = Array.copy ofd.inode.Inode.blocks;
+    isize = ofd.inode.Inode.size;
+  }
+
+let do_open t (inode : Inode.t) ~trunc =
+  if trunc then do_truncate t inode ~size:0;
+  new_token t inode ~pipe_end:None
+
+(* Demote a shared descriptor back to local state when only one process
+   still holds it (§3.4): piggy-backed on the next operation's reply. *)
+let demotion ofd =
+  match ofd.shared_offset with
+  | Some off when ofd.refcount <= 1 ->
+      ofd.shared_offset <- None;
+      Some off
+  | _ -> None
+
+let handle_lookup t ~dir ~name ~client (reply : reply) =
+  match Hashtbl.find_opt t.dirs dir with
+  | None -> reply (Error Errno.ENOENT)
+  | Some s -> (
+      match Hashtbl.find_opt s name with
+      | None -> reply (Error Errno.ENOENT)
+      | Some e ->
+          track t ~dir ~name ~client;
+          reply (Ok (Wire.P_lookup { target = e.t_ino; ftype = e.t_ftype; dist = e.t_dist })))
+
+(* For a centralized directory the entries live with the inode, so we can
+   (and must) refuse creations in a directory that no longer exists. For
+   distributed directories this server may hold only a shard: the rmdir
+   mark protocol delays concurrent creates, and the tombstone catches the
+   ones that arrive after the commit. *)
+let dir_alive t (dir : ino) =
+  (not (Hashtbl.mem t.dead_dirs dir))
+  && (dir.server <> t.sid || Hashtbl.mem t.inodes dir.ino)
+
+let handle_add_map t ~dir ~name ~target ~ftype ~dist ~replace ~client
+    (reply : reply) =
+  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+  else
+  let s = shard t dir in
+  let entry = { Wire.t_ino = target; t_ftype = ftype; t_dist = dist } in
+  match Hashtbl.find_opt s name with
+  | Some old ->
+      if not replace then reply (Error Errno.EEXIST)
+      else if old.t_ftype = Dir then
+        (* Replacing a directory would require checking emptiness across
+           all shards; not needed by any POSIX workload we run. *)
+        reply (Error Errno.EISDIR)
+      else if ftype = Dir then
+        (* POSIX: renaming a directory over an existing file is ENOTDIR. *)
+        reply (Error Errno.ENOTDIR)
+      else begin
+        Hashtbl.replace s name entry;
+        send_invals t ~dir ~name ~except:client;
+        track t ~dir ~name ~client;
+        reply (Ok (Wire.P_removed { target = old.t_ino; ftype = old.t_ftype }))
+      end
+  | None ->
+      Hashtbl.replace s name entry;
+      track t ~dir ~name ~client;
+      reply (Ok Wire.P_unit)
+
+let handle_rm_map t ~dir ~name ~only_if ~client (reply : reply) =
+  match Hashtbl.find_opt t.dirs dir with
+  | None -> reply (Error Errno.ENOENT)
+  | Some s -> (
+      match Hashtbl.find_opt s name with
+      | None -> reply (Error Errno.ENOENT)
+      | Some e when
+          (match only_if with Some ino -> e.t_ino <> ino | None -> false) ->
+          (* the entry was re-bound by someone else: not ours to remove *)
+          reply (Error Errno.ENOENT)
+      | Some e ->
+          Hashtbl.remove s name;
+          send_invals t ~dir ~name ~except:client;
+          reply (Ok (Wire.P_removed { target = e.t_ino; ftype = e.t_ftype })))
+
+let handle_readdir t ~dir (reply : reply) =
+  let entries =
+    match Hashtbl.find_opt t.dirs dir with
+    | None -> []
+    | Some s ->
+        Hashtbl.fold
+          (fun name (e : Wire.entry_info) acc ->
+            { Wire.e_name = name; e_ino = e.t_ino; e_ftype = e.t_ftype } :: acc)
+          s []
+  in
+  (* ~32 bytes of payload per entry. *)
+  let payload_lines = (List.length entries / 2) + 1 in
+  reply ~payload_lines (Ok (Wire.P_entries entries))
+
+let handle_create_open t ~dir ~name ~excl ~trunc ~client (reply : reply) =
+  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+  else
+  let s = shard t dir in
+  match Hashtbl.find_opt s name with
+  | Some e ->
+      if excl then reply (Error Errno.EEXIST)
+      else if e.t_ftype = Dir then reply (Error Errno.EISDIR)
+      else if e.t_ino.server = t.sid then begin
+        match Hashtbl.find_opt t.inodes e.t_ino.ino with
+        | None -> reply (Error Errno.ENOENT)
+        | Some inode ->
+            track t ~dir ~name ~client;
+            let ofd = do_open t inode ~trunc in
+            reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino = e.t_ino }))
+      end
+      else
+        (* The existing inode lives elsewhere; tell the client where. *)
+        reply
+          (Ok (Wire.P_lookup { target = e.t_ino; ftype = e.t_ftype; dist = e.t_dist }))
+  | None ->
+      let inode = Inode.file ~lid:(alloc_lid t) in
+      register_inode t inode;
+      let ino = global t inode in
+      Hashtbl.replace s name { Wire.t_ino = ino; t_ftype = Reg; t_dist = false };
+      track t ~dir ~name ~client;
+      let ofd = do_open t inode ~trunc:false in
+      reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino }))
+
+let handle_create_inode t ~ftype ~dist ~and_open (reply : reply) =
+  let lid = alloc_lid t in
+  let inode =
+    match (ftype : ftype) with
+    | Reg -> Inode.file ~lid
+    | Dir -> Inode.dir ~lid ~dist
+    | Fifo -> invalid_arg "Create_inode: use Pipe_create for fifos"
+  in
+  register_inode t inode;
+  let ino = global t inode in
+  if and_open && ftype = Reg then
+    let ofd = do_open t inode ~trunc:false in
+    reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino }))
+  else reply (Ok (Wire.P_created_ino ino))
+
+let drop_dir_state t dir =
+  Hashtbl.remove t.dirs dir;
+  Hashtbl.remove t.tracking dir;
+  Hashtbl.remove t.locks dir
+
+(* Coalesced mkdir (§3.6.3): directory inode + parent entry in one
+   message, when creation affinity placed both on this server. *)
+let handle_create_dir t ~dir ~name ~dist ~client (reply : reply) =
+  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+  else begin
+    let s = shard t dir in
+    match Hashtbl.find_opt s name with
+    | Some _ -> reply (Error Errno.EEXIST)
+    | None ->
+        let inode = Inode.dir ~lid:(alloc_lid t) ~dist in
+        register_inode t inode;
+        let ino = global t inode in
+        Hashtbl.replace s name { Wire.t_ino = ino; t_ftype = Dir; t_dist = dist };
+        track t ~dir ~name ~client;
+        reply (Ok (Wire.P_created_ino ino))
+  end
+
+(* Coalesced rmdir for centralized directories: all entries live here, so
+   the emptiness check and removal are one atomic step — no marks, no
+   lock phase. *)
+let handle_rmdir_local t ~dir (reply : reply) =
+  match Hashtbl.find_opt t.inodes dir.ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode when inode.Inode.ftype <> Dir -> reply (Error Errno.ENOTDIR)
+  | Some _ ->
+      if shard_size t dir > 0 then reply (Error Errno.ENOTEMPTY)
+      else begin
+        (match Hashtbl.find_opt t.locks dir with
+        | Some l ->
+            Queue.iter
+              (fun (waiter : reply) -> waiter (Error Errno.ENOENT))
+              l.lock_waiters;
+            Queue.clear l.lock_waiters
+        | None -> ());
+        drop_dir_state t dir;
+        Hashtbl.replace t.dead_dirs dir ();
+        Hashtbl.remove t.inodes dir.ino;
+        reply (Ok Wire.P_unit)
+      end
+
+let handle_open_inode t ~ino ~trunc (reply : reply) =
+  match find_inode t ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode -> (
+      match inode.ftype with
+      | Dir -> reply (Error Errno.EISDIR)
+      | Fifo -> reply (Error Errno.EINVAL)
+      | Reg ->
+          let ofd = do_open t inode ~trunc in
+          reply (Ok (Wire.P_open (open_info ofd))))
+
+let handle_close t ~token ~size (reply : reply) =
+  match Hashtbl.find_opt t.tokens token with
+  | None -> reply (Error Errno.EBADF)
+  | Some ofd ->
+      (match size with
+      | Some s when ofd.inode.ftype = Reg -> ofd.inode.size <- s
+      | _ -> ());
+      ofd.refcount <- ofd.refcount - 1;
+      (match (ofd.pipe_end, ofd.inode.pipe) with
+      | Some `R, Some p -> Pipe_state.close_reader p
+      | Some `W, Some p -> Pipe_state.close_writer p
+      | _ -> ());
+      if ofd.refcount <= 0 then begin
+        Hashtbl.remove t.tokens token;
+        ofd.inode.open_tokens <- ofd.inode.open_tokens - 1;
+        maybe_release t ofd.inode
+      end;
+      reply (Ok Wire.P_unit)
+
+let with_ofd t token (reply : reply) f =
+  match Hashtbl.find_opt t.tokens token with
+  | None -> reply (Error Errno.EBADF)
+  | Some ofd -> f ofd
+
+let effective_offset ofd ~off =
+  match off with
+  | Some o -> Ok (o, false)
+  | None -> (
+      match ofd.shared_offset with
+      | Some o -> Ok (o, true)
+      | None -> Error Errno.EINVAL)
+
+let handle_read t ~token ~off ~len (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      if ofd.pipe_end <> None then reply (Error Errno.EINVAL)
+      else
+        match effective_offset ofd ~off with
+        | Error e -> reply (Error e)
+        | Ok (o, shared) ->
+            let data = read_data t ofd.inode ~off:o ~len in
+            let now_local =
+              if shared then begin
+                ofd.shared_offset <- Some (o + String.length data);
+                demotion ofd
+              end
+              else None
+            in
+            let payload_lines = (String.length data / 64) + 1 in
+            reply ~payload_lines (Ok (Wire.P_read { data; now_local })))
+
+let handle_write t ~token ~off ~data (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      if ofd.pipe_end <> None then reply (Error Errno.EINVAL)
+      else
+        match effective_offset ofd ~off with
+        | Error e -> reply (Error e)
+        | Ok (o, shared) ->
+            let written = write_data t ofd.inode ~off:o data in
+            let now_local =
+              if shared then begin
+                ofd.shared_offset <- Some (o + written);
+                demotion ofd
+              end
+              else None
+            in
+            reply
+              (Ok (Wire.P_write { written; size = ofd.inode.size; now_local })))
+
+let handle_lseek t ~token ~pos ~whence (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      if ofd.pipe_end <> None then reply (Error Errno.ESPIPE)
+      else
+        match ofd.shared_offset with
+        | None -> reply (Error Errno.EINVAL)
+        | Some cur ->
+            let target =
+              match (whence : whence) with
+              | Seek_set -> pos
+              | Seek_cur -> cur + pos
+              | Seek_end -> ofd.inode.size + pos
+            in
+            if target < 0 then reply (Error Errno.EINVAL)
+            else begin
+              ofd.shared_offset <- Some target;
+              reply (Ok (Wire.P_lseek target))
+            end)
+
+let handle_alloc t ~ino ~count (reply : reply) =
+  match find_inode t ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode ->
+      let target_size = (Array.length inode.blocks + count) * bs in
+      ensure_blocks t inode ~size:target_size;
+      reply
+        (Ok (Wire.P_blocks { blocks = Array.copy inode.blocks; bsize = inode.size }))
+
+let handle_get_blocks t ~ino (reply : reply) =
+  match find_inode t ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode ->
+      reply
+        (Ok
+           (Wire.P_blocks
+              { blocks = Array.copy inode.blocks; bsize = inode.size }))
+
+let handle_unlink_ino t ~ino (reply : reply) =
+  match find_inode t ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode ->
+      if inode.ftype = Dir then begin
+        (* Only mkdir's rollback unlinks a directory inode: it was never
+           linked anywhere, so it must have no entries and no users. *)
+        if
+          shard_size t ino = 0
+          && inode.open_tokens = 0
+          && inode.nlink <= 1
+        then begin
+          drop_dir_state t ino;
+          Hashtbl.remove t.inodes ino.ino;
+          reply (Ok Wire.P_unit)
+        end
+        else reply (Error Errno.EISDIR)
+      end
+      else begin
+        inode.nlink <- inode.nlink - 1;
+        if inode.nlink <= 0 then begin
+          inode.unlinked <- true;
+          maybe_release t inode
+        end;
+        reply (Ok Wire.P_unit)
+      end
+
+(* The first half of rename's link+unlink pair: a dead (or dying) inode
+   cannot gain new names. *)
+let handle_link_ino t ~ino (reply : reply) =
+  match find_inode t ino with
+  | None -> reply (Error Errno.ENOENT)
+  | Some inode ->
+      if inode.nlink <= 0 || inode.unlinked then reply (Error Errno.ENOENT)
+      else begin
+        inode.nlink <- inode.nlink + 1;
+        reply (Ok Wire.P_unit)
+      end
+
+let handle_inc_fd_ref t ~token ~offset (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      ofd.refcount <- ofd.refcount + 1;
+      (match (ofd.pipe_end, ofd.inode.pipe) with
+      | Some `R, Some p -> Pipe_state.add_reader p
+      | Some `W, Some p -> Pipe_state.add_writer p
+      | _ -> ());
+      (match (ofd.shared_offset, offset) with
+      | None, Some o -> ofd.shared_offset <- Some o
+      | _ -> ());
+      reply (Ok Wire.P_unit))
+
+(* --- three-phase rmdir (§3.3) ----------------------------------------- *)
+
+let dirlock t dir =
+  match Hashtbl.find_opt t.locks dir with
+  | Some l -> l
+  | None ->
+      let l = { held = false; lock_waiters = Queue.create () } in
+      Hashtbl.replace t.locks dir l;
+      l
+
+let handle_rmdir_lock t ~dir (reply : reply) =
+  if not (Hashtbl.mem t.inodes dir.ino) then
+    (* The directory was removed while (or before) we asked. *)
+    reply (Error Errno.ENOENT)
+  else begin
+    let l = dirlock t dir in
+    if l.held then Queue.push reply l.lock_waiters
+    else begin
+      l.held <- true;
+      reply (Ok Wire.P_unit)
+    end
+  end
+
+let handle_rmdir_unlock t ~dir (reply : reply) =
+  let l = dirlock t dir in
+  (match Queue.take_opt l.lock_waiters with
+  | Some waiter -> waiter (Ok Wire.P_unit) (* lock passes to the next rmdir *)
+  | None -> l.held <- false);
+  reply (Ok Wire.P_unit)
+
+let handle_rmdir_prepare t ~dir (reply : reply) =
+  if Hashtbl.mem t.marks dir then reply (Error Errno.EBUSY)
+  else if shard_size t dir > 0 then reply (Error Errno.ENOTEMPTY)
+  else begin
+    Hashtbl.replace t.marks dir { parked = Queue.create () };
+    reply (Ok Wire.P_unit)
+  end
+
+let handle_rmdir_commit t ~dir (reply : reply) =
+  (match Hashtbl.find_opt t.marks dir with
+  | None -> ()
+  | Some m ->
+      Hashtbl.remove t.marks dir;
+      (* Creates delayed behind the mark fail: the directory is gone. *)
+      Queue.iter
+        (fun ((_ : Wire.fs_req), (parked_reply : reply)) ->
+          parked_reply (Error Errno.ENOENT))
+        m.parked);
+  (* rmdirs serialized behind the lock lose: the directory is gone. *)
+  (match Hashtbl.find_opt t.locks dir with
+  | Some l ->
+      Queue.iter (fun (waiter : reply) -> waiter (Error Errno.ENOENT)) l.lock_waiters;
+      Queue.clear l.lock_waiters
+  | None -> ());
+  drop_dir_state t dir;
+  Hashtbl.replace t.dead_dirs dir ();
+  if dir.server = t.sid then
+    (* Home server: destroy the directory inode itself. *)
+    Hashtbl.remove t.inodes dir.ino;
+  reply (Ok Wire.P_unit)
+
+(* --- pipes (§5.2: make's jobserver) ----------------------------------- *)
+
+let handle_pipe_create t (reply : reply) =
+  let inode = Inode.fifo ~lid:(alloc_lid t) ~capacity:65536 in
+  register_inode t inode;
+  let pipe = Option.get inode.pipe in
+  Pipe_state.add_reader pipe;
+  Pipe_state.add_writer pipe;
+  let rd = new_token t inode ~pipe_end:(Some `R) in
+  let wr = new_token t inode ~pipe_end:(Some `W) in
+  reply
+    (Ok (Wire.P_pipe { pipe_ino = global t inode; rd = rd.token; wr = wr.token }))
+
+let handle_pipe_read t ~token ~len (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      match (ofd.pipe_end, ofd.inode.pipe) with
+      | Some `R, Some pipe ->
+          Pipe_state.read pipe ~len (fun data ->
+              let payload_lines = (String.length data / 64) + 1 in
+              reply ~payload_lines (Ok (Wire.P_read { data; now_local = None })))
+      | _ -> reply (Error Errno.EBADF))
+
+let handle_pipe_write t ~token ~data (reply : reply) =
+  with_ofd t token reply (fun ofd ->
+      match (ofd.pipe_end, ofd.inode.pipe) with
+      | Some `W, Some pipe ->
+          Pipe_state.write pipe data (function
+            | Ok written ->
+                reply (Ok (Wire.P_write { written; size = 0; now_local = None }))
+            | Error e -> reply (Error e))
+      | _ -> reply (Error Errno.EBADF))
+
+(* ---------- dispatch --------------------------------------------------- *)
+
+(* Creates in a directory marked for deletion are delayed until the
+   two-phase outcome is known (§3.3). *)
+let creation_dir (req : Wire.fs_req) =
+  match req with
+  | Wire.Add_map { dir; _ } | Wire.Create_open { dir; _ } -> Some dir
+  | _ -> None
+
+let handle_steal_blocks t ~count (reply : reply) =
+  (* Donate at most half of what is free: stay useful to local files. *)
+  let give = Blocklist.donate t.blocks (min count (Blocklist.available t.blocks / 2)) in
+  if Array.length give = 0 then reply (Error Errno.ENOSPC)
+  else reply (Ok (Wire.P_blocks { blocks = give; bsize = 0 }))
+
+let rec handle t (req : Wire.fs_req) (reply : reply) =
+  match creation_dir req with
+  | Some dir when Hashtbl.mem t.marks dir ->
+      let m = Hashtbl.find t.marks dir in
+      Queue.push (req, reply) m.parked
+  | _ -> (
+      try dispatch t req reply with Out_of_blocks -> on_enospc t req reply)
+
+(* Block stealing (extension, §3.2): a request that ran out of blocks is
+   parked; we ask peers — one at a time, round-robin — to donate, via a
+   helper fiber so the dispatch loop never blocks. Once every peer has
+   declined since the last success, the parked requests fail for real. *)
+and on_enospc t (req : Wire.fs_req) (reply : reply) =
+  if
+    (not t.config.Hare_config.Config.block_stealing)
+    || Array.length t.peers <= 1
+  then reply (Error Errno.ENOSPC)
+  else begin
+    Queue.push (req, reply) t.steal_parked;
+    kick_steal t
+  end
+
+and kick_steal t =
+  if (not t.steal_inflight) && not (Queue.is_empty t.steal_parked) then
+    if t.steal_failures >= Array.length t.peers - 1 then begin
+      t.steal_failures <- 0;
+      let parked = List.of_seq (Queue.to_seq t.steal_parked) in
+      Queue.clear t.steal_parked;
+      List.iter
+        (fun ((_ : Wire.fs_req), (r : reply)) -> r (Error Errno.ENOSPC))
+        parked
+    end
+    else begin
+      t.steal_inflight <- true;
+      t.steal_victim <- (t.steal_victim + 1) mod Array.length t.peers;
+      if t.steal_victim = t.sid then
+        t.steal_victim <- (t.steal_victim + 1) mod Array.length t.peers;
+      let future =
+        Hare_msg.Rpc.call_async t.peers.(t.steal_victim) ~from:t.core
+          (Wire.Steal_blocks { count = 128 })
+      in
+      ignore
+        (Engine.spawn t.engine
+           ~name:(Printf.sprintf "steal-%d" t.sid)
+           (fun () ->
+             let resp = Hare_msg.Rpc.await ~from:t.core ~costs:t.costs future in
+             t.steal_inflight <- false;
+             (match resp with
+             | Ok (Wire.P_blocks { blocks; _ }) ->
+                 t.steal_failures <- 0;
+                 t.blocks_stolen <- t.blocks_stolen + Array.length blocks;
+                 Blocklist.adopt t.blocks blocks
+             | Ok _ | Error _ -> t.steal_failures <- t.steal_failures + 1);
+             let parked = List.of_seq (Queue.to_seq t.steal_parked) in
+             Queue.clear t.steal_parked;
+             List.iter (fun (preq, prep) -> handle t preq prep) parked;
+             kick_steal t))
+    end
+
+and dispatch t (req : Wire.fs_req) (reply : reply) =
+  match req with
+  | Wire.Lookup { dir; name; client } -> handle_lookup t ~dir ~name ~client reply
+  | Wire.Add_map { dir; name; target; ftype; dist; replace; client } ->
+      handle_add_map t ~dir ~name ~target ~ftype ~dist ~replace ~client reply
+  | Wire.Rm_map { dir; name; only_if; client } ->
+      handle_rm_map t ~dir ~name ~only_if ~client reply
+  | Wire.Readdir_shard { dir } -> handle_readdir t ~dir reply
+  | Wire.Create_open { dir; name; excl; trunc; client } ->
+      handle_create_open t ~dir ~name ~excl ~trunc ~client reply
+  | Wire.Create_inode { ftype; dist; and_open } ->
+      handle_create_inode t ~ftype ~dist ~and_open reply
+  | Wire.Create_dir { dir; name; dist; client } ->
+      handle_create_dir t ~dir ~name ~dist ~client reply
+  | Wire.Rmdir_local { dir; client = _ } -> handle_rmdir_local t ~dir reply
+  | Wire.Open_inode { ino; trunc; client = _ } -> handle_open_inode t ~ino ~trunc reply
+  | Wire.Close_fd { token; size } -> handle_close t ~token ~size reply
+  | Wire.Read_fd { token; off; len } -> handle_read t ~token ~off ~len reply
+  | Wire.Write_fd { token; off; data } -> handle_write t ~token ~off ~data reply
+  | Wire.Lseek_fd { token; pos; whence } -> handle_lseek t ~token ~pos ~whence reply
+  | Wire.Alloc_blocks { ino; count } -> handle_alloc t ~ino ~count reply
+  | Wire.Get_blocks { ino } -> handle_get_blocks t ~ino reply
+  | Wire.Update_size { token; size } ->
+      with_ofd t token reply (fun ofd ->
+          if ofd.inode.ftype = Reg then ofd.inode.size <- size;
+          reply (Ok Wire.P_unit))
+  | Wire.Get_attr { ino } -> (
+      match find_inode t ino with
+      | None -> reply (Error Errno.ENOENT)
+      | Some inode -> reply (Ok (Wire.P_attr (Inode.attr inode ~server:t.sid))))
+  | Wire.Truncate { ino; size } -> (
+      match find_inode t ino with
+      | None -> reply (Error Errno.ENOENT)
+      | Some inode ->
+          do_truncate t inode ~size;
+          reply (Ok Wire.P_unit))
+  | Wire.Unlink_ino { ino } -> handle_unlink_ino t ~ino reply
+  | Wire.Link_ino { ino } -> handle_link_ino t ~ino reply
+  | Wire.Inc_fd_ref { token; offset } -> handle_inc_fd_ref t ~token ~offset reply
+  | Wire.Rmdir_lock { dir } -> handle_rmdir_lock t ~dir reply
+  | Wire.Rmdir_unlock { dir } -> handle_rmdir_unlock t ~dir reply
+  | Wire.Rmdir_prepare { dir } -> handle_rmdir_prepare t ~dir reply
+  | Wire.Rmdir_commit { dir; client = _ } -> handle_rmdir_commit t ~dir reply
+  | Wire.Rmdir_abort { dir } -> (
+      match Hashtbl.find_opt t.marks dir with
+      | None -> reply (Ok Wire.P_unit)
+      | Some m ->
+          Hashtbl.remove t.marks dir;
+          reply (Ok Wire.P_unit);
+          (* Replay the creates that were delayed behind the mark. *)
+          Queue.iter
+            (fun (parked_req, (parked_reply : reply)) ->
+              handle t parked_req parked_reply)
+            m.parked)
+  | Wire.Pipe_create _ -> handle_pipe_create t reply
+  | Wire.Pipe_read { token; len } -> handle_pipe_read t ~token ~len reply
+  | Wire.Pipe_write { token; data } -> handle_pipe_write t ~token ~data reply
+  | Wire.Steal_blocks { count } -> handle_steal_blocks t ~count reply
+
+let start t =
+  let loop () =
+    let rec go () =
+      let req, reply = Hare_msg.Rpc.recv t.endpoint in
+      Hare_stats.Opcount.incr t.ops (Wire.req_name req);
+      Core_res.compute t.core (t.costs.server_dispatch + op_cost req);
+      (try handle t req reply
+       with Errno.Error (e, _) -> reply (Error e));
+      go ()
+    in
+    go ()
+  in
+  ignore
+    (Engine.spawn t.engine ~daemon:true
+       ~name:(Printf.sprintf "fs-server-%d" t.sid)
+       loop)

@@ -1,0 +1,63 @@
+(** A Hare file server (§3.1, Figure 3).
+
+    Each server owns: a partition of the shared buffer cache, a table of
+    inodes, the directory-entry shards that hash to it, server-side open
+    file descriptor state, per-name client tracking lists for directory
+    cache invalidation, and the rmdir mark/lock state of the three-phase
+    removal protocol. It runs as a daemon fiber looping on its RPC
+    endpoint; it never blocks mid-request — operations that must wait
+    (pipe I/O, rmdir serialization, creates in a marked directory) park
+    their reply continuations. *)
+
+type t
+
+val create :
+  engine:Hare_sim.Engine.t ->
+  config:Hare_config.Config.t ->
+  sid:int ->
+  core:Hare_sim.Core_res.t ->
+  pcache:Hare_mem.Pcache.t ->
+  dram:Hare_mem.Dram.t ->
+  blocks_first:int ->
+  blocks_count:int ->
+  inval_ports:Hare_proto.Wire.inval Hare_msg.Mailbox.t array ->
+  unit ->
+  t
+
+val sid : t -> int
+
+val core : t -> Hare_sim.Core_res.t
+
+val endpoint : t -> (Hare_proto.Wire.fs_req, Hare_proto.Wire.fs_resp) Hare_msg.Rpc.t
+
+(** [install_root t ~dist] creates the root directory inode; call exactly
+    once, on the designated root server, before the simulation starts. *)
+val install_root : t -> dist:bool -> unit
+
+(** [start t] spawns the dispatch-loop daemon fiber. *)
+val start : t -> unit
+
+(** [set_peers t endpoints] gives the server the other servers' RPC
+    endpoints, enabling the block-stealing extension (§3.2; only used
+    when the configuration turns it on). Wired by [Hare.Machine.boot]. *)
+val set_peers :
+  t -> (Hare_proto.Wire.fs_req, Hare_proto.Wire.fs_resp) Hare_msg.Rpc.t array -> unit
+
+(** {1 Introspection (tests, statistics)} *)
+
+val ops : t -> Hare_stats.Opcount.t
+
+val invals_sent : t -> int
+
+val blocks_stolen : t -> int
+(** Blocks adopted from peers (block-stealing extension). *)
+
+val available_blocks : t -> int
+
+val inode_count : t -> int
+
+val open_tokens : t -> int
+
+(** [shard_entries t dir] lists this server's entries for directory [dir]
+    (cost-free; for tests). *)
+val shard_entries : t -> Hare_proto.Types.ino -> (string * Hare_proto.Types.ino) list

@@ -1,0 +1,1 @@
+lib/sim/bqueue.ml: Condition Queue

@@ -1,0 +1,1 @@
+lib/sim/core_res.ml: Engine Int64

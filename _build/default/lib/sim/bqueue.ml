@@ -1,0 +1,60 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int option;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Bqueue.create: capacity must be positive"
+  | _ -> ());
+  {
+    items = Queue.create ();
+    capacity;
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let length t = Queue.length t.items
+
+let is_empty t = Queue.is_empty t.items
+
+let is_full t =
+  match t.capacity with
+  | None -> false
+  | Some c -> Queue.length t.items >= c
+
+let rec push t v =
+  if is_full t then begin
+    Condition.wait t.not_full;
+    push t v
+  end
+  else begin
+    Queue.push v t.items;
+    Condition.signal t.not_empty
+  end
+
+let push_nonblocking t v =
+  if is_full t then false
+  else begin
+    Queue.push v t.items;
+    Condition.signal t.not_empty;
+    true
+  end
+
+let rec pop t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      Condition.signal t.not_full;
+      v
+  | None ->
+      Condition.wait t.not_empty;
+      pop t
+
+let pop_nonblocking t =
+  match Queue.take_opt t.items with
+  | Some v ->
+      Condition.signal t.not_full;
+      Some v
+  | None -> None

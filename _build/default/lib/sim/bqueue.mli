@@ -1,0 +1,25 @@
+(** Blocking FIFO queue between fibers.
+
+    Unbounded by default; with [capacity], {!push} blocks while full.
+    This is a zero-cost synchronization primitive — message-passing costs
+    are charged by the layers above ({!Hare_msg}). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+(** [push t v] appends [v]; blocks while the queue is at capacity. *)
+val push : 'a t -> 'a -> unit
+
+(** [push_nonblocking t v] appends [v]; returns [false] if full. *)
+val push_nonblocking : 'a t -> 'a -> bool
+
+(** [pop t] removes and returns the oldest element, blocking while empty. *)
+val pop : 'a t -> 'a
+
+(** [pop_nonblocking t] removes the oldest element if any. *)
+val pop_nonblocking : 'a t -> 'a option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,19 @@
+type t = { mutable queue : Engine.waker list (* reversed: newest first *) }
+
+let create () = { queue = [] }
+
+let wait t = Engine.suspend (fun waker -> t.queue <- waker :: t.queue)
+
+let signal t =
+  match List.rev t.queue with
+  | [] -> ()
+  | oldest :: rest ->
+      t.queue <- List.rev rest;
+      oldest ()
+
+let broadcast t =
+  let waiters = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun wake -> wake ()) waiters
+
+let waiters t = List.length t.queue

@@ -1,0 +1,23 @@
+(** Condition variable for simulated fibers.
+
+    Unlike a pthread condition variable there is no associated mutex: the
+    simulation is cooperatively scheduled, so state inspected before
+    {!wait} cannot change until the fiber suspends. Users must nonetheless
+    re-check their predicate after waking (wakeups are broadcast or
+    one-at-a-time but the state may have been consumed by another fiber
+    that ran first). *)
+
+type t
+
+val create : unit -> t
+
+(** [wait t] blocks the calling fiber until signalled. *)
+val wait : t -> unit
+
+(** [signal t] wakes one waiting fiber (FIFO); no-op if none wait. *)
+val signal : t -> unit
+
+(** [broadcast t] wakes all waiting fibers. *)
+val broadcast : t -> unit
+
+val waiters : t -> int

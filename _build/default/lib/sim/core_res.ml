@@ -1,0 +1,49 @@
+type t = {
+  engine : Engine.t;
+  id : int;
+  socket : int;
+  ctx_switch : int64;
+  mutable free_at : int64;
+  mutable last_fid : int;
+  mutable busy_cycles : int64;
+  mutable switches : int;
+}
+
+let create engine ~id ~socket ~ctx_switch =
+  if ctx_switch < 0 then invalid_arg "Core_res.create: negative ctx_switch";
+  {
+    engine;
+    id;
+    socket;
+    ctx_switch = Int64.of_int ctx_switch;
+    free_at = 0L;
+    last_fid = -1;
+    busy_cycles = 0L;
+    switches = 0;
+  }
+
+let id t = t.id
+
+let socket t = t.socket
+
+let free_at t = t.free_at
+
+let busy_cycles t = t.busy_cycles
+
+let switches t = t.switches
+
+let compute t cycles =
+  if cycles < 0 then invalid_arg "Core_res.compute: negative cycles";
+  let fiber = Engine.self () in
+  let fid = Engine.fiber_id fiber in
+  let now = Engine.now t.engine in
+  let start = if t.free_at > now then t.free_at else now in
+  let switching = t.last_fid <> fid && t.last_fid <> -1 in
+  let cost = Int64.of_int cycles in
+  let cost = if switching then Int64.add cost t.ctx_switch else cost in
+  if switching then t.switches <- t.switches + 1;
+  let finish = Int64.add start cost in
+  t.free_at <- finish;
+  t.last_fid <- fid;
+  t.busy_cycles <- Int64.add t.busy_cycles cost;
+  Engine.sleep (Int64.sub finish now)

@@ -1,0 +1,166 @@
+let src = Logs.Src.create "hare.sim" ~doc:"Hare discrete-event engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type fiber = {
+  fid : int;
+  name : string;
+  daemon : bool;
+  mutable state : [ `Created | `Runnable | `Blocked | `Done ];
+}
+
+type t = {
+  mutable time : int64;
+  events : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable next_fid : int;
+  root_rng : Rng.t;
+  mutable tracing : bool;
+  mutable fibers : fiber list; (* for deadlock reporting *)
+}
+
+exception Deadlock of string
+
+exception Fiber_failure of string * exn
+
+type waker = unit -> unit
+
+type _ Effect.t +=
+  | Self : fiber Effect.t
+  | Sleep : int64 -> unit Effect.t
+  | Suspend : (waker -> unit) -> unit Effect.t
+
+let create ?(seed = 1L) () =
+  {
+    time = 0L;
+    events = Heap.create ();
+    seq = 0;
+    live = 0;
+    next_fid = 0;
+    root_rng = Rng.create ~seed;
+    tracing = false;
+    fibers = [];
+  }
+
+let now t = t.time
+
+let rng t = t.root_rng
+
+let trace t = t.tracing
+
+let set_trace t b = t.tracing <- b
+
+let fiber_name f = f.name
+
+let fiber_id f = f.fid
+
+let live_fibers t = t.live
+
+let schedule_at t time f =
+  if time < t.time then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %Ld is in the past (now %Ld)"
+         time t.time);
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time ~seq:t.seq f
+
+let spawn t ?(daemon = false) ~name body =
+  let fiber = { fid = t.next_fid; name; daemon; state = `Created } in
+  t.next_fid <- t.next_fid + 1;
+  if not daemon then t.live <- t.live + 1;
+  t.fibers <- fiber :: t.fibers;
+  let start () =
+    fiber.state <- `Runnable;
+    if t.tracing then Log.debug (fun m -> m "fiber %s[%d] starts" name fiber.fid);
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc =
+          (fun () ->
+            fiber.state <- `Done;
+            if not daemon then t.live <- t.live - 1;
+            if t.tracing then
+              Log.debug (fun m -> m "fiber %s[%d] done" name fiber.fid));
+        exnc =
+          (fun exn ->
+            fiber.state <- `Done;
+            if not daemon then t.live <- t.live - 1;
+            raise (Fiber_failure (name, exn)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Self ->
+                Some
+                  (fun (k : (a, unit) continuation) -> continue k fiber)
+            | Sleep d ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    if d < 0L then
+                      discontinue k (Invalid_argument "Engine.sleep: negative")
+                    else
+                      schedule_at t (Int64.add t.time d) (fun () ->
+                          continue k ()))
+            | Suspend register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    fiber.state <- `Blocked;
+                    let fired = ref false in
+                    let waker () =
+                      if !fired then
+                        failwith
+                          (Printf.sprintf "waker for fiber %s invoked twice"
+                             fiber.name)
+                      else begin
+                        fired := true;
+                        fiber.state <- `Runnable;
+                        schedule_at t t.time (fun () -> continue k ())
+                      end
+                    in
+                    register waker)
+            | _ -> None);
+      }
+  in
+  schedule_at t t.time start;
+  fiber
+
+let blocked_names t =
+  t.fibers
+  |> List.filter (fun f -> f.state = `Blocked && not f.daemon)
+  |> List.map (fun f -> Printf.sprintf "%s[%d]" f.name f.fid)
+  |> String.concat ", "
+
+let step t =
+  let time, _seq, f = Heap.pop_min t.events in
+  t.time <- time;
+  f ()
+
+let check_deadlock t =
+  if t.live > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d fiber(s) blocked with no pending events: %s"
+            t.live (blocked_names t)))
+
+let run t =
+  while not (Heap.is_empty t.events) do
+    step t
+  done;
+  check_deadlock t
+
+let run_for t budget =
+  let limit = Int64.add t.time budget in
+  let continue_ = ref true in
+  while !continue_ && not (Heap.is_empty t.events) do
+    let time, _, _ = Heap.peek_min t.events in
+    if time > limit then continue_ := false else step t
+  done;
+  if Heap.is_empty t.events then check_deadlock t
+
+(* Effects-performing helpers; callable only from inside a fiber. *)
+
+let self () = Effect.perform Self
+
+let sleep d = Effect.perform (Sleep d)
+
+let suspend register = Effect.perform (Suspend register)

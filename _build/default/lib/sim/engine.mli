@@ -1,0 +1,83 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated entities (applications, file servers, scheduling servers) run
+    as {e fibers}: OCaml functions executed under an effect handler that
+    interprets simulation effects — advancing simulated time, suspending on
+    a condition, spawning further fibers. Time is a global 64-bit cycle
+    counter; events scheduled for the same instant run in insertion order,
+    so a given seed always produces the same execution.
+
+    Fibers must only perform simulation effects while running under
+    {!run}. *)
+
+type t
+(** A simulation instance. *)
+
+type fiber
+(** Handle on a spawned fiber. *)
+
+exception Deadlock of string
+(** Raised by {!run} when no events remain but blocked fibers exist; the
+    payload lists the blocked fibers' names. *)
+
+exception Fiber_failure of string * exn
+(** Raised by {!run} when a fiber terminates with an uncaught exception;
+    carries the fiber name and the original exception. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] makes a fresh simulation; [seed] (default [1L])
+    initializes the root RNG. *)
+
+val now : t -> int64
+(** Current simulated time in cycles. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG (split it rather than sharing it widely). *)
+
+val spawn : t -> ?daemon:bool -> name:string -> (unit -> unit) -> fiber
+(** [spawn t ~name f] creates a fiber that starts at the current simulated
+    time. May be called from inside or outside a running simulation.
+    [daemon] fibers (servers polling their mailboxes forever) do not count
+    as live work: the simulation ends, without a deadlock report, when
+    only daemons remain blocked. *)
+
+val run : t -> unit
+(** Execute events until none remain. Raises {!Deadlock} if blocked fibers
+    remain, or {!Fiber_failure} if any fiber raised. *)
+
+val run_for : t -> int64 -> unit
+(** [run_for t budget] executes events until none remain or simulated time
+    would exceed [now t + budget]; remaining events stay queued. *)
+
+val fiber_name : fiber -> string
+val fiber_id : fiber -> int
+
+val live_fibers : t -> int
+(** Number of non-daemon fibers that have started but not finished. *)
+
+(** {1 Effects — callable only from inside a fiber} *)
+
+val self : unit -> fiber
+(** The currently-running fiber. *)
+
+val sleep : int64 -> unit
+(** Advance this fiber's view of time by the given number of cycles without
+    occupying any core (pure waiting). *)
+
+val schedule_at : t -> int64 -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs the callback [f] at absolute simulated
+    [time] (which must be [>= now t]). [f] runs outside any fiber and must
+    not perform simulation effects; it may wake fibers via wakers. *)
+
+type waker = unit -> unit
+(** Calling a waker reschedules its suspended fiber at the simulated time
+    of the call. A waker must be invoked at most once. *)
+
+val suspend : (waker -> unit) -> unit
+(** [suspend register] parks the current fiber and calls [register waker].
+    The fiber resumes when (and only when) [waker] is invoked — typically
+    stored in a queue by a synchronization primitive. *)
+
+val trace : t -> bool
+val set_trace : t -> bool -> unit
+(** When tracing is on, fiber lifecycle events are logged via [Logs]. *)

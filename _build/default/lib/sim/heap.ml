@@ -1,0 +1,63 @@
+type 'a entry = { time : int64; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = Array.length h.arr in
+  if h.size = capacity then begin
+    let capacity' = if capacity = 0 then 64 else capacity * 2 in
+    let arr' = Array.make capacity' entry in
+    Array.blit h.arr 0 arr' 0 h.size;
+    h.arr <- arr'
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt h.arr.(i) h.arr.(parent) then begin
+      let tmp = h.arr.(i) in
+      h.arr.(i) <- h.arr.(parent);
+      h.arr.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && lt h.arr.(left) h.arr.(!smallest) then smallest := left;
+  if right < h.size && lt h.arr.(right) h.arr.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(!smallest);
+    h.arr.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow h entry;
+  h.arr.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek_min h =
+  if h.size = 0 then raise Not_found;
+  let e = h.arr.(0) in
+  (e.time, e.seq, e.value)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let e = h.arr.(0) in
+  h.size <- h.size - 1;
+  h.arr.(0) <- h.arr.(h.size);
+  sift_down h 0;
+  (e.time, e.seq, e.value)

@@ -1,0 +1,25 @@
+(** Binary min-heap keyed by [(int64 * int)] pairs.
+
+    The key is a (time, sequence) pair: the heap orders events primarily by
+    simulated time and breaks ties by insertion sequence, which gives the
+    discrete-event engine a deterministic FIFO order for simultaneous
+    events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
+val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element together with its
+    key. Raises [Not_found] when the heap is empty. *)
+val pop_min : 'a t -> int64 * int * 'a
+
+(** [peek_min h] returns the minimum element without removing it.
+    Raises [Not_found] when the heap is empty. *)
+val peek_min : 'a t -> int64 * int * 'a

@@ -1,0 +1,29 @@
+type 'a t = {
+  mutable value : 'a option;
+  mutable waiters : Engine.waker list;
+}
+
+let create () = { value = None; waiters = [] }
+
+let fill t v =
+  match t.value with
+  | Some _ -> invalid_arg "Ivar.fill: already filled"
+  | None ->
+      t.value <- Some v;
+      let waiters = List.rev t.waiters in
+      t.waiters <- [];
+      List.iter (fun wake -> wake ()) waiters
+
+let read t =
+  match t.value with
+  | Some v -> v
+  | None ->
+      Engine.suspend (fun waker -> t.waiters <- waker :: t.waiters);
+      (* After resumption the value is necessarily present. *)
+      (match t.value with
+      | Some v -> v
+      | None -> assert false)
+
+let peek t = t.value
+
+let is_filled t = t.value <> None

@@ -1,0 +1,1 @@
+lib/stats/opcount.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/stats/opcount.mli: Format

@@ -1,0 +1,1 @@
+lib/stats/sloc.ml: Array Filename String Sys

@@ -1,0 +1,36 @@
+let count_file path =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           if String.trim (input_line ic) <> "" then incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      !n
+
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let rec count_tree dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+      Array.fold_left
+        (fun acc name ->
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then acc + count_tree path
+          else if is_source name then acc + count_file path
+          else acc)
+        0 entries
+
+let repo_root () =
+  let rec up dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent
+  in
+  up (Sys.getcwd ())

@@ -1,0 +1,1 @@
+lib/workloads/all.ml: Build_linux Creates Directories Extract Fsstress List Mailbench Pfind Punzip Renames Rm Spec Writes

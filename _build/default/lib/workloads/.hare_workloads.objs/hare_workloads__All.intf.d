@@ -1,0 +1,1 @@
+lib/workloads/all.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/build_linux.ml: Filename Hare_api Hare_config Hare_proto Hashtbl List Printf Spec String Tree Types

@@ -1,0 +1,1 @@
+lib/workloads/build_linux.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/creates.ml: Hare_api Hare_config Hare_proto Printf Spec Types

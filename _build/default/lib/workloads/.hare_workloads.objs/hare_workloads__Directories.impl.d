@@ -1,0 +1,1 @@
+lib/workloads/directories.ml: Hare_api Hare_config Printf Spec

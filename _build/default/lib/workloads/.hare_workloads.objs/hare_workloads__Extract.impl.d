@@ -1,0 +1,1 @@
+lib/workloads/extract.ml: Buffer Errno Hare_api Hare_config Hare_proto Hashtbl Printf Spec String Tree Types

@@ -1,0 +1,1 @@
+lib/workloads/extract.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/fsstress.ml: Hare_api Hare_config Hare_proto List Printf Spec Tree Types

@@ -1,0 +1,1 @@
+lib/workloads/fsstress.mli: Spec

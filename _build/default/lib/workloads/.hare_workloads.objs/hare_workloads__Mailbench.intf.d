@@ -1,0 +1,1 @@
+lib/workloads/mailbench.mli: Spec

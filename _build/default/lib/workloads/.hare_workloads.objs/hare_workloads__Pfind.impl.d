@@ -1,0 +1,1 @@
+lib/workloads/pfind.ml: Hare_api Hare_config List Spec Tree

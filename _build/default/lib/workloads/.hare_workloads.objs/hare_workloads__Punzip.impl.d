@@ -1,0 +1,1 @@
+lib/workloads/punzip.ml: Hare_api Hare_config Hare_proto Printf Spec String Tree Types

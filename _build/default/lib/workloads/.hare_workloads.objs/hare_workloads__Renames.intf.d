@@ -1,0 +1,1 @@
+lib/workloads/renames.mli: Spec

@@ -1,0 +1,1 @@
+lib/workloads/rm.ml: Errno Hare_api Hare_config Hare_proto Hashtbl List Spec Tree

@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Hare_api Hare_config

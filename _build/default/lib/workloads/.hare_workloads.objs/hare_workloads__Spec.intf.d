@@ -1,0 +1,1 @@
+lib/workloads/spec.mli: Hare_api Hare_config

@@ -1,0 +1,1 @@
+lib/workloads/tree.ml: Char Hare_api Hare_proto Hashtbl List Printf String Types

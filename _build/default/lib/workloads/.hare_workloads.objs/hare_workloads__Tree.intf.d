@@ -1,0 +1,1 @@
+lib/workloads/tree.mli: Hare_api

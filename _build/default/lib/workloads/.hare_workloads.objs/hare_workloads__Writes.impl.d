@@ -1,0 +1,1 @@
+lib/workloads/writes.ml: Hare_api Hare_config Hare_proto Printf Spec Tree Types

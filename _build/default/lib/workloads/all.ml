@@ -1,0 +1,29 @@
+let specs : Spec.t list =
+  [
+    Creates.spec;
+    Writes.spec;
+    Renames.spec;
+    Directories.spec;
+    Rm.dense;
+    Rm.sparse;
+    Pfind.dense;
+    Pfind.sparse;
+    Extract.spec;
+    Punzip.spec;
+    Mailbench.spec;
+    Fsstress.spec;
+    Build_linux.spec;
+  ]
+
+let find name = List.find (fun (s : Spec.t) -> s.Spec.name = name) specs
+
+let names = List.map (fun (s : Spec.t) -> s.Spec.name) specs
+
+let parallel =
+  List.filter (fun (s : Spec.t) -> s.Spec.name <> "extract") specs
+
+let fig15 =
+  List.filter
+    (fun (s : Spec.t) ->
+      not (List.mem s.Spec.name [ "extract"; "rm dense"; "rm sparse" ]))
+    specs

@@ -1,0 +1,16 @@
+(** The paper's benchmark suite (§5.2), in Figure-5 order. *)
+
+val specs : Spec.t list
+
+val find : string -> Spec.t
+(** Raises [Not_found]. *)
+
+val names : string list
+
+val parallel : Spec.t list
+(** The subset used for the multi-core figures (6, 7, 10-15): everything
+    except [extract] — like the paper's Figure 15, which omits extract
+    and rm. *)
+
+val fig15 : Spec.t list
+(** Figure 15's benchmark set (no extract, no rm dense/sparse). *)

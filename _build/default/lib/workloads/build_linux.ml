@@ -1,0 +1,161 @@
+(* build linux: a make -j style parallel build of a synthetic kernel
+   tree. One make process coordinates a jobserver token pipe (shared
+   with every compiler child — the descriptor-sharing idiom that rules
+   out plain NFS, §1/§5.2), spawns a cc per object via remote exec, and
+   finally links. cc reads sources and headers, burns compile cycles,
+   writes obj.tmp and renames it into place. *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let src_root = "/src"
+
+let ndirs = 8
+
+let files_per ~scale = 10 * scale
+
+let hdr_count = 6
+
+let hdr_bytes = 1024
+
+let c_bytes = 2048
+
+(* A real cc invocation on a kernel source file costs on the order of a
+   hundred milliseconds; the fixed part dominates for our small files. *)
+let compile_fixed_cycles = 1_000_000
+
+let compile_cycles_per_byte = 400
+
+let link_fixed_cycles = 500_000
+
+let link_cycles_per_byte = 50
+
+let objects ~scale =
+  List.concat
+    (List.init ndirs (fun d ->
+         List.init (files_per ~scale) (fun f ->
+             ( Printf.sprintf "%s/d%d/f%03d.c" src_root d f,
+               Printf.sprintf "%s/d%d/f%03d.o" src_root d f ))))
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale =
+  api.Api.mkdir p ~dist:true src_root;
+  api.Api.mkdir p ~dist:false (src_root ^ "/include");
+  for h = 0 to hdr_count - 1 do
+    let fd =
+      api.Api.openf p
+        (Printf.sprintf "%s/include/h%d.h" src_root h)
+        Types.flags_w
+    in
+    Api.write_all api p fd (Tree.file_data hdr_bytes h);
+    api.Api.close p fd
+  done;
+  for d = 0 to ndirs - 1 do
+    api.Api.mkdir p ~dist:true (Printf.sprintf "%s/d%d" src_root d)
+  done;
+  List.iter
+    (fun (src, _obj) ->
+      let fd = api.Api.openf p src Types.flags_w in
+      Api.write_all api p fd (Tree.file_data c_bytes (Hashtbl.hash src));
+      api.Api.close p fd)
+    (objects ~scale);
+  (* the "Makefile" make reads at startup *)
+  let fd = api.Api.openf p (src_root ^ "/Makefile") Types.flags_w in
+  Api.write_all api p fd (Tree.file_data 1500 7);
+  api.Api.close p fd
+
+let cc_prog (api : 'p Api.t) p args =
+  match args with
+  | [ src; obj; rfd_s; wfd_s ] ->
+      let rfd = int_of_string rfd_s and wfd = int_of_string wfd_s in
+      (* jobserver: take a token before compiling *)
+      let token = api.Api.read p rfd ~len:1 in
+      if token = "" then 1
+      else begin
+        let bytes = ref 0 in
+        let slurp path =
+          let fd = api.Api.openf p path Types.flags_r in
+          let s = Api.read_to_eof api p fd in
+          api.Api.close p fd;
+          bytes := !bytes + String.length s
+        in
+        slurp src;
+        let h = Hashtbl.hash src in
+        for k = 0 to 2 do
+          slurp (Printf.sprintf "%s/include/h%d.h" src_root ((h + k) mod hdr_count))
+        done;
+        api.Api.compute p (compile_fixed_cycles + (compile_cycles_per_byte * !bytes));
+        let tmp = obj ^ ".tmp" in
+        let fd = api.Api.openf p tmp Types.flags_w in
+        Api.write_all api p fd (Tree.file_data (c_bytes / 2) h);
+        api.Api.close p fd;
+        api.Api.rename p tmp obj;
+        (* return the token *)
+        ignore (api.Api.write p wfd token);
+        0
+      end
+  | _ -> 2
+
+let ld_prog (api : 'p Api.t) p _args =
+  let bytes = ref 0 in
+  for d = 0 to ndirs - 1 do
+    let dir = Printf.sprintf "%s/d%d" src_root d in
+    List.iter
+      (fun (name, ftype) ->
+        if ftype = Types.Reg && Filename.check_suffix name ".o" then begin
+          let fd = api.Api.openf p (dir ^ "/" ^ name) Types.flags_r in
+          let s = Api.read_to_eof api p fd in
+          api.Api.close p fd;
+          bytes := !bytes + String.length s
+        end)
+      (api.Api.readdir p dir)
+  done;
+  api.Api.compute p (link_fixed_cycles + (link_cycles_per_byte * !bytes));
+  let fd = api.Api.openf p (src_root ^ "/vmlinux") Types.flags_w in
+  Api.write_all api p fd (Tree.file_data (min 4096 (!bytes / 4 + 1)) 9);
+  api.Api.close p fd;
+  0
+
+let worker (api : 'p Api.t) p ~idx ~nprocs ~scale =
+  if idx = 0 then begin
+    let jobs = max 1 nprocs in
+    (* make reads its Makefile and stats every prerequisite *)
+    let fd = api.Api.openf p (src_root ^ "/Makefile") Types.flags_r in
+    ignore (Api.read_to_eof api p fd);
+    api.Api.close p fd;
+    let objs = objects ~scale in
+    List.iter (fun (src, _) -> ignore (api.Api.stat p src)) objs;
+    (* jobserver pipe, preloaded with [jobs] tokens *)
+    let rfd, wfd = api.Api.pipe p in
+    Api.write_all api p wfd (String.make jobs 't');
+    let pids =
+      List.map
+        (fun (src, obj) ->
+          api.Api.spawn p ~prog:"cc"
+            ~args:[ src; obj; string_of_int rfd; string_of_int wfd ])
+        objs
+    in
+    let failed =
+      List.fold_left
+        (fun acc pid -> if api.Api.waitpid p pid <> 0 then acc + 1 else acc)
+        0 pids
+    in
+    if failed > 0 then failwith "build: cc failed";
+    let ld = api.Api.spawn p ~prog:"ld" ~args:[] in
+    if api.Api.waitpid p ld <> 0 then failwith "build: ld failed";
+    api.Api.close p rfd;
+    api.Api.close p wfd;
+    if not (api.Api.exists p (src_root ^ "/vmlinux")) then
+      failwith "build: no vmlinux"
+  end
+
+let spec : Spec.t =
+  {
+    name = "build linux";
+    mode = Spec.Make;
+    exec_policy = Hare_config.Config.Random_placement;
+    uses_dist = true;
+    setup;
+    worker;
+    programs = (fun api -> [ ("cc", cc_prog api); ("ld", ld_prog api) ]);
+    ops = (fun ~nprocs:_ ~scale -> List.length (objects ~scale) + 1);
+  }

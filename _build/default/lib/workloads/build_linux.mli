@@ -1,0 +1,3 @@
+(** The "build linux" benchmark (§5.2). *)
+
+val spec : Spec.t

@@ -1,0 +1,30 @@
+(* creates: every worker creates many files in one shared (distributed)
+   directory — the workload directory distribution exists for (§3.3). *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let dir = "/creates"
+
+let iters ~scale = 250 * scale
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ = api.Api.mkdir p ~dist:true dir
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  for i = 1 to iters ~scale do
+    let path = Printf.sprintf "%s/w%d_%05d" dir idx i in
+    let fd = api.Api.openf p path Types.flags_w in
+    api.Api.close p fd
+  done
+
+let spec : Spec.t =
+  {
+    name = "creates";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = true;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

@@ -1,0 +1,32 @@
+(* directories: mkdir/rmdir pairs under a shared parent — stresses
+   directory-entry creation and the rmdir protocol (the created
+   directories are centralized; §5.4 lists this benchmark as not using
+   the distribution flag). *)
+
+module Api = Hare_api.Api
+
+let dir = "/dirs"
+
+let iters ~scale = 120 * scale
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ =
+  api.Api.mkdir p ~dist:false dir
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  for i = 1 to iters ~scale do
+    let d = Printf.sprintf "%s/w%d_%05d" dir idx i in
+    api.Api.mkdir p ~dist:false d;
+    api.Api.rmdir p d
+  done
+
+let spec : Spec.t =
+  {
+    name = "directories";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> 2 * nprocs * iters ~scale);
+  }

@@ -1,0 +1,3 @@
+(** The "directories" benchmark (§5.2). *)
+
+val spec : Spec.t

@@ -1,0 +1,119 @@
+(* extract: decompressing an archive of the (scaled) kernel tree. Each
+   worker pipes its slice of the archive through a decompressor child —
+   the pipe-and-create idiom of tar xzf (§5.2) — and materializes the
+   files. Parallelization by slicing the archive across workers is our
+   substitute for the paper's single tar invocation. *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let archive = "/linux.tar"
+
+let name_width = 32
+
+let size_width = 8
+
+let entry_bytes = 2048
+
+let entries ~scale = 48 * scale
+
+(* Fixed-size record framing: name (padded) + decimal size + data. *)
+let frame name data =
+  let padded = Printf.sprintf "%-*s" name_width name in
+  assert (String.length padded = name_width);
+  Printf.sprintf "%s%0*d%s" padded size_width (String.length data) data
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale =
+  let fd = api.Api.openf p archive Types.flags_w in
+  for i = 0 to entries ~scale - 1 do
+    let name = Printf.sprintf "d%02d/f%04d" (i mod 12) i in
+    ignore (api.Api.write p fd (frame name (Tree.file_data entry_bytes i)))
+  done;
+  api.Api.close p fd;
+  api.Api.mkdir p ~dist:false "/extract"
+
+let record_len = name_width + size_width + entry_bytes
+
+(* Child: stream our byte range of the archive into the pipe. *)
+let pump (api : 'p Api.t) p ~wfd ~first ~count =
+  let fd = api.Api.openf p archive Types.flags_r in
+  ignore (api.Api.lseek p fd ~pos:(first * record_len) Types.Seek_set);
+  let remaining = ref (count * record_len) in
+  while !remaining > 0 do
+    let chunk = api.Api.read p fd ~len:(min 8192 !remaining) in
+    if chunk = "" then remaining := 0
+    else begin
+      Api.write_all api p wfd chunk;
+      remaining := !remaining - String.length chunk
+    end
+  done;
+  api.Api.close p fd
+
+let read_exact (api : 'p Api.t) p fd n =
+  let buf = Buffer.create n in
+  let rec go () =
+    let want = n - Buffer.length buf in
+    if want > 0 then begin
+      let s = api.Api.read p fd ~len:want in
+      if s = "" then Errno.raise_errno Errno.EINVAL "short archive"
+      else begin
+        Buffer.add_string buf s;
+        go ()
+      end
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let worker (api : 'p Api.t) p ~idx ~nprocs ~scale =
+  let total = entries ~scale in
+  let per = (total + nprocs - 1) / nprocs in
+  let first = idx * per in
+  let count = max 0 (min per (total - first)) in
+  if count > 0 then begin
+    let out_root = Printf.sprintf "/extract/w%d" idx in
+    api.Api.mkdir p ~dist:false out_root;
+    let rfd, wfd = api.Api.pipe p in
+    let pid = api.Api.fork p (fun c ->
+        pump api c ~wfd ~first ~count;
+        api.Api.close c wfd;
+        api.Api.close c rfd;
+        0)
+    in
+    api.Api.close p wfd;
+    let made_dirs = Hashtbl.create 8 in
+    for _ = 1 to count do
+      let header = read_exact api p rfd (name_width + size_width) in
+      let name = String.trim (String.sub header 0 name_width) in
+      let size = int_of_string (String.sub header name_width size_width) in
+      let data = read_exact api p rfd size in
+      (* "decompress" the entry *)
+      api.Api.compute p (3 * size);
+      (match String.index_opt name '/' with
+      | Some slash ->
+          let d = String.sub name 0 slash in
+          if not (Hashtbl.mem made_dirs d) then begin
+            Hashtbl.replace made_dirs d ();
+            api.Api.mkdir p ~dist:false (out_root ^ "/" ^ d)
+          end
+      | None -> ());
+      let path = out_root ^ "/" ^ name in
+      let fd = api.Api.openf p path Types.flags_w in
+      Api.write_all api p fd data;
+      api.Api.close p fd
+    done;
+    api.Api.close p rfd;
+    ignore (api.Api.waitpid p pid)
+  end
+
+let spec : Spec.t =
+  {
+    name = "extract";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs:_ ~scale -> entries ~scale);
+  }

@@ -1,0 +1,3 @@
+(** The "extract" benchmark (§5.2). *)
+
+val spec : Spec.t

@@ -1,0 +1,106 @@
+(* fsstress: the Linux Test Project stressor — each worker applies a
+   random mix of file-system operations inside its own subtree (§5.2:
+   "each of the fsstress processes perform operations in different
+   subtrees", with directory distribution off). *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let iters ~scale = 220 * scale
+
+type state = {
+  mutable files : string list;
+  mutable dirs : string list;  (* removable leaf dirs *)
+  mutable seq : int;
+}
+
+let fresh st prefix =
+  st.seq <- st.seq + 1;
+  Printf.sprintf "%s/n%05d" prefix st.seq
+
+let pick_from (api : 'p Api.t) p xs =
+  match xs with
+  | [] -> None
+  | _ -> Some (List.nth xs (api.Api.random p (List.length xs)))
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  let root = Printf.sprintf "/fss/w%d" idx in
+  api.Api.mkdir p ~dist:false root;
+  let st = { files = []; dirs = []; seq = 0 } in
+  let data = Tree.file_data 1024 idx in
+  for _ = 1 to iters ~scale do
+    match api.Api.random p 100 with
+    | r when r < 20 ->
+        (* create *)
+        let f = fresh st root in
+        let fd = api.Api.openf p f Types.flags_w in
+        api.Api.close p fd;
+        st.files <- f :: st.files
+    | r when r < 35 -> (
+        (* write *)
+        match pick_from api p st.files with
+        | Some f ->
+            let fd = api.Api.openf p f { Types.flags_rw with creat = true } in
+            ignore (api.Api.lseek p fd ~pos:0 Types.Seek_end);
+            ignore (api.Api.write p fd data);
+            api.Api.close p fd
+        | None -> ())
+    | r when r < 50 -> (
+        (* read *)
+        match pick_from api p st.files with
+        | Some f ->
+            let fd = api.Api.openf p f Types.flags_r in
+            ignore (api.Api.read p fd ~len:4096);
+            api.Api.close p fd
+        | None -> ())
+    | r when r < 62 -> (
+        (* unlink *)
+        match st.files with
+        | f :: rest ->
+            api.Api.unlink p f;
+            st.files <- rest
+        | [] -> ())
+    | r when r < 72 ->
+        (* mkdir *)
+        let d = fresh st root in
+        api.Api.mkdir p ~dist:false d;
+        st.dirs <- d :: st.dirs
+    | r when r < 80 -> (
+        (* rmdir (empty by construction) *)
+        match st.dirs with
+        | d :: rest ->
+            api.Api.rmdir p d;
+            st.dirs <- rest
+        | [] -> ())
+    | r when r < 87 -> (
+        (* rename *)
+        match st.files with
+        | f :: rest ->
+            let g = fresh st root in
+            api.Api.rename p f g;
+            st.files <- g :: rest
+        | [] -> ())
+    | r when r < 95 -> (
+        (* stat *)
+        match pick_from api p st.files with
+        | Some f -> ignore (api.Api.stat p f)
+        | None -> ())
+    | _ ->
+        (* readdir *)
+        ignore (api.Api.readdir p root)
+  done
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ =
+  api.Api.mkdir p ~dist:false "/fss"
+
+let spec : Spec.t =
+  {
+    name = "fsstress";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

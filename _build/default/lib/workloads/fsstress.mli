@@ -1,0 +1,3 @@
+(** The "fsstress" benchmark (§5.2). *)
+
+val spec : Spec.t

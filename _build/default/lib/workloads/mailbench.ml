@@ -1,0 +1,49 @@
+(* mailbench: the sv6 mail-server benchmark (§5.2). Each delivery writes
+   a message into a spool tmp directory, fsyncs, and renames it into
+   new/ — both directories shared and distributed; periodically the
+   worker picks up (reads and unlinks) its delivered mail. *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let iters ~scale = 100 * scale
+
+let msg_bytes = 2048
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ =
+  api.Api.mkdir p ~dist:false "/mail";
+  api.Api.mkdir p ~dist:true "/mail/tmp";
+  api.Api.mkdir p ~dist:true "/mail/new"
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  let body = Tree.file_data msg_bytes idx in
+  for i = 1 to iters ~scale do
+    let base = Printf.sprintf "w%d_%05d" idx i in
+    let tmp = "/mail/tmp/" ^ base in
+    let final = "/mail/new/" ^ base in
+    let fd = api.Api.openf p tmp Types.flags_w in
+    Api.write_all api p fd body;
+    api.Api.fsync p fd;
+    api.Api.close p fd;
+    api.Api.rename p tmp final;
+    (* every 8th delivery, pick up the oldest pending message *)
+    if i mod 8 = 0 then begin
+      let pickup = Printf.sprintf "/mail/new/w%d_%05d" idx (i - 7) in
+      let fd = api.Api.openf p pickup Types.flags_r in
+      ignore (Api.read_to_eof api p fd);
+      api.Api.close p fd;
+      api.Api.unlink p pickup
+    end
+  done
+
+let spec : Spec.t =
+  {
+    name = "mailbench";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = true;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

@@ -1,0 +1,3 @@
+(** The "mailbench" benchmark (§5.2). *)
+
+val spec : Spec.t

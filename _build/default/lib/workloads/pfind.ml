@@ -1,0 +1,55 @@
+(* pfind dense / sparse: every worker recursively lists and stats the
+   whole shared tree (parallel find). The dense tree uses distributed
+   directories (readdir benefits from directory broadcast, §3.6.2); the
+   sparse tree does not, and all workers visit the few directories in the
+   same order — the paper's least scalable benchmark (§5.3.1). *)
+
+module Api = Hare_api.Api
+
+let filler ~uses_dist ~params (api : 'p Api.t) p args =
+  match args with
+  | [ part; parts; scale ] ->
+      let ps = { (params ~scale:(int_of_string scale)) with Tree.dist = uses_dist } in
+      Tree.fill_files api p ~root:"/ptree" ps ~part:(int_of_string part)
+        ~parts:(int_of_string parts);
+      0
+  | _ -> 2
+
+let mk ~name ~uses_dist ~params : Spec.t =
+  {
+    name;
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist;
+    setup =
+      (fun api p ~nprocs ~scale ->
+        (* parallel file creation: see Rm *)
+        let ps = { (params ~scale) with Tree.dist = uses_dist } in
+        api.Api.mkdir p ~dist:uses_dist "/ptree";
+        Tree.build_dirs api p ~root:"/ptree" ps;
+        let pids =
+          List.init nprocs (fun i ->
+              api.Api.spawn p ~prog:(name ^ "-filler")
+                ~args:
+                  [ string_of_int i; string_of_int nprocs; string_of_int scale ])
+        in
+        List.iter
+          (fun pid ->
+            if api.Api.waitpid p pid <> 0 then failwith (name ^ ": filler"))
+          pids);
+    worker =
+      (fun api p ~idx:_ ~nprocs:_ ~scale:_ ->
+        ignore (Tree.walk api p ~root:"/ptree"));
+    programs = (fun api -> [ (name ^ "-filler", filler ~uses_dist ~params api) ]);
+    ops =
+      (fun ~nprocs ~scale ->
+        let dirs, files = Tree.count (params ~scale) in
+        nprocs * (dirs + files));
+  }
+
+let dense : Spec.t =
+  mk ~name:"pfind dense" ~uses_dist:true ~params:(fun ~scale -> Tree.dense ~scale)
+
+let sparse : Spec.t =
+  mk ~name:"pfind sparse" ~uses_dist:false
+    ~params:(fun ~scale -> Tree.sparse ~scale)

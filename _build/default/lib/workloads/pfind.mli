@@ -1,0 +1,6 @@
+(** The pfind dense / pfind sparse benchmarks (§5.2): parallel find over
+    a shared tree. *)
+
+val dense : Spec.t
+
+val sparse : Spec.t

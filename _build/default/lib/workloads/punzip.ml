@@ -1,0 +1,53 @@
+(* punzip: parallel gunzip of n copies of the manpages — each worker
+   reads its compressed input, burns decompression cycles, and writes the
+   ~3x larger output (I/O-heavy, benefits from direct buffer-cache
+   access and creation affinity, Figures 12/14). *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let in_bytes ~scale = 16 * 1024 * scale
+
+let expansion = 3
+
+let setup (api : 'p Api.t) p ~nprocs ~scale =
+  api.Api.mkdir p ~dist:false "/man";
+  for i = 0 to nprocs - 1 do
+    let fd = api.Api.openf p (Printf.sprintf "/man/pack%d.gz" i) Types.flags_w in
+    let data = Tree.file_data 4096 i in
+    for _ = 1 to in_bytes ~scale / 4096 do
+      ignore (api.Api.write p fd data)
+    done;
+    api.Api.close p fd
+  done
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale:_ =
+  let src = api.Api.openf p (Printf.sprintf "/man/pack%d.gz" idx) Types.flags_r in
+  let dst = api.Api.openf p (Printf.sprintf "/man/out%d" idx) Types.flags_w in
+  let rec go () =
+    let chunk = api.Api.read p src ~len:8192 in
+    if chunk <> "" then begin
+      (* inflate: ~8 cycles per output byte *)
+      api.Api.compute p (8 * expansion * String.length chunk);
+      for _ = 1 to expansion do
+        Api.write_all api p dst chunk
+      done;
+      go ()
+    end
+  in
+  go ();
+  api.Api.close p src;
+  api.Api.close p dst
+
+let spec : Spec.t =
+  {
+    name = "punzip";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Random_placement;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    (* one op per 4K of output *)
+    ops = (fun ~nprocs ~scale -> nprocs * (in_bytes ~scale * expansion / 4096));
+  }

@@ -1,0 +1,32 @@
+(* renames: workers rename files back and forth inside one shared
+   distributed directory (the ADD_MAP/RM_MAP microbenchmark of §5.3.3). *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let dir = "/renames"
+
+let iters ~scale = 200 * scale
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ = api.Api.mkdir p ~dist:true dir
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  let a = Printf.sprintf "%s/w%d_a" dir idx in
+  let b = Printf.sprintf "%s/w%d_b" dir idx in
+  let fd = api.Api.openf p a Types.flags_w in
+  api.Api.close p fd;
+  for i = 1 to iters ~scale do
+    if i land 1 = 1 then api.Api.rename p a b else api.Api.rename p b a
+  done
+
+let spec : Spec.t =
+  {
+    name = "renames";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = true;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

@@ -1,0 +1,115 @@
+(* rm dense / rm sparse: parallel removal of a prebuilt tree. The
+   benchmark harness built the tree, so each worker derives its share of
+   the paths arithmetically (as a real driver would hand explicit lists
+   to n `rm` processes): it unlinks the files of the directories it owns
+   and then removes those directories deepest-first, retrying briefly
+   while another worker's child directories still exist. The result is a
+   pure unlink/rmdir stressor, matching the Figure 5 operation mix. *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let root = "/rmtree"
+
+let owner path nprocs = Hashtbl.hash path land 0x3FFFFFFF mod nprocs
+
+let worker params (api : 'p Api.t) p ~idx ~nprocs ~scale:_ =
+  let dirs = Tree.dir_paths params ~root in
+  let mine = List.filter (fun (_, d) -> owner d nprocs = idx) dirs in
+  (* unlink phase: all files of owned directories *)
+  List.iter
+    (fun (_, d) ->
+      List.iter
+        (fun f ->
+          try api.Api.unlink p f with Errno.Error (Errno.ENOENT, _) -> ())
+        (Tree.file_paths params ~dir:d))
+    mine;
+  (* rmdir phase: repeated deepest-first passes over whatever is still
+     removable; directories whose children belong to slower workers are
+     retried on the next pass, with a back-off so failed attempts do not
+     flood the servers *)
+  let pending =
+    ref
+      (List.sort (fun ((a : int), _) (b, _) -> compare b a) mine
+      |> List.map snd)
+  in
+  if idx = 0 then pending := !pending @ [ root ];
+  let stalls = ref 0 in
+  while !pending <> [] do
+    let progressed = ref false in
+    pending :=
+      List.filter
+        (fun d ->
+          match api.Api.rmdir p d with
+          | () ->
+              progressed := true;
+              false
+          | exception Errno.Error (Errno.ENOENT, _) ->
+              progressed := true;
+              false
+          | exception Errno.Error ((Errno.ENOTEMPTY | Errno.EBUSY), _) -> true)
+        !pending;
+    if (not !progressed) && !pending <> [] then begin
+      incr stalls;
+      if !stalls > 10_000 then failwith "rm: no progress";
+      api.Api.compute p 100_000
+    end
+  done
+
+(* Files are created by one filler process per worker (spawned across
+   cores), so file inodes spread exactly as a parallel harness would
+   create them — not clustered on the setup core's server. *)
+let filler_name name = name ^ "-filler"
+
+let filler ~dist ~params (api : 'p Api.t) p args =
+  match args with
+  | [ part; parts; scale ] ->
+      let ps = { (params ~scale:(int_of_string scale)) with Tree.dist } in
+      Tree.fill_files api p ~root ps ~part:(int_of_string part)
+        ~parts:(int_of_string parts);
+      0
+  | _ -> 2
+
+let parallel_setup ~name ~dist ~params (api : 'p Api.t) p ~nprocs ~scale =
+  let ps = { (params ~scale) with Tree.dist } in
+  api.Api.mkdir p ~dist root;
+  Tree.build_dirs api p ~root ps;
+  let pids =
+    List.init nprocs (fun i ->
+        api.Api.spawn p ~prog:(filler_name name)
+          ~args:[ string_of_int i; string_of_int nprocs; string_of_int scale ])
+  in
+  List.iter
+    (fun pid ->
+      if api.Api.waitpid p pid <> 0 then failwith (name ^ ": filler failed"))
+    pids
+
+let mk ~name ~dist ~params : Spec.t =
+  {
+    name;
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = dist;
+    setup =
+      (fun api p ~nprocs ~scale ->
+        parallel_setup ~name ~dist ~params api p ~nprocs ~scale);
+    worker =
+      (fun api p ~idx ~nprocs ~scale ->
+        let ps = { (params ~scale) with Tree.dist } in
+        worker ps api p ~idx ~nprocs ~scale);
+    programs =
+      (fun api -> [ (filler_name name, filler ~dist ~params api) ]);
+    ops =
+      (fun ~nprocs:_ ~scale ->
+        let dirs, files = Tree.count (params ~scale) in
+        dirs + files);
+  }
+
+(* The dense tree is the same distributed tree pfind dense uses; the
+   sparse benchmark runs without distribution — §5.4: rmdir-heavy
+   workloads on small directories do worse with it. *)
+let dense : Spec.t =
+  mk ~name:"rm dense" ~dist:true ~params:(fun ~scale -> Tree.dense ~scale)
+
+let sparse : Spec.t =
+  mk ~name:"rm sparse" ~dist:false ~params:(fun ~scale -> Tree.sparse ~scale)

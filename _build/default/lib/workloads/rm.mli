@@ -1,0 +1,6 @@
+(** The rm dense / rm sparse benchmarks (§5.2): parallel removal of a
+    prebuilt tree, partitioned arithmetically among the workers. *)
+
+val dense : Spec.t
+
+val sparse : Spec.t

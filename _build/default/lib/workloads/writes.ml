@@ -1,0 +1,40 @@
+(* writes: each worker streams 4 KiB writes into its own file, rewinding
+   periodically so the working set stays bounded — stresses the data path
+   (direct buffer-cache access, Figure 12). *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+let dir = "/writes"
+
+let chunk = 4096
+
+let wrap_every = 64
+
+let iters ~scale = 1200 * scale
+
+let setup (api : 'p Api.t) p ~nprocs:_ ~scale:_ =
+  api.Api.mkdir p ~dist:false dir
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  let path = Printf.sprintf "%s/w%d" dir idx in
+  let fd = api.Api.openf p path Types.flags_w in
+  let data = Tree.file_data chunk idx in
+  for i = 1 to iters ~scale do
+    ignore (api.Api.write p fd data);
+    if i mod wrap_every = 0 then
+      ignore (api.Api.lseek p fd ~pos:0 Types.Seek_set)
+  done;
+  api.Api.close p fd
+
+let spec : Spec.t =
+  {
+    name = "writes";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Core_res Engine Hare_api Hare_baseline Hare_config Hare_experiments Hare_proto Hare_sim List Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Array Fmt Format Hare_client Hare_config Hare_proto Hare_server Hare_sim List Machine P Posix Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_exec_chain.ml: Alcotest Buffer Hare Hare_proc Hare_proto Hare_sim Test_util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Char Hare_config Hare_proto Hare_server List Machine Posix Printf String Test_util

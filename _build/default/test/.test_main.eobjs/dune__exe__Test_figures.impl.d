@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Array Float Hare Hare_client Hare_config Hare_experiments Hare_workloads List Printf

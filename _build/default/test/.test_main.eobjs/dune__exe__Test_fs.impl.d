@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Char Fmt Format Hare_proto Hare_server Hare_sim List Machine Posix Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Core_res Dram Engine Hare_config Hare_mem Hare_sim Int64 Layout Pcache String

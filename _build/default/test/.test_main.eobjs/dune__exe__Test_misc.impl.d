@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Buffer Filename Format Fun Hare Hare_client Hare_config Hare_proto Hare_stats Hashtbl Int64 List String Test_util

@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Core_res Engine Hare_config Hare_msg Hare_sim Int64 Printf

@@ -1,0 +1,1 @@
+test/test_posix_edge.ml: Alcotest Array Hare_config Hare_proto Hare_server List Machine P Posix Printf String Test_util

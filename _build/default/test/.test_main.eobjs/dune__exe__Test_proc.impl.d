@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Buffer Hare_proc Hare_proto Hare_sim List Machine P Posix String Test_util

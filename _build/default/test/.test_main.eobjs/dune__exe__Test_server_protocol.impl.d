@@ -1,0 +1,1 @@
+test/test_server_protocol.ml: Alcotest Array Core_res Engine Hare_config Hare_mem Hare_msg Hare_proto Hare_server Hare_sim Ivar Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bqueue Condition Core_res Engine Hare_sim Heap Int64 Ivar List Printf Rng String

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Hare_config Hare_proto Hare_server Hare_sim Int64 List Machine Posix Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Hare Hare_config Hare_proc Hare_proto Hare_sim

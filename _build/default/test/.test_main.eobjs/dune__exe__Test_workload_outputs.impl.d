@@ -1,0 +1,1 @@
+test/test_workload_outputs.ml: Alcotest Filename Hare Hare_api Hare_config Hare_experiments Hare_proto Hare_sim Hare_workloads List Printf String

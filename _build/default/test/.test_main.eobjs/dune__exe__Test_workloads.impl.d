@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hare_config Hare_experiments Hare_workloads List Printf

@@ -1,0 +1,118 @@
+(* Chained remote execution: a process that execs a program whose process
+   execs again builds a chain of proxy processes (§3.5: "if a process
+   repeatedly execs ... it can accumulate a large number of proxy
+   processes"). Exit statuses, console output and signals must relay
+   through the whole chain. *)
+
+module Machine = Hare.Machine
+module Posix = Hare.Posix
+module P = Hare_proc.Process
+
+let boot () = Machine.boot (Test_util.small_config ~ncores:4 ())
+
+let finish m =
+  match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e
+
+let test_exit_status_through_chain () =
+  let m = boot () in
+  Machine.register_program m "hop" (fun p args ->
+      match args with
+      | [ n ] when int_of_string n > 0 ->
+          (* exec replaces this process; we become a proxy and return the
+             remote status as our own *)
+          Posix.exec p ~prog:"hop" ~args:[ string_of_int (int_of_string n - 1) ]
+      | _ -> 42);
+  let init, _ =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        let pid = Posix.spawn p ~prog:"hop" ~args:[ "4" ] in
+        Posix.waitpid p pid)
+  in
+  finish m;
+  Alcotest.(check (option int)) "status through 4 proxies" (Some 42)
+    (Machine.exit_status m init)
+
+let test_console_through_chain () =
+  let m = boot () in
+  Machine.register_program m "deep-echo" (fun p args ->
+      match args with
+      | [ n ] when int_of_string n > 0 ->
+          Posix.exec p ~prog:"deep-echo"
+            ~args:[ string_of_int (int_of_string n - 1) ]
+      | _ ->
+          Posix.print p "from the bottom";
+          0);
+  let init, console =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        let pid = Posix.spawn p ~prog:"deep-echo" ~args:[ "3" ] in
+        Posix.waitpid p pid)
+  in
+  finish m;
+  Alcotest.(check (option int)) "status" (Some 0) (Machine.exit_status m init);
+  Alcotest.(check string) "console relayed through every proxy"
+    "from the bottom" (Buffer.contents console)
+
+let test_signal_through_chain () =
+  let m = boot () in
+  Machine.register_program m "relay-target" (fun p args ->
+      match args with
+      | [ n ] when int_of_string n > 0 ->
+          Posix.exec p ~prog:"relay-target"
+            ~args:[ string_of_int (int_of_string n - 1) ]
+      | _ ->
+          while not p.P.killed do
+            Posix.compute p 1000
+          done;
+          9);
+  let init, _ =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        let pid = Posix.spawn p ~prog:"relay-target" ~args:[ "2" ] in
+        Posix.compute p 1_000_000;
+        (* signal the outermost proxy; it must hop all the way down *)
+        Posix.kill p pid Hare_proc.Process.sigterm;
+        Posix.waitpid p pid)
+  in
+  finish m;
+  Alcotest.(check (option int)) "kill relayed through proxies" (Some 9)
+    (Machine.exit_status m init)
+
+let test_fds_through_chain () =
+  let m = boot () in
+  Machine.register_program m "fd-hop" (fun p args ->
+      match args with
+      | [ n ] when int_of_string n > 0 ->
+          Posix.exec p ~prog:"fd-hop" ~args:[ string_of_int (int_of_string n - 1) ]
+      | _ ->
+          (* fd 3 was opened three execs ago *)
+          ignore (Posix.write p 3 "+bottom");
+          0);
+  let init, _ =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        let fd = Posix.creat p "/trace" in
+        Alcotest.(check int) "fd 3" 3 fd;
+        ignore (Posix.write p fd "top");
+        let pid = Posix.spawn p ~prog:"fd-hop" ~args:[ "3" ] in
+        let st = Posix.waitpid p pid in
+        Posix.close p fd;
+        let fd = Posix.openf p "/trace" Hare_proto.Types.flags_r in
+        let s = Posix.read_all p fd in
+        Posix.close p fd;
+        if st = 0 && s = "top+bottom" then 0 else 1)
+  in
+  finish m;
+  Alcotest.(check (option int)) "shared offset across exec chain" (Some 0)
+    (Machine.exit_status m init)
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "proc.exec-chain",
+      [
+        tc "exit status" `Quick test_exit_status_through_chain;
+        tc "console" `Quick test_console_through_chain;
+        tc "signal" `Quick test_signal_through_chain;
+        tc "fds + offset" `Quick test_fds_through_chain;
+      ] );
+  ]

@@ -1,0 +1,159 @@
+(* Tests for the two implemented extensions the paper leaves open:
+   block stealing (§3.2, "not implemented in our prototype") and partial
+   directory distribution (§6, "distributing a directory over a subset
+   of cores"). *)
+
+open Test_util
+module Config = Hare_config.Config
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+module Server = Hare_server.Server
+
+(* 4 servers x 16 blocks each: one server's partition cannot hold a
+   30-block file on its own. *)
+let tiny_cache ?(stealing = false) () =
+  let c = small_config ~ncores:4 () in
+  { c with Config.buffer_cache_blocks = 64; block_stealing = stealing }
+
+let big_write p =
+  let fd = Posix.creat p "/big" in
+  let chunk = String.make 4096 'S' in
+  for _ = 1 to 30 do
+    ignore (Posix.write p fd chunk)
+  done;
+  Posix.fsync p fd;
+  fd
+
+let test_enospc_without_stealing () =
+  ignore
+    (run ~config:(tiny_cache ()) (fun _m p ->
+         expect_errno "partition dry" Errno.ENOSPC (fun () -> big_write p);
+         0))
+
+let test_stealing_avoids_enospc () =
+  ignore
+    (run ~config:(tiny_cache ~stealing:true ()) (fun m p ->
+         let fd = big_write p in
+         Posix.close p fd;
+         Alcotest.(check int) "file size" (30 * 4096)
+           (Posix.stat p "/big").Types.a_size;
+         let stolen =
+           Array.fold_left
+             (fun acc s -> acc + Server.blocks_stolen s)
+             0 (Machine.servers m)
+         in
+         Alcotest.(check bool) "blocks were stolen" true (stolen > 0);
+         0))
+
+let test_stolen_blocks_hold_data () =
+  ignore
+    (run ~config:(tiny_cache ~stealing:true ()) (fun _m p ->
+         let fd = Posix.creat p "/data" in
+         let payload i = Printf.sprintf "%04d" i ^ String.make 4092 (Char.chr (65 + (i mod 26))) in
+         for i = 0 to 29 do
+           ignore (Posix.write p fd (payload i))
+         done;
+         Posix.close p fd;
+         let fd = Posix.openf p "/data" flags_r in
+         for i = 0 to 29 do
+           Alcotest.(check string)
+             (Printf.sprintf "block %d roundtrip" i)
+             (payload i)
+             (Posix.read p fd ~len:4096)
+         done;
+         Posix.close p fd;
+         0))
+
+let test_stealing_eventually_exhausts () =
+  (* Even with stealing, the machine-wide capacity is the limit. *)
+  ignore
+    (run ~config:(tiny_cache ~stealing:true ()) (fun _m p ->
+         let fd = Posix.creat p "/huge" in
+         let chunk = String.make 4096 'x' in
+         expect_errno "machine dry" Errno.ENOSPC (fun () ->
+             for _ = 1 to 100 do
+               ignore (Posix.write p fd chunk)
+             done);
+         0))
+
+let width_config w =
+  { (small_config ~ncores:4 ()) with Config.dist_width = Some w }
+
+let test_width_bounds_shards () =
+  ignore
+    (run ~config:(width_config 2) (fun m p ->
+         Posix.mkdir p ~dist:true "/wide";
+         for i = 1 to 40 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/wide/f%02d" i))
+         done;
+         let dir_ino = (Posix.stat p "/wide").Types.a_ino in
+         let populated =
+           Array.to_list (Machine.servers m)
+           |> List.filter (fun s -> Server.shard_entries s dir_ino <> [])
+         in
+         Alcotest.(check bool)
+           (Printf.sprintf "%d shards (want <= 2, > 1)" (List.length populated))
+           true
+           (List.length populated = 2);
+         0))
+
+let test_width_readdir_complete () =
+  ignore
+    (run ~config:(width_config 2) (fun _m p ->
+         Posix.mkdir p ~dist:true "/w";
+         for i = 1 to 25 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/w/f%02d" i))
+         done;
+         let names =
+           Posix.readdir p "/w"
+           |> List.map (fun e -> e.Hare_proto.Wire.e_name)
+           |> List.sort compare
+         in
+         Alcotest.(check int) "all entries listed" 25 (List.length names);
+         for i = 1 to 25 do
+           Posix.unlink p (Printf.sprintf "/w/f%02d" i)
+         done;
+         Posix.rmdir p "/w";
+         expect_errno "gone" Errno.ENOENT (fun () -> Posix.stat p "/w");
+         0))
+
+let test_width_one_still_works () =
+  ignore
+    (run ~config:(width_config 1) (fun _m p ->
+         Posix.mkdir p ~dist:true "/one";
+         Posix.close p (Posix.creat p "/one/a");
+         Posix.rename p "/one/a" "/one/b";
+         Alcotest.(check bool) "visible" true (Posix.exists p "/one/b");
+         Posix.unlink p "/one/b";
+         Posix.rmdir p "/one";
+         0))
+
+let test_width_rmdir_nonempty () =
+  ignore
+    (run ~config:(width_config 2) (fun _m p ->
+         Posix.mkdir p ~dist:true "/d";
+         Posix.close p (Posix.creat p "/d/keep");
+         expect_errno "not empty" Errno.ENOTEMPTY (fun () -> Posix.rmdir p "/d");
+         Posix.unlink p "/d/keep";
+         Posix.rmdir p "/d";
+         0))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "ext.stealing",
+      [
+        tc "ENOSPC without stealing" `Quick test_enospc_without_stealing;
+        tc "stealing avoids ENOSPC" `Quick test_stealing_avoids_enospc;
+        tc "stolen blocks hold data" `Quick test_stolen_blocks_hold_data;
+        tc "machine-wide limit remains" `Quick test_stealing_eventually_exhausts;
+      ] );
+    ( "ext.dist-width",
+      [
+        tc "shards bounded by width" `Quick test_width_bounds_shards;
+        tc "readdir complete" `Quick test_width_readdir_complete;
+        tc "width 1" `Quick test_width_one_still_works;
+        tc "rmdir nonempty" `Quick test_width_rmdir_nonempty;
+      ] );
+  ]

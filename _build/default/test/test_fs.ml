@@ -1,0 +1,457 @@
+(* End-to-end file-system tests through the full Hare stack: client
+   library ↔ file servers over messages, data through the non-coherent
+   buffer cache. *)
+
+open Test_util
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+module Wire = Hare_proto.Wire
+
+let test_create_write_read () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/hello.txt" in
+         ignore (Posix.write p fd "hello, hare!");
+         Posix.close p fd;
+         let fd = Posix.openf p "/hello.txt" flags_r in
+         let s = Posix.read p fd ~len:100 in
+         Alcotest.(check string) "readback" "hello, hare!" s;
+         Alcotest.(check string) "eof" "" (Posix.read p fd ~len:10);
+         Posix.close p fd;
+         0))
+
+let test_large_file_multiblock () =
+  ignore
+    (run (fun _m p ->
+         let chunk = String.init 1000 (fun i -> Char.chr (65 + (i mod 26))) in
+         let fd = Posix.creat p "/big" in
+         for _ = 1 to 20 do
+           ignore (Posix.write p fd chunk)
+         done;
+         Posix.close p fd;
+         let a = Posix.stat p "/big" in
+         Alcotest.(check int) "size" 20_000 a.Types.a_size;
+         let fd = Posix.openf p "/big" flags_r in
+         let all = Posix.read_all p fd in
+         Posix.close p fd;
+         Alcotest.(check int) "read size" 20_000 (String.length all);
+         Alcotest.(check string) "tail matches" chunk
+           (String.sub all 19_000 1000);
+         0))
+
+let test_lseek_and_overwrite () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/seek" in
+         ignore (Posix.write p fd "abcdefghij");
+         ignore (Posix.lseek p fd ~pos:3 Types.Seek_set);
+         ignore (Posix.write p fd "XY");
+         ignore (Posix.lseek p fd ~pos:(-2) Types.Seek_end);
+         ignore (Posix.write p fd "Z!");
+         Posix.close p fd;
+         let fd = Posix.openf p "/seek" flags_r in
+         Alcotest.(check string) "patched" "abcXYfghZ!" (Posix.read_all p fd);
+         Posix.close p fd;
+         0))
+
+let test_sparse_write_via_seek () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/sparse" in
+         ignore (Posix.lseek p fd ~pos:9000 Types.Seek_set);
+         ignore (Posix.write p fd "end");
+         Posix.close p fd;
+         let fd = Posix.openf p "/sparse" flags_r in
+         let all = Posix.read_all p fd in
+         Posix.close p fd;
+         Alcotest.(check int) "size" 9003 (String.length all);
+         Alcotest.(check char) "hole zeroed" '\000' all.[100];
+         Alcotest.(check string) "tail" "end" (String.sub all 9000 3);
+         0))
+
+let test_cross_core_close_to_open () =
+  (* Writer on one core, reader on another: the reader sees the data after
+     the writer's close, through the non-coherent buffer cache. *)
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/shared.dat" in
+         ignore (Posix.write p fd (String.make 5000 'W'));
+         Posix.close p fd;
+         let pid =
+           Posix.spawn p ~prog:"reader" ~args:[]
+         in
+         let status = Posix.waitpid p pid in
+         Alcotest.(check int) "remote reader ok" 0 status;
+         0)
+       ~config:(small_config ()))
+  |> ignore
+
+(* Register the remote reader program before tests that exec it. *)
+let with_reader body =
+  let config = small_config () in
+  let m = Machine.boot config in
+  Machine.register_program m "reader" (fun p _args ->
+      let fd = Posix.openf p "/shared.dat" flags_r in
+      let s = Posix.read_all p fd in
+      Posix.close p fd;
+      if s = String.make 5000 'W' then 0 else 1);
+  let init, _ = Machine.spawn_init m ~name:"init" (fun p _ -> body m p) in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, exn) -> raise exn);
+  Alcotest.(check (option int)) "init status" (Some 0) (Machine.exit_status m init)
+
+let test_cross_core_close_to_open' () =
+  with_reader (fun _m p ->
+      let fd = Posix.creat p "/shared.dat" in
+      ignore (Posix.write p fd (String.make 5000 'W'));
+      Posix.close p fd;
+      let pid = Posix.spawn p ~prog:"reader" ~args:[] in
+      Posix.waitpid p pid)
+
+let test_unlink_while_open () =
+  (* POSIX: data stays readable through an open descriptor after unlink
+     (§2.2, §3.4). *)
+  ignore
+    (run (fun m p ->
+         let fd = Posix.creat p "/doomed" in
+         ignore (Posix.write p fd "still here");
+         Posix.fsync p fd;
+         Posix.unlink p "/doomed";
+         expect_errno "gone from namespace" Errno.ENOENT (fun () ->
+             Posix.stat p "/doomed");
+         ignore (Posix.lseek p fd ~pos:0 Types.Seek_set);
+         Alcotest.(check string) "readable after unlink" "still here"
+           (Posix.read p fd ~len:100);
+         Posix.close p fd;
+         (* After the last close the inode and blocks are released. *)
+         let total_inodes =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.inode_count s)
+             0 (Machine.servers m)
+         in
+         (* only the root dir remains *)
+         Alcotest.(check int) "inode released" 1 total_inodes;
+         0))
+
+let test_deferred_block_reuse () =
+  ignore
+    (run (fun m p ->
+         let servers = Machine.servers m in
+         let free_before =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.available_blocks s)
+             0 servers
+         in
+         let fd = Posix.creat p "/trunc" in
+         ignore (Posix.write p fd (String.make 8192 'x'));
+         Posix.fsync p fd;
+         (* Truncate through a second descriptor while fd is open: blocks
+            must NOT return to the free list yet (§3.2). *)
+         let fd2 = Posix.openf p "/trunc" flags_w in
+         Posix.close p fd2;
+         let free_mid =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.available_blocks s)
+             0 servers
+         in
+         Alcotest.(check bool) "blocks withheld while open" true
+           (free_mid < free_before);
+         Posix.close p fd;
+         Posix.unlink p "/trunc";
+         let free_after =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.available_blocks s)
+             0 servers
+         in
+         Alcotest.(check int) "all blocks recovered" free_before free_after;
+         0))
+
+let test_o_trunc_orphans_blocks () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/t" in
+         ignore (Posix.write p fd (String.make 5000 'a'));
+         Posix.close p fd;
+         let fd2 = Posix.openf p "/t" flags_w in
+         (* flags_w includes O_TRUNC *)
+         Alcotest.(check int) "truncated" 0 (Posix.fstat p fd2).Types.a_size;
+         ignore (Posix.write p fd2 "new");
+         Posix.close p fd2;
+         let fd3 = Posix.openf p "/t" flags_r in
+         Alcotest.(check string) "fresh content" "new" (Posix.read_all p fd3);
+         Posix.close p fd3;
+         0))
+
+let test_mkdir_tree_and_stat () =
+  ignore
+    (run (fun _m p ->
+         Posix.mkdir p "/a";
+         Posix.mkdir p "/a/b";
+         Posix.mkdir p "/a/b/c";
+         let fd = Posix.creat p "/a/b/c/leaf" in
+         ignore (Posix.write p fd "data");
+         Posix.close p fd;
+         let a = Posix.stat p "/a/b/c/leaf" in
+         Alcotest.(check int) "leaf size" 4 a.Types.a_size;
+         Alcotest.(check bool) "dir is dir" true
+           ((Posix.stat p "/a/b").Types.a_ftype = Types.Dir);
+         expect_errno "missing" Errno.ENOENT (fun () -> Posix.stat p "/a/x/y");
+         expect_errno "notdir" Errno.ENOTDIR (fun () ->
+             Posix.stat p "/a/b/c/leaf/under");
+         0))
+
+let test_chdir_relative_paths () =
+  ignore
+    (run (fun _m p ->
+         Posix.mkdir p "/work";
+         Posix.mkdir p "/work/sub";
+         Posix.chdir p "/work";
+         Alcotest.(check string) "cwd" "/work" (Posix.getcwd p);
+         let fd = Posix.creat p "rel.txt" in
+         ignore (Posix.write p fd "rel");
+         Posix.close p fd;
+         Alcotest.(check bool) "visible absolutely" true
+           (Posix.exists p "/work/rel.txt");
+         Posix.chdir p "sub";
+         Alcotest.(check string) "nested cwd" "/work/sub" (Posix.getcwd p);
+         Alcotest.(check bool) "dot-dot" true (Posix.exists p "../rel.txt");
+         0))
+
+let test_readdir_centralized_and_distributed () =
+  ignore
+    (run (fun _m p ->
+         Posix.mkdir p "/plain";
+         Posix.mkdir p ~dist:true "/wide";
+         for i = 1 to 20 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/plain/f%d" i));
+           Posix.close p (Posix.creat p (Printf.sprintf "/wide/f%d" i))
+         done;
+         let names dir =
+           Posix.readdir p dir
+           |> List.map (fun e -> e.Wire.e_name)
+           |> List.sort compare
+         in
+         let expect = List.init 20 (fun i -> Printf.sprintf "f%d" (i + 1)) |> List.sort compare in
+         Alcotest.(check (list string)) "plain" expect (names "/plain");
+         Alcotest.(check (list string)) "wide" expect (names "/wide");
+         0))
+
+let test_distributed_dir_shards_across_servers () =
+  ignore
+    (run (fun m p ->
+         Posix.mkdir p ~dist:true "/spread";
+         for i = 1 to 64 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/spread/file-%d" i))
+         done;
+         let dir_ino = (Posix.stat p "/spread").Types.a_ino in
+         let shards =
+           Array.to_list (Machine.servers m)
+           |> List.map (fun s ->
+                  List.length (Hare_server.Server.shard_entries s dir_ino))
+         in
+         let populated = List.filter (fun n -> n > 0) shards in
+         Alcotest.(check bool)
+           (Format.asprintf "entries spread over servers (%a)"
+              Fmt.(list ~sep:comma int)
+              shards)
+           true
+           (List.length populated > 1);
+         Alcotest.(check int) "all entries present" 64
+           (List.fold_left ( + ) 0 shards);
+         0))
+
+let test_centralized_dir_single_server () =
+  ignore
+    (run (fun m p ->
+         Posix.mkdir p "/narrow";
+         for i = 1 to 32 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/narrow/f%d" i))
+         done;
+         let dir_ino = (Posix.stat p "/narrow").Types.a_ino in
+         let populated =
+           Array.to_list (Machine.servers m)
+           |> List.filter (fun s ->
+                  Hare_server.Server.shard_entries s dir_ino <> [])
+         in
+         Alcotest.(check int) "exactly one shard" 1 (List.length populated);
+         0))
+
+let test_rmdir_empty_and_nonempty () =
+  ignore
+    (run (fun _m p ->
+         Posix.mkdir p ~dist:true "/dir";
+         Posix.close p (Posix.creat p "/dir/f");
+         expect_errno "not empty" Errno.ENOTEMPTY (fun () -> Posix.rmdir p "/dir");
+         Posix.unlink p "/dir/f";
+         Posix.rmdir p "/dir";
+         expect_errno "gone" Errno.ENOENT (fun () -> Posix.stat p "/dir");
+         (* Can recreate under the same name. *)
+         Posix.mkdir p "/dir";
+         Posix.rmdir p "/dir";
+         0))
+
+let test_rename_same_dir () =
+  ignore
+    (run (fun _m p ->
+         Posix.mkdir p ~dist:true "/d";
+         let fd = Posix.creat p "/d/old" in
+         ignore (Posix.write p fd "payload");
+         Posix.close p fd;
+         Posix.rename p "/d/old" "/d/new";
+         expect_errno "old gone" Errno.ENOENT (fun () -> Posix.stat p "/d/old");
+         let fd = Posix.openf p "/d/new" flags_r in
+         Alcotest.(check string) "content follows" "payload" (Posix.read_all p fd);
+         Posix.close p fd;
+         0))
+
+let test_rename_across_dirs_replace () =
+  ignore
+    (run (fun m p ->
+         Posix.mkdir p "/src";
+         Posix.mkdir p "/dst";
+         let fd = Posix.creat p "/src/a" in
+         ignore (Posix.write p fd "AAA");
+         Posix.close p fd;
+         let fd = Posix.creat p "/dst/b" in
+         ignore (Posix.write p fd "BBB");
+         Posix.close p fd;
+         Posix.rename p "/src/a" "/dst/b";
+         let fd = Posix.openf p "/dst/b" flags_r in
+         Alcotest.(check string) "replaced" "AAA" (Posix.read_all p fd);
+         Posix.close p fd;
+         expect_errno "source gone" Errno.ENOENT (fun () -> Posix.stat p "/src/a");
+         (* replaced file's inode must be released *)
+         let inodes =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.inode_count s)
+             0 (Machine.servers m)
+         in
+         (* root + /src + /dst + the surviving file *)
+         Alcotest.(check int) "victim inode freed" 4 inodes;
+         0))
+
+let test_open_excl () =
+  ignore
+    (run (fun _m p ->
+         let excl = { flags_w with Types.excl = true } in
+         let fd = Posix.openf p "/x" excl in
+         Posix.close p fd;
+         expect_errno "second excl fails" Errno.EEXIST (fun () ->
+             Posix.openf p "/x" excl);
+         0))
+
+let test_unlink_errors () =
+  ignore
+    (run (fun _m p ->
+         expect_errno "unlink missing" Errno.ENOENT (fun () ->
+             Posix.unlink p "/nope");
+         Posix.mkdir p "/d";
+         expect_errno "unlink dir" Errno.EISDIR (fun () -> Posix.unlink p "/d");
+         (* directory is still usable after the failed unlink *)
+         Posix.close p (Posix.creat p "/d/f");
+         Posix.unlink p "/d/f";
+         Posix.rmdir p "/d";
+         0))
+
+let test_ftruncate_shrink_extend () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/t" in
+         ignore (Posix.write p fd "0123456789");
+         Posix.ftruncate p fd ~size:4;
+         Alcotest.(check int) "shrunk" 4 (Posix.fstat p fd).Types.a_size;
+         Posix.ftruncate p fd ~size:8;
+         ignore (Posix.lseek p fd ~pos:0 Types.Seek_set);
+         Alcotest.(check string) "zero filled" "0123\000\000\000\000"
+           (Posix.read p fd ~len:8);
+         Posix.close p fd;
+         0))
+
+let test_dup_shares_offset () =
+  ignore
+    (run (fun _m p ->
+         let fd = Posix.creat p "/dup" in
+         ignore (Posix.write p fd "abcdef");
+         Posix.close p fd;
+         let a = Posix.openf p "/dup" flags_r in
+         let b = Posix.dup p a in
+         Alcotest.(check string) "a reads" "abc" (Posix.read p a ~len:3);
+         Alcotest.(check string) "b continues" "def" (Posix.read p b ~len:3);
+         Posix.close p a;
+         (* b still usable after closing a *)
+         ignore (Posix.lseek p b ~pos:0 Types.Seek_set);
+         Alcotest.(check string) "b after close a" "abcdef" (Posix.read_all p b);
+         Posix.close p b;
+         0))
+
+let test_stat_root () =
+  ignore
+    (run (fun _m p ->
+         let a = Posix.stat p "/" in
+         Alcotest.(check bool) "root is dir" true (a.Types.a_ftype = Types.Dir);
+         0))
+
+let test_many_files_inode_accounting () =
+  ignore
+    (run (fun m p ->
+         Posix.mkdir p ~dist:true "/n";
+         for i = 1 to 100 do
+           Posix.close p (Posix.creat p (Printf.sprintf "/n/f%04d" i))
+         done;
+         for i = 1 to 100 do
+           Posix.unlink p (Printf.sprintf "/n/f%04d" i)
+         done;
+         Posix.rmdir p "/n";
+         let inodes =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.inode_count s)
+             0 (Machine.servers m)
+         in
+         Alcotest.(check int) "only root survives" 1 inodes;
+         let tokens =
+           Array.fold_left
+             (fun acc s -> acc + Hare_server.Server.open_tokens s)
+             0 (Machine.servers m)
+         in
+         Alcotest.(check int) "no leaked fds" 0 tokens;
+         0))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "fs.data",
+      [
+        tc "create/write/read" `Quick test_create_write_read;
+        tc "multi-block file" `Quick test_large_file_multiblock;
+        tc "lseek overwrite" `Quick test_lseek_and_overwrite;
+        tc "sparse file" `Quick test_sparse_write_via_seek;
+        tc "cross-core close-to-open" `Quick test_cross_core_close_to_open';
+        tc "ftruncate" `Quick test_ftruncate_shrink_extend;
+      ] );
+    ( "fs.lifecycle",
+      [
+        tc "unlink while open" `Quick test_unlink_while_open;
+        tc "deferred block reuse" `Quick test_deferred_block_reuse;
+        tc "O_TRUNC orphans" `Quick test_o_trunc_orphans_blocks;
+        tc "inode accounting" `Quick test_many_files_inode_accounting;
+      ] );
+    ( "fs.namespace",
+      [
+        tc "mkdir tree + stat" `Quick test_mkdir_tree_and_stat;
+        tc "chdir + relative" `Quick test_chdir_relative_paths;
+        tc "readdir both kinds" `Quick test_readdir_centralized_and_distributed;
+        tc "distribution shards" `Quick test_distributed_dir_shards_across_servers;
+        tc "centralized single shard" `Quick test_centralized_dir_single_server;
+        tc "rmdir" `Quick test_rmdir_empty_and_nonempty;
+        tc "rename same dir" `Quick test_rename_same_dir;
+        tc "rename replace" `Quick test_rename_across_dirs_replace;
+        tc "O_EXCL" `Quick test_open_excl;
+        tc "unlink errors" `Quick test_unlink_errors;
+        tc "dup offset" `Quick test_dup_shares_offset;
+        tc "stat root" `Quick test_stat_root;
+      ] );
+  ]
+
+let _ = test_cross_core_close_to_open

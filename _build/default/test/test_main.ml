@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "hare"
+    (List.concat
+       [
+         Test_sim.suites;
+         Test_mem.suites;
+         Test_msg.suites;
+         Test_fs.suites;
+         Test_proc.suites;
+         Test_workloads.suites;
+         Test_extensions.suites;
+         Test_props.suites;
+         Test_baseline.suites;
+         Test_client.suites;
+         Test_figures.suites;
+         Test_misc.suites;
+         Test_server_protocol.suites;
+         Test_stress.suites;
+         Test_workload_outputs.suites;
+         Test_exec_chain.suites;
+         Test_posix_edge.suites;
+       ])

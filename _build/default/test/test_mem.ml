@@ -1,0 +1,202 @@
+(* Tests for the non-coherent memory system: the crux is that staleness is
+   real — data written by one core is invisible to another until written
+   back, and a core can read a stale private copy after DRAM changed. *)
+
+open Hare_sim
+open Hare_mem
+
+let costs = Hare_config.Costs.default
+
+let with_engine f =
+  let e = Engine.create () in
+  let failure = ref None in
+  ignore
+    (Engine.spawn e ~name:"test" (fun () ->
+         try f e with exn -> failure := Some exn));
+  Engine.run e;
+  match !failure with Some exn -> raise exn | None -> ()
+
+let mk_core e id = Core_res.create e ~id ~socket:(id / 2) ~ctx_switch:0
+
+let mk_pcache ?(capacity = 1024) e id dram =
+  Pcache.create dram ~core:(mk_core e id) ~costs ~capacity_lines:capacity
+
+let test_dram_roundtrip () =
+  let d = Dram.create ~nblocks:4 in
+  let src = Bytes.make Layout.line_size 'x' in
+  Dram.write_line d ~block:2 ~line:3 ~src ~src_off:0;
+  let dst = Bytes.make Layout.line_size ' ' in
+  Dram.read_line d ~block:2 ~line:3 ~dst ~dst_off:0;
+  Alcotest.(check string) "roundtrip" (Bytes.to_string src) (Bytes.to_string dst);
+  Alcotest.(check string)
+    "unsafe view" "xxxx"
+    (Dram.unsafe_read d ~block:2 ~off:(3 * 64) ~len:4)
+
+let test_dram_zero () =
+  let d = Dram.create ~nblocks:2 in
+  let src = Bytes.make Layout.line_size 'q' in
+  Dram.write_line d ~block:1 ~line:0 ~src ~src_off:0;
+  Dram.zero_block d ~block:1;
+  Alcotest.(check string) "zeroed" (String.make 4 '\000')
+    (Dram.unsafe_read d ~block:1 ~off:0 ~len:4)
+
+let test_dram_bounds () =
+  let d = Dram.create ~nblocks:2 in
+  let b = Bytes.create Layout.line_size in
+  Alcotest.check_raises "bad block" (Invalid_argument "Dram: block 5 out of range")
+    (fun () -> Dram.read_line d ~block:5 ~line:0 ~dst:b ~dst_off:0)
+
+let test_pcache_roundtrip () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:4 in
+      let p = mk_pcache e 0 d in
+      Pcache.write_string p ~block:1 ~off:100 "hello world";
+      let s = Pcache.read_string p ~block:1 ~off:100 ~len:11 in
+      Alcotest.(check string) "read own write" "hello world" s)
+
+let test_pcache_dirty_not_in_dram () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:4 in
+      let p = mk_pcache e 0 d in
+      Pcache.write_string p ~block:0 ~off:0 "secret";
+      (* Non-coherence: DRAM still has zeroes until write-back. *)
+      Alcotest.(check string) "dram stale" (String.make 6 '\000')
+        (Dram.unsafe_read d ~block:0 ~off:0 ~len:6);
+      Pcache.writeback_block p 0;
+      Alcotest.(check string) "dram fresh" "secret"
+        (Dram.unsafe_read d ~block:0 ~off:0 ~len:6))
+
+let test_pcache_stale_read_other_core () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:4 in
+      let writer = mk_pcache e 0 d in
+      let reader = mk_pcache e 1 d in
+      (* Reader caches the (zero) line first. *)
+      let (_ : string) = Pcache.read_string reader ~block:0 ~off:0 ~len:4 in
+      Pcache.write_string writer ~block:0 ~off:0 "new!";
+      Pcache.writeback_block writer 0;
+      (* Without invalidation the reader sees its stale copy... *)
+      Alcotest.(check string) "stale" (String.make 4 '\000')
+        (Pcache.read_string reader ~block:0 ~off:0 ~len:4);
+      (* ...and with invalidation (Hare's open-time action) the fresh one. *)
+      Pcache.invalidate_block reader 0;
+      Alcotest.(check string) "fresh after invalidate" "new!"
+        (Pcache.read_string reader ~block:0 ~off:0 ~len:4))
+
+let test_pcache_invalidate_discards_dirty () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:2 in
+      let p = mk_pcache e 0 d in
+      Pcache.write_string p ~block:0 ~off:0 "gone";
+      Pcache.invalidate_block p 0;
+      Alcotest.(check string) "dirty data lost" (String.make 4 '\000')
+        (Pcache.read_string p ~block:0 ~off:0 ~len:4))
+
+let test_pcache_eviction_writes_back () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:64 in
+      (* Tiny cache: 4 lines. *)
+      let p = mk_pcache ~capacity:4 e 0 d in
+      Pcache.write_string p ~block:0 ~off:0 "evictme";
+      (* Touch enough other lines to force the dirty line out. *)
+      for b = 1 to 8 do
+        ignore (Pcache.read_string p ~block:b ~off:0 ~len:1)
+      done;
+      Alcotest.(check string) "dirty eviction reached dram" "evictme"
+        (Dram.unsafe_read d ~block:0 ~off:0 ~len:7);
+      let st = Pcache.stats p in
+      Alcotest.(check bool) "evictions happened" true (st.Pcache.evictions > 0);
+      Alcotest.(check bool) "capacity respected" true
+        (Pcache.resident_lines p <= 4))
+
+let test_pcache_costs_hit_vs_miss () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:4 in
+      let core = mk_core e 0 in
+      let p = Pcache.create d ~core ~costs ~capacity_lines:64 in
+      let t0 = Engine.now e in
+      ignore (Pcache.read_string p ~block:0 ~off:0 ~len:64);
+      let miss_cost = Int64.sub (Engine.now e) t0 in
+      let t1 = Engine.now e in
+      ignore (Pcache.read_string p ~block:0 ~off:0 ~len:64);
+      let hit_cost = Int64.sub (Engine.now e) t1 in
+      Alcotest.(check bool) "miss slower than hit" true (miss_cost > hit_cost);
+      Alcotest.(check int64) "hit cost"
+        (Int64.of_int costs.cache_hit_line)
+        hit_cost)
+
+let test_pcache_numa_cost () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:4 in
+      let core = mk_core e 0 in
+      (* core 0 is socket 0; blocks 0-1 local, 2-3 remote. *)
+      let p =
+        Pcache.create d ~core ~costs ~capacity_lines:64
+          ~block_socket:(fun b -> if b < 2 then 0 else 1)
+      in
+      let t0 = Engine.now e in
+      ignore (Pcache.read_string p ~block:0 ~off:0 ~len:1);
+      let local = Int64.sub (Engine.now e) t0 in
+      let t1 = Engine.now e in
+      ignore (Pcache.read_string p ~block:2 ~off:0 ~len:1);
+      let remote = Int64.sub (Engine.now e) t1 in
+      Alcotest.(check int64) "remote penalty"
+        (Int64.add local (Int64.of_int costs.dram_cross_socket_line))
+        remote)
+
+let test_pcache_coherent_sees_remote_writes () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:2 in
+      let a = mk_pcache e 0 d in
+      let b = mk_pcache e 1 d in
+      (* Both cores cache the line; coherent ops stay consistent without
+         explicit invalidation (the ramfs baseline's model). *)
+      let buf = Bytes.create 4 in
+      Pcache.read_coherent b ~block:0 ~off:0 ~len:4 ~dst:buf ~dst_off:0;
+      Pcache.write_coherent a ~block:0 ~off:0 ~len:4
+        ~src:(Bytes.of_string "ping") ~src_off:0;
+      Pcache.read_coherent b ~block:0 ~off:0 ~len:4 ~dst:buf ~dst_off:0;
+      Alcotest.(check string) "coherent read" "ping" (Bytes.to_string buf))
+
+let test_pcache_cross_line_ranges () =
+  with_engine (fun e ->
+      let d = Dram.create ~nblocks:2 in
+      let p = mk_pcache e 0 d in
+      let data = String.init 300 (fun i -> Char.chr (i mod 256)) in
+      Pcache.write_string p ~block:0 ~off:50 data;
+      let back = Pcache.read_string p ~block:0 ~off:50 ~len:300 in
+      Alcotest.(check string) "spans lines" data back)
+
+let test_layout_lines_touched () =
+  Alcotest.(check (pair int int)) "one line" (0, 0) (Layout.lines_touched ~off:0 ~len:64);
+  Alcotest.(check (pair int int)) "straddle" (0, 1) (Layout.lines_touched ~off:63 ~len:2);
+  Alcotest.(check (pair int int)) "last" (63, 63)
+    (Layout.lines_touched ~off:(Layout.block_size - 1) ~len:1);
+  Alcotest.check_raises "escape"
+    (Invalid_argument "Layout.lines_touched: range escapes block") (fun () ->
+      ignore (Layout.lines_touched ~off:(Layout.block_size - 1) ~len:2))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "mem.dram",
+      [
+        tc "roundtrip" `Quick test_dram_roundtrip;
+        tc "zero block" `Quick test_dram_zero;
+        tc "bounds" `Quick test_dram_bounds;
+      ] );
+    ( "mem.pcache",
+      [
+        tc "roundtrip" `Quick test_pcache_roundtrip;
+        tc "dirty not in dram" `Quick test_pcache_dirty_not_in_dram;
+        tc "stale read on other core" `Quick test_pcache_stale_read_other_core;
+        tc "invalidate discards dirty" `Quick test_pcache_invalidate_discards_dirty;
+        tc "eviction writes back" `Quick test_pcache_eviction_writes_back;
+        tc "hit cheaper than miss" `Quick test_pcache_costs_hit_vs_miss;
+        tc "numa penalty" `Quick test_pcache_numa_cost;
+        tc "coherent mode" `Quick test_pcache_coherent_sees_remote_writes;
+        tc "cross-line ranges" `Quick test_pcache_cross_line_ranges;
+      ] );
+    ("mem.layout", [ tc "lines touched" `Quick test_layout_lines_touched ]);
+  ]

@@ -1,0 +1,614 @@
+(* Property-based tests (qcheck): core data structures and, most
+   importantly, a model-based test that runs random operation sequences
+   against the full Hare stack and an in-memory reference model and
+   demands identical observable behaviour. *)
+
+module Q = QCheck
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+open Hare_sim
+
+(* ---------- heap -------------------------------------------------------- *)
+
+let prop_heap_sorted =
+  Q.Test.make ~name:"heap pops in key order" ~count:200
+    Q.(list (pair (int_bound 10_000) small_nat))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri
+        (fun seq (t, v) -> Heap.push h ~time:(Int64.of_int t) ~seq v)
+        entries;
+      let rec drain last acc =
+        if Heap.is_empty h then List.rev acc
+        else begin
+          let t, _, _ = Heap.pop_min h in
+          assert (t >= last);
+          drain t (t :: acc)
+        end
+      in
+      let popped = drain Int64.min_int [] in
+      List.length popped = List.length entries)
+
+(* ---------- rng --------------------------------------------------------- *)
+
+let prop_rng_bound =
+  Q.Test.make ~name:"rng int stays in bounds" ~count:500
+    Q.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed:(Int64.of_int seed) in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+(* ---------- path -------------------------------------------------------- *)
+
+let segment = Q.oneofl [ "a"; "b"; "cc"; "d1"; ".."; "."; "" ]
+
+let raw_path =
+  Q.map
+    (fun (abs, segs) -> (if abs then "/" else "") ^ String.concat "/" segs)
+    Q.(pair bool (list_of_size (Gen.int_range 1 6) segment))
+
+let prop_path_clean =
+  Q.Test.make ~name:"normalize yields clean components" ~count:500 raw_path
+    (fun path ->
+      Q.assume (path <> "");
+      let comps = Hare_client.Path.normalize ~cwd:"/x/y" path in
+      List.for_all (fun c -> c <> "" && c <> "." && c <> "..") comps)
+
+let prop_path_idempotent =
+  Q.Test.make ~name:"normalize idempotent" ~count:500 raw_path (fun path ->
+      Q.assume (path <> "");
+      let comps = Hare_client.Path.normalize ~cwd:"/x/y" path in
+      let again =
+        Hare_client.Path.normalize ~cwd:"/ignored"
+          (Hare_client.Path.to_string comps)
+      in
+      again = comps)
+
+(* ---------- dentry placement ------------------------------------------- *)
+
+let ino_gen =
+  Q.map
+    (fun (s, i) -> { Types.server = s; ino = i + 1 })
+    Q.(pair (int_bound 39) (int_bound 1000))
+
+let prop_dentry_in_shard_set =
+  Q.Test.make ~name:"dentry server within shard set" ~count:500
+    Q.(triple ino_gen (int_range 1 40) string)
+    (fun (dir, width, name) ->
+      let nservers = 40 in
+      let srv =
+        Types.dentry_server ~dist:true ~width ~nservers ~dir ~name
+      in
+      let set = Types.shard_servers ~dist:true ~width ~nservers ~dir in
+      List.mem srv set
+      && List.length set = min width nservers
+      && List.for_all (fun s -> s >= 0 && s < nservers) set)
+
+let prop_dentry_deterministic =
+  Q.Test.make ~name:"dentry placement deterministic" ~count:200
+    Q.(pair ino_gen string)
+    (fun (dir, name) ->
+      let f () = Types.dentry_server ~dist:true ~width:40 ~nservers:40 ~dir ~name in
+      f () = f ())
+
+(* ---------- summary ----------------------------------------------------- *)
+
+let prop_summary_order =
+  Q.Test.make ~name:"summary min<=median<=max, avg in range" ~count:300
+    Q.(list_of_size (Gen.int_range 1 30) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let s = Hare_stats.Summary.of_list xs in
+      s.Hare_stats.Summary.min <= s.Hare_stats.Summary.median
+      && s.Hare_stats.Summary.median <= s.Hare_stats.Summary.max
+      && s.Hare_stats.Summary.min <= s.Hare_stats.Summary.avg +. 1e-9
+      && s.Hare_stats.Summary.avg <= s.Hare_stats.Summary.max +. 1e-9)
+
+(* ---------- pcache vs bytes model --------------------------------------- *)
+
+type mem_op = Mwrite of int * string | Mread of int * int
+
+let mem_op_gen =
+  let open Q.Gen in
+  let data = string_size ~gen:(char_range 'a' 'z') (int_range 1 100) in
+  oneof
+    [
+      map2 (fun off s -> Mwrite (off, s)) (int_range 0 3000) data;
+      map2 (fun off len -> Mread (off, len)) (int_range 0 3000) (int_range 1 200);
+    ]
+
+let mem_ops = Q.make ~print:(fun l -> string_of_int (List.length l) ^ " ops")
+    Q.Gen.(list_size (int_range 1 60) mem_op_gen)
+
+let prop_pcache_read_your_writes =
+  Q.Test.make ~name:"pcache matches byte-array model" ~count:100 mem_ops
+    (fun ops ->
+      let engine = Engine.create () in
+      let dram = Hare_mem.Dram.create ~nblocks:2 in
+      let core = Core_res.create engine ~id:0 ~socket:0 ~ctx_switch:0 in
+      let cache =
+        Hare_mem.Pcache.create dram ~core ~costs:Hare_config.Costs.default
+          ~capacity_lines:16 (* tiny: forces eviction + refetch *)
+      in
+      let model = Bytes.make 4096 '\000' in
+      let ok = ref true in
+      ignore
+        (Engine.spawn engine ~name:"t" (fun () ->
+             List.iter
+               (fun op ->
+                 match op with
+                 | Mwrite (off, s) ->
+                     let len = min (String.length s) (4096 - off) in
+                     if len > 0 then begin
+                       let s = String.sub s 0 len in
+                       Hare_mem.Pcache.write_string cache ~block:0 ~off s;
+                       Bytes.blit_string s 0 model off len
+                     end
+                 | Mread (off, len) ->
+                     let len = min len (4096 - off) in
+                     if len > 0 then begin
+                       let got =
+                         Hare_mem.Pcache.read_string cache ~block:0 ~off ~len
+                       in
+                       let want = Bytes.sub_string model off len in
+                       if got <> want then ok := false
+                     end)
+               ops));
+      Engine.run engine;
+      !ok)
+
+(* ---------- close-to-open protocol -------------------------------------- *)
+
+(* Random sequences of (write on core A, write-back, invalidate, read on
+   core B): whenever the protocol's two actions — write-back after write,
+   invalidate before read — are respected, core B must observe core A's
+   latest data, for any interleaving of block touches. *)
+let prop_close_to_open_protocol =
+  Q.Test.make ~name:"close-to-open always yields latest data" ~count:150
+    Q.(list_of_size (Gen.int_range 1 15) (pair (int_bound 3) small_printable_string))
+    (fun writes ->
+      Q.assume (writes <> []);
+      let engine = Engine.create () in
+      let dram = Hare_mem.Dram.create ~nblocks:4 in
+      let costs = Hare_config.Costs.default in
+      let writer_core = Core_res.create engine ~id:0 ~socket:0 ~ctx_switch:0 in
+      let reader_core = Core_res.create engine ~id:1 ~socket:0 ~ctx_switch:0 in
+      let writer =
+        Hare_mem.Pcache.create dram ~core:writer_core ~costs ~capacity_lines:8
+      in
+      let reader =
+        Hare_mem.Pcache.create dram ~core:reader_core ~costs ~capacity_lines:8
+      in
+      let ok = ref true in
+      ignore
+        (Engine.spawn engine ~name:"t" (fun () ->
+             (* the reader caches stale copies of every block first *)
+             for b = 0 to 3 do
+               ignore (Hare_mem.Pcache.read_string reader ~block:b ~off:0 ~len:8)
+             done;
+             let latest = Array.make 4 "" in
+             List.iter
+               (fun (block, data) ->
+                 let data = if data = "" then "x" else data in
+                 let data = String.sub data 0 (min 32 (String.length data)) in
+                 Hare_mem.Pcache.write_string writer ~block ~off:0 data;
+                 latest.(block) <- data;
+                 (* close: write back; open: invalidate *)
+                 Hare_mem.Pcache.writeback_block writer block;
+                 Hare_mem.Pcache.invalidate_block reader block;
+                 let got =
+                   Hare_mem.Pcache.read_string reader ~block ~off:0
+                     ~len:(String.length data)
+                 in
+                 if got <> data then ok := false)
+               writes;
+             (* final re-check of every block written *)
+             Array.iteri
+               (fun b want ->
+                 if want <> "" then begin
+                   Hare_mem.Pcache.invalidate_block reader b;
+                   let got =
+                     Hare_mem.Pcache.read_string reader ~block:b ~off:0
+                       ~len:(String.length want)
+                   in
+                   if got <> want then ok := false
+                 end)
+               latest));
+      Engine.run engine;
+      !ok)
+
+(* ---------- pipe stream integrity --------------------------------------- *)
+
+let prop_pipe_fifo =
+  Q.Test.make ~name:"pipe preserves the byte stream" ~count:150
+    Q.(pair
+         (list_of_size (Gen.int_range 1 20)
+            (string_gen_of_size (Gen.int_range 1 300) Gen.printable))
+         (list_of_size (Gen.int_range 1 40) (int_range 1 400)))
+    (fun (chunks, read_sizes) ->
+      let pipe = Hare_server.Pipe_state.create ~capacity:512 in
+      Hare_server.Pipe_state.add_reader pipe;
+      Hare_server.Pipe_state.add_writer pipe;
+      let received = Buffer.create 256 in
+      let engine = Engine.create () in
+      ignore
+        (Engine.spawn engine ~name:"writer" (fun () ->
+             List.iter
+               (fun chunk ->
+                 let done_ = Ivar.create () in
+                 Hare_server.Pipe_state.write pipe chunk (Ivar.fill done_);
+                 match Ivar.read done_ with
+                 | Ok _ -> ()
+                 | Error _ -> failwith "EPIPE")
+               chunks;
+             Hare_server.Pipe_state.close_writer pipe));
+      ignore
+        (Engine.spawn engine ~name:"reader" (fun () ->
+             let eof = ref false in
+             let sizes = ref read_sizes in
+             while not !eof do
+               let len =
+                 match !sizes with
+                 | s :: rest ->
+                     sizes := rest @ [ s ];
+                     s
+                 | [] -> 64
+               in
+               let got = Ivar.create () in
+               Hare_server.Pipe_state.read pipe ~len (Ivar.fill got);
+               let data = Ivar.read got in
+               if data = "" then eof := true else Buffer.add_string received data
+             done;
+             Hare_server.Pipe_state.close_reader pipe));
+      Engine.run engine;
+      Buffer.contents received = String.concat "" chunks)
+
+(* ---------- blocklist invariants ---------------------------------------- *)
+
+type bl_op = Balloc of int | Bfree_some | Bdonate of int
+
+let bl_op_gen =
+  let open Q.Gen in
+  oneof
+    [
+      map (fun n -> Balloc n) (int_range 1 8);
+      return Bfree_some;
+      map (fun n -> Bdonate n) (int_range 1 8);
+    ]
+
+let bl_ops = Q.make ~print:(fun l -> string_of_int (List.length l) ^ " ops")
+    Q.Gen.(list_size (int_range 1 80) bl_op_gen)
+
+let prop_blocklist_no_duplicates =
+  Q.Test.make ~name:"blocklist never double-allocates" ~count:200 bl_ops
+    (fun ops ->
+      let bl = Hare_server.Blocklist.create ~first:0 ~count:32 in
+      let held = Hashtbl.create 32 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Balloc n -> (
+              match Hare_server.Blocklist.alloc_many bl n with
+              | None -> ()
+              | Some blocks ->
+                  Array.iter
+                    (fun b ->
+                      if Hashtbl.mem held b then ok := false
+                      else Hashtbl.replace held b ())
+                    blocks)
+          | Bfree_some -> (
+              match Hashtbl.fold (fun b () _ -> Some b) held None with
+              | Some b ->
+                  Hashtbl.remove held b;
+                  Hare_server.Blocklist.free bl b
+              | None -> ())
+          | Bdonate n ->
+              (* donated blocks leave this allocator entirely; re-adopt
+                 them immediately to model a steal round trip *)
+              let gone = Hare_server.Blocklist.donate bl n in
+              Array.iter
+                (fun b -> if Hashtbl.mem held b then ok := false)
+                gone;
+              Hare_server.Blocklist.adopt bl gone)
+        ops;
+      !ok)
+
+(* ---------- model-based FS test ----------------------------------------- *)
+
+type fs_op =
+  | Create of string
+  | Append of string * string
+  | ReadAll of string
+  | Unlink of string
+  | MkdirOp of string * bool
+  | RmdirOp of string
+  | RenameOp of string * string
+  | StatSize of string
+  | Listdir of string
+
+let names = [| "a"; "b"; "c"; "d"; "e" |]
+
+let dirs = [| "/"; "/d1"; "/d2"; "/d1/s" |]
+
+let fs_op_gen =
+  let open Q.Gen in
+  let name = map (fun i -> names.(i)) (int_bound (Array.length names - 1)) in
+  let dir = map (fun i -> dirs.(i)) (int_bound (Array.length dirs - 1)) in
+  let path = map2 (fun d n -> Filename.concat d n) dir name in
+  let data = string_size ~gen:(char_range 'a' 'z') (int_range 1 2000) in
+  frequency
+    [
+      (4, map (fun p -> Create p) path);
+      (4, map2 (fun p d -> Append (p, d)) path data);
+      (4, map (fun p -> ReadAll p) path);
+      (2, map (fun p -> Unlink p) path);
+      (2, map2 (fun p dist -> MkdirOp (p, dist)) path bool);
+      (1, map (fun p -> RmdirOp p) path);
+      (2, map2 (fun a b -> RenameOp (a, b)) path path);
+      (2, map (fun p -> StatSize p) path);
+      (2, map (fun d -> Listdir d) dir);
+    ]
+
+let fs_ops =
+  Q.make
+    ~print:(fun ops -> Printf.sprintf "<%d fs ops>" (List.length ops))
+    Q.Gen.(list_size (int_range 1 50) fs_op_gen)
+
+(* Reference model: a map from absolute path to [`File of content] or
+   [`Dir]. Mirrors POSIX semantics for the operation subset above. *)
+module Model = struct
+  type t = (string, [ `File of string | `Dir ]) Hashtbl.t
+
+  let create () =
+    let t = Hashtbl.create 16 in
+    Hashtbl.replace t "/" `Dir;
+    List.iter (fun d -> Hashtbl.replace t d `Dir) [ "/d1"; "/d2"; "/d1/s" ];
+    t
+
+  let parent p = match Filename.dirname p with "" -> "/" | d -> d
+
+  let children t dir =
+    Hashtbl.fold
+      (fun p _ acc ->
+        if p <> "/" && parent p = dir && p <> dir then p :: acc else acc)
+      t []
+
+  let exec t op : (string, Errno.t) result =
+    let need_parent p k =
+      match Hashtbl.find_opt t (parent p) with
+      | Some `Dir -> k ()
+      | Some (`File _) -> Error Errno.ENOTDIR
+      | None -> Error Errno.ENOENT
+    in
+    match op with
+    | Create p ->
+        (* O_CREAT without O_TRUNC: an existing file keeps its content *)
+        need_parent p (fun () ->
+            match Hashtbl.find_opt t p with
+            | Some `Dir -> Error Errno.EISDIR
+            | Some (`File _) -> Ok ""
+            | None ->
+                Hashtbl.replace t p (`File "");
+                Ok "")
+    | Append (p, data) ->
+        need_parent p (fun () ->
+            match Hashtbl.find_opt t p with
+            | Some `Dir -> Error Errno.EISDIR
+            | Some (`File old) ->
+                Hashtbl.replace t p (`File (old ^ data));
+                Ok ""
+            | None ->
+                Hashtbl.replace t p (`File data);
+                Ok "")
+    | ReadAll p -> (
+        match Hashtbl.find_opt t p with
+        | Some (`File content) -> Ok content
+        | Some `Dir -> Error Errno.EISDIR
+        | None -> Error Errno.ENOENT)
+    | Unlink p -> (
+        match Hashtbl.find_opt t p with
+        | Some (`File _) ->
+            Hashtbl.remove t p;
+            Ok ""
+        | Some `Dir -> Error Errno.EISDIR
+        | None -> Error Errno.ENOENT)
+    | MkdirOp (p, _) ->
+        need_parent p (fun () ->
+            if Hashtbl.mem t p then Error Errno.EEXIST
+            else begin
+              Hashtbl.replace t p `Dir;
+              Ok ""
+            end)
+    | RmdirOp p -> (
+        match Hashtbl.find_opt t p with
+        | Some `Dir ->
+            if children t p <> [] then Error Errno.ENOTEMPTY
+            else begin
+              Hashtbl.remove t p;
+              Ok ""
+            end
+        | Some (`File _) -> Error Errno.ENOTDIR
+        | None -> Error Errno.ENOENT)
+    | RenameOp (a, b) -> (
+        if a = b then Ok ""
+        else
+          match Hashtbl.find_opt t a with
+          | None -> Error Errno.ENOENT
+          | Some `Dir ->
+              need_parent b (fun () ->
+                  match Hashtbl.find_opt t b with
+                  | Some _ -> Error Errno.EISDIR (* over dir or file: error *)
+                  | None ->
+                      (* move the directory and everything under it *)
+                      let moved =
+                        Hashtbl.fold
+                          (fun p v acc ->
+                            if
+                              p = a
+                              || String.length p > String.length a
+                                 && String.sub p 0 (String.length a + 1) = a ^ "/"
+                            then (p, v) :: acc
+                            else acc)
+                          t []
+                      in
+                      List.iter
+                        (fun (p, v) ->
+                          Hashtbl.remove t p;
+                          let suffix =
+                            String.sub p (String.length a)
+                              (String.length p - String.length a)
+                          in
+                          Hashtbl.replace t (b ^ suffix) v)
+                        moved;
+                      Ok "")
+          | Some (`File content) ->
+              need_parent b (fun () ->
+                  match Hashtbl.find_opt t b with
+                  | Some `Dir -> Error Errno.EISDIR
+                  | Some (`File _) | None ->
+                      Hashtbl.remove t a;
+                      Hashtbl.replace t b (`File content);
+                      Ok ""))
+    | StatSize p -> (
+        match Hashtbl.find_opt t p with
+        | Some (`File content) -> Ok (string_of_int (String.length content))
+        | Some `Dir -> Ok "dir"
+        | None -> Error Errno.ENOENT)
+    | Listdir d -> (
+        match Hashtbl.find_opt t d with
+        | Some `Dir ->
+            Ok
+              (children t d |> List.map Filename.basename |> List.sort compare
+             |> String.concat ",")
+        | Some (`File _) -> Error Errno.ENOTDIR
+        | None -> Error Errno.ENOENT)
+end
+
+(* world-polymorphic execution of a model op through the syscall API *)
+let exec_on_api (api : 'p Hare_api.Api.t) p op : (string, Errno.t) result =
+  let module Api = Hare_api.Api in
+  try
+    match op with
+    | Create path ->
+        let fd = api.Api.openf p path { Types.flags_w with trunc = false } in
+        api.Api.close p fd;
+        Ok ""
+    | Append (path, data) ->
+        let fd = api.Api.openf p path Types.flags_a in
+        Hare_api.Api.write_all api p fd data;
+        api.Api.close p fd;
+        Ok ""
+    | ReadAll path ->
+        let fd = api.Api.openf p path Types.flags_r in
+        let s = Hare_api.Api.read_to_eof api p fd in
+        api.Api.close p fd;
+        Ok s
+    | Unlink path ->
+        api.Api.unlink p path;
+        Ok ""
+    | MkdirOp (path, dist) ->
+        api.Api.mkdir p ~dist path;
+        Ok ""
+    | RmdirOp path ->
+        api.Api.rmdir p path;
+        Ok ""
+    | RenameOp (a, b) ->
+        api.Api.rename p a b;
+        Ok ""
+    | StatSize path ->
+        let a = api.Api.stat p path in
+        if a.Types.a_ftype = Types.Dir then Ok "dir"
+        else Ok (string_of_int a.Types.a_size)
+    | Listdir d ->
+        Ok
+          (api.Api.readdir p d |> List.map fst |> List.sort compare
+         |> String.concat ",")
+  with Errno.Error (e, _) -> Error e
+
+(* Hare's rename over an existing directory and rmdir-vs-rename races
+   report slightly different codes in rare corners; normalize the error
+   comparison to "failed with the same class". *)
+let same_result (a : (string, Errno.t) result) (b : (string, Errno.t) result) =
+  match (a, b) with
+  | Ok x, Ok y -> x = y
+  | Error _, Error _ -> true
+  | _ -> false
+
+(* run an op sequence against a world and the model, collecting any
+   divergences *)
+let check_against_model ~boot ~api ~spawn_init ~run ops =
+  let w = boot () in
+  let api = api w in
+  let ok = ref true in
+  let trace = ref [] in
+  let _init =
+    spawn_init w (fun p ->
+        let model = Model.create () in
+        List.iter
+          (fun d -> api.Hare_api.Api.mkdir p ~dist:false d)
+          [ "/d1"; "/d2"; "/d1/s" ];
+        List.iter
+          (fun op ->
+            let want = Model.exec model op in
+            let got = exec_on_api api p op in
+            if not (same_result want got) then begin
+              ok := false;
+              trace :=
+                Printf.sprintf "want %s, got %s"
+                  (match want with
+                  | Ok s -> "Ok " ^ s
+                  | Error e -> Errno.to_string e)
+                  (match got with
+                  | Ok s -> "Ok " ^ s
+                  | Error e -> Errno.to_string e)
+                :: !trace
+            end)
+          ops;
+        0)
+  in
+  run w;
+  if not !ok then
+    Q.Test.fail_reportf "diverged from model: %s" (String.concat "; " !trace)
+  else true
+
+let prop_fs_matches_model =
+  Q.Test.make ~name:"hare matches the reference model" ~count:60 fs_ops
+    (check_against_model
+       ~boot:(fun () -> Test_util.Machine.boot (Test_util.small_config ~ncores:3 ()))
+       ~api:Hare_experiments.World.Hare_w.api
+       ~spawn_init:(fun w body ->
+         fst (Test_util.Machine.spawn_init w ~name:"prop" (fun p _ -> body p)))
+       ~run:Test_util.Machine.run)
+
+let prop_linux_matches_model =
+  Q.Test.make ~name:"linux baseline matches the reference model" ~count:60
+    fs_ops
+    (check_against_model
+       ~boot:(fun () ->
+         Hare_baseline.Linux_world.boot (Test_util.small_config ~ncores:3 ()))
+       ~api:Hare_baseline.Linux_world.api
+       ~spawn_init:(fun w body ->
+         fst (Hare_baseline.Linux_world.spawn_init w ~name:"prop" body))
+       ~run:Hare_baseline.Linux_world.run)
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "props",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_heap_sorted;
+          prop_rng_bound;
+          prop_path_clean;
+          prop_path_idempotent;
+          prop_dentry_in_shard_set;
+          prop_dentry_deterministic;
+          prop_summary_order;
+          prop_pcache_read_your_writes;
+          prop_close_to_open_protocol;
+          prop_pipe_fifo;
+          prop_blocklist_no_duplicates;
+          prop_fs_matches_model;
+          prop_linux_matches_model;
+        ] );
+  ]

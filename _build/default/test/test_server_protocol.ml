@@ -1,0 +1,261 @@
+(* Protocol-level tests against a standalone file server: raw RPCs over
+   the wire, exercising corner cases of the three-phase rmdir protocol
+   (parked creates, serialized locks, abort replay) and server-side fd
+   state that the POSIX surface cannot easily force. *)
+
+open Hare_sim
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+module Wire = Hare_proto.Wire
+module Server = Hare_server.Server
+module Rpc = Hare_msg.Rpc
+
+let config = Test_util.small_config ~ncores:2 ()
+
+(* One server + a client core, no client library: we speak the protocol
+   directly. *)
+type rig = {
+  engine : Engine.t;
+  server : Server.t;
+  client_core : Core_res.t;
+  ep : (Wire.fs_req, Wire.fs_resp) Rpc.t;
+}
+
+let make_rig () =
+  let engine = Engine.create () in
+  let costs = config.Hare_config.Config.costs in
+  let score = Core_res.create engine ~id:0 ~socket:0 ~ctx_switch:0 in
+  let client_core = Core_res.create engine ~id:1 ~socket:0 ~ctx_switch:0 in
+  let dram = Hare_mem.Dram.create ~nblocks:64 in
+  let pcache =
+    Hare_mem.Pcache.create dram ~core:score ~costs ~capacity_lines:256
+  in
+  let inval_ports =
+    Array.init 2 (fun i ->
+        Hare_msg.Mailbox.create
+          ~owner:(if i = 0 then score else client_core)
+          ~costs ())
+  in
+  let server =
+    Server.create ~engine ~config ~sid:0 ~core:score ~pcache ~dram
+      ~blocks_first:0 ~blocks_count:64 ~inval_ports ()
+  in
+  Server.install_root server ~dist:false;
+  Server.start server;
+  { engine; server; client_core; ep = Server.endpoint server }
+
+let call rig req = Rpc.call rig.ep ~from:rig.client_core req
+
+let in_fiber rig body =
+  let failure = ref None in
+  ignore
+    (Engine.spawn rig.engine ~name:"test-client" (fun () ->
+         try body () with exn -> failure := Some exn));
+  Engine.run rig.engine;
+  match !failure with Some e -> raise e | None -> ()
+
+let root = Types.root_ino
+
+let mkdir_raw rig name =
+  match call rig (Wire.Create_dir { dir = root; name; dist = false; client = 1 }) with
+  | Ok (Wire.P_created_ino ino) -> ino
+  | _ -> Alcotest.fail "mkdir_raw"
+
+let test_create_parked_during_mark_abort () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let d = mkdir_raw rig "dir" in
+      (* phase 0+1: lock and mark *)
+      (match call rig (Wire.Rmdir_lock { dir = d }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "lock");
+      (match call rig (Wire.Rmdir_prepare { dir = d }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "prepare");
+      (* a create in the marked directory parks... *)
+      let parked =
+        Rpc.call_async rig.ep ~from:rig.client_core
+          (Wire.Create_open
+             { dir = d; name = "late"; excl = false; trunc = false; client = 1 })
+      in
+      Core_res.compute rig.client_core 100_000;
+      Alcotest.(check bool) "still parked" true (Ivar.peek parked = None);
+      (* ...abort releases it and it succeeds *)
+      (match call rig (Wire.Rmdir_abort { dir = d }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "abort");
+      (match Rpc.await ~from:rig.client_core
+               ~costs:config.Hare_config.Config.costs parked
+       with
+      | Ok (Wire.P_open_ino _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "parked create should succeed");
+      match call rig (Wire.Rmdir_unlock { dir = d }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "unlock")
+
+let test_create_parked_during_mark_commit () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let d = mkdir_raw rig "dir" in
+      ignore (call rig (Wire.Rmdir_lock { dir = d }));
+      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
+      let parked =
+        Rpc.call_async rig.ep ~from:rig.client_core
+          (Wire.Create_open
+             { dir = d; name = "late"; excl = false; trunc = false; client = 1 })
+      in
+      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1 }));
+      match Rpc.await ~from:rig.client_core
+              ~costs:config.Hare_config.Config.costs parked
+      with
+      | Error Errno.ENOENT -> ()
+      | Ok _ | Error _ -> Alcotest.fail "parked create must fail with ENOENT")
+
+let test_rmdir_lock_serializes () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let d = mkdir_raw rig "dir" in
+      (match call rig (Wire.Rmdir_lock { dir = d }) with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "first lock");
+      (* a competing rmdir waits on the lock *)
+      let second =
+        Rpc.call_async rig.ep ~from:rig.client_core (Wire.Rmdir_lock { dir = d })
+      in
+      Core_res.compute rig.client_core 100_000;
+      Alcotest.(check bool) "second lock parked" true (Ivar.peek second = None);
+      (* winner commits; loser's lock must resolve with ENOENT *)
+      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
+      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1 }));
+      match Rpc.await ~from:rig.client_core
+              ~costs:config.Hare_config.Config.costs second
+      with
+      | Error Errno.ENOENT -> ()
+      | Ok _ | Error _ -> Alcotest.fail "loser should see ENOENT")
+
+let test_prepare_nonempty_refuses () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let d = mkdir_raw rig "dir" in
+      (match
+         call rig
+           (Wire.Create_open
+              { dir = d; name = "f"; excl = false; trunc = false; client = 1 })
+       with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "create");
+      ignore (call rig (Wire.Rmdir_lock { dir = d }));
+      (match call rig (Wire.Rmdir_prepare { dir = d }) with
+      | Error Errno.ENOTEMPTY -> ()
+      | Ok _ | Error _ -> Alcotest.fail "prepare must refuse");
+      (* no mark was set: creates proceed immediately *)
+      match
+        call rig
+          (Wire.Create_open
+             { dir = d; name = "g"; excl = false; trunc = false; client = 1 })
+      with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "create after refused prepare")
+
+let test_double_prepare_ebusy () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let d = mkdir_raw rig "dir" in
+      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
+      match call rig (Wire.Rmdir_prepare { dir = d }) with
+      | Error Errno.EBUSY -> ()
+      | Ok _ | Error _ -> Alcotest.fail "second prepare must be EBUSY")
+
+let test_fd_refcount_keeps_unlinked_inode () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let token, ino =
+        match
+          call rig
+            (Wire.Create_open
+               { dir = root; name = "f"; excl = true; trunc = false; client = 1 })
+        with
+        | Ok (Wire.P_open_ino { oi; ino }) -> (oi.Wire.token, ino)
+        | _ -> Alcotest.fail "create"
+      in
+      ignore (call rig (Wire.Write_fd { token; off = Some 0; data = "keep" }));
+      (* share it, unlink it *)
+      ignore (call rig (Wire.Inc_fd_ref { token; offset = Some 0 }));
+      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 1 }));
+      ignore (call rig (Wire.Unlink_ino { ino }));
+      (* first close: refcount 2 -> 1, inode must survive *)
+      ignore (call rig (Wire.Close_fd { token; size = None }));
+      (match call rig (Wire.Read_fd { token; off = None; len = 10 }) with
+      | Ok (Wire.P_read { data; _ }) ->
+          Alcotest.(check string) "readable through last fd" "keep" data
+      | _ -> Alcotest.fail "read");
+      (* last close frees everything *)
+      ignore (call rig (Wire.Close_fd { token; size = None }));
+      Alcotest.(check int) "no tokens" 0 (Server.open_tokens rig.server);
+      Alcotest.(check int) "blocks recovered" 64
+        (Server.available_blocks rig.server);
+      match call rig (Wire.Read_fd { token; off = None; len = 1 }) with
+      | Error Errno.EBADF -> ()
+      | Ok _ | Error _ -> Alcotest.fail "token must be dead")
+
+let test_shared_offset_demotion_reply () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      let token =
+        match
+          call rig
+            (Wire.Create_open
+               { dir = root; name = "f"; excl = true; trunc = false; client = 1 })
+        with
+        | Ok (Wire.P_open_ino { oi; _ }) -> oi.Wire.token
+        | _ -> Alcotest.fail "create"
+      in
+      ignore (call rig (Wire.Write_fd { token; off = Some 0; data = "0123456789" }));
+      ignore (call rig (Wire.Inc_fd_ref { token; offset = Some 4 }));
+      (* refcount 2: reads use the shared offset, no demotion *)
+      (match call rig (Wire.Read_fd { token; off = None; len = 2 }) with
+      | Ok (Wire.P_read { data; now_local }) ->
+          Alcotest.(check string) "shared offset read" "45" data;
+          Alcotest.(check bool) "not demoted yet" true (now_local = None)
+      | _ -> Alcotest.fail "read");
+      (* one holder closes: next op gets the offset back *)
+      ignore (call rig (Wire.Close_fd { token; size = None }));
+      match call rig (Wire.Read_fd { token; off = None; len = 2 }) with
+      | Ok (Wire.P_read { data; now_local }) ->
+          Alcotest.(check string) "continues" "67" data;
+          Alcotest.(check (option int)) "demoted with offset" (Some 8) now_local
+      | _ -> Alcotest.fail "read2")
+
+let test_lookup_tracks_and_invalidates () =
+  let rig = make_rig () in
+  in_fiber rig (fun () ->
+      ignore
+        (call rig
+           (Wire.Create_open
+              { dir = root; name = "f"; excl = true; trunc = false; client = 1 }));
+      (* the create tracked client 1; an unlink by client 0 must push an
+         invalidation to client 1's port *)
+      let before = Server.invals_sent rig.server in
+      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 0 }));
+      Alcotest.(check int) "one invalidation" (before + 1)
+        (Server.invals_sent rig.server))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "server.rmdir-protocol",
+      [
+        tc "parked create, abort" `Quick test_create_parked_during_mark_abort;
+        tc "parked create, commit" `Quick test_create_parked_during_mark_commit;
+        tc "lock serializes" `Quick test_rmdir_lock_serializes;
+        tc "prepare refuses nonempty" `Quick test_prepare_nonempty_refuses;
+        tc "double prepare EBUSY" `Quick test_double_prepare_ebusy;
+      ] );
+    ( "server.fds",
+      [
+        tc "unlinked inode survives fds" `Quick test_fd_refcount_keeps_unlinked_inode;
+        tc "lazy demotion reply" `Quick test_shared_offset_demotion_reply;
+        tc "tracking + invalidation" `Quick test_lookup_tracks_and_invalidates;
+      ] );
+  ]

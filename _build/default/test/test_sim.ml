@@ -1,0 +1,309 @@
+(* Unit tests for the discrete-event engine and its primitives. *)
+
+open Hare_sim
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  Heap.push h ~time:5L ~seq:1 "b";
+  Heap.push h ~time:3L ~seq:2 "a";
+  Heap.push h ~time:5L ~seq:0 "c";
+  Heap.push h ~time:9L ~seq:3 "d";
+  let order =
+    List.init 4 (fun _ ->
+        let _, _, v = Heap.pop_min h in
+        v)
+  in
+  Alcotest.(check (list string)) "time then seq" [ "a"; "c"; "b"; "d" ] order
+
+let test_heap_large () =
+  let h = Heap.create () in
+  let rng = Rng.create ~seed:7L in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    Heap.push h ~time:(Int64.of_int (Rng.int rng 1000)) ~seq:i i
+  done;
+  Alcotest.(check int) "length" n (Heap.length h);
+  let last = ref (-1L) in
+  for _ = 1 to n do
+    let t, _, _ = Heap.pop_min h in
+    Alcotest.(check bool) "monotone" true (t >= !last);
+    last := t
+  done;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () ->
+      ignore (Heap.pop_min h))
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:1L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:5L in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.next a) in
+  let ys = List.init 10 (fun _ -> Rng.next b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_engine_sleep_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.spawn e ~name:"a" (fun () ->
+         Engine.sleep 10L;
+         log := ("a", Engine.now e) :: !log));
+  ignore
+    (Engine.spawn e ~name:"b" (fun () ->
+         Engine.sleep 5L;
+         log := ("b", Engine.now e) :: !log));
+  Engine.run e;
+  Alcotest.(check (list (pair string int64)))
+    "b fires before a"
+    [ ("a", 10L); ("b", 5L) ]
+    !log
+
+let test_engine_spawn_nested () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"outer" (fun () ->
+         Engine.sleep 3L;
+         ignore
+           (Engine.spawn e ~name:"inner" (fun () ->
+                Engine.sleep 4L;
+                Alcotest.(check int64) "inner time" 7L (Engine.now e);
+                incr hits));
+         incr hits));
+  Engine.run e;
+  Alcotest.(check int) "both ran" 2 !hits
+
+let test_engine_deadlock_detection () =
+  let e = Engine.create () in
+  ignore
+    (Engine.spawn e ~name:"stuck" (fun () ->
+         Engine.suspend (fun _waker -> () (* never woken *))));
+  match Engine.run e with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "names the fiber" true (contains ~needle:"stuck" msg)
+
+let test_engine_daemon_allows_exit () =
+  let e = Engine.create () in
+  ignore
+    (Engine.spawn e ~daemon:true ~name:"server" (fun () ->
+         Engine.suspend (fun _ -> ())));
+  ignore (Engine.spawn e ~name:"app" (fun () -> Engine.sleep 2L));
+  Engine.run e;
+  Alcotest.(check int64) "ends at app completion" 2L (Engine.now e)
+
+let test_engine_fiber_failure () =
+  let e = Engine.create () in
+  ignore (Engine.spawn e ~name:"bad" (fun () -> failwith "boom"));
+  match Engine.run e with
+  | () -> Alcotest.fail "expected failure"
+  | exception Engine.Fiber_failure ("bad", Failure _) -> ()
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let test_engine_run_for () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"ticker" (fun () ->
+         for _ = 1 to 10 do
+           Engine.sleep 10L;
+           incr hits
+         done));
+  Engine.run_for e 35L;
+  Alcotest.(check int) "three ticks within budget" 3 !hits;
+  Engine.run e;
+  Alcotest.(check int) "rest completes" 10 !hits
+
+let test_ivar_blocking () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  ignore (Engine.spawn e ~name:"reader" (fun () -> got := Ivar.read iv));
+  ignore
+    (Engine.spawn e ~name:"writer" (fun () ->
+         Engine.sleep 50L;
+         Ivar.fill iv 99));
+  Engine.run e;
+  Alcotest.(check int) "value" 99 !got
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let sum = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "r%d" i)
+         (fun () -> sum := !sum + Ivar.read iv))
+  done;
+  ignore (Engine.spawn e ~name:"w" (fun () -> Ivar.fill iv 7));
+  Engine.run e;
+  Alcotest.(check int) "all readers woke" 21 !sum
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 2)
+
+let test_bqueue_fifo () =
+  let e = Engine.create () in
+  let q = Bqueue.create () in
+  let out = ref [] in
+  ignore
+    (Engine.spawn e ~name:"consumer" (fun () ->
+         for _ = 1 to 3 do
+           out := Bqueue.pop q :: !out
+         done));
+  ignore
+    (Engine.spawn e ~name:"producer" (fun () ->
+         List.iter (Bqueue.push q) [ 1; 2; 3 ]));
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 3; 2; 1 ] !out
+
+let test_bqueue_capacity_blocks () =
+  let e = Engine.create () in
+  let q = Bqueue.create ~capacity:1 () in
+  let produced = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"producer" (fun () ->
+         for i = 1 to 3 do
+           Bqueue.push q i;
+           produced := i
+         done));
+  ignore
+    (Engine.spawn e ~name:"consumer" (fun () ->
+         Engine.sleep 100L;
+         Alcotest.(check bool) "producer stalled" true (!produced < 3);
+         for _ = 1 to 3 do
+           ignore (Bqueue.pop q)
+         done));
+  Engine.run e;
+  Alcotest.(check int) "all produced" 3 !produced
+
+let test_condition_signal_fifo () =
+  let e = Engine.create () in
+  let c = Condition.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "w%d" i)
+         (fun () ->
+           Condition.wait c;
+           order := i :: !order))
+  done;
+  ignore
+    (Engine.spawn e ~name:"signaller" (fun () ->
+         Engine.sleep 1L;
+         Condition.signal c;
+         Engine.sleep 1L;
+         Condition.broadcast c));
+  Engine.run e;
+  Alcotest.(check (list int)) "first waiter first" [ 3; 2; 1 ] !order
+
+let test_core_compute_serializes () =
+  let e = Engine.create () in
+  let core = Core_res.create e ~id:0 ~socket:0 ~ctx_switch:0 in
+  let finish = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "f%d" i)
+         (fun () ->
+           Core_res.compute core 100;
+           finish := (i, Engine.now e) :: !finish))
+  done;
+  Engine.run e;
+  let times = List.map snd !finish in
+  Alcotest.(check (list int64)) "fifo occupancy" [ 200L; 100L ] times
+
+let test_core_ctx_switch_charged () =
+  let e = Engine.create () in
+  let core = Core_res.create e ~id:0 ~socket:0 ~ctx_switch:50 in
+  ignore
+    (Engine.spawn e ~name:"a" (fun () ->
+         Core_res.compute core 100;
+         Core_res.compute core 100));
+  ignore (Engine.spawn e ~name:"b" (fun () -> Core_res.compute core 100));
+  Engine.run e;
+  (* a(100), then b(100 + 50 switch), then a again (100 + 50 switch). *)
+  Alcotest.(check int) "two switches" 2 (Core_res.switches core);
+  Alcotest.(check int64) "busy total" 400L (Core_res.busy_cycles core)
+
+let test_core_same_fiber_no_switch () =
+  let e = Engine.create () in
+  let core = Core_res.create e ~id:0 ~socket:0 ~ctx_switch:50 in
+  ignore
+    (Engine.spawn e ~name:"only" (fun () ->
+         for _ = 1 to 5 do
+           Core_res.compute core 10
+         done));
+  Engine.run e;
+  Alcotest.(check int) "no switches" 0 (Core_res.switches core);
+  Alcotest.(check int64) "time" 50L (Engine.now e)
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "sim.heap",
+      [
+        tc "ordering" `Quick test_heap_ordering;
+        tc "large" `Quick test_heap_large;
+        tc "empty" `Quick test_heap_empty;
+      ] );
+    ( "sim.rng",
+      [
+        tc "deterministic" `Quick test_rng_deterministic;
+        tc "bounds" `Quick test_rng_bounds;
+        tc "split" `Quick test_rng_split_independent;
+      ] );
+    ( "sim.engine",
+      [
+        tc "sleep order" `Quick test_engine_sleep_order;
+        tc "nested spawn" `Quick test_engine_spawn_nested;
+        tc "deadlock detection" `Quick test_engine_deadlock_detection;
+        tc "daemons allow exit" `Quick test_engine_daemon_allows_exit;
+        tc "fiber failure" `Quick test_engine_fiber_failure;
+        tc "run_for budget" `Quick test_engine_run_for;
+      ] );
+    ( "sim.ivar",
+      [
+        tc "blocking read" `Quick test_ivar_blocking;
+        tc "multiple readers" `Quick test_ivar_multiple_readers;
+        tc "double fill" `Quick test_ivar_double_fill;
+      ] );
+    ( "sim.bqueue",
+      [
+        tc "fifo" `Quick test_bqueue_fifo;
+        tc "capacity blocks" `Quick test_bqueue_capacity_blocks;
+      ] );
+    ("sim.condition", [ tc "signal fifo" `Quick test_condition_signal_fifo ]);
+    ( "sim.core",
+      [
+        tc "serializes" `Quick test_core_compute_serializes;
+        tc "ctx switch" `Quick test_core_ctx_switch_charged;
+        tc "no spurious switch" `Quick test_core_same_fiber_no_switch;
+      ] );
+  ]

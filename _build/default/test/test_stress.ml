@@ -1,0 +1,217 @@
+(* Concurrency stress: many processes racing on the same names — the
+   situations the three-phase rmdir protocol, the deferred-reuse rule and
+   the invalidation protocol exist for. Success criteria: the simulation
+   terminates (no deadlock), errors are only the POSIX-expected ones, and
+   the final state is internally consistent (readdir agrees with stat,
+   no leaked server-side fd state, all blocks recovered). *)
+
+open Test_util
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+module Config = Hare_config.Config
+module Server = Hare_server.Server
+
+let tolerate f =
+  try
+    f ();
+    true
+  with
+  | Errno.Error
+      ( ( Errno.ENOENT | Errno.EEXIST | Errno.ENOTEMPTY | Errno.EISDIR
+        | Errno.ENOTDIR | Errno.EBUSY ),
+        _ ) ->
+      false
+
+let check_quiescent m =
+  let tokens =
+    Array.fold_left (fun acc s -> acc + Server.open_tokens s) 0 (Machine.servers m)
+  in
+  Alcotest.(check int) "no leaked fd tokens" 0 tokens
+
+let test_create_unlink_storm () =
+  let config = small_config ~ncores:4 () in
+  let m = Machine.boot config in
+  Machine.register_program m "storm" (fun p args ->
+      let seed = int_of_string (List.hd args) in
+      let rng = Hare_sim.Rng.create ~seed:(Int64.of_int seed) in
+      for i = 1 to 60 do
+        let name = Printf.sprintf "/arena/n%d" (Hare_sim.Rng.int rng 8) in
+        match Hare_sim.Rng.int rng 4 with
+        | 0 ->
+            ignore
+              (tolerate (fun () ->
+                   let fd =
+                     Posix.openf p name { Types.flags_w with excl = true }
+                   in
+                   ignore (Posix.write p fd (string_of_int i));
+                   Posix.close p fd))
+        | 1 -> ignore (tolerate (fun () -> Posix.unlink p name))
+        | 2 ->
+            ignore
+              (tolerate (fun () ->
+                   Posix.rename p name
+                     (Printf.sprintf "/arena/r%d" (Hare_sim.Rng.int rng 8))))
+        | _ ->
+            ignore
+              (tolerate (fun () ->
+                   let fd = Posix.openf p name Types.flags_r in
+                   ignore (Posix.read_all p fd);
+                   Posix.close p fd))
+      done;
+      0);
+  let init, _ =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        Posix.mkdir p ~dist:true "/arena";
+        let pids =
+          List.init 8 (fun i ->
+              Posix.spawn p ~prog:"storm" ~args:[ string_of_int (i + 1) ])
+        in
+        let bad = List.filter (fun pid -> Posix.waitpid p pid <> 0) pids in
+        if bad <> [] then 1
+        else begin
+          (* consistency: every listed name stats; stat count = listing *)
+          let entries = Posix.readdir p "/arena" in
+          let ok =
+            List.for_all
+              (fun (e : Hare_proto.Wire.entry) ->
+                match Posix.stat p ("/arena/" ^ e.Hare_proto.Wire.e_name) with
+                | (_ : Types.attr) -> true
+                | exception Errno.Error (Errno.ENOENT, _) -> false)
+              entries
+          in
+          if ok then 0 else 2
+        end)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "storm consistent" (Some 0)
+    (Machine.exit_status m init);
+  check_quiescent m
+
+let test_rmdir_create_races () =
+  (* Workers fight over one directory name: some mkdir/rmdir it, others
+     try to create files inside it. The three-phase protocol must keep
+     this linearizable-enough: no hangs, no orphaned entries. *)
+  let config = small_config ~ncores:4 () in
+  let m = Machine.boot config in
+  Machine.register_program m "dir-fighter" (fun p args ->
+      let seed = int_of_string (List.hd args) in
+      let rng = Hare_sim.Rng.create ~seed:(Int64.of_int seed) in
+      for _ = 1 to 40 do
+        match Hare_sim.Rng.int rng 3 with
+        | 0 -> ignore (tolerate (fun () -> Posix.mkdir p ~dist:true "/battle"))
+        | 1 -> ignore (tolerate (fun () -> Posix.rmdir p "/battle"))
+        | _ ->
+            ignore
+              (tolerate (fun () ->
+                   let name =
+                     Printf.sprintf "/battle/f%d" (Hare_sim.Rng.int rng 4)
+                   in
+                   let fd = Posix.openf p name Types.flags_w in
+                   Posix.close p fd;
+                   (* remove it again so rmdir can sometimes win *)
+                   ignore (tolerate (fun () -> Posix.unlink p name))))
+      done;
+      0);
+  let init, _ =
+    Machine.spawn_init m ~name:"t" (fun p _ ->
+        let pids =
+          List.init 6 (fun i ->
+              Posix.spawn p ~prog:"dir-fighter" ~args:[ string_of_int (i + 17) ])
+        in
+        let bad = List.filter (fun pid -> Posix.waitpid p pid <> 0) pids in
+        if bad <> [] then 1
+        else begin
+          (* whatever survived must be a consistent tree we can remove *)
+          (if Posix.exists p "/battle" then begin
+             List.iter
+               (fun (e : Hare_proto.Wire.entry) ->
+                 ignore
+                   (tolerate (fun () ->
+                        Posix.unlink p ("/battle/" ^ e.Hare_proto.Wire.e_name))))
+               (Posix.readdir p "/battle");
+             Posix.rmdir p "/battle"
+           end);
+          0
+        end)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "races resolved" (Some 0)
+    (Machine.exit_status m init);
+  check_quiescent m;
+  (* every inode except the root must be gone *)
+  let inodes =
+    Array.fold_left (fun acc s -> acc + Server.inode_count s) 0 (Machine.servers m)
+  in
+  Alcotest.(check int) "only root inode left" 1 inodes
+
+let test_shared_fd_storm () =
+  (* A deep fork tree all appending through one shared descriptor: the
+     refcount/offset protocol must keep every write intact. *)
+  ignore
+    (run (fun m p ->
+         let fd = Posix.creat p "/ledger" in
+         let rec spawn_writers proc depth =
+           if depth = 0 then 0
+           else begin
+             let kids =
+               List.init 2 (fun _ ->
+                   Posix.fork proc (fun c ->
+                       ignore (Posix.write c fd "x");
+                       spawn_writers c (depth - 1)))
+             in
+             ignore (Posix.write proc fd "x");
+             List.fold_left
+               (fun acc pid -> acc + Posix.waitpid proc pid)
+               0 kids
+           end
+         in
+         let bad = spawn_writers p 4 in
+         Posix.close p fd;
+         Alcotest.(check int) "all children ok" 0 bad;
+         (* writes: every process wrote exactly one byte at the shared
+            offset; the file must contain exactly that many bytes *)
+         let a = Posix.stat p "/ledger" in
+         (* every spawned child writes once in its closure and every
+            spawn_writers invocation with depth>0 writes once:
+            W(d) = 1 + 2*(1 + W(d-1)), W(0) = 0  =>  W(4) = 45 *)
+         Alcotest.(check int) "no lost appends" 45 a.Types.a_size;
+         ignore m;
+         0))
+
+let test_deep_path_stress () =
+  ignore
+    (run (fun _m p ->
+         let rec build path depth =
+           if depth > 0 then begin
+             Posix.mkdir p (path ^ "/d");
+             build (path ^ "/d") (depth - 1)
+           end
+         in
+         Posix.mkdir p "/deep";
+         build "/deep" 20;
+         let leaf = "/deep" ^ String.concat "" (List.init 20 (fun _ -> "/d")) in
+         Posix.close p (Posix.creat p (leaf ^ "/bottom"));
+         Alcotest.(check bool) "deep file exists" true
+           (Posix.exists p (leaf ^ "/bottom"));
+         (* now chdir to the bottom and climb with .. *)
+         Posix.chdir p leaf;
+         Alcotest.(check bool) "relative .. climb" true
+           (Posix.exists p (String.concat "/" (List.init 20 (fun _ -> "..")) ^ "/d"));
+         0))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "stress",
+      [
+        tc "create/unlink storm" `Quick test_create_unlink_storm;
+        tc "rmdir/create races" `Quick test_rmdir_create_races;
+        tc "shared-fd fork tree" `Quick test_shared_fd_storm;
+        tc "deep paths" `Quick test_deep_path_stress;
+      ] );
+  ]

@@ -1,0 +1,90 @@
+(* Every paper benchmark must run to completion on every world — the
+   reproduction of the paper's "runs unmodified POSIX applications"
+   claim — and report sane measurements. *)
+
+module Spec = Hare_workloads.Spec
+module Driver = Hare_experiments.Driver
+module World = Hare_experiments.World
+module HareD = Driver.Make (World.Hare_w)
+module LinuxD = Driver.Make (World.Linux_w)
+
+let config = Driver.default_config ~ncores:4
+
+let check_result (r : Driver.result) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s elapsed > 0" r.Driver.world r.Driver.bench)
+    true
+    (r.Driver.elapsed > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s/%s throughput > 0" r.Driver.world r.Driver.bench)
+    true
+    (r.Driver.throughput > 0.0)
+
+let hare_case (spec : Spec.t) () = check_result (HareD.run ~config spec)
+
+let linux_case (spec : Spec.t) () = check_result (LinuxD.run ~config spec)
+
+let unfs_case () =
+  let cfg = World.unfs_config (Driver.default_config ~ncores:2) in
+  let r = HareD.run ~config:cfg ~nprocs:1 (Hare_workloads.All.find "creates") in
+  check_result r;
+  (* loopback messaging must make it much slower than plain hare *)
+  let plain =
+    HareD.run
+      ~config:(Driver.default_config ~ncores:2)
+      ~nprocs:1
+      (Hare_workloads.All.find "creates")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "unfs (%.0f ops/s) slower than hare (%.0f ops/s)"
+       r.Driver.throughput plain.Driver.throughput)
+    true
+    (r.Driver.throughput < plain.Driver.throughput)
+
+let scaling_sanity () =
+  (* More cores must not make the trivially-parallel benchmark slower. *)
+  let one =
+    HareD.run ~config:(Driver.default_config ~ncores:1) ~nprocs:1
+      (Hare_workloads.All.find "creates")
+  in
+  let four =
+    HareD.run ~config:(Driver.default_config ~ncores:4) ~nprocs:4
+      (Hare_workloads.All.find "creates")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-core (%.0f) beats 1-core (%.0f)" four.Driver.throughput
+       one.Driver.throughput)
+    true
+    (four.Driver.throughput > one.Driver.throughput)
+
+let dist_off_still_correct () =
+  let cfg =
+    { (Driver.default_config ~ncores:4) with
+      Hare_config.Config.dir_distribution = false;
+      dir_broadcast = false;
+      direct_access = false;
+      dir_cache = false;
+      creation_affinity = false
+    }
+  in
+  check_result (HareD.run ~config:cfg (Hare_workloads.All.find "mailbench"))
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "workloads.hare",
+      List.map
+        (fun (s : Spec.t) -> tc s.Spec.name `Quick (hare_case s))
+        Hare_workloads.All.specs );
+    ( "workloads.linux",
+      List.map
+        (fun (s : Spec.t) -> tc s.Spec.name `Quick (linux_case s))
+        Hare_workloads.All.specs );
+    ( "workloads.misc",
+      [
+        tc "unfs slower" `Quick unfs_case;
+        tc "scaling sanity" `Quick scaling_sanity;
+        tc "all techniques off" `Quick dist_off_still_correct;
+      ] );
+  ]
