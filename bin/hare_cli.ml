@@ -299,6 +299,156 @@ let shell_cmd =
           commands from stdin; try 'help').")
     Term.(const run_shell $ cores_arg)
 
+(* ---------- faults command ---------------------------------------------- *)
+
+(* Run a workload on Hare under a fault plan and report the robustness
+   counters: what the injector did to the messages, and what the retry
+   and crash-recovery machinery did about it. *)
+let run_faults name plan deadline retries seed cores nprocs scale strict =
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | spec -> (
+      match Hare_fault.Plan.parse plan with
+      | Error msg ->
+          Printf.eprintf "bad --plan: %s\n" msg;
+          1
+      | Ok _ ->
+          let module Machine = Hare.Machine in
+          let module Posix = Hare.Posix in
+          let module Api = Hare_api.Api in
+          (* Wire faults only bite tagged (retryable) requests, so a plan
+             without an armed deadline would silently no-op; conversely an
+             armed deadline with no plan still times out the slowest RPCs.
+             Default to off when fault-free and a sane deadline otherwise. *)
+          let deadline =
+            match deadline with
+            | Some d -> d
+            | None -> if plan = "" then 0 else 25_000
+          in
+          if plan <> "" && deadline <= 0 then (
+            Printf.eprintf
+              "a fault plan needs --deadline > 0: without timeouts clients \
+               never retry a dropped message\n";
+            exit 1);
+          let config =
+            {
+              (Driver.default_config ~ncores:cores) with
+              Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+              fault_plan = plan;
+              rpc_deadline = deadline;
+              rpc_retries = retries;
+              partial_broadcast = not strict;
+              seed = Int64.of_int seed;
+            }
+          in
+          let m = Machine.boot config in
+          let api = World.Hare_w.api m in
+          let nprocs =
+            match nprocs with
+            | Some n -> n
+            | None -> List.length (Config.app_cores config)
+          in
+          List.iter
+            (fun (prog, body) -> api.Api.register_program prog body)
+            (spec.Hare_workloads.Spec.programs api);
+          api.Api.register_program "bench-worker" (fun p args ->
+              let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+              spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+              0);
+          let init, _ =
+            Machine.spawn_init m
+              ~name:("faults-" ^ spec.Hare_workloads.Spec.name)
+              (fun p _ ->
+                spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+                let workers =
+                  match spec.Hare_workloads.Spec.mode with
+                  | Hare_workloads.Spec.Workers -> nprocs
+                  | Hare_workloads.Spec.Make -> 1
+                in
+                let pids =
+                  List.init workers (fun i ->
+                      Posix.spawn p ~prog:"bench-worker"
+                        ~args:[ string_of_int i ])
+                in
+                List.fold_left
+                  (fun acc pid ->
+                    if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+                  0 pids)
+          in
+          Machine.run m;
+          let failed =
+            match Machine.exit_status m init with
+            | Some 0 -> false
+            | Some n ->
+                Printf.printf "%d worker(s) failed (gave up under faults)\n" n;
+                true
+            | None ->
+                print_endline "init never finished";
+                true
+          in
+          Printf.printf "%s under plan %S: %.6f simulated seconds, %d RPCs\n"
+            spec.Hare_workloads.Spec.name plan (Machine.seconds m)
+            (Machine.total_rpcs m);
+          let robust = Machine.robustness m in
+          Hare_stats.Table.print
+            ~headers:[ "robustness counter"; "count" ]
+            (List.map
+               (fun (k, v) -> [ k; string_of_int v ])
+               (Hare_stats.Robust.to_list robust));
+          if failed then 1 else 0)
+
+let faults_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see `hare_cli list`).")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan, e.g. \
+             'drop:fs:0.05;dup:fs1:0.02;crash:1@200000+150000'. Empty \
+             runs fault-free.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:
+            "First-attempt RPC deadline in cycles; 0 disables retries. \
+             Defaults to 0 without a plan, 25000 with one.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"RPC attempts before giving up with EIO.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Simulation seed; same seed + plan => identical faults.")
+  in
+  let strict =
+    flag "strict-broadcast"
+      "Fail broadcasts with EIO instead of returning partial results."
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Run one benchmark on Hare under a deterministic fault plan and \
+          print the robustness counters.")
+    Term.(
+      const run_faults $ name_arg $ plan_arg $ deadline_arg $ retries_arg
+      $ seed_arg $ cores_arg $ nprocs_arg $ scale_arg $ strict)
+
 (* ---------- list command ------------------------------------------------ *)
 
 let run_list () =
@@ -323,6 +473,6 @@ let main =
        ~doc:
          "Hare, a file system for non-cache-coherent multicores, in \
           simulation: benchmarks and paper-figure reproduction.")
-    [ bench_cmd; fig_cmd; list_cmd; shell_cmd ]
+    [ bench_cmd; fig_cmd; faults_cmd; list_cmd; shell_cmd ]
 
 let () = exit (Cmd.eval' main)

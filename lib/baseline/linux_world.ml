@@ -172,9 +172,11 @@ let api_read (p : proc) fd ~len =
       if write_end then Errno.raise_errno Errno.EBADF "write end";
       let iv = Ivar.create () in
       Pipe_state.read ps ~len (Ivar.fill iv);
-      let data = Ivar.read iv in
-      pipe_copy_cost p data;
-      data
+      (match Ivar.read iv with
+      | Ok data ->
+          pipe_copy_cost p data;
+          data
+      | Error e -> Errno.raise_errno e "pipe read")
   | Lconsole _ -> ""
 
 let api_write (p : proc) fd data =

@@ -8,6 +8,17 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let bs = Hare_mem.Layout.block_size
 
+(* Retry state, present only when [rpc_deadline > 0]: requests carry a
+   (client, seq) idempotency tag, time out, and are resent with bounded
+   exponential backoff. The RNG is dedicated to backoff jitter so that
+   injected faults never perturb a workload's own random stream. *)
+type retry = {
+  rt_base : int;  (** first-attempt deadline, in cycles *)
+  rt_max : int;  (** attempts before giving up with [EIO] *)
+  rt_rng : Rng.t;
+  mutable rt_seq : int;
+}
+
 type t = {
   engine : Engine.t;
   config : Hare_config.Config.t;
@@ -21,12 +32,29 @@ type t = {
   root_dist : bool;
   dircache : Dircache.t;
   syscalls : Hare_stats.Opcount.t;
+  retry : retry option;
+  robust : Hare_stats.Robust.t;
   mutable rpc_count : int;
 }
 
 let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     ~local_server ~root_dist ~inval_port () =
   let costs = config.Hare_config.Config.costs in
+  let retry =
+    if config.Hare_config.Config.rpc_deadline > 0 then
+      Some
+        {
+          rt_base = config.Hare_config.Config.rpc_deadline;
+          rt_max = config.Hare_config.Config.rpc_retries;
+          rt_rng =
+            Rng.create
+              ~seed:
+                (Int64.add config.Hare_config.Config.seed
+                   (Int64.of_int ((cid * 2654435761) + 0x5e7)));
+          rt_seq = 0;
+        }
+    else None
+  in
   {
     engine;
     config;
@@ -42,6 +70,8 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
       Dircache.create ~enabled:config.Hare_config.Config.dir_cache
         ~port:inval_port ();
     syscalls = Hare_stats.Opcount.create ();
+    retry;
+    robust = Hare_stats.Robust.create ();
     rpc_count = 0;
   }
 
@@ -54,6 +84,8 @@ let dircache t = t.dircache
 let syscalls t = t.syscalls
 
 let rpc_count t = t.rpc_count
+
+let robust t = t.robust
 
 let nservers t = Array.length t.servers
 
@@ -71,19 +103,89 @@ let syscall t name =
 
 (* ---------- RPC helpers ------------------------------------------------ *)
 
+(* Requests that are safe to retransmit under the (client, seq) dedup
+   protocol. Pipe I/O is excluded because a parked pipe read or write
+   may legitimately wait forever (there is no deadline to distinguish a
+   slow peer from a dead server), as is the rmdir lock, which parks
+   until the previous holder commits. *)
+let retryable (req : Wire.fs_req) =
+  match req with
+  | Wire.Pipe_read _ | Wire.Pipe_write _ | Wire.Rmdir_lock _ -> false
+  | _ -> true
+
 let rpc_result t ?payload_lines srv req =
   t.rpc_count <- t.rpc_count + 1;
-  Hare_msg.Rpc.call t.servers.(srv) ~from:t.core ?payload_lines req
+  match t.retry with
+  | Some rt when retryable req ->
+      (* One sequence number for every attempt of this call: the server
+         deduplicates retransmissions, so the operation takes effect
+         exactly once no matter how many copies arrive. *)
+      rt.rt_seq <- rt.rt_seq + 1;
+      let meta = { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq } in
+      let rec attempt n deadline =
+        match
+          Hare_msg.Rpc.call_deadline t.servers.(srv) ~engine:t.engine
+            ~from:t.core ?payload_lines ~meta
+            ~deadline:(Int64.of_int deadline) req
+        with
+        | Ok resp -> resp
+        | Error `Timeout ->
+            t.robust.Hare_stats.Robust.timeouts <-
+              t.robust.Hare_stats.Robust.timeouts + 1;
+            if n + 1 >= rt.rt_max then begin
+              t.robust.Hare_stats.Robust.giveups <-
+                t.robust.Hare_stats.Robust.giveups + 1;
+              Error Errno.EIO
+            end
+            else begin
+              t.robust.Hare_stats.Robust.retries <-
+                t.robust.Hare_stats.Robust.retries + 1;
+              t.rpc_count <- t.rpc_count + 1;
+              (* Jittered backoff: desynchronizes clients hammering a
+                 recovering server. *)
+              Engine.sleep
+                (Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4))));
+              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64))
+            end
+      in
+      attempt 0 rt.rt_base
+  | _ -> Hare_msg.Rpc.call t.servers.(srv) ~from:t.core ?payload_lines req
 
 let rpc t ?payload_lines srv req =
   match rpc_result t ?payload_lines srv req with
   | Ok payload -> payload
   | Error e -> Errno.raise_errno e (Wire.req_name req)
 
+(* A crashed server forgets its descriptor table; the first post-restart
+   use of a token answers [EBADF]. Recover by re-opening the inode —
+   which survived in DRAM — and patching the new token into the
+   descriptor. A server-owned shared offset died with the server, so the
+   descriptor falls back to a local offset at zero. *)
+let recover_token t (fs : Fdtable.file_state) =
+  match
+    rpc_result t fs.Fdtable.f_ino.server
+      (Wire.Open_inode { ino = fs.Fdtable.f_ino; trunc = false; client = t.cid })
+  with
+  | Ok (Wire.P_open oi) ->
+      t.robust.Hare_stats.Robust.tokens_recovered <-
+        t.robust.Hare_stats.Robust.tokens_recovered + 1;
+      fs.Fdtable.f_token <- oi.Wire.token;
+      (match fs.Fdtable.f_pos with
+      | Fdtable.Shared -> fs.Fdtable.f_pos <- Fdtable.Local 0
+      | Fdtable.Local _ -> ())
+  | Ok _ | Error _ ->
+      Errno.raise_errno Errno.EBADF "descriptor lost in server crash"
+
+(* True when [e] means the token is stale and recovery should be tried:
+   only under a fault plan, never in a fault-free run. *)
+let stale_token t e = e = Errno.EBADF && t.retry <> None
+
 (* Fan a request out to a set of servers: overlapped when directory
-   broadcast is enabled (§3.6.2), one-at-a-time otherwise. *)
+   broadcast is enabled (§3.6.2), one-at-a-time otherwise. Under a fault
+   plan the fan-out degrades to sequential so every leg gets the full
+   timeout/retry treatment. *)
 let multicast t ids (mk : int -> Wire.fs_req) =
-  if t.config.Hare_config.Config.dir_broadcast then begin
+  if t.config.Hare_config.Config.dir_broadcast && t.retry = None then begin
     let futures =
       List.map
         (fun srv ->
@@ -362,7 +464,7 @@ let direct_write t (fs : Fdtable.file_state) ~off data =
 
 let payload_of data = (String.length data / 64) + 1
 
-let file_read t (fs : Fdtable.file_state) ~len =
+let rec file_read t (fs : Fdtable.file_state) ~len =
   match fs.f_pos with
   | Fdtable.Local off when direct_mode t ->
       let data = direct_read t fs ~off ~len in
@@ -370,26 +472,37 @@ let file_read t (fs : Fdtable.file_state) ~len =
       data
   | Fdtable.Local off -> (
       match
-        rpc t fs.f_ino.server
+        rpc_result t fs.f_ino.server
           (Wire.Read_fd { token = fs.f_token; off = Some off; len })
       with
-      | Wire.P_read { data; _ } ->
+      | Ok (Wire.P_read { data; _ }) ->
           fs.f_pos <- Fdtable.Local (off + String.length data);
           data
-      | _ -> assert false)
+      | Ok _ -> assert false
+      | Error e when stale_token t e ->
+          recover_token t fs;
+          file_read t fs ~len
+      | Error e -> Errno.raise_errno e "read")
   | Fdtable.Shared -> (
       match
-        rpc t fs.f_ino.server
+        rpc_result t fs.f_ino.server
           (Wire.Read_fd { token = fs.f_token; off = None; len })
       with
-      | Wire.P_read { data; now_local } ->
+      | Ok (Wire.P_read { data; now_local }) ->
           (match now_local with
           | Some off -> demote_to_local t fs off
           | None -> ());
           data
-      | _ -> assert false)
+      | Ok _ -> assert false
+      | Error e when stale_token t e ->
+          (* The shared offset died with the server; recovery demotes the
+             descriptor to a local offset at zero and the read reruns
+             from there. *)
+          recover_token t fs;
+          file_read t fs ~len
+      | Error e -> Errno.raise_errno e "read")
 
-let file_write t (fs : Fdtable.file_state) data =
+let rec file_write t (fs : Fdtable.file_state) data =
   match fs.f_pos with
   | Fdtable.Local off ->
       let off = if fs.f_flags.append then fs.f_size else off in
@@ -400,31 +513,39 @@ let file_write t (fs : Fdtable.file_state) data =
       end
       else begin
         match
-          rpc t fs.f_ino.server
+          rpc_result t fs.f_ino.server
             ~payload_lines:(payload_of data)
             (Wire.Write_fd { token = fs.f_token; off = Some off; data })
         with
-        | Wire.P_write { written; size; _ } ->
+        | Ok (Wire.P_write { written; size; _ }) ->
             fs.f_size <- size;
             fs.f_wrote <- true;
             fs.f_pos <- Fdtable.Local (off + written);
             written
-        | _ -> assert false
+        | Ok _ -> assert false
+        | Error e when stale_token t e ->
+            recover_token t fs;
+            file_write t fs data
+        | Error e -> Errno.raise_errno e "write"
       end
   | Fdtable.Shared -> (
       match
-        rpc t fs.f_ino.server
+        rpc_result t fs.f_ino.server
           ~payload_lines:(payload_of data)
           (Wire.Write_fd { token = fs.f_token; off = None; data })
       with
-      | Wire.P_write { written; size; now_local } ->
+      | Ok (Wire.P_write { written; size; now_local }) ->
           fs.f_size <- size;
           fs.f_wrote <- true;
           (match now_local with
           | Some off -> demote_to_local t fs off
           | None -> ());
           written
-      | _ -> assert false)
+      | Ok _ -> assert false
+      | Error e when stale_token t e ->
+          recover_token t fs;
+          file_write t fs data
+      | Error e -> Errno.raise_errno e "write")
 
 let read t fdt fd ~len =
   syscall t "read";
@@ -456,32 +577,50 @@ let write t fdt fd data =
         | _ -> assert false)
   | Fdtable.Console c -> console_write t c data
 
+let rec seek_file t (fs : Fdtable.file_state) ~pos whence =
+  match fs.Fdtable.f_pos with
+  | Fdtable.Local cur ->
+      let target =
+        match whence with
+        | Seek_set -> pos
+        | Seek_cur -> cur + pos
+        | Seek_end -> fs.f_size + pos
+      in
+      if target < 0 then Errno.raise_errno Errno.EINVAL "negative offset";
+      fs.f_pos <- Fdtable.Local target;
+      target
+  | Fdtable.Shared -> (
+      match
+        rpc_result t fs.f_ino.server
+          (Wire.Lseek_fd { token = fs.f_token; pos; whence })
+      with
+      | Ok (Wire.P_lseek target) -> target
+      | Ok _ -> assert false
+      | Error e when stale_token t e ->
+          recover_token t fs;
+          seek_file t fs ~pos whence
+      | Error e -> Errno.raise_errno e "lseek")
+
 let lseek t fdt fd ~pos whence =
   syscall t "lseek";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
   | Fdtable.Pipe _ | Fdtable.Console _ -> Errno.raise_errno Errno.ESPIPE "lseek"
-  | Fdtable.File fs -> (
-      match fs.f_pos with
-      | Fdtable.Local cur ->
-          let target =
-            match whence with
-            | Seek_set -> pos
-            | Seek_cur -> cur + pos
-            | Seek_end -> fs.f_size + pos
-          in
-          if target < 0 then Errno.raise_errno Errno.EINVAL "negative offset";
-          fs.f_pos <- Fdtable.Local target;
-          target
-      | Fdtable.Shared -> (
-          match
-            rpc t fs.f_ino.server
-              (Wire.Lseek_fd { token = fs.f_token; pos; whence })
-          with
-          | Wire.P_lseek target -> target
-          | _ -> assert false))
+  | Fdtable.File fs -> seek_file t fs ~pos whence
 
 (* ---------- close / fsync / truncate ----------------------------------- *)
+
+(* Push our size view to the server (after a direct-mode writeback). *)
+let rec update_size t (fs : Fdtable.file_state) =
+  match
+    rpc_result t fs.Fdtable.f_ino.server
+      (Wire.Update_size { token = fs.f_token; size = fs.f_size })
+  with
+  | Ok _ -> ()
+  | Error e when stale_token t e ->
+      recover_token t fs;
+      update_size t fs
+  | Error e -> Errno.raise_errno e "update_size"
 
 let release_desc t (entry : Fdtable.entry) =
   match entry.Fdtable.desc with
@@ -495,10 +634,23 @@ let release_desc t (entry : Fdtable.entry) =
         | Fdtable.Local _ when fs.f_wrote && direct_mode t -> Some fs.f_size
         | Fdtable.Local _ | Fdtable.Shared -> None
       in
-      ignore (rpc t fs.f_ino.server (Wire.Close_fd { token = fs.f_token; size }))
-  | Fdtable.Pipe p ->
-      ignore
-        (rpc t p.p_ino.server (Wire.Close_fd { token = p.p_token; size = None }))
+      (match
+         rpc_result t fs.f_ino.server
+           (Wire.Close_fd { token = fs.f_token; size })
+       with
+      | Ok _ -> ()
+      | Error e when stale_token t e ->
+          (* The crash already closed the descriptor for us. *)
+          ()
+      | Error e -> Errno.raise_errno e "close")
+  | Fdtable.Pipe p -> (
+      match
+        rpc_result t p.p_ino.server
+          (Wire.Close_fd { token = p.p_token; size = None })
+      with
+      | Ok _ -> ()
+      | Error e when stale_token t e -> ()
+      | Error e -> Errno.raise_errno e "close")
   | Fdtable.Console _ -> ()
 
 let close t fdt fd =
@@ -522,9 +674,7 @@ let fsync t fdt fd =
   | Fdtable.File fs ->
       if fs.f_wrote && direct_mode t then begin
         writeback_dirty t fs;
-        ignore
-          (rpc t fs.f_ino.server
-             (Wire.Update_size { token = fs.f_token; size = fs.f_size }))
+        update_size t fs
       end
   | Fdtable.Pipe _ | Fdtable.Console _ -> ()
 
@@ -538,9 +688,7 @@ let ftruncate t fdt fd ~size =
          tail; flush our dirty lines first. *)
       if fs.f_wrote && direct_mode t then begin
         writeback_dirty t fs;
-        ignore
-          (rpc t fs.f_ino.server
-             (Wire.Update_size { token = fs.f_token; size = fs.f_size }))
+        update_size t fs
       end;
       ignore (rpc t fs.f_ino.server (Wire.Truncate { ino = fs.f_ino; size }));
       fs.f_size <- size;
@@ -737,7 +885,14 @@ let rmdir t ~cwd path =
       (fun srv -> ignore (rpc_result t srv (Wire.Rmdir_abort { dir = target })))
       servers_involved;
     ignore (rpc_result t home (Wire.Rmdir_unlock { dir = target }));
-    Errno.raise_errno Errno.ENOTEMPTY name
+    (* Distinguish "a shard holds entries" from "a shard's server is
+       unreachable": the latter must not masquerade as ENOTEMPTY. *)
+    let hard =
+      List.exists
+        (function Error Errno.EIO -> true | _ -> false)
+        prepare_results
+    in
+    Errno.raise_errno (if hard then Errno.EIO else Errno.ENOTEMPTY) name
   end
   end
 
@@ -754,7 +909,16 @@ let readdir t ~cwd path =
       (function
         | Ok (Wire.P_entries es) -> es
         | Ok _ -> assert false
-        | Error _ -> [])
+        | Error e ->
+            (* A shard did not answer (its server is down and retries ran
+               out). Per configuration: return what the live shards hold,
+               or refuse to return a silently truncated listing. *)
+            if t.config.Hare_config.Config.partial_broadcast then begin
+              t.robust.Hare_stats.Robust.partial_broadcasts <-
+                t.robust.Hare_stats.Robust.partial_broadcasts + 1;
+              []
+            end
+            else Errno.raise_errno e "readdir")
       results
   end
   else

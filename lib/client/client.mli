@@ -42,6 +42,9 @@ val syscalls : t -> Hare_stats.Opcount.t
 
 val rpc_count : t -> int
 
+val robust : t -> Hare_stats.Robust.t
+(** Timeout/retry/recovery counters (all zero without a fault plan). *)
+
 (** {1 File calls} *)
 
 val openf : t -> Fdtable.t -> cwd:string -> string -> Types.open_flags -> int

@@ -9,6 +9,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable flushes : int;
 }
 
 let create ~enabled ~port () =
@@ -19,6 +20,7 @@ let create ~enabled ~port () =
     hits = 0;
     misses = 0;
     invalidations = 0;
+    flushes = 0;
   }
 
 let enabled t = t.enabled
@@ -28,9 +30,14 @@ let port t = t.port
 let rec drain t =
   match Hare_msg.Mailbox.poll t.port with
   | None -> ()
-  | Some { Wire.i_dir; i_name } ->
+  | Some (Wire.Inval_entry { i_dir; i_name }) ->
       Hashtbl.remove t.entries (i_dir, i_name);
       t.invalidations <- t.invalidations + 1;
+      drain t
+  | Some Wire.Inval_all ->
+      (* A server restarted; conservatively flush everything. *)
+      Hashtbl.reset t.entries;
+      t.flushes <- t.flushes + 1;
       drain t
 
 let find t ~dir ~name =
@@ -57,3 +64,5 @@ let hits t = t.hits
 let misses t = t.misses
 
 let invalidations t = t.invalidations
+
+let flushes t = t.flushes

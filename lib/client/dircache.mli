@@ -40,3 +40,6 @@ val hits : t -> int
 val misses : t -> int
 
 val invalidations : t -> int
+
+val flushes : t -> int
+(** Number of full flushes triggered by [Inval_all] (server restarts). *)

@@ -2,7 +2,7 @@ open Hare_proto
 
 type file_state = {
   f_ino : Types.ino;
-  f_token : Types.fd_token;
+  mutable f_token : Types.fd_token;
   f_flags : Types.open_flags;
   mutable f_pos : pos;
   mutable f_blocks : int array;

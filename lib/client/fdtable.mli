@@ -11,7 +11,8 @@ open Hare_proto
 (** Client-side view of one open description. *)
 type file_state = {
   f_ino : Types.ino;
-  f_token : Types.fd_token;
+  mutable f_token : Types.fd_token;
+      (** refreshed in place after a crashed server forgets the token. *)
   f_flags : Types.open_flags;
   mutable f_pos : pos;
   mutable f_blocks : int array;  (** cached block list (direct mode). *)

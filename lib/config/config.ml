@@ -17,6 +17,10 @@ type t = {
   block_stealing : bool;
   buffer_cache_blocks : int;
   pcache_lines : int;
+  fault_plan : string;
+  rpc_deadline : int;
+  rpc_retries : int;
+  partial_broadcast : bool;
   seed : int64;
   costs : Costs.t;
 }
@@ -40,6 +44,12 @@ let default =
     (* 512 KiB of 64-byte lines per core: the per-core L2 of the E7-4850
        family, the cache level that matters for write-back traffic. *)
     pcache_lines = 8192;
+    (* Fault injection off: empty plan, unbounded RPC waits — the exact
+       behaviour of the pre-fault-injection code paths. *)
+    fault_plan = "";
+    rpc_deadline = 0;
+    rpc_retries = 12;
+    partial_broadcast = true;
     seed = 42L;
     costs = Costs.default;
   }
@@ -58,6 +68,10 @@ let validate t =
   else if t.cores_per_socket <= 0 then Error "cores_per_socket must be positive"
   else if t.buffer_cache_blocks <= 0 then Error "buffer cache must be non-empty"
   else if t.pcache_lines <= 0 then Error "private cache must be non-empty"
+  else if t.rpc_deadline < 0 then Error "rpc_deadline must be non-negative"
+  else if t.rpc_retries <= 0 then Error "rpc_retries must be positive"
+  else if t.fault_plan <> "" && t.rpc_deadline = 0 then
+    Error "a fault plan requires rpc_deadline > 0 (clients must retry)"
   else
     match t.placement with
     | Timeshare -> Ok ()

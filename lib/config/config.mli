@@ -46,6 +46,21 @@ type t = {
           it; default off for fidelity. *)
   buffer_cache_blocks : int;  (** total shared buffer cache, in 4K blocks. *)
   pcache_lines : int;  (** private-cache capacity per core, in 64B lines. *)
+  (* {e extension}: robustness (fault injection, timeouts, recovery). *)
+  fault_plan : string;
+      (** fault-plan spec string (see [Hare_fault.Plan]); [""] disables
+          injection entirely — the zero-cost default. *)
+  rpc_deadline : int;
+      (** base RPC deadline in cycles; [0] (default) means wait forever
+          and send no idempotency metadata — the paper's behaviour. Must
+          be positive when a fault plan is set. *)
+  rpc_retries : int;
+      (** attempts per RPC before giving up with [EIO] (deadline doubles
+          each retry, with RNG jitter between attempts). *)
+  partial_broadcast : bool;
+      (** when a broadcast op (readdir) cannot reach a server, return the
+          surviving servers' entries ([true], default) or raise [EIO]
+          ([false]). *)
   seed : int64;
   costs : Costs.t;
 }

@@ -18,6 +18,7 @@ type t = {
   scheds : Hare_sched.Sched_server.t array;
   registry : Program.t;
   kctx : Process.kctx;
+  injector : Hare_fault.Injector.t option;
 }
 
 let boot (config : Config.t) =
@@ -49,7 +50,36 @@ let boot (config : Config.t) =
           ~capacity_lines:config.pcache_lines)
   in
   let inval_ports =
-    Array.init ncores (fun i -> Hare_msg.Mailbox.create ~owner:cores.(i) ~costs ())
+    Array.init ncores (fun i ->
+        Hare_msg.Mailbox.create
+          ~name:(Printf.sprintf "inval%d" i)
+          ~owner:cores.(i) ~costs ())
+  in
+  (* Fault injection: parse the plan once at boot; an empty plan means no
+     injector at all, so the fault-free fast paths stay untouched. *)
+  let injector =
+    let plan =
+      match Hare_fault.Plan.parse config.fault_plan with
+      | Ok p -> p
+      | Error msg -> invalid_arg ("Machine.boot: bad fault_plan: " ^ msg)
+    in
+    if Hare_fault.Plan.is_empty plan then None
+    else begin
+      List.iter
+        (fun (ev : Hare_fault.Plan.server_event) ->
+          if ev.ev_sid < 0 || ev.ev_sid >= nservers then
+            invalid_arg
+              (Printf.sprintf "Machine.boot: fault_plan targets fs%d but only %d server(s) exist"
+                 ev.ev_sid nservers))
+        plan.events;
+      Some
+        (Hare_fault.Injector.create ~engine
+           ~seed:(Int64.add config.seed 0x7a57L)
+           plan)
+    end
+  in
+  let fault_link s =
+    Option.map (fun inj -> Hare_fault.Injector.link inj ~sid:s) injector
   in
   let servers =
     Array.init nservers (fun s ->
@@ -57,11 +87,40 @@ let boot (config : Config.t) =
           ~core:cores.(server_cores.(s))
           ~pcache:pcaches.(server_cores.(s))
           ~dram ~blocks_first:(s * per_server) ~blocks_count:per_server
-          ~inval_ports ())
+          ~inval_ports ?faults:(fault_link s) ())
   in
   Server.install_root servers.(Types.root_ino.server)
     ~dist:(config.root_distributed && config.dir_distribution);
   Array.iter Server.start servers;
+  (* One daemon fiber per scripted fault event. They must be fibers, not
+     bare timer callbacks: crash/restart send replies and invalidations,
+     which charge compute (an effect). *)
+  (match injector with
+  | None -> ()
+  | Some inj ->
+      List.iter
+        (fun (ev : Hare_fault.Plan.server_event) ->
+          let srv = servers.(ev.ev_sid) in
+          let body () =
+            Engine.sleep ev.ev_at;
+            match ev.ev_kind with
+            | Hare_fault.Plan.Stall dur ->
+                Hare_fault.Injector.stall_until
+                  (Hare_fault.Injector.link inj ~sid:ev.ev_sid)
+                  (Int64.add (Engine.now engine) dur)
+            | Hare_fault.Plan.Crash restart_after -> (
+                Server.crash srv;
+                match restart_after with
+                | None -> ()
+                | Some dur ->
+                    Engine.sleep dur;
+                    Server.restart srv)
+          in
+          ignore
+            (Engine.spawn engine ~daemon:true
+               ~name:(Printf.sprintf "fault-fs%d" ev.ev_sid)
+               body))
+        (Hare_fault.Injector.server_events inj));
   let endpoints = Array.map Server.endpoint servers in
   Array.iter (fun s -> Server.set_peers s endpoints) servers;
   (* Designated local server per client (§3.6.4): prefer a same-socket
@@ -106,7 +165,7 @@ let boot (config : Config.t) =
           ~endpoint:sched_ports.(i) ())
   in
   Array.iter Hare_sched.Sched_server.start scheds;
-  { engine; config; cores; dram; servers; clients; scheds; registry; kctx }
+  { engine; config; cores; dram; servers; clients; scheds; registry; kctx; injector }
 
 let engine t = t.engine
 
@@ -172,6 +231,24 @@ let total_rpcs t =
 
 let total_invals t =
   Array.fold_left (fun acc s -> acc + Server.invals_sent s) 0 t.servers
+
+let robustness t =
+  let acc = Hare_stats.Robust.create () in
+  (match t.injector with
+  | Some inj -> Hare_stats.Robust.merge ~into:acc (Hare_fault.Injector.stats inj)
+  | None -> ());
+  Array.iter
+    (fun s -> Hare_stats.Robust.merge ~into:acc (Server.robust s))
+    t.servers;
+  Array.iter
+    (fun c -> Hare_stats.Robust.merge ~into:acc (Client.robust c))
+    t.clients;
+  (* Dircache flushes are counted at the cache, not in a Robust record. *)
+  acc.Hare_stats.Robust.cache_flushes <-
+    Array.fold_left
+      (fun n c -> n + Hare_client.Dircache.flushes (Client.dircache c))
+      0 t.clients;
+  acc
 
 let utilization t =
   let elapsed = Int64.to_float (max 1L (now t)) in

@@ -69,6 +69,11 @@ val total_rpcs : t -> int
 
 val total_invals : t -> int
 
+val robustness : t -> Hare_stats.Robust.t
+(** Merged fault/recovery counters: injector verdicts, per-server
+    crash/dedup counts, per-client timeout/retry counts, and dircache
+    flushes. All zero when no fault plan is configured. *)
+
 val utilization : t -> (int * float) list
 (** Per-core busy fraction (busy cycles / elapsed cycles) — how evenly
     the run loaded the machine. *)

@@ -4,16 +4,29 @@ type 'a t = {
   queue : 'a Bqueue.t;
   owner : Core_res.t;
   costs : Hare_config.Costs.t;
+  faults : Hare_fault.Injector.link option;
   mutable sent : int;
   mutable received : int;
 }
 
-let create ~owner ~costs () =
-  { queue = Bqueue.create (); owner; costs; sent = 0; received = 0 }
+let create ?name ?faults ~owner ~costs () =
+  let t =
+    { queue = Bqueue.create (); owner; costs; faults; sent = 0; received = 0 }
+  in
+  (match name with
+  | None -> ()
+  | Some name ->
+      Engine.register_probe (Core_res.engine owner) ~name (fun () ->
+          Bqueue.length t.queue));
+  t
 
 let owner t = t.owner
 
-let send t ~from ?(payload_lines = 0) msg =
+let enqueue t msg =
+  Bqueue.push t.queue msg;
+  t.sent <- t.sent + 1
+
+let send t ~from ?(payload_lines = 0) ?(unreliable = false) msg =
   let cost = t.costs.send + (payload_lines * t.costs.msg_per_line) in
   let cost =
     if Core_res.socket from <> Core_res.socket t.owner then
@@ -21,9 +34,36 @@ let send t ~from ?(payload_lines = 0) msg =
     else cost
   in
   Core_res.compute from cost;
-  (* Atomic delivery: the enqueue happens before send returns. *)
-  Bqueue.push t.queue msg;
-  t.sent <- t.sent + 1
+  match t.faults with
+  | None ->
+      (* Atomic delivery: the enqueue happens before send returns. *)
+      enqueue t msg
+  | Some link ->
+      let module I = Hare_fault.Injector in
+      if I.down link && unreliable then I.note_blackholed link
+      else begin
+        let engine = Core_res.engine t.owner in
+        let now = Engine.now engine in
+        (* A stalled link holds deliveries until the stall lifts; FIFO
+           order among held messages follows from event-seq ordering. *)
+        let floor =
+          let s = I.stalled_until link in
+          if s > now then Some s else None
+        in
+        let deliver_at = function
+          | None -> enqueue t msg
+          | Some time -> Engine.schedule_at engine time (fun () -> enqueue t msg)
+        in
+        match I.on_send link ~unreliable with
+        | I.Drop -> ()
+        | I.Deliver -> deliver_at floor
+        | I.Duplicate ->
+            deliver_at floor;
+            deliver_at floor
+        | I.Delay extra ->
+            let base = match floor with Some s -> s | None -> now in
+            deliver_at (Some (Int64.add base extra))
+      end
 
 let recv t =
   let msg = Bqueue.pop t.queue in
@@ -38,6 +78,14 @@ let poll t =
       t.received <- t.received + 1;
       Core_res.compute t.owner t.costs.recv;
       Some msg
+
+let drain t =
+  let rec go acc =
+    match Bqueue.pop_nonblocking t.queue with
+    | None -> List.rev acc
+    | Some msg -> go (msg :: acc)
+  in
+  go []
 
 let pending t = Bqueue.length t.queue
 

@@ -13,14 +13,35 @@
 type 'a t
 
 val create :
-  owner:Hare_sim.Core_res.t -> costs:Hare_config.Costs.t -> unit -> 'a t
+  ?name:string ->
+  ?faults:Hare_fault.Injector.link ->
+  owner:Hare_sim.Core_res.t ->
+  costs:Hare_config.Costs.t ->
+  unit ->
+  'a t
+(** [name], when given, registers the queue depth as an engine probe so
+    deadlock reports can show where messages piled up. [faults] attaches
+    an injector link: sends then route through the injector's dice. *)
 
 val owner : 'a t -> Hare_sim.Core_res.t
 
 (** [send t ~from msg] delivers [msg]; on return the message is queued at
     the receiver. [payload_lines] (default 0) charges marshalling cost for
-    bulk payloads. *)
-val send : 'a t -> from:Hare_sim.Core_res.t -> ?payload_lines:int -> 'a -> unit
+    bulk payloads.
+
+    With an injector link attached, [unreliable] sends (default [false])
+    are subject to the fault plan — they may be dropped, duplicated,
+    delayed, or blackholed while the receiver is down. Reliable sends
+    always enqueue (possibly late, if the link is stalled), preserving the
+    atomic-delivery contract. Without a link, [unreliable] is ignored and
+    delivery is exactly the fault-free fast path. *)
+val send :
+  'a t ->
+  from:Hare_sim.Core_res.t ->
+  ?payload_lines:int ->
+  ?unreliable:bool ->
+  'a ->
+  unit
 
 (** [recv t] blocks until a message is available and returns it, charging
     the receive cost to the owner core. *)
@@ -30,6 +51,11 @@ val recv : 'a t -> 'a
     or [None] without cost — the cheap queue-empty check that makes the
     invalidation-drain-before-lookup pattern viable. *)
 val poll : 'a t -> 'a option
+
+(** [drain t] removes and returns every queued message without charging
+    any receive cost; used by crash handling to abort in-flight requests.
+    Drained messages do not count as received. *)
+val drain : 'a t -> 'a list
 
 val pending : 'a t -> int
 

@@ -1,17 +1,30 @@
 open Hare_sim
 
+type meta = { m_client : int; m_seq : int }
+
+type ('req, 'resp) envelope = {
+  body : 'req;
+  reply_ivar : 'resp Ivar.t;
+  meta : meta option;
+}
+
 type ('req, 'resp) t = {
-  mailbox : ('req * 'resp Ivar.t) Mailbox.t;
+  mailbox : ('req, 'resp) envelope Mailbox.t;
   costs : Hare_config.Costs.t;
 }
 
-let endpoint ~owner ~costs () = { mailbox = Mailbox.create ~owner ~costs (); costs }
+let endpoint ?name ?faults ~owner ~costs () =
+  { mailbox = Mailbox.create ?name ?faults ~owner ~costs (); costs }
 
 let owner t = Mailbox.owner t.mailbox
 
-let call_async t ~from ?payload_lines req =
+let call_async t ~from ?payload_lines ?meta req =
   let reply = Ivar.create () in
-  Mailbox.send t.mailbox ~from ?payload_lines (req, reply);
+  (* Only meta-tagged (retryable) requests are fair game for the fault
+     injector; everything else keeps the atomic-delivery guarantee. *)
+  let unreliable = meta <> None in
+  Mailbox.send t.mailbox ~from ?payload_lines ~unreliable
+    { body = req; reply_ivar = reply; meta };
   reply
 
 let await ~from ~costs future =
@@ -19,25 +32,55 @@ let await ~from ~costs future =
   Core_res.compute from costs.Hare_config.Costs.recv;
   resp
 
+let await_deadline ~engine ~from ~costs ~deadline future =
+  match Ivar.read_deadline future ~engine ~cycles:deadline with
+  | Some resp ->
+      Core_res.compute from costs.Hare_config.Costs.recv;
+      Ok resp
+  | None -> Error `Timeout
+
 let call t ~from ?payload_lines req =
   await ~from ~costs:t.costs (call_async t ~from ?payload_lines req)
 
-let reply_fn t ivar ?(payload_lines = 0) resp =
+let call_deadline t ~engine ~from ?payload_lines ~meta ~deadline req =
+  await_deadline ~engine ~from ~costs:t.costs ~deadline
+    (call_async t ~from ?payload_lines ~meta req)
+
+let reply_fn t env ?(payload_lines = 0) resp =
   (* The response is a message from the endpoint's core back to the
      caller; the responder pays the send cost. *)
   Core_res.compute (Mailbox.owner t.mailbox)
     (t.costs.Hare_config.Costs.send
     + (payload_lines * t.costs.Hare_config.Costs.msg_per_line));
-  Ivar.fill ivar resp
+  match env.meta with
+  | Some _ when Ivar.is_filled env.reply_ivar ->
+      (* A duplicated copy of a request we already answered; the caller
+         has its response, so this fill would be a double-assignment. *)
+      ()
+  | _ -> Ivar.fill env.reply_ivar resp
+
+let recv_full t =
+  let env = Mailbox.recv t.mailbox in
+  ( env.body,
+    (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
+    env.meta )
 
 let recv t =
-  let req, ivar = Mailbox.recv t.mailbox in
-  (req, fun ?payload_lines resp -> reply_fn t ivar ?payload_lines resp)
+  let req, reply, _meta = recv_full t in
+  (req, reply)
 
 let poll t =
   match Mailbox.poll t.mailbox with
   | None -> None
-  | Some (req, ivar) ->
-      Some (req, fun ?payload_lines resp -> reply_fn t ivar ?payload_lines resp)
+  | Some env ->
+      Some
+        (env.body, fun ?payload_lines resp -> reply_fn t env ?payload_lines resp)
+
+let drain_pending t =
+  Mailbox.drain t.mailbox
+  |> List.map (fun env ->
+         ( env.body,
+           (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
+           env.meta ))
 
 let pending t = Mailbox.pending t.mailbox

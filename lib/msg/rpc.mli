@@ -4,12 +4,29 @@
     reply slot. Replies are themselves messages (the responder pays a send
     cost, the caller a receive cost). {!call_async}/{!await} let a client
     overlap several outstanding RPCs — the mechanism behind directory
-    broadcast (§3.6.2). *)
+    broadcast (§3.6.2).
+
+    Requests may carry a {!meta} idempotency tag (per-client sequence
+    number). Tagged requests are the ones the fault injector may drop,
+    duplicate or delay; servers use the tag to deduplicate retries, and
+    {!call_deadline} bounds the wait so a lost message surfaces as
+    [Error `Timeout] instead of a hang. *)
+
+type meta = { m_client : int; m_seq : int }
+(** Idempotency tag: the sending client's id and its private, monotonic
+    request sequence number. Retries of one logical request reuse one
+    tag. *)
 
 type ('req, 'resp) t
 
 val endpoint :
-  owner:Hare_sim.Core_res.t -> costs:Hare_config.Costs.t -> unit -> ('req, 'resp) t
+  ?name:string ->
+  ?faults:Hare_fault.Injector.link ->
+  owner:Hare_sim.Core_res.t ->
+  costs:Hare_config.Costs.t ->
+  unit ->
+  ('req, 'resp) t
+(** [name]/[faults] are forwarded to the underlying {!Mailbox.create}. *)
 
 val owner : ('req, 'resp) t -> Hare_sim.Core_res.t
 
@@ -21,11 +38,28 @@ val call :
   'req ->
   'resp
 
-(** [call_async t ~from req] sends [req]; {!await} the returned future. *)
+(** [call_deadline t ~engine ~from ~meta ~deadline req] sends [req] with
+    an idempotency tag and waits at most [deadline] cycles for the reply.
+    A late response still fills the future; it is simply no longer
+    observed by this call. *)
+val call_deadline :
+  ('req, 'resp) t ->
+  engine:Hare_sim.Engine.t ->
+  from:Hare_sim.Core_res.t ->
+  ?payload_lines:int ->
+  meta:meta ->
+  deadline:int64 ->
+  'req ->
+  ('resp, [> `Timeout ]) result
+
+(** [call_async t ~from req] sends [req]; {!await} the returned future.
+    [meta], when given, tags the request for dedup and marks it
+    unreliable (subject to the fault plan). *)
 val call_async :
   ('req, 'resp) t ->
   from:Hare_sim.Core_res.t ->
   ?payload_lines:int ->
+  ?meta:meta ->
   'req ->
   'resp Hare_sim.Ivar.t
 
@@ -37,15 +71,37 @@ val await :
   'resp Hare_sim.Ivar.t ->
   'resp
 
+(** Deadline-bounded {!await}. *)
+val await_deadline :
+  engine:Hare_sim.Engine.t ->
+  from:Hare_sim.Core_res.t ->
+  costs:Hare_config.Costs.t ->
+  deadline:int64 ->
+  'resp Hare_sim.Ivar.t ->
+  ('resp, [> `Timeout ]) result
+
 (** [recv t] (server side) blocks for a request and returns it with its
     reply function. The reply function charges the send cost to the
     endpoint's owner core when invoked; it may be stashed and invoked
     later (how servers park blocking operations — pipe reads, rmdir
-    serialization — without blocking their dispatch loop). *)
+    serialization — without blocking their dispatch loop). Replying to a
+    duplicated copy of an already-answered tagged request is a no-op. *)
 val recv : ('req, 'resp) t -> 'req * (?payload_lines:int -> 'resp -> unit)
+
+(** Like {!recv} but also exposes the request's idempotency tag. *)
+val recv_full :
+  ('req, 'resp) t ->
+  'req * (?payload_lines:int -> 'resp -> unit) * meta option
 
 (** [poll t] is the non-blocking {!recv}. *)
 val poll :
   ('req, 'resp) t -> ('req * (?payload_lines:int -> 'resp -> unit)) option
+
+(** [drain_pending t] empties the request queue without charging receive
+    costs, returning each request with its reply function and tag; crash
+    handling uses this to abort everything in flight. *)
+val drain_pending :
+  ('req, 'resp) t ->
+  ('req * (?payload_lines:int -> 'resp -> unit) * meta option) list
 
 val pending : ('req, 'resp) t -> int

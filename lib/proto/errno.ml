@@ -16,6 +16,7 @@ type t =
   | ENOEXEC
   | EACCES
   | EBUSY
+  | EIO
 
 exception Error of t * string
 
@@ -37,6 +38,7 @@ let to_string = function
   | ENOEXEC -> "ENOEXEC"
   | EACCES -> "EACCES"
   | EBUSY -> "EBUSY"
+  | EIO -> "EIO"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

@@ -18,6 +18,9 @@ type t =
   | ENOEXEC
   | EACCES
   | EBUSY
+  | EIO
+      (** a server was unreachable past the retry budget, crashed while
+          holding parked state, or a broadcast could not complete *)
 
 exception Error of t * string
 (** Raised by the [*_exn] convenience wrappers; the string names the

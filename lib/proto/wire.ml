@@ -79,7 +79,9 @@ type fs_payload =
 
 type fs_resp = (fs_payload, Errno.t) result
 
-type inval = { i_dir : ino; i_name : string }
+type inval =
+  | Inval_entry of { i_dir : ino; i_name : string }
+  | Inval_all
 
 type proxy_msg =
   | Pm_child_exit of int

@@ -111,8 +111,13 @@ type fs_payload =
 
 type fs_resp = (fs_payload, Errno.t) result
 
-(** Directory-cache invalidation pushed from server to client (§3.6.1). *)
-type inval = { i_dir : ino; i_name : string }
+(** Directory-cache invalidation pushed from server to client (§3.6.1).
+    [Inval_all] is sent by a server coming back from a crash: the client
+    cannot tell which of its entries the reborn server would have
+    invalidated, so it must flush them all. *)
+type inval =
+  | Inval_entry of { i_dir : ino; i_name : string }
+  | Inval_all
 
 (** Messages to a proxy process left behind by a remote exec (§3.5). *)
 type proxy_msg =

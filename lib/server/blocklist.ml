@@ -52,6 +52,40 @@ let donate t n =
       Hashtbl.remove t.adopted b;
       b)
 
+let rebuild t ~live =
+  (* Blocks that were allocated but are referenced by no surviving inode
+     leaked in the crash; count them as reclaimed. *)
+  let leaked =
+    Hashtbl.fold
+      (fun b () n ->
+        if b >= t.first && b < t.first + t.count && not (Hashtbl.mem live b)
+        then n + 1
+        else n)
+      t.allocated 0
+  in
+  (* Adopted (stolen) blocks still referenced by an inode stay owned and
+     allocated; unreferenced ones return to their home partition's range —
+     which we cannot reach — so they are simply forgotten (leaked across
+     the whole machine, as after a real crash without a global sweep). *)
+  let adopted_live =
+    Hashtbl.fold
+      (fun b () acc -> if Hashtbl.mem live b then b :: acc else acc)
+      t.adopted []
+  in
+  Hashtbl.reset t.allocated;
+  Hashtbl.reset t.adopted;
+  Queue.clear t.free;
+  List.iter
+    (fun b ->
+      Hashtbl.replace t.adopted b ();
+      Hashtbl.replace t.allocated b ())
+    adopted_live;
+  for b = t.first to t.first + t.count - 1 do
+    if Hashtbl.mem live b then Hashtbl.replace t.allocated b ()
+    else Queue.push b t.free
+  done;
+  leaked
+
 let adopt t blocks =
   Array.iter
     (fun b ->

@@ -37,3 +37,9 @@ val donate : t -> int -> int array
     server's free list; they remain addressable (same DRAM), and this
     server now owns them. *)
 val adopt : t -> int array -> unit
+
+(** [rebuild t ~live] reconstructs the free list after a crash: every
+    block of the partition not in [live] (the set referenced by surviving
+    inodes) becomes free again. Returns the number of previously-allocated
+    blocks that were reclaimed. *)
+val rebuild : t -> live:(int, unit) Hashtbl.t -> int

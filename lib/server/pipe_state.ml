@@ -5,7 +5,7 @@ type t = {
   mutable buffered : int;
   mutable readers : int;
   mutable writers : int;
-  parked_readers : (int * (string -> unit)) Queue.t;
+  parked_readers : (int * ((string, Hare_proto.Errno.t) result -> unit)) Queue.t;
   parked_writers : (string * ((int, Hare_proto.Errno.t) result -> unit)) Queue.t;
 }
 
@@ -74,7 +74,7 @@ let rec pump t =
     && (t.buffered > 0 || t.writers = 0)
   then begin
     let len, k = Queue.pop t.parked_readers in
-    if t.buffered > 0 then k (take t len) else k "" (* EOF *);
+    if t.buffered > 0 then k (Ok (take t len)) else k (Ok "") (* EOF *);
     progressed := true
   end;
   if !progressed then pump t
@@ -94,7 +94,7 @@ let close_writer t =
   if t.writers = 0 then pump t
 
 let read t ~len k =
-  if len <= 0 then k ""
+  if len <= 0 then k (Ok "")
   else begin
     Queue.push (len, k) t.parked_readers;
     pump t
@@ -106,3 +106,13 @@ let write t data k =
     Queue.push (data, k) t.parked_writers;
     pump t
   end
+
+let abort_parked t =
+  let n = Queue.length t.parked_readers + Queue.length t.parked_writers in
+  let readers = List.of_seq (Queue.to_seq t.parked_readers) in
+  let writers = List.of_seq (Queue.to_seq t.parked_writers) in
+  Queue.clear t.parked_readers;
+  Queue.clear t.parked_writers;
+  List.iter (fun (_, k) -> k (Error Hare_proto.Errno.EIO)) readers;
+  List.iter (fun (_, k) -> k (Error Hare_proto.Errno.EIO)) writers;
+  n

@@ -29,9 +29,10 @@ val close_reader : t -> unit
 val close_writer : t -> unit
 
 (** [read t ~len k] delivers up to [len] buffered bytes to [k] as soon as
-    any are available; [k ""] signals EOF (no buffered data and no open
-    writers). *)
-val read : t -> len:int -> (string -> unit) -> unit
+    any are available; [k (Ok "")] signals EOF (no buffered data and no
+    open writers), [k (Error EIO)] that the server crashed while the read
+    was parked. *)
+val read : t -> len:int -> ((string, Hare_proto.Errno.t) result -> unit) -> unit
 
 (** [write t data k] appends [data] once there is space; [k] receives the
     byte count or [EPIPE] if no read end remains. Writes of a chunk are
@@ -41,3 +42,7 @@ val write : t -> string -> ((int, Hare_proto.Errno.t) result -> unit) -> unit
 val parked_readers : t -> int
 
 val parked_writers : t -> int
+
+(** [abort_parked t] fails every parked read and write with [EIO] and
+    clears both queues (server crash); returns how many were aborted. *)
+val abort_parked : t -> int

@@ -27,6 +27,12 @@ type ofd = {
 
 type mark = { parked : (Wire.fs_req * reply) Queue.t }
 
+(* Idempotency memory (volatile): one entry per (client, seq). [Pending]
+   collects reply slots of duplicate copies that arrive while the original
+   is still executing or parked; [Done] caches the response for
+   retransmissions. *)
+type dedup_entry = Pending of reply list ref | Done of Wire.fs_resp
+
 type dirlock = { mutable held : bool; lock_waiters : reply Queue.t }
 
 type t = {
@@ -58,6 +64,13 @@ type t = {
   inval_ports : Wire.inval Hare_msg.Mailbox.t array;
   ops : Hare_stats.Opcount.t;
   mutable invals_sent : int;
+  (* robustness: crash state, idempotency, counters *)
+  faults : Hare_fault.Injector.link option;
+  mutable down : bool;
+  (* reliable messages that arrived while down; served after restart *)
+  boot_queue : (Wire.fs_req * reply * Hare_msg.Rpc.meta option) Queue.t;
+  dedup : (int, (int, dedup_entry) Hashtbl.t) Hashtbl.t;
+  robust : Hare_stats.Robust.t;
   (* block stealing (extension) *)
   mutable peers : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array;
   steal_parked : (Wire.fs_req * reply) Queue.t;
@@ -70,7 +83,7 @@ type t = {
 let bs = Hare_mem.Layout.block_size
 
 let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
-    ~inval_ports () =
+    ~inval_ports ?faults () =
   {
     sid;
     engine;
@@ -81,7 +94,9 @@ let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
     dram;
     blocks = Blocklist.create ~first:blocks_first ~count:blocks_count;
     endpoint =
-      Hare_msg.Rpc.endpoint ~owner:core ~costs:config.Hare_config.Config.costs ();
+      Hare_msg.Rpc.endpoint
+        ~name:(Printf.sprintf "fs%d" sid)
+        ?faults ~owner:core ~costs:config.Hare_config.Config.costs ();
     inodes = Hashtbl.create 1024;
     next_lid = 1;
     tokens = Hashtbl.create 256;
@@ -94,6 +109,11 @@ let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
     inval_ports;
     ops = Hare_stats.Opcount.create ();
     invals_sent = 0;
+    faults;
+    down = false;
+    boot_queue = Queue.create ();
+    dedup = Hashtbl.create 16;
+    robust = Hare_stats.Robust.create ();
     peers = [||];
     steal_parked = Queue.create ();
     steal_inflight = false;
@@ -121,6 +141,10 @@ let open_tokens t = Hashtbl.length t.tokens
 let set_peers t peers = t.peers <- peers
 
 let blocks_stolen t = t.blocks_stolen
+
+let robust t = t.robust
+
+let is_down t = t.down
 
 (* ---------- inode and token helpers ----------------------------------- *)
 
@@ -292,7 +316,7 @@ let send_invals t ~dir ~name ~except =
             (fun client () ->
               if client <> except then begin
                 Hare_msg.Mailbox.send t.inval_ports.(client) ~from:t.core
-                  { Wire.i_dir = dir; i_name = name };
+                  (Wire.Inval_entry { i_dir = dir; i_name = name });
                 t.invals_sent <- t.invals_sent + 1
               end)
             clients;
@@ -765,9 +789,11 @@ let handle_pipe_read t ~token ~len (reply : reply) =
   with_ofd t token reply (fun ofd ->
       match (ofd.pipe_end, ofd.inode.pipe) with
       | Some `R, Some pipe ->
-          Pipe_state.read pipe ~len (fun data ->
-              let payload_lines = (String.length data / 64) + 1 in
-              reply ~payload_lines (Ok (Wire.P_read { data; now_local = None })))
+          Pipe_state.read pipe ~len (function
+            | Ok data ->
+                let payload_lines = (String.length data / 64) + 1 in
+                reply ~payload_lines (Ok (Wire.P_read { data; now_local = None }))
+            | Error e -> reply (Error e))
       | _ -> reply (Error Errno.EBADF))
 
 let handle_pipe_write t ~token ~data (reply : reply) =
@@ -913,14 +939,167 @@ and dispatch t (req : Wire.fs_req) (reply : reply) =
   | Wire.Pipe_write { token; data } -> handle_pipe_write t ~token ~data reply
   | Wire.Steal_blocks { count } -> handle_steal_blocks t ~count reply
 
+(* ---------- execution, idempotency, crash/recovery --------------------- *)
+
+let execute t (req : Wire.fs_req) (reply : reply) =
+  Hare_stats.Opcount.incr t.ops (Wire.req_name req);
+  Core_res.compute t.core (t.costs.server_dispatch + op_cost req);
+  try handle t req reply with Errno.Error (e, _) -> reply (Error e)
+
+let dedup_table t client =
+  match Hashtbl.find_opt t.dedup client with
+  | Some m -> m
+  | None ->
+      let m = Hashtbl.create 64 in
+      Hashtbl.replace t.dedup client m;
+      m
+
+(* Sequence numbers are monotonic per client and a client has at most a
+   handful of RPCs outstanding, so cached responses far behind the
+   current sequence can never be asked for again. *)
+let prune_dedup table ~before =
+  Hashtbl.filter_map_inplace
+    (fun seq entry ->
+      match entry with Done _ when seq < before -> None | e -> Some e)
+    table
+
+let process t (req : Wire.fs_req) (reply : reply)
+    (meta : Hare_msg.Rpc.meta option) =
+  match meta with
+  | None -> execute t req reply
+  | Some m -> (
+      let table = dedup_table t m.m_client in
+      match Hashtbl.find_opt table m.m_seq with
+      | Some (Done resp) ->
+          (* Retransmission of a completed request: replay the cached
+             response without re-executing the operation. *)
+          t.robust.dedup_hits <- t.robust.dedup_hits + 1;
+          Core_res.compute t.core t.costs.server_dispatch;
+          reply resp
+      | Some (Pending extras) ->
+          (* The original is still executing (or parked); attach this
+             copy's reply slot to be answered alongside it. *)
+          t.robust.dedup_hits <- t.robust.dedup_hits + 1;
+          extras := reply :: !extras
+      | None ->
+          let extras = ref [] in
+          Hashtbl.replace table m.m_seq (Pending extras);
+          if Hashtbl.length table > 256 then
+            prune_dedup table ~before:(m.m_seq - 128);
+          let once = ref false in
+          let reply' ?payload_lines resp =
+            if not !once then begin
+              once := true;
+              Hashtbl.replace table m.m_seq (Done resp);
+              reply ?payload_lines resp;
+              List.iter (fun (r : reply) -> r resp) !extras;
+              extras := []
+            end
+          in
+          execute t req reply')
+
+let crash t =
+  if not t.down then begin
+    t.down <- true;
+    (match t.faults with
+    | Some l -> Hare_fault.Injector.set_down l true
+    | None -> ());
+    t.robust.crashes <- t.robust.crashes + 1;
+    Log.debug (fun m -> m "server %d crashes at %Ld" t.sid (Engine.now t.engine));
+    let aborted = ref 0 in
+    let abort (reply : reply) =
+      incr aborted;
+      reply (Error Errno.EIO)
+    in
+    (* In-flight queued requests die with the server. Tagged copies just
+       vanish — the client's deadline fires and it retries. Untagged
+       (reliable, non-retryable) requests get EIO so their callers
+       unblock. *)
+    List.iter
+      (fun ((_ : Wire.fs_req), reply, meta) ->
+        match meta with Some _ -> incr aborted | None -> abort reply)
+      (Hare_msg.Rpc.drain_pending t.endpoint);
+    (* Parked continuations are volatile: error them all out. *)
+    Hashtbl.iter
+      (fun _ (m : mark) -> Queue.iter (fun (_, r) -> abort r) m.parked)
+      t.marks;
+    Hashtbl.reset t.marks;
+    Hashtbl.iter
+      (fun _ (l : dirlock) -> Queue.iter abort l.lock_waiters)
+      t.locks;
+    Hashtbl.reset t.locks;
+    Queue.iter (fun (_, r) -> abort r) t.steal_parked;
+    Queue.clear t.steal_parked;
+    t.steal_inflight <- false;
+    t.steal_failures <- 0;
+    Hashtbl.iter
+      (fun _ (inode : Inode.t) ->
+        match inode.Inode.pipe with
+        | Some p -> aborted := !aborted + Pipe_state.abort_parked p
+        | None -> ())
+      t.inodes;
+    (* Volatile tables: descriptors, idempotency memory, invalidation
+       tracking. The DRAM-resident structures (inodes, directory shards,
+       tombstones, block contents) survive. *)
+    Hashtbl.reset t.tokens;
+    Hashtbl.iter
+      (fun _ (inode : Inode.t) -> inode.Inode.open_tokens <- 0)
+      t.inodes;
+    Hashtbl.reset t.dedup;
+    Hashtbl.reset t.tracking;
+    t.robust.aborted <- t.robust.aborted + !aborted
+  end
+
+let restart t =
+  if t.down then begin
+    Log.debug (fun m ->
+        m "server %d restarts at %Ld" t.sid (Engine.now t.engine));
+    (* Every descriptor died with the crash, so orphaned blocks and
+       unlinked inodes have no remaining users; the free list becomes
+       whatever the surviving inodes do not reference. *)
+    let dead =
+      Hashtbl.fold
+        (fun lid (inode : Inode.t) acc ->
+          inode.Inode.orphans <- [||];
+          if inode.Inode.unlinked && inode.Inode.nlink <= 0 then lid :: acc
+          else acc)
+        t.inodes []
+    in
+    List.iter (Hashtbl.remove t.inodes) dead;
+    let live = Hashtbl.create 4096 in
+    Hashtbl.iter
+      (fun _ (inode : Inode.t) ->
+        Array.iter (fun b -> Hashtbl.replace live b ()) inode.Inode.blocks)
+      t.inodes;
+    let reclaimed = Blocklist.rebuild t.blocks ~live in
+    t.robust.blocks_rebuilt <- t.robust.blocks_rebuilt + reclaimed;
+    t.down <- false;
+    (match t.faults with
+    | Some l -> Hare_fault.Injector.set_down l false
+    | None -> ());
+    t.robust.restarts <- t.robust.restarts + 1;
+    (* Clients cannot tell which of their cached entries this server
+       would have invalidated while it was down: make them flush. *)
+    Array.iter
+      (fun port ->
+        Hare_msg.Mailbox.send port ~from:t.core Wire.Inval_all;
+        t.invals_sent <- t.invals_sent + 1)
+      t.inval_ports;
+    (* Serve the reliable requests that queued up while we were down. *)
+    let parked = List.of_seq (Queue.to_seq t.boot_queue) in
+    Queue.clear t.boot_queue;
+    List.iter (fun (req, reply, meta) -> process t req reply meta) parked
+  end
+
 let start t =
   let loop () =
     let rec go () =
-      let req, reply = Hare_msg.Rpc.recv t.endpoint in
-      Hare_stats.Opcount.incr t.ops (Wire.req_name req);
-      Core_res.compute t.core (t.costs.server_dispatch + op_cost req);
-      (try handle t req reply
-       with Errno.Error (e, _) -> reply (Error e));
+      let req, reply, meta = Hare_msg.Rpc.recv_full t.endpoint in
+      if t.down then
+        (* The process is gone; only reliable sends still land here (the
+           injector blackholes unreliable ones). Hold them for reboot. *)
+        Queue.push (req, reply, meta) t.boot_queue
+      else process t req reply meta;
       go ()
     in
     go ()

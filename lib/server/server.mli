@@ -21,8 +21,11 @@ val create :
   blocks_first:int ->
   blocks_count:int ->
   inval_ports:Hare_proto.Wire.inval Hare_msg.Mailbox.t array ->
+  ?faults:Hare_fault.Injector.link ->
   unit ->
   t
+(** [faults] attaches this server's fault-injector link (also routed into
+    the request mailbox) so crashes blackhole unreliable traffic. *)
 
 val sid : t -> int
 
@@ -42,6 +45,28 @@ val start : t -> unit
     when the configuration turns it on). Wired by [Hare.Machine.boot]. *)
 val set_peers :
   t -> (Hare_proto.Wire.fs_req, Hare_proto.Wire.fs_resp) Hare_msg.Rpc.t array -> unit
+
+(** {1 Crash and recovery (fault injection)} *)
+
+(** [crash t] kills the server process: every parked or queued request is
+    aborted (tagged copies silently — their clients retry; the rest with
+    [EIO]) and all volatile state (descriptor table, idempotency memory,
+    invalidation tracking) is discarded. The DRAM-resident structures —
+    inodes, directory shards, block contents — survive. Must be called
+    from within a fiber (replies charge compute). *)
+val crash : t -> unit
+
+(** [restart t] boots the server back up: frees orphaned blocks and
+    unlinked inodes (no descriptor survived), rebuilds the free-block
+    list from the surviving inodes, tells every client to flush its
+    directory cache, and serves the reliable requests that queued while
+    down. Must be called from within a fiber. *)
+val restart : t -> unit
+
+val is_down : t -> bool
+
+val robust : t -> Hare_stats.Robust.t
+(** Crash/dedup counters for this server. *)
 
 (** {1 Introspection (tests, statistics)} *)
 

@@ -11,6 +11,31 @@ let signal t =
       t.queue <- List.rev rest;
       oldest ()
 
+let wait_deadline t ~engine ~cycles =
+  if cycles < 0L then invalid_arg "Condition.wait_deadline: negative deadline";
+  let outcome = ref `Timeout in
+  Engine.suspend (fun waker ->
+      let fired = ref false in
+      let entry () =
+        if not !fired then begin
+          fired := true;
+          outcome := `Signalled;
+          waker ()
+        end
+      in
+      t.queue <- entry :: t.queue;
+      Engine.schedule_at engine
+        (Int64.add (Engine.now engine) cycles)
+        (fun () ->
+          if not !fired then begin
+            fired := true;
+            (* Remove ourselves so a later signal is not consumed by a
+               waiter that already gave up. *)
+            t.queue <- List.filter (fun w -> w != entry) t.queue;
+            waker ()
+          end));
+  !outcome
+
 let broadcast t =
   let waiters = List.rev t.queue in
   t.queue <- [];

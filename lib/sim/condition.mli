@@ -14,6 +14,14 @@ val create : unit -> t
 (** [wait t] blocks the calling fiber until signalled. *)
 val wait : t -> unit
 
+(** [wait_deadline t ~engine ~cycles] blocks like {!wait} but for at most
+    [cycles] simulated cycles. Returns [`Signalled] if woken by
+    {!signal}/{!broadcast}, [`Timeout] otherwise; a timed-out waiter is
+    removed from the queue so it cannot absorb a later signal. Raises
+    [Invalid_argument] if [cycles] is negative. *)
+val wait_deadline :
+  t -> engine:Engine.t -> cycles:int64 -> [ `Signalled | `Timeout ]
+
 (** [signal t] wakes one waiting fiber (FIFO); no-op if none wait. *)
 val signal : t -> unit
 

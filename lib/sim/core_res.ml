@@ -24,6 +24,8 @@ let create engine ~id ~socket ~ctx_switch =
 
 let id t = t.id
 
+let engine t = t.engine
+
 let socket t = t.socket
 
 let free_at t = t.free_at

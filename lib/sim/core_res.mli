@@ -14,6 +14,9 @@ val create : Engine.t -> id:int -> socket:int -> ctx_switch:int -> t
 
 val id : t -> int
 
+val engine : t -> Engine.t
+(** The simulation engine this core is bound to. *)
+
 val socket : t -> int
 (** NUMA socket this core belongs to. *)
 

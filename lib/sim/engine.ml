@@ -18,6 +18,8 @@ type t = {
   root_rng : Rng.t;
   mutable tracing : bool;
   mutable fibers : fiber list; (* for deadlock reporting *)
+  mutable probes : (string * (unit -> int)) list;
+      (* named pending-depth probes (mailboxes), for deadlock reporting *)
 }
 
 exception Deadlock of string
@@ -41,6 +43,7 @@ let create ?(seed = 1L) () =
     root_rng = Rng.create ~seed;
     tracing = false;
     fibers = [];
+    probes = [];
   }
 
 let now t = t.time
@@ -124,6 +127,16 @@ let spawn t ?(daemon = false) ~name body =
   schedule_at t t.time start;
   fiber
 
+let register_probe t ~name depth = t.probes <- (name, depth) :: t.probes
+
+let pending_depths t =
+  List.rev t.probes
+  |> List.filter_map (fun (name, depth) ->
+         match depth () with
+         | 0 -> None
+         | d -> Some (Printf.sprintf "%s=%d" name d)
+         | exception _ -> None)
+
 let blocked_names t =
   t.fibers
   |> List.filter (fun f -> f.state = `Blocked && not f.daemon)
@@ -136,11 +149,17 @@ let step t =
   f ()
 
 let check_deadlock t =
-  if t.live > 0 then
+  if t.live > 0 then begin
+    let depths =
+      match pending_depths t with
+      | [] -> "no undelivered mailbox messages"
+      | ds -> "undelivered mailbox messages: " ^ String.concat ", " ds
+    in
     raise
       (Deadlock
-         (Printf.sprintf "%d fiber(s) blocked with no pending events: %s"
-            t.live (blocked_names t)))
+         (Printf.sprintf "%d fiber(s) blocked with no pending events: %s (%s)"
+            t.live (blocked_names t) depths))
+  end
 
 let run t =
   while not (Heap.is_empty t.events) do

@@ -81,3 +81,14 @@ val suspend : (waker -> unit) -> unit
 val trace : t -> bool
 val set_trace : t -> bool -> unit
 (** When tracing is on, fiber lifecycle events are logged via [Logs]. *)
+
+(** {1 Deadlock diagnostics} *)
+
+val register_probe : t -> name:string -> (unit -> int) -> unit
+(** [register_probe t ~name depth] registers a named pending-depth probe
+    (typically a mailbox's queue length). When {!run} raises {!Deadlock},
+    the report appends every probe with a non-zero depth, so a lost-reply
+    hang shows at a glance where messages piled up. *)
+
+val pending_depths : t -> string list
+(** Formatted ["name=depth"] strings for all probes with non-zero depth. *)

@@ -24,6 +24,28 @@ let read t =
       | Some v -> v
       | None -> assert false)
 
+let read_deadline t ~engine ~cycles =
+  if cycles < 0L then invalid_arg "Ivar.read_deadline: negative deadline";
+  match t.value with
+  | Some _ -> t.value
+  | None ->
+      Engine.suspend (fun waker ->
+          (* Both the fill path and the timer may try to wake; whichever
+             fires first wins and the loser becomes a no-op, so the
+             underlying waker is invoked exactly once. *)
+          let fired = ref false in
+          let wake_once () =
+            if not !fired then begin
+              fired := true;
+              waker ()
+            end
+          in
+          t.waiters <- wake_once :: t.waiters;
+          Engine.schedule_at engine
+            (Int64.add (Engine.now engine) cycles)
+            wake_once);
+      t.value
+
 let peek t = t.value
 
 let is_filled t = t.value <> None

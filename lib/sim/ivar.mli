@@ -15,6 +15,13 @@ val fill : 'a t -> 'a -> unit
 (** [read t] returns the value, blocking the calling fiber until filled. *)
 val read : 'a t -> 'a
 
+(** [read_deadline t ~engine ~cycles] blocks like {!read} but for at most
+    [cycles] simulated cycles; returns [None] on timeout. The ivar may
+    still be filled later — a stale fill simply lands in the ivar and any
+    remaining readers wake normally. Raises [Invalid_argument] if [cycles]
+    is negative. *)
+val read_deadline : 'a t -> engine:Engine.t -> cycles:int64 -> 'a option
+
 (** [peek t] returns the value if filled, without blocking. *)
 val peek : 'a t -> 'a option
 

@@ -1,0 +1,85 @@
+type t = {
+  mutable drops : int;
+  mutable dups : int;
+  mutable delays : int;
+  mutable blackholed : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable giveups : int;
+  mutable dedup_hits : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable aborted : int;
+  mutable tokens_recovered : int;
+  mutable cache_flushes : int;
+  mutable partial_broadcasts : int;
+  mutable blocks_rebuilt : int;
+}
+
+let create () =
+  {
+    drops = 0;
+    dups = 0;
+    delays = 0;
+    blackholed = 0;
+    timeouts = 0;
+    retries = 0;
+    giveups = 0;
+    dedup_hits = 0;
+    crashes = 0;
+    restarts = 0;
+    aborted = 0;
+    tokens_recovered = 0;
+    cache_flushes = 0;
+    partial_broadcasts = 0;
+    blocks_rebuilt = 0;
+  }
+
+let merge ~into src =
+  into.drops <- into.drops + src.drops;
+  into.dups <- into.dups + src.dups;
+  into.delays <- into.delays + src.delays;
+  into.blackholed <- into.blackholed + src.blackholed;
+  into.timeouts <- into.timeouts + src.timeouts;
+  into.retries <- into.retries + src.retries;
+  into.giveups <- into.giveups + src.giveups;
+  into.dedup_hits <- into.dedup_hits + src.dedup_hits;
+  into.crashes <- into.crashes + src.crashes;
+  into.restarts <- into.restarts + src.restarts;
+  into.aborted <- into.aborted + src.aborted;
+  into.tokens_recovered <- into.tokens_recovered + src.tokens_recovered;
+  into.cache_flushes <- into.cache_flushes + src.cache_flushes;
+  into.partial_broadcasts <- into.partial_broadcasts + src.partial_broadcasts;
+  into.blocks_rebuilt <- into.blocks_rebuilt + src.blocks_rebuilt
+
+let to_list t =
+  [
+    ("msgs dropped", t.drops);
+    ("msgs duplicated", t.dups);
+    ("msgs delayed", t.delays);
+    ("msgs blackholed", t.blackholed);
+    ("rpc timeouts", t.timeouts);
+    ("rpc retries", t.retries);
+    ("rpc giveups", t.giveups);
+    ("dedup hits", t.dedup_hits);
+    ("server crashes", t.crashes);
+    ("server restarts", t.restarts);
+    ("requests aborted", t.aborted);
+    ("tokens recovered", t.tokens_recovered);
+    ("dircache flushes", t.cache_flushes);
+    ("partial broadcasts", t.partial_broadcasts);
+    ("blocks rebuilt", t.blocks_rebuilt);
+  ]
+
+let is_zero t = List.for_all (fun (_, n) -> n = 0) (to_list t)
+
+let equal a b = to_list a = to_list b
+
+let pp ppf t =
+  let nonzero = List.filter (fun (_, n) -> n <> 0) (to_list t) in
+  if nonzero = [] then Format.pp_print_string ppf "no faults"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf (k, n) -> Format.fprintf ppf "%s=%d" k n)
+      ppf nonzero

@@ -1,0 +1,39 @@
+(** Robustness counters.
+
+    One mutable record shared by the fault injector, servers and clients;
+    {!merge} folds per-component instances into a machine-wide aggregate.
+    All counters stay at zero when fault injection is disabled — a cheap
+    way for tests to assert the machinery is inert. *)
+
+type t = {
+  mutable drops : int;  (** messages dropped by the injector *)
+  mutable dups : int;  (** messages duplicated by the injector *)
+  mutable delays : int;  (** messages delayed by the injector *)
+  mutable blackholed : int;  (** messages discarded because server down *)
+  mutable timeouts : int;  (** RPC deadline expirations observed *)
+  mutable retries : int;  (** RPC resends after a timeout *)
+  mutable giveups : int;  (** RPCs that exhausted their retry budget *)
+  mutable dedup_hits : int;  (** duplicate requests absorbed by servers *)
+  mutable crashes : int;  (** server crash events *)
+  mutable restarts : int;  (** server restart events *)
+  mutable aborted : int;  (** queued/parked requests errored by a crash *)
+  mutable tokens_recovered : int;  (** fd tokens re-opened after a crash *)
+  mutable cache_flushes : int;  (** dircache full flushes on reconnect *)
+  mutable partial_broadcasts : int;  (** broadcasts that skipped a server *)
+  mutable blocks_rebuilt : int;  (** free blocks recovered on restart *)
+}
+
+val create : unit -> t
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every counter of [src] into [into]. *)
+
+val to_list : t -> (string * int) list
+(** Label/value pairs in display order. *)
+
+val is_zero : t -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints the non-zero counters (or ["no faults"]). *)

@@ -1,0 +1,309 @@
+(* Fault injection end-to-end: deterministic fault plans, RPC
+   timeout/retry with exactly-once dedup, and file-server
+   crash-recovery. The core check throughout: a workload run under a
+   fault plan produces the same file-system tree as the fault-free
+   oracle — faults cost retries and recovery work, never correctness. *)
+
+open Test_util
+module Types = Hare_proto.Types
+module Errno = Hare_proto.Errno
+module Wire = Hare_proto.Wire
+module Api = Hare_api.Api
+module World = Hare_experiments.World
+module Robust = Hare_stats.Robust
+module Plan = Hare_fault.Plan
+module Spec = Hare_workloads.Spec
+
+(* ---------- plan parsing ------------------------------------------------ *)
+
+let test_plan_parse () =
+  let p =
+    Plan.parse_exn "drop:fs:0.05; dup:fs1:0.02; delay:fs:0.1:4000; crash:1@200000+150000; stall:2@5000+800"
+  in
+  Alcotest.(check int) "rules" 3 (List.length p.Plan.rules);
+  Alcotest.(check int) "events" 2 (List.length p.Plan.events);
+  (* canonical string round-trips *)
+  let s = Plan.to_string p in
+  Alcotest.(check string) "round-trip" s (Plan.to_string (Plan.parse_exn s));
+  Alcotest.(check bool) "empty" true (Plan.is_empty (Plan.parse_exn "  "));
+  let bad spec =
+    match Plan.parse spec with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ spec)
+    | Error _ -> ()
+  in
+  bad "drop:fs:1.5";
+  bad "drop:disk:0.1";
+  bad "flip:fs:0.1";
+  bad "crash:1";
+  bad "stall:1@50";
+  bad "delay:fs:0.1"
+
+(* ---------- soak harness ------------------------------------------------ *)
+
+let soak_config ?(plan = "") ?(deadline = 0) ?(retries = 12) ?(partial = true)
+    () =
+  {
+    (small_config ~ncores:4 ()) with
+    Config.fault_plan = plan;
+    rpc_deadline = deadline;
+    rpc_retries = retries;
+    partial_broadcast = partial;
+    seed = 42L;
+  }
+
+(* Canonical snapshot of the whole tree: sorted paths, with sizes and a
+   content hash for regular files. *)
+let rec snapshot p path acc =
+  let entries =
+    List.sort compare
+      (List.map
+         (fun (e : Wire.entry) -> (e.Wire.e_name, e.Wire.e_ftype))
+         (Posix.readdir p path))
+  in
+  List.fold_left
+    (fun acc (name, (ft : Types.ftype)) ->
+      let full = (if path = "/" then "" else path) ^ "/" ^ name in
+      match ft with
+      | Types.Dir -> snapshot p full ((full ^ "/") :: acc)
+      | Types.Reg ->
+          let fd = Posix.openf p full flags_r in
+          let data = Posix.read_all p fd in
+          Posix.close p fd;
+          Printf.sprintf "%s #%d %d" full (String.length data)
+            (Hashtbl.hash data)
+          :: acc
+      | Types.Fifo -> (full ^ " |") :: acc)
+    acc entries
+
+(* Run the paper's fsstress benchmark (every worker in its own subtree)
+   on a machine booted with [config]; return the final tree, the merged
+   robustness counters and the final simulated time. *)
+let run_fsstress config =
+  let m = Machine.boot config in
+  let api = World.Hare_w.api m in
+  let spec = Hare_workloads.All.find "fsstress" in
+  let nprocs = List.length (Config.app_cores config) in
+  api.Api.register_program "bench-worker" (fun p args ->
+      let idx = int_of_string (List.hd args) in
+      spec.Spec.worker api p ~idx ~nprocs ~scale:1;
+      0);
+  let tree = ref [] in
+  let init, _ =
+    Machine.spawn_init m ~name:"soak" (fun p _ ->
+        spec.Spec.setup api p ~nprocs ~scale:1;
+        let pids =
+          List.init nprocs (fun i ->
+              Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+        in
+        let bad = List.filter (fun pid -> Posix.waitpid p pid <> 0) pids in
+        if bad <> [] then List.length bad
+        else begin
+          tree := List.rev (snapshot p "/" []);
+          0
+        end)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "soak workers all ok" (Some 0)
+    (Machine.exit_status m init);
+  (!tree, Machine.robustness m, Machine.now m)
+
+(* The fault-free oracle, computed once and shared by every soak case. *)
+let oracle = lazy (run_fsstress (soak_config ()))
+
+let check_tree name faulted =
+  let expect, _, _ = Lazy.force oracle in
+  Alcotest.(check (list string)) (name ^ ": tree matches oracle") expect faulted
+
+(* ---------- soak cases -------------------------------------------------- *)
+
+let test_fault_free_counters () =
+  let _, robust, _ = Lazy.force oracle in
+  Alcotest.(check bool)
+    (Fmt.str "no fault plan => all counters zero (got: %a)" Robust.pp robust)
+    true (Robust.is_zero robust)
+
+let test_machinery_armed_but_idle () =
+  (* Deadlines and dedup tags on, but an empty plan: nothing may change
+     in the produced state and no fault counter may move. *)
+  let tree, robust, _ = run_fsstress (soak_config ~deadline:1_000_000 ()) in
+  check_tree "armed-idle" tree;
+  Alcotest.(check bool)
+    (Fmt.str "empty plan => counters zero (got: %a)" Robust.pp robust)
+    true (Robust.is_zero robust)
+
+let lossy_config () =
+  soak_config ~plan:"drop:fs:0.04;dup:fs:0.04;delay:fs:0.06:4000"
+    ~deadline:25_000 ()
+
+let test_message_faults () =
+  let tree, r, _ = run_fsstress (lossy_config ()) in
+  check_tree "lossy" tree;
+  Alcotest.(check bool) "some drops" true (r.Robust.drops > 0);
+  Alcotest.(check bool) "some dups" true (r.Robust.dups > 0);
+  Alcotest.(check bool) "some delays" true (r.Robust.delays > 0);
+  Alcotest.(check bool) "timeouts seen" true (r.Robust.timeouts > 0);
+  Alcotest.(check bool) "retries recovered them" true (r.Robust.retries > 0);
+  Alcotest.(check int) "nobody gave up" 0 r.Robust.giveups
+
+let test_determinism () =
+  (* Same seed, same plan: bit-identical fault sequence, counters and
+     final clock. *)
+  let tree1, r1, end1 = run_fsstress (lossy_config ()) in
+  let tree2, r2, end2 = run_fsstress (lossy_config ()) in
+  Alcotest.(check (list string)) "same tree" tree1 tree2;
+  Alcotest.(check bool)
+    (Fmt.str "same counters (%a vs %a)" Robust.pp r1 Robust.pp r2)
+    true (Robust.equal r1 r2);
+  Alcotest.(check int64) "same final cycle" end1 end2
+
+let test_dedup_exactly_once () =
+  (* Duplicate every single request: without (client, seq) dedup this
+     would double-apply creates and unlinks everywhere. *)
+  let tree, r, _ =
+    run_fsstress (soak_config ~plan:"dup:fs:1.0" ~deadline:50_000 ())
+  in
+  check_tree "dup-everything" tree;
+  Alcotest.(check bool) "dedup absorbed the copies" true
+    (r.Robust.dedup_hits > 0)
+
+let test_crash_recovery () =
+  (* Kill a file server mid-run for 300k cycles. Clients must ride it
+     out with retries and token recovery; the server must rebuild its
+     volatile state from the DRAM-resident structures. *)
+  let tree, r, _ =
+    run_fsstress
+      (soak_config ~plan:"crash:2@1000000+300000" ~deadline:25_000 ())
+  in
+  check_tree "crash-recovery" tree;
+  Alcotest.(check int) "one crash" 1 r.Robust.crashes;
+  Alcotest.(check int) "one restart" 1 r.Robust.restarts;
+  Alcotest.(check bool) "retries during the outage" true
+    (r.Robust.retries > 0);
+  Alcotest.(check bool) "clients flushed dircaches on reconnect" true
+    (r.Robust.cache_flushes > 0);
+  Alcotest.(check int) "nobody gave up" 0 r.Robust.giveups
+
+(* ---------- targeted cases --------------------------------------------- *)
+
+let test_giveup_is_eio () =
+  (* Total packet loss: retries must be bounded and surface EIO. *)
+  let config =
+    soak_config ~plan:"drop:fs:1.0" ~deadline:2_000 ~retries:3 ()
+  in
+  let m = Machine.boot config in
+  let init, _ =
+    Machine.spawn_init m ~name:"giveup" (fun p _ ->
+        expect_errno "mkdir under total loss" Errno.EIO (fun () ->
+            Posix.mkdir p "/nope");
+        0)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "init ok" (Some 0) (Machine.exit_status m init);
+  let r = Machine.robustness m in
+  Alcotest.(check bool) "gave up at least once" true (r.Robust.giveups > 0);
+  Alcotest.(check bool) "bounded attempts" true
+    (r.Robust.timeouts <= 3 * (1 + r.Robust.giveups))
+
+(* Shared helper: a distributed directory whose shards span every
+   server, then server 1 dies for good before the listing. *)
+let dead_shard_machine ~partial =
+  let config =
+    soak_config ~plan:"crash:1@1000000" ~deadline:5_000 ~retries:3 ~partial ()
+  in
+  let m = Machine.boot config in
+  (m, config)
+
+let test_readdir_partial () =
+  let m, _ = dead_shard_machine ~partial:true in
+  let init, _ =
+    Machine.spawn_init m ~name:"partial" (fun p _ ->
+        Posix.mkdir p ~dist:true "/d";
+        for i = 0 to 15 do
+          Posix.close p (Posix.creat p (Printf.sprintf "/d/f%02d" i))
+        done;
+        let full = List.length (Posix.readdir p "/d") in
+        Alcotest.(check int) "all entries before the crash" 16 full;
+        Posix.compute p 1_200_000;
+        (* server 1 is now gone; its shard's entries drop out *)
+        let after = List.length (Posix.readdir p "/d") in
+        Alcotest.(check bool)
+          (Printf.sprintf "partial listing (%d) is a strict subset" after)
+          true
+          (after < 16 && after > 0);
+        0)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "init ok" (Some 0) (Machine.exit_status m init);
+  Alcotest.(check bool) "partial broadcasts counted" true
+    ((Machine.robustness m).Robust.partial_broadcasts > 0)
+
+let test_readdir_strict_eio () =
+  let m, _ = dead_shard_machine ~partial:false in
+  let init, _ =
+    Machine.spawn_init m ~name:"strict" (fun p _ ->
+        Posix.mkdir p ~dist:true "/d";
+        for i = 0 to 15 do
+          Posix.close p (Posix.creat p (Printf.sprintf "/d/f%02d" i))
+        done;
+        Posix.compute p 1_200_000;
+        expect_errno "readdir with a dead shard" Errno.EIO (fun () ->
+            Posix.readdir p "/d");
+        0)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "init ok" (Some 0) (Machine.exit_status m init)
+
+let test_stall_delays_but_delivers () =
+  (* A stalled server freezes delivery without losing anything: with a
+     deadline comfortably above the stall, no retries are needed. *)
+  let config =
+    soak_config ~plan:"stall:0@20000+30000" ~deadline:200_000 ()
+  in
+  let m = Machine.boot config in
+  let init, _ =
+    Machine.spawn_init m ~name:"stall" (fun p _ ->
+        Posix.compute p 25_000;
+        (* inside the stall window; served only after it lifts *)
+        Posix.mkdir p "/slow";
+        Alcotest.(check bool) "past the stall window" true
+          (Hare_sim.Engine.now (Machine.engine m) >= 50_000L);
+        0)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "init ok" (Some 0) (Machine.exit_status m init);
+  let r = Machine.robustness m in
+  Alcotest.(check int) "no retries needed" 0 r.Robust.retries
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "fault.plan",
+      [ tc "parse + round-trip + rejects" `Quick test_plan_parse ] );
+    ( "fault.soak",
+      [
+        tc "fault-free counters zero" `Quick test_fault_free_counters;
+        tc "armed but idle" `Quick test_machinery_armed_but_idle;
+        tc "drop/dup/delay" `Quick test_message_faults;
+        tc "deterministic replay" `Quick test_determinism;
+        tc "dup everything: exactly-once" `Quick test_dedup_exactly_once;
+        tc "crash + recovery" `Quick test_crash_recovery;
+      ] );
+    ( "fault.targeted",
+      [
+        tc "bounded retries give EIO" `Quick test_giveup_is_eio;
+        tc "readdir partial results" `Quick test_readdir_partial;
+        tc "readdir strict EIO" `Quick test_readdir_strict_eio;
+        tc "stall only delays" `Quick test_stall_delays_but_delivers;
+      ] );
+  ]

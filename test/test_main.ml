@@ -16,6 +16,7 @@ let () =
          Test_misc.suites;
          Test_server_protocol.suites;
          Test_stress.suites;
+         Test_fault.suites;
          Test_workload_outputs.suites;
          Test_exec_chain.suites;
          Test_posix_edge.suites;

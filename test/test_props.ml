@@ -256,7 +256,11 @@ let prop_pipe_fifo =
                in
                let got = Ivar.create () in
                Hare_server.Pipe_state.read pipe ~len (Ivar.fill got);
-               let data = Ivar.read got in
+               let data =
+                 match Ivar.read got with
+                 | Ok data -> data
+                 | Error _ -> failwith "pipe read EIO"
+               in
                if data = "" then eof := true else Buffer.add_string received data
              done;
              Hare_server.Pipe_state.close_reader pipe));

@@ -263,6 +263,106 @@ let test_core_same_fiber_no_switch () =
   Alcotest.(check int) "no switches" 0 (Core_res.switches core);
   Alcotest.(check int64) "time" 50L (Engine.now e)
 
+(* ---------- deadline primitives and deadlock probes -------------------- *)
+
+let test_bqueue_pop_order_multi () =
+  (* Several consumers blocked on an empty queue must be served in the
+     order they blocked, one element each. *)
+  let e = Engine.create () in
+  let q = Bqueue.create () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    ignore
+      (Engine.spawn e
+         ~name:(Printf.sprintf "c%d" i)
+         (fun () ->
+           let v = Bqueue.pop q in
+           got := (i, v) :: !got))
+  done;
+  ignore
+    (Engine.spawn e ~name:"producer" (fun () ->
+         Engine.sleep 5L;
+         List.iter (Bqueue.push q) [ "a"; "b"; "c" ]));
+  Engine.run e;
+  Alcotest.(check (list (pair int string)))
+    "fifo across blocked consumers"
+    [ (1, "a"); (2, "b"); (3, "c") ]
+    (List.rev !got)
+
+let test_ivar_read_deadline () =
+  let e = Engine.create () in
+  let fast = Ivar.create () and slow = Ivar.create () in
+  let results = ref [] in
+  ignore
+    (Engine.spawn e ~name:"reader" (fun () ->
+         (* filled before the deadline: the timer must be a no-op *)
+         results := ("fast", Ivar.read_deadline fast ~engine:e ~cycles:100L) :: !results;
+         (* not filled in time: observe the timeout, then the late fill *)
+         results := ("slow", Ivar.read_deadline slow ~engine:e ~cycles:10L) :: !results;
+         Alcotest.(check int) "late fill still lands" 9 (Ivar.read slow)));
+  ignore
+    (Engine.spawn e ~name:"filler" (fun () ->
+         Engine.sleep 3L;
+         Ivar.fill fast 1;
+         Engine.sleep 50L;
+         Ivar.fill slow 9));
+  Engine.run e;
+  Alcotest.(check (list (pair string (option int))))
+    "deadline observations"
+    [ ("fast", Some 1); ("slow", None) ]
+    (List.rev !results);
+  Alcotest.check_raises "negative deadline"
+    (Invalid_argument "Ivar.read_deadline: negative deadline") (fun () ->
+      ignore (Ivar.read_deadline fast ~engine:e ~cycles:(-1L)))
+
+let test_condition_wait_deadline () =
+  let e = Engine.create () in
+  let c = Condition.create () in
+  let log = ref [] in
+  ignore
+    (Engine.spawn e ~name:"expires" (fun () ->
+         let r = Condition.wait_deadline c ~engine:e ~cycles:10L in
+         log := ("expires", r = `Timeout) :: !log));
+  ignore
+    (Engine.spawn e ~name:"wins" (fun () ->
+         let r = Condition.wait_deadline c ~engine:e ~cycles:100L in
+         log := ("wins", r = `Signalled) :: !log));
+  ignore
+    (Engine.spawn e ~name:"signaller" (fun () ->
+         Engine.sleep 50L;
+         (* the first waiter timed out at 10 and must NOT absorb this *)
+         Condition.signal c));
+  Engine.run e;
+  Alcotest.(check (list (pair string bool)))
+    "timed-out waiter does not steal the signal"
+    [ ("expires", true); ("wins", true) ]
+    (List.rev !log);
+  Alcotest.(check int) "queue drained" 0 (Condition.waiters c)
+
+let test_deadlock_reports_mailbox_depths () =
+  let e = Engine.create () in
+  let q : int Bqueue.t = Bqueue.create () in
+  Engine.register_probe e ~name:"fs0" (fun () -> Bqueue.length q);
+  Bqueue.push q 1;
+  Bqueue.push q 2;
+  ignore
+    (Engine.spawn e ~name:"wedged" (fun () -> Engine.suspend (fun _ -> ())));
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "lists pending depth" true
+        (contains ~needle:"fs0=2" msg));
+  (* and with nothing queued, it says so instead of listing noise *)
+  let e2 = Engine.create () in
+  Engine.register_probe e2 ~name:"fs0" (fun () -> 0);
+  ignore
+    (Engine.spawn e2 ~name:"wedged2" (fun () -> Engine.suspend (fun _ -> ())));
+  match Engine.run e2 with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Engine.Deadlock msg ->
+      Alcotest.(check bool) "no undelivered messages" true
+        (contains ~needle:"no undelivered" msg)
+
 let tc = Alcotest.test_case
 
 let suites : (string * unit Alcotest.test_case list) list =
@@ -287,19 +387,26 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "daemons allow exit" `Quick test_engine_daemon_allows_exit;
         tc "fiber failure" `Quick test_engine_fiber_failure;
         tc "run_for budget" `Quick test_engine_run_for;
+        tc "deadlock mailbox depths" `Quick test_deadlock_reports_mailbox_depths;
       ] );
     ( "sim.ivar",
       [
         tc "blocking read" `Quick test_ivar_blocking;
         tc "multiple readers" `Quick test_ivar_multiple_readers;
         tc "double fill" `Quick test_ivar_double_fill;
+        tc "read deadline" `Quick test_ivar_read_deadline;
       ] );
     ( "sim.bqueue",
       [
         tc "fifo" `Quick test_bqueue_fifo;
         tc "capacity blocks" `Quick test_bqueue_capacity_blocks;
+        tc "blocked pop order" `Quick test_bqueue_pop_order_multi;
       ] );
-    ("sim.condition", [ tc "signal fifo" `Quick test_condition_signal_fifo ]);
+    ( "sim.condition",
+      [
+        tc "signal fifo" `Quick test_condition_signal_fifo;
+        tc "wait deadline" `Quick test_condition_wait_deadline;
+      ] );
     ( "sim.core",
       [
         tc "serializes" `Quick test_core_compute_serializes;
