@@ -1,0 +1,115 @@
+(* bench/check.exe CURRENT BASELINE [TOLERANCE_PCT]
+
+   Compares a freshly generated benchmark JSON (bench/main.exe -- --json)
+   against a checked-in baseline and fails (exit 1) if any workload's
+   simulated cycle count regressed by more than TOLERANCE_PCT (default
+   10%). Only workloads present in both files are compared, so adding a
+   case to the bench does not break CI until the baseline is refreshed.
+
+   The parser is deliberately minimal: it only reads the flat
+   { "name": ..., "simulated_cycles": ... } pairs that our own writer
+   emits, in order, so it needs no JSON library. *)
+
+let scan_workloads path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (* Every workload object lists "name" before "simulated_cycles"; pair
+     each cycles field with the most recent name field. *)
+  let results = ref [] in
+  let pending_name = ref None in
+  let len = String.length s in
+  let rec field_from i =
+    match String.index_from_opt s i '"' with
+    | None -> ()
+    | Some q0 -> (
+        match String.index_from_opt s (q0 + 1) '"' with
+        | None -> ()
+        | Some q1 ->
+            let key = String.sub s (q0 + 1) (q1 - q0 - 1) in
+            let rest = ref (q1 + 1) in
+            (* skip whitespace and the colon, if this is a key position *)
+            while !rest < len && (s.[!rest] = ' ' || s.[!rest] = ':') do
+              incr rest
+            done;
+            (match key with
+            | "name" -> (
+                match String.index_from_opt s !rest '"' with
+                | Some v0 -> (
+                    match String.index_from_opt s (v0 + 1) '"' with
+                    | Some v1 ->
+                        pending_name :=
+                          Some (String.sub s (v0 + 1) (v1 - v0 - 1));
+                        rest := v1 + 1
+                    | None -> ())
+                | None -> ())
+            | "simulated_cycles" -> (
+                let v0 = !rest in
+                let v1 = ref v0 in
+                while
+                  !v1 < len
+                  && (match s.[!v1] with
+                     | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                     | _ -> false)
+                do
+                  incr v1
+                done;
+                match !pending_name with
+                | Some name when !v1 > v0 ->
+                    results :=
+                      (name, float_of_string (String.sub s v0 (!v1 - v0)))
+                      :: !results;
+                    pending_name := None
+                | _ -> ())
+            | _ -> ());
+            field_from !rest)
+  in
+  field_from 0;
+  List.rev !results
+
+let () =
+  let current, baseline, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; c; b ] -> (c, b, 10.0)
+    | [ _; c; b; t ] -> (c, b, float_of_string t)
+    | _ ->
+        prerr_endline "usage: check.exe CURRENT BASELINE [TOLERANCE_PCT]";
+        exit 2
+  in
+  let cur = scan_workloads current in
+  let base = scan_workloads baseline in
+  if base = [] then begin
+    Printf.eprintf "check: no workloads found in baseline %s\n" baseline;
+    exit 2
+  end;
+  let failed = ref false in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, bcy) ->
+      match List.assoc_opt name cur with
+      | None -> Printf.printf "%-24s missing from current run (skipped)\n" name
+      | Some ccy ->
+          incr compared;
+          let delta = 100. *. (ccy -. bcy) /. bcy in
+          let verdict =
+            if delta > tolerance then begin
+              failed := true;
+              "REGRESSED"
+            end
+            else "ok"
+          in
+          Printf.printf "%-24s %14.0f -> %14.0f  %+6.2f%%  %s\n" name bcy ccy
+            delta verdict)
+    base;
+  if !compared = 0 then begin
+    Printf.eprintf "check: no common workloads between %s and %s\n" current
+      baseline;
+    exit 2
+  end;
+  if !failed then begin
+    Printf.printf "FAIL: regression beyond %.0f%% tolerance\n" tolerance;
+    exit 1
+  end
+  else Printf.printf "PASS: %d workloads within %.0f%% of baseline\n" !compared
+      tolerance

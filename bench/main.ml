@@ -7,6 +7,7 @@
      dune exec bench/main.exe              # everything, paper-scale shapes
      dune exec bench/main.exe -- --quick   # small machines (8 cores)
      dune exec bench/main.exe -- --figures-only | --bechamel-only
+     dune exec bench/main.exe -- --json [--quick]   # write BENCH_PR2.json
 *)
 
 module Figures = Hare_experiments.Figures
@@ -112,13 +113,119 @@ let run_bechamel () =
   in
   Hare_stats.Table.print ~headers:[ "experiment"; "wall-clock" ] rows
 
+(* ---------- --json: machine-readable benchmark results ----------------- *)
+
+(* One measured configuration of one figure workload. The "/baseline"
+   vs "/pipelined" pairs at 8 cores are the PR's ablation: identical
+   machine, knobs at 1/1/1 vs 8/8/8. *)
+let json_cases quick =
+  let case ?(window = 1) ?(batch = 1) ?(extent = 1) name wname ncores =
+    let config =
+      {
+        (Driver.default_config ~ncores) with
+        Config.rpc_window = window;
+        batch_max = batch;
+        alloc_extent = extent;
+      }
+    in
+    (name, wname, ncores, config)
+  in
+  let figure_cases =
+    if quick then
+      [
+        case "creates@2" "creates" 2;
+        case "creates@4" "creates" 4;
+        case "writes@4" "writes" 4;
+        case "renames@2" "renames" 2;
+      ]
+    else
+      [
+        case "creates@2" "creates" 2;
+        case "creates@8" "creates" 8;
+        case "writes@8" "writes" 8;
+        case "renames@2" "renames" 2;
+        case "punzip@4" "punzip" 4;
+      ]
+  in
+  figure_cases
+  @ [
+      case "creates@8/baseline" "creates" 8;
+      case ~window:8 ~batch:8 ~extent:8 "creates@8/pipelined" "creates" 8;
+      case "writes@8/baseline" "writes" 8;
+      case ~window:8 ~batch:8 ~extent:8 "writes@8/pipelined" "writes" 8;
+    ]
+
+let run_json ~quick ~out () =
+  let cases = json_cases quick in
+  let rows =
+    List.map
+      (fun (name, wname, ncores, config) ->
+        let t0 = Unix.gettimeofday () in
+        let r = HD.run ~config (bench wname) in
+        let wall = Unix.gettimeofday () -. t0 in
+        let cycles =
+          r.Driver.elapsed
+          *. float_of_int config.Config.costs.Hare_config.Costs.cycles_per_us
+          *. 1e6
+        in
+        Printf.printf "%-22s %12.0f cycles  %6.2fs wall\n%!" name cycles wall;
+        (name, wname, ncores, config, r, cycles, wall))
+      cases
+  in
+  (* The ablation summary the acceptance criterion asks for. *)
+  let find n =
+    List.find_map
+      (fun (name, _, _, _, _, cy, _) -> if name = n then Some cy else None)
+      rows
+  in
+  List.iter
+    (fun w ->
+      match (find (w ^ "@8/baseline"), find (w ^ "@8/pipelined")) with
+      | Some b, Some p ->
+          Printf.printf "%s@8: 8/8/8 knobs save %.1f%% simulated cycles\n" w
+            (100. *. (b -. p) /. b)
+      | _ -> ())
+    [ "creates"; "writes" ];
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"hare-bench-pr2/1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add "  \"workloads\": [\n";
+  List.iteri
+    (fun i (name, wname, ncores, config, (r : Driver.result), cycles, wall) ->
+      add "    {\n";
+      add "      \"name\": \"%s\",\n" name;
+      add "      \"workload\": \"%s\",\n" wname;
+      add "      \"ncores\": %d,\n" ncores;
+      add "      \"config\": { \"rpc_window\": %d, \"batch_max\": %d, \"alloc_extent\": %d, \"cycles_per_us\": %d },\n"
+        config.Config.rpc_window config.Config.batch_max
+        config.Config.alloc_extent
+        config.Config.costs.Hare_config.Costs.cycles_per_us;
+      add "      \"ops\": %d,\n" r.Driver.ops;
+      add "      \"simulated_cycles\": %.0f,\n" cycles;
+      add "      \"simulated_seconds\": %.9f,\n" r.Driver.elapsed;
+      add "      \"wall_clock_s\": %.6f\n" wall;
+      add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  add "  ]\n";
+  add "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d workloads)\n" out (List.length rows)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let figures_only = List.mem "--figures-only" args in
   let bechamel_only = List.mem "--bechamel-only" args in
-  let opts = if quick then Figures.quick else Figures.default in
+  let json = List.mem "--json" args in
   let t0 = Unix.gettimeofday () in
-  if not bechamel_only then Figures.print_all opts;
-  if not figures_only then run_bechamel ();
+  if json then run_json ~quick ~out:"BENCH_PR2.json" ()
+  else begin
+    let opts = if quick then Figures.quick else Figures.default in
+    if not bechamel_only then Figures.print_all opts;
+    if not figures_only then run_bechamel ()
+  end;
   Printf.printf "\ntotal wall-clock: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -449,6 +449,129 @@ let faults_cmd =
       const run_faults $ name_arg $ plan_arg $ deadline_arg $ retries_arg
       $ seed_arg $ cores_arg $ nprocs_arg $ scale_arg $ strict)
 
+(* ---------- perf command ------------------------------------------------ *)
+
+(* Run a workload with the pipelining/batching/extent knobs set from the
+   command line and print the Perf counters: window high-water mark,
+   batch-size histogram, extent-lease hit rate (PR 2). *)
+let run_perf name cores nprocs scale window batch extent dcap =
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | spec ->
+      let module Machine = Hare.Machine in
+      let module Posix = Hare.Posix in
+      let module Api = Hare_api.Api in
+      let config =
+        {
+          (Driver.default_config ~ncores:cores) with
+          Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+          rpc_window = window;
+          batch_max = batch;
+          alloc_extent = extent;
+          dircache_capacity = dcap;
+        }
+      in
+      let m = Machine.boot config in
+      let api = World.Hare_w.api m in
+      let nprocs =
+        match nprocs with
+        | Some n -> n
+        | None -> List.length (Config.app_cores config)
+      in
+      List.iter
+        (fun (prog, body) -> api.Api.register_program prog body)
+        (spec.Hare_workloads.Spec.programs api);
+      api.Api.register_program "bench-worker" (fun p args ->
+          let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+          spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+          0);
+      let init, _ =
+        Machine.spawn_init m
+          ~name:("perf-" ^ spec.Hare_workloads.Spec.name)
+          (fun p _ ->
+            spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+            let workers =
+              match spec.Hare_workloads.Spec.mode with
+              | Hare_workloads.Spec.Workers -> nprocs
+              | Hare_workloads.Spec.Make -> 1
+            in
+            let pids =
+              List.init workers (fun i ->
+                  Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+            in
+            List.fold_left
+              (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+              0 pids)
+      in
+      Machine.run m;
+      ignore init;
+      let cycles =
+        Machine.seconds m
+        *. float_of_int config.Config.costs.Hare_config.Costs.cycles_per_us
+        *. 1e6
+      in
+      Printf.printf
+        "%s: window=%d batch=%d extent=%d: %.0f simulated cycles, %d RPCs\n"
+        spec.Hare_workloads.Spec.name window batch extent cycles
+        (Machine.total_rpcs m);
+      let perf = Machine.perf m in
+      Hare_stats.Table.print
+        ~headers:[ "perf counter"; "value" ]
+        (List.map
+           (fun (k, v) -> [ k; string_of_int v ])
+           (Hare_stats.Perf.to_list perf));
+      Format.printf "batch-size histogram: %a@." Hare_stats.Perf.pp_hist perf;
+      Format.printf "mean batch %.2f, lease hit rate %.2f@."
+        (Hare_stats.Perf.mean_batch perf)
+        (Hare_stats.Perf.lease_hit_rate perf);
+      let evictions =
+        Array.fold_left
+          (fun n c ->
+            n + Hare_client.Dircache.evictions (Hare_client.Client.dircache c))
+          0 (Machine.clients m)
+      in
+      Printf.printf "dircache evictions: %d\n" evictions;
+      0
+
+let perf_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see `hare_cli list`).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "window" ] ~docv:"W" ~doc:"rpc_window (1 = synchronous).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"B" ~doc:"batch_max (1 = one request per wakeup).")
+  in
+  let extent_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "extent" ] ~docv:"E" ~doc:"alloc_extent (1 = block-at-a-time).")
+  in
+  let dcap_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "dircache-capacity" ] ~docv:"N"
+          ~doc:"Bound the client dircache (0 = unbounded).")
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Run one benchmark with the PR 2 pipelining knobs and print the \
+          perf counters (window depth, batch histogram, lease hit rate).")
+    Term.(
+      const run_perf $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
+      $ window_arg $ batch_arg $ extent_arg $ dcap_arg)
+
 (* ---------- list command ------------------------------------------------ *)
 
 let run_list () =
@@ -473,6 +596,6 @@ let main =
        ~doc:
          "Hare, a file system for non-cache-coherent multicores, in \
           simulation: benchmarks and paper-figure reproduction.")
-    [ bench_cmd; fig_cmd; faults_cmd; list_cmd; shell_cmd ]
+    [ bench_cmd; fig_cmd; faults_cmd; perf_cmd; list_cmd; shell_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -8,6 +8,9 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let bs = Hare_mem.Layout.block_size
 
+(* Blocks needed to back [size] bytes. *)
+let blocks_needed size = if size <= 0 then 0 else ((size - 1) / bs) + 1
+
 (* Retry state, present only when [rpc_deadline > 0]: requests carry a
    (client, seq) idempotency tag, time out, and are resent with bounded
    exponential backoff. The RNG is dedicated to backoff jitter so that
@@ -17,6 +20,19 @@ type retry = {
   rt_max : int;  (** attempts before giving up with [EIO] *)
   rt_rng : Rng.t;
   mutable rt_seq : int;
+}
+
+(* A deferred RPC: sent, not yet awaited (rpc_window > 1). The
+   (client, seq) tag is allocated at send time, so the retransmissions
+   issued at await time are deduplicated against the original copy. *)
+type pending = {
+  pd_srv : int;
+  pd_req : Wire.fs_req;
+  pd_meta : Hare_msg.Rpc.meta option;
+  pd_future : Wire.fs_resp Ivar.t;
+  pd_what : string;
+  pd_ino : Types.ino option;
+      (* the inode the request mutates, for per-inode ordering barriers *)
 }
 
 type t = {
@@ -34,6 +50,10 @@ type t = {
   syscalls : Hare_stats.Opcount.t;
   retry : retry option;
   robust : Hare_stats.Robust.t;
+  perf : Hare_stats.Perf.t;
+  window_cap : int;
+  window : pending Queue.t;
+  extent : int;
   mutable rpc_count : int;
 }
 
@@ -68,10 +88,15 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     root_dist;
     dircache =
       Dircache.create ~enabled:config.Hare_config.Config.dir_cache
+        ~capacity:config.Hare_config.Config.dircache_capacity
         ~port:inval_port ();
     syscalls = Hare_stats.Opcount.create ();
     retry;
     robust = Hare_stats.Robust.create ();
+    perf = Hare_stats.Perf.create ();
+    window_cap = config.Hare_config.Config.rpc_window;
+    window = Queue.create ();
+    extent = config.Hare_config.Config.alloc_extent;
     rpc_count = 0;
   }
 
@@ -86,6 +111,8 @@ let syscalls t = t.syscalls
 let rpc_count t = t.rpc_count
 
 let robust t = t.robust
+
+let perf t = t.perf
 
 let nservers t = Array.length t.servers
 
@@ -156,12 +183,144 @@ let rpc t ?payload_lines srv req =
   | Ok payload -> payload
   | Error e -> Errno.raise_errno e (Wire.req_name req)
 
+(* ---------- pipelined RPCs (rpc_window > 1) ---------------------------- *)
+
+(* Allocate the idempotency tag for a request that will be awaited later.
+   The tag is fixed at send time so the server dedups the original copy
+   against any retransmission issued when the future is finally awaited. *)
+let alloc_meta t req =
+  match t.retry with
+  | Some rt when retryable req ->
+      rt.rt_seq <- rt.rt_seq + 1;
+      Some { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq }
+  | _ -> None
+
+(* Await a deferred request, applying the same deadline/backoff/dedup
+   discipline as [rpc_result]. The original future may already hold the
+   reply; retransmissions re-send the tagged request and wait on a fresh
+   future (the server's dedup table replays the reply to every copy). *)
+let await_pending t (pd : pending) =
+  if Ivar.is_filled pd.pd_future then begin
+    (* The reply landed while this client was still computing: consuming
+       it is a poll of a ready slot, not a blocking receive — no
+       notification/wakeup path, just the copy. *)
+    Core_res.compute t.core t.costs.recv_ready;
+    Ivar.read pd.pd_future
+  end
+  else
+  match (pd.pd_meta, t.retry) with
+  | Some meta, Some rt ->
+      let rec attempt n deadline future =
+        match
+          Hare_msg.Rpc.await_deadline ~engine:t.engine ~from:t.core
+            ~costs:t.costs ~deadline:(Int64.of_int deadline) future
+        with
+        | Ok resp -> resp
+        | Error `Timeout ->
+            t.robust.Hare_stats.Robust.timeouts <-
+              t.robust.Hare_stats.Robust.timeouts + 1;
+            if n + 1 >= rt.rt_max then begin
+              t.robust.Hare_stats.Robust.giveups <-
+                t.robust.Hare_stats.Robust.giveups + 1;
+              Error Errno.EIO
+            end
+            else begin
+              t.robust.Hare_stats.Robust.retries <-
+                t.robust.Hare_stats.Robust.retries + 1;
+              t.rpc_count <- t.rpc_count + 1;
+              Engine.sleep
+                (Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4))));
+              let future =
+                Hare_msg.Rpc.call_async t.servers.(pd.pd_srv) ~from:t.core
+                  ~meta pd.pd_req
+              in
+              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64)) future
+            end
+      in
+      attempt 0 rt.rt_base pd.pd_future
+  | _ -> Hare_msg.Rpc.await ~from:t.core ~costs:t.costs pd.pd_future
+
+(* True when [e] means the token is stale and recovery should be tried:
+   only under a fault plan, never in a fault-free run. *)
+let stale_token t e = e = Errno.EBADF && t.retry <> None
+
+(* Observe (and discard) the oldest deferred reply. Failures of a
+   deferred close/unlink cannot be raised at the syscall that issued
+   them — that syscall already returned — so they surface as a counter
+   and a log line, like an asynchronous close. *)
+let await_oldest t =
+  match Queue.take_opt t.window with
+  | None -> ()
+  | Some pd -> (
+      match await_pending t pd with
+      | Ok _ -> ()
+      | Error e when stale_token t e ->
+          (* The server crashed and forgot the token/inode; the restart
+             already reclaimed whatever the deferred op would have. *)
+          ()
+      | Error e ->
+          t.perf.Hare_stats.Perf.deferred_errors <-
+            t.perf.Hare_stats.Perf.deferred_errors + 1;
+          Log.debug (fun m ->
+              m "client %d: deferred %s failed (%s)" t.cid pd.pd_what
+                (Errno.to_string e)))
+
+(* Syscall boundaries with external visibility (fsync, process teardown,
+   fork) wait for every in-flight deferred request. *)
+let drain_window t =
+  while not (Queue.is_empty t.window) do
+    await_oldest t
+  done
+
+(* Issue [req] through the pipelining window: send now, observe the
+   reply when the window fills or at the next drain point. Returns
+   [None] when deferred, [Some result] when the window is disabled
+   (rpc_window = 1) and the call completed synchronously — callers that
+   get [None] must tolerate never seeing the response. Only used for
+   requests whose success payload nobody reads: [Close_fd] of regular
+   files and [Unlink_ino]. Pipe closes are never deferred: a reader
+   blocked on a pipe must see the writer's close (EOF) promptly. *)
+let rpc_deferred t srv ~what ?ino req =
+  if t.window_cap <= 1 then Some (rpc_result t srv req)
+  else begin
+    while Queue.length t.window >= t.window_cap do
+      await_oldest t
+    done;
+    t.rpc_count <- t.rpc_count + 1;
+    let meta = alloc_meta t req in
+    let future =
+      Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core ?meta req
+    in
+    Queue.push
+      { pd_srv = srv; pd_req = req; pd_meta = meta; pd_future = future;
+        pd_what = what; pd_ino = ino }
+      t.window;
+    t.perf.Hare_stats.Perf.deferred <- t.perf.Hare_stats.Perf.deferred + 1;
+    Hare_stats.Perf.note_window t.perf (Queue.length t.window);
+    None
+  end
+
+(* Per-inode ordering barrier. Atomic delivery keeps same-server
+   requests FIFO, but a retransmission (fault plans only) re-sends an
+   unacked deferred request arbitrarily late — possibly after a later
+   request touching the same inode, e.g. a retried [Close_fd] landing
+   its stale [size] after a reopen appended data. Before re-opening an
+   inode, wait out any deferred request that mutates it. *)
+let drain_ino t ino =
+  let touches () =
+    Queue.fold (fun acc pd -> acc || pd.pd_ino = Some ino) false t.window
+  in
+  while touches () do
+    await_oldest t
+  done
+
 (* A crashed server forgets its descriptor table; the first post-restart
    use of a token answers [EBADF]. Recover by re-opening the inode —
    which survived in DRAM — and patching the new token into the
    descriptor. A server-owned shared offset died with the server, so the
    descriptor falls back to a local offset at zero. *)
 let recover_token t (fs : Fdtable.file_state) =
+  drain_ino t fs.Fdtable.f_ino;
   match
     rpc_result t fs.Fdtable.f_ino.server
       (Wire.Open_inode { ino = fs.Fdtable.f_ino; trunc = false; client = t.cid })
@@ -170,20 +329,32 @@ let recover_token t (fs : Fdtable.file_state) =
       t.robust.Hare_stats.Robust.tokens_recovered <-
         t.robust.Hare_stats.Robust.tokens_recovered + 1;
       fs.Fdtable.f_token <- oi.Wire.token;
+      (if t.extent > 1 && t.config.Hare_config.Config.direct_access then begin
+         (* The restart reclaimed our extent lease; resync the block list
+            so we never write into blocks the server already freed, and
+            drop dirty marks for blocks we no longer own. *)
+         fs.Fdtable.f_blocks <- oi.Wire.blocks;
+         fs.Fdtable.f_size <- min fs.Fdtable.f_size oi.Wire.isize;
+         fs.Fdtable.f_lease <-
+           max 0 (Array.length oi.Wire.blocks - blocks_needed oi.Wire.isize);
+         let owned = Hashtbl.create 16 in
+         Array.iter (fun b -> Hashtbl.replace owned b ()) oi.Wire.blocks;
+         Hashtbl.filter_map_inplace
+           (fun b () -> if Hashtbl.mem owned b then Some () else None)
+           fs.Fdtable.f_dirty
+       end);
       (match fs.Fdtable.f_pos with
       | Fdtable.Shared -> fs.Fdtable.f_pos <- Fdtable.Local 0
       | Fdtable.Local _ -> ())
   | Ok _ | Error _ ->
       Errno.raise_errno Errno.EBADF "descriptor lost in server crash"
 
-(* True when [e] means the token is stale and recovery should be tried:
-   only under a fault plan, never in a fault-free run. *)
-let stale_token t e = e = Errno.EBADF && t.retry <> None
-
 (* Fan a request out to a set of servers: overlapped when directory
    broadcast is enabled (§3.6.2), one-at-a-time otherwise. Under a fault
    plan the fan-out degrades to sequential so every leg gets the full
-   timeout/retry treatment. *)
+   timeout/retry treatment — unless the pipelining window is enabled, in
+   which case up to [rpc_window] legs fly at once, each keeping its own
+   idempotency tag and deadline/retry loop. *)
 let multicast t ids (mk : int -> Wire.fs_req) =
   if t.config.Hare_config.Config.dir_broadcast && t.retry = None then begin
     let futures =
@@ -194,6 +365,34 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         ids
     in
     List.map (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs) futures
+  end
+  else if t.config.Hare_config.Config.dir_broadcast && t.window_cap > 1 then begin
+    let results = Array.make (List.length ids) (Error Errno.EIO) in
+    let inflight = Queue.create () in
+    let land_one () =
+      let i, pd = Queue.pop inflight in
+      results.(i) <- await_pending t pd
+    in
+    List.iteri
+      (fun i srv ->
+        if Queue.length inflight >= t.window_cap then land_one ();
+        let req = mk srv in
+        t.rpc_count <- t.rpc_count + 1;
+        let meta = alloc_meta t req in
+        let future =
+          Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core ?meta req
+        in
+        Queue.push
+          ( i,
+            { pd_srv = srv; pd_req = req; pd_meta = meta; pd_future = future;
+              pd_what = "broadcast"; pd_ino = None } )
+          inflight;
+        Hare_stats.Perf.note_window t.perf (Queue.length inflight))
+      ids;
+    while not (Queue.is_empty inflight) do
+      land_one ()
+    done;
+    Array.to_list results
   end
   else List.map (fun srv -> rpc_result t srv (mk srv)) ids
 
@@ -280,11 +479,15 @@ let file_entry t ~(flags : open_flags) ~ino ~(oi : Wire.open_info) : Fdtable.ent
           f_size = oi.isize;
           f_dirty = Hashtbl.create 8;
           f_wrote = false;
+          f_lease = max 0 (Array.length oi.blocks - blocks_needed oi.isize);
         };
     local_refs = 1;
   }
 
 let open_existing t (flags : open_flags) (target : ino) =
+  (* Ordering barrier: a still-deferred close of this very inode could
+     be retransmitted after this open's writes and revert the size. *)
+  drain_ino t target;
   match
     rpc t target.server
       (Wire.Open_inode { ino = target; trunc = flags.trunc; client = t.cid })
@@ -345,9 +548,18 @@ let create_file t (dir : dirref) name (flags : open_flags) =
             (ino, oi)
         | Error err ->
             (* Lost a create race, or the directory vanished: roll the
-               fresh inode back before reporting. *)
-            ignore (rpc t ino.server (Wire.Close_fd { token = oi.token; size = None }));
-            ignore (rpc t ino.server (Wire.Unlink_ino { ino }));
+               fresh inode back before reporting. The close+unlink pair
+               goes to one server, so the two legs pipeline. *)
+            let must = function
+              | None | Some (Ok _) -> ()
+              | Some (Error e) -> Errno.raise_errno e name
+            in
+            must
+              (rpc_deferred t ino.server ~what:"rollback-close" ~ino
+                 (Wire.Close_fd { token = oi.token; size = None }));
+            must
+              (rpc_deferred t ino.server ~what:"rollback-unlink" ~ino
+                 (Wire.Unlink_ino { ino }));
             if err <> Errno.EEXIST then Errno.raise_errno err name
             else if flags.excl then Errno.raise_errno Errno.EEXIST name
             else
@@ -406,6 +618,7 @@ let demote_to_local t (fs : Fdtable.file_state) offset =
     | Wire.P_blocks { blocks; bsize } ->
         fs.f_blocks <- blocks;
         fs.f_size <- bsize;
+        fs.f_lease <- max 0 (Array.length blocks - blocks_needed bsize);
         invalidate_blocks t blocks
     | _ -> assert false
   end
@@ -428,20 +641,39 @@ let direct_read t (fs : Fdtable.file_state) ~off ~len =
   end
 
 let ensure_client_blocks t (fs : Fdtable.file_state) ~size =
-  let need = if size <= 0 then 0 else ((size - 1) / bs) + 1 in
+  let need = blocks_needed size in
   let have = Array.length fs.f_blocks in
   if need > have then begin
+    (* Extent-granularity allocation: ask for [alloc_extent - 1] blocks
+       beyond the immediate need, so a sequential writer goes back to
+       the server once per extent instead of once per block. The hint is
+       best-effort — a full server drops it before failing. *)
+    let ahead = if t.extent > 1 then t.extent - 1 else 0 in
+    if ahead > 0 then
+      t.perf.Hare_stats.Perf.lease_misses <-
+        t.perf.Hare_stats.Perf.lease_misses + 1;
     match
       rpc t fs.f_ino.server
-        (Wire.Alloc_blocks { ino = fs.f_ino; count = need - have })
+        (Wire.Alloc_blocks { ino = fs.f_ino; count = need - have; ahead })
     with
     | Wire.P_blocks { blocks; bsize = _ } ->
         (* Invalidate the fresh blocks: our cache may hold stale lines
            from the blocks' previous life in another file. *)
         let added = Array.sub blocks have (Array.length blocks - have) in
         invalidate_blocks t added;
-        fs.f_blocks <- blocks
+        fs.f_blocks <- blocks;
+        let surplus = Array.length blocks - need in
+        fs.f_lease <- max 0 surplus;
+        if surplus > 0 then
+          t.perf.Hare_stats.Perf.lease_blocks <-
+            t.perf.Hare_stats.Perf.lease_blocks + surplus
     | _ -> assert false
+  end
+  else if fs.f_lease > 0 && need > have - fs.f_lease then begin
+    (* The file grew into blocks held ahead of need: a lease hit, no RPC. *)
+    fs.f_lease <- have - need;
+    t.perf.Hare_stats.Perf.lease_hits <-
+      t.perf.Hare_stats.Perf.lease_hits + 1
   end
 
 let direct_write t (fs : Fdtable.file_state) ~off data =
@@ -634,15 +866,18 @@ let release_desc t (entry : Fdtable.entry) =
         | Fdtable.Local _ when fs.f_wrote && direct_mode t -> Some fs.f_size
         | Fdtable.Local _ | Fdtable.Shared -> None
       in
+      (* The close's reply carries nothing the caller needs, so with a
+         window it is deferred: per-server FIFO delivery means any later
+         request to the same server is processed after it. *)
       (match
-         rpc_result t fs.f_ino.server
+         rpc_deferred t fs.f_ino.server ~what:"close" ~ino:fs.f_ino
            (Wire.Close_fd { token = fs.f_token; size })
        with
-      | Ok _ -> ()
-      | Error e when stale_token t e ->
+      | None | Some (Ok _) -> ()
+      | Some (Error e) when stale_token t e ->
           (* The crash already closed the descriptor for us. *)
           ()
-      | Error e -> Errno.raise_errno e "close")
+      | Some (Error e) -> Errno.raise_errno e "close")
   | Fdtable.Pipe p -> (
       match
         rpc_result t p.p_ino.server
@@ -665,10 +900,15 @@ let close_all t fdt =
      not keep the rest (and their server-side state) alive. *)
   List.iter
     (fun fd -> try close t fdt fd with Errno.Error _ -> ())
-    (Fdtable.fds fdt)
+    (Fdtable.fds fdt);
+  (* Exit is externally visible (a parent may be waiting): make sure
+     every deferred close has actually landed. *)
+  drain_window t
 
 let fsync t fdt fd =
   syscall t "fsync";
+  (* Durability barrier: deferred requests count as outstanding I/O. *)
+  drain_window t;
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
   | Fdtable.File fs ->
@@ -697,6 +937,7 @@ let ftruncate t fdt fd ~size =
         | Wire.P_blocks { blocks; bsize } ->
             fs.f_blocks <- blocks;
             fs.f_size <- bsize;
+            fs.f_lease <- max 0 (Array.length blocks - blocks_needed bsize);
             invalidate_blocks t blocks
         | _ -> assert false)
 
@@ -780,7 +1021,14 @@ let unlink t ~cwd path =
                 }));
         Errno.raise_errno Errno.EISDIR name
       end;
-      ignore (rpc t target.server (Wire.Unlink_ino { ino = target }))
+      (* The entry is gone (the visible effect); dropping the link count
+         is independent, so it rides the window. *)
+      (match
+         rpc_deferred t target.server ~what:"unlink" ~ino:target
+           (Wire.Unlink_ino { ino = target })
+       with
+      | None | Some (Ok _) -> ()
+      | Some (Error e) -> Errno.raise_errno e "unlink")
   | _ -> assert false
 
 let mkdir t ~cwd ?(dist = false) path =
@@ -964,7 +1212,9 @@ let rename t ~cwd oldp newp =
     let unlink_victim () =
       match replaced with
       | Some victim when victim <> target ->
-          ignore (rpc_result t victim.server (Wire.Unlink_ino { ino = victim }))
+          ignore
+            (rpc_deferred t victim.server ~what:"rename-victim" ~ino:victim
+               (Wire.Unlink_ino { ino = victim }))
       | _ -> ()
     in
     match
@@ -1011,6 +1261,9 @@ let stat t ~cwd path =
 (* ---------- descriptor transfer ----------------------------------------- *)
 
 let fork_fds t fdt =
+  (* The child must not observe server state that a deferred request is
+     still about to change; settle the window before sharing. *)
+  drain_window t;
   let child = Fdtable.create () in
   let mapping = ref [] in
   let share (entry : Fdtable.entry) : Fdtable.entry =
@@ -1133,6 +1386,7 @@ let import_fds t xfers =
                     f_size = size;
                     f_dirty = Hashtbl.create 8;
                     f_wrote = false;
+                    f_lease = max 0 (Array.length blocks - blocks_needed size);
                   };
               local_refs = 0;
             })

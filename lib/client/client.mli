@@ -45,6 +45,15 @@ val rpc_count : t -> int
 val robust : t -> Hare_stats.Robust.t
 (** Timeout/retry/recovery counters (all zero without a fault plan). *)
 
+val perf : t -> Hare_stats.Perf.t
+(** Pipelining-window and extent-lease counters (all zero when
+    [rpc_window] and [alloc_extent] are 1). *)
+
+val drain_window : t -> unit
+(** Wait for every deferred (pipelined) request to complete. Called
+    internally at fsync/fork/exit boundaries; exposed for tests and for
+    quiescing a client before inspecting server state. *)
+
 (** {1 File calls} *)
 
 val openf : t -> Fdtable.t -> cwd:string -> string -> Types.open_flags -> int

@@ -2,30 +2,51 @@ open Hare_proto
 
 type key = Types.ino * string
 
+(* The LRU order is kept lazily: every hit or insert pushes a freshly
+   stamped (key, stamp) pair onto [order], and eviction pops pairs until
+   one's stamp matches the entry's current stamp — stale pairs (the entry
+   was touched again later, or removed) are discarded for free. This
+   keeps find/add O(1); the queue holds at most one pair per touch, and
+   eviction amortizes the cleanup. *)
+type slot = { info : Wire.entry_info; mutable stamp : int }
+
 type t = {
   enabled : bool;
-  entries : (key, Wire.entry_info) Hashtbl.t;
+  capacity : int;  (* 0 = unbounded *)
+  entries : (key, slot) Hashtbl.t;
+  order : (key * int) Queue.t;
   port : Wire.inval Hare_msg.Mailbox.t;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
   mutable flushes : int;
+  mutable evictions : int;
 }
 
-let create ~enabled ~port () =
+let create ~enabled ?(capacity = 0) ~port () =
   {
     enabled;
+    capacity = max 0 capacity;
     entries = Hashtbl.create 512;
+    order = Queue.create ();
     port;
+    tick = 0;
     hits = 0;
     misses = 0;
     invalidations = 0;
     flushes = 0;
+    evictions = 0;
   }
 
 let enabled t = t.enabled
 
 let port t = t.port
+
+let touch t key (slot : slot) =
+  t.tick <- t.tick + 1;
+  slot.stamp <- t.tick;
+  if t.capacity > 0 then Queue.push (key, t.tick) t.order
 
 let rec drain t =
   match Hare_msg.Mailbox.poll t.port with
@@ -37,6 +58,7 @@ let rec drain t =
   | Some Wire.Inval_all ->
       (* A server restarted; conservatively flush everything. *)
       Hashtbl.reset t.entries;
+      Queue.clear t.order;
       t.flushes <- t.flushes + 1;
       drain t
 
@@ -45,15 +67,38 @@ let find t ~dir ~name =
   if not t.enabled then None
   else
     match Hashtbl.find_opt t.entries (dir, name) with
-    | Some _ as hit ->
+    | Some slot ->
         t.hits <- t.hits + 1;
-        hit
+        touch t (dir, name) slot;
+        Some slot.info
     | None ->
         t.misses <- t.misses + 1;
         None
 
+let rec evict_one t =
+  match Queue.take_opt t.order with
+  | None -> ()
+  | Some (key, stamp) -> (
+      match Hashtbl.find_opt t.entries key with
+      | Some slot when slot.stamp = stamp ->
+          Hashtbl.remove t.entries key;
+          t.evictions <- t.evictions + 1
+      | _ ->
+          (* Stale pair: the entry was re-touched or already removed. *)
+          evict_one t)
+
 let add t ~dir ~name info =
-  if t.enabled then Hashtbl.replace t.entries (dir, name) info
+  if t.enabled then begin
+    let key = (dir, name) in
+    let fresh = not (Hashtbl.mem t.entries key) in
+    let slot = { info; stamp = 0 } in
+    Hashtbl.replace t.entries key slot;
+    touch t key slot;
+    if t.capacity > 0 && fresh then
+      while Hashtbl.length t.entries > t.capacity do
+        evict_one t
+      done
+  end
 
 let remove t ~dir ~name = Hashtbl.remove t.entries (dir, name)
 
@@ -66,3 +111,5 @@ let misses t = t.misses
 let invalidations t = t.invalidations
 
 let flushes t = t.flushes
+
+let evictions t = t.evictions

@@ -9,7 +9,13 @@
 type t
 
 val create :
-  enabled:bool -> port:Hare_proto.Wire.inval Hare_msg.Mailbox.t -> unit -> t
+  enabled:bool ->
+  ?capacity:int ->
+  port:Hare_proto.Wire.inval Hare_msg.Mailbox.t ->
+  unit ->
+  t
+(** [capacity] (default 0 = unbounded) bounds the number of cached
+    entries; when full, the least-recently-used entry is evicted. *)
 
 val enabled : t -> bool
 
@@ -43,3 +49,6 @@ val invalidations : t -> int
 
 val flushes : t -> int
 (** Number of full flushes triggered by [Inval_all] (server restarts). *)
+
+val evictions : t -> int
+(** Entries dropped by the capacity bound (0 when unbounded). *)

@@ -9,6 +9,7 @@ type file_state = {
   mutable f_size : int;
   f_dirty : (int, unit) Hashtbl.t;
   mutable f_wrote : bool;
+  mutable f_lease : int;
 }
 
 and pos = Local of int | Shared

@@ -19,6 +19,9 @@ type file_state = {
   mutable f_size : int;  (** local size view (close-to-open). *)
   f_dirty : (int, unit) Hashtbl.t;  (** blocks to write back on close. *)
   mutable f_wrote : bool;
+  mutable f_lease : int;
+      (** trailing blocks of [f_blocks] allocated ahead of need (the
+          extent lease); 0 unless [alloc_extent > 1]. *)
 }
 
 and pos =

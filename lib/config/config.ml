@@ -21,6 +21,10 @@ type t = {
   rpc_deadline : int;
   rpc_retries : int;
   partial_broadcast : bool;
+  rpc_window : int;
+  batch_max : int;
+  alloc_extent : int;
+  dircache_capacity : int;
   seed : int64;
   costs : Costs.t;
 }
@@ -50,6 +54,13 @@ let default =
     rpc_deadline = 0;
     rpc_retries = 12;
     partial_broadcast = true;
+    (* Pipelining/batching/extent knobs at 1 = the paper's strictly
+       synchronous one-request-per-message behaviour. *)
+    rpc_window = 1;
+    batch_max = 1;
+    alloc_extent = 1;
+    (* 0 = unbounded dircache, the paper-faithful default. *)
+    dircache_capacity = 0;
     seed = 42L;
     costs = Costs.default;
   }
@@ -72,6 +83,11 @@ let validate t =
   else if t.rpc_retries <= 0 then Error "rpc_retries must be positive"
   else if t.fault_plan <> "" && t.rpc_deadline = 0 then
     Error "a fault plan requires rpc_deadline > 0 (clients must retry)"
+  else if t.rpc_window < 1 then Error "rpc_window must be at least 1"
+  else if t.batch_max < 1 then Error "batch_max must be at least 1"
+  else if t.alloc_extent < 1 then Error "alloc_extent must be at least 1"
+  else if t.dircache_capacity < 0 then
+    Error "dircache_capacity must be non-negative (0 = unbounded)"
   else
     match t.placement with
     | Timeshare -> Ok ()

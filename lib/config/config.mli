@@ -61,6 +61,36 @@ type t = {
       (** when a broadcast op (readdir) cannot reach a server, return the
           surviving servers' entries ([true], default) or raise [EIO]
           ([false]). *)
+  (* {e extension}: asynchronous RPC pipeline (PR 2). All three knobs
+     default to 1, which reproduces the paper's strictly synchronous
+     one-request-per-message protocol bit-identically. *)
+  rpc_window : int;
+      (** client-side pipelining: maximum RPCs a client keeps in flight
+          with deferred awaits on the independent hot paths (close,
+          unlink's inode half, broadcast fan-out under a fault plan).
+          [1] (default) awaits every call synchronously, as the paper
+          does. Retried requests keep their (client, seq) idempotency
+          tag across deferral, so server-side dedup still applies. *)
+  batch_max : int;
+      (** server-side batch dispatch: a server drains up to this many
+          queued requests per wakeup. The context switch, the dispatch
+          preamble and the blocking-receive notification are paid once
+          per batch; each later request pays only the already-delivered
+          receive cost ([Costs.recv_ready]) as it is served, so handler
+          costs and reply latencies are unchanged. [1] (default) is the
+          paper's one-request-per-wakeup loop. *)
+  alloc_extent : int;
+      (** extent-granularity allocation: [Alloc_blocks] asks for up to
+          [alloc_extent - 1] blocks of read-ahead beyond the immediate
+          need, and the client holds the surplus as a per-descriptor
+          extent lease, collapsing N per-block RPCs on append-heavy
+          workloads into ~N/extent. Leases are reclaimed on close,
+          truncate and crash-restart. [1] (default) allocates one block
+          per need, as the paper does. *)
+  dircache_capacity : int;
+      (** bound on the client directory cache, in entries, with LRU
+          eviction past the bound; [0] (default) means unbounded — the
+          paper's behaviour. *)
   seed : int64;
   costs : Costs.t;
 }

@@ -4,6 +4,7 @@ type t = {
   syscall_trap : int;
   send : int;
   recv : int;
+  recv_ready : int;
   cache_hit_line : int;
   dram_line : int;
   invalidate_line : int;
@@ -34,6 +35,9 @@ let default =
     syscall_trap = 150;
     send = 1200;
     recv = 500;
+    (* recv minus the notification/wakeup path: just the dequeue + decode
+       copy, on the same scale as a syscall trap. *)
+    recv_ready = 150;
     cache_hit_line = 30;
     dram_line = 100;
     invalidate_line = 2;

@@ -17,6 +17,13 @@ type t = {
           interposition layer. *)
   send : int;  (** client/server cost to send one message (Pika channel). *)
   recv : int;  (** cost to dequeue and decode one message. *)
+  recv_ready : int;
+      (** cost to consume a message that is {e already delivered} when the
+          receiver looks: the dequeue/decode copy without the blocking
+          notification-and-wakeup path that {!recv} includes. Paid for the
+          second and later messages of a batched drain
+          ({!Hare_msg.Mailbox.recv_many}) and for pipelined replies that
+          landed while the client was still computing. *)
   cache_hit_line : int;  (** private-cache hit, per 64-byte line. *)
   dram_line : int;  (** shared-DRAM transfer of one 64-byte line. *)
   invalidate_line : int;  (** dropping one private-cache line. *)

@@ -250,6 +250,16 @@ let robustness t =
       0 t.clients;
   acc
 
+let perf t =
+  let acc = Hare_stats.Perf.create () in
+  Array.iter
+    (fun s -> Hare_stats.Perf.merge ~into:acc (Server.perf s))
+    t.servers;
+  Array.iter
+    (fun c -> Hare_stats.Perf.merge ~into:acc (Client.perf c))
+    t.clients;
+  acc
+
 let utilization t =
   let elapsed = Int64.to_float (max 1L (now t)) in
   Array.to_list t.cores

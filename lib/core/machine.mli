@@ -74,6 +74,12 @@ val robustness : t -> Hare_stats.Robust.t
     crash/dedup counts, per-client timeout/retry counts, and dircache
     flushes. All zero when no fault plan is configured. *)
 
+val perf : t -> Hare_stats.Perf.t
+(** Merged pipelining/batching/extent counters from every server and
+    client: window high-water mark, batch-size histogram, extent-lease
+    hit rate. Inert (batches = wakeups, everything else zero) when
+    [rpc_window], [batch_max] and [alloc_extent] are all 1. *)
+
 val utilization : t -> (int * float) list
 (** Per-core busy fraction (busy cycles / elapsed cycles) — how evenly
     the run loaded the machine. *)

@@ -71,6 +71,35 @@ let recv t =
   Core_res.compute t.owner t.costs.recv;
   msg
 
+(* Batch drain: block for the first message, then take whatever else is
+   already queued, up to [max]. Only the first message's receive cost is
+   charged here (the wakeup); the caller charges the rest one by one as
+   it handles them ({!charge_recv}), so the k-th reply's latency is no
+   worse than if the messages had been received individually — the
+   batch's gain is sharing the context switch and dispatch preamble, not
+   reordering costs. With [max = 1] the cost sequence is exactly
+   {!recv}'s. *)
+let recv_many t ~max =
+  let first = Bqueue.pop t.queue in
+  t.received <- t.received + 1;
+  let rec extra acc n =
+    if n >= max then List.rev acc
+    else
+      match Bqueue.pop_nonblocking t.queue with
+      | None -> List.rev acc
+      | Some msg ->
+          t.received <- t.received + 1;
+          extra (msg :: acc) (n + 1)
+  in
+  let msgs = first :: extra [] 1 in
+  Core_res.compute t.owner t.costs.recv;
+  msgs
+
+(* Messages past the first in a batch were already sitting in the queue
+   when the server woke: they pay the dequeue/decode copy but not the
+   notification-and-wakeup path bundled into [recv]. *)
+let charge_recv t = Core_res.compute t.owner t.costs.recv_ready
+
 let poll t =
   match Bqueue.pop_nonblocking t.queue with
   | None -> None

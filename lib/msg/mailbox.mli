@@ -47,6 +47,20 @@ val send :
     the receive cost to the owner core. *)
 val recv : 'a t -> 'a
 
+(** [recv_many t ~max] blocks for the first message, then drains up to
+    [max - 1] further messages that are already queued, in arrival order.
+    Only the first message's receive cost is charged (the whole batch
+    shares one wakeup / context switch); the caller must charge the
+    remaining receives with {!charge_recv} as it handles each message.
+    [recv_many t ~max:1] behaves exactly like {!recv}. *)
+val recv_many : 'a t -> max:int -> 'a list
+
+(** [charge_recv t] charges the already-delivered receive cost
+    ([Costs.recv_ready]) to the owner core; pairs with the messages of
+    {!recv_many} past the first, which were queued before the wakeup and
+    so skip the blocking-notification path. *)
+val charge_recv : 'a t -> unit
+
 (** [poll t] returns a message if one is queued (charging receive cost),
     or [None] without cost — the cheap queue-empty check that makes the
     invalidation-drain-before-lookup pattern viable. *)

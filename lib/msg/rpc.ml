@@ -65,6 +65,15 @@ let recv_full t =
     (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
     env.meta )
 
+let recv_batch_full t ~max =
+  Mailbox.recv_many t.mailbox ~max
+  |> List.map (fun env ->
+         ( env.body,
+           (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
+           env.meta ))
+
+let charge_recv t = Mailbox.charge_recv t.mailbox
+
 let recv t =
   let req, reply, _meta = recv_full t in
   (req, reply)

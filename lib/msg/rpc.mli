@@ -93,6 +93,22 @@ val recv_full :
   ('req, 'resp) t ->
   'req * (?payload_lines:int -> 'resp -> unit) * meta option
 
+(** [recv_batch_full t ~max] blocks for the first request, then drains up
+    to [max - 1] already-queued requests in arrival order (see
+    {!Mailbox.recv_many}): the server-side batch-dispatch primitive.
+    Only the first request's receive cost is charged; pair each later
+    request with {!charge_recv} as it is served. [~max:1] is exactly
+    {!recv_full}. *)
+val recv_batch_full :
+  ('req, 'resp) t ->
+  max:int ->
+  ('req * (?payload_lines:int -> 'resp -> unit) * meta option) list
+
+(** [charge_recv t] charges the already-delivered receive cost to the
+    endpoint's owner; for the messages of {!recv_batch_full} past the
+    first (queued before the wakeup, so no blocking notification). *)
+val charge_recv : ('req, 'resp) t -> unit
+
 (** [poll t] is the non-blocking {!recv}. *)
 val poll :
   ('req, 'resp) t -> ('req * (?payload_lines:int -> 'resp -> unit)) option

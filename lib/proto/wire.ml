@@ -32,7 +32,7 @@ type fs_req =
   | Read_fd of { token : fd_token; off : int option; len : int }
   | Write_fd of { token : fd_token; off : int option; data : string }
   | Lseek_fd of { token : fd_token; pos : int; whence : whence }
-  | Alloc_blocks of { ino : ino; count : int }
+  | Alloc_blocks of { ino : ino; count : int; ahead : int }
   | Get_blocks of { ino : ino }
   | Update_size of { token : fd_token; size : int }
   | Get_attr of { ino : ino }

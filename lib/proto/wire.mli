@@ -51,7 +51,10 @@ type fs_req =
   | Read_fd of { token : fd_token; off : int option; len : int }
   | Write_fd of { token : fd_token; off : int option; data : string }
   | Lseek_fd of { token : fd_token; pos : int; whence : whence }
-  | Alloc_blocks of { ino : ino; count : int }
+  | Alloc_blocks of { ino : ino; count : int; ahead : int }
+      (** grow the file by [count] blocks, plus up to [ahead] extra as an
+          extent lease (best effort: the hint is dropped before failing
+          with ENOSPC). [ahead = 0] is the paper's per-need allocation. *)
   | Get_blocks of { ino : ino }
   | Update_size of { token : fd_token; size : int }
   | Get_attr of { ino : ino }

@@ -72,6 +72,9 @@ val robust : t -> Hare_stats.Robust.t
 
 val ops : t -> Hare_stats.Opcount.t
 
+val perf : t -> Hare_stats.Perf.t
+(** Batch-dispatch counters (wakeups, batch-size histogram). *)
+
 val invals_sent : t -> int
 
 val blocks_stolen : t -> int

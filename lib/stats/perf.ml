@@ -1,0 +1,106 @@
+(* Pipelining/batching/extent-allocation counters (PR 2). One instance
+   per client and per server; [merge] folds them into a machine-wide
+   aggregate. Everything stays at zero with the paper-faithful knobs
+   (window 1, batch 1, extent 1), except [batches]/[batched_msgs], which
+   then degenerate to one message per batch. *)
+
+(* Batch-size histogram buckets: sizes 1..hist_buckets-1, with the last
+   bucket collecting everything at or above it. *)
+let hist_buckets = 17
+
+type t = {
+  mutable window_hwm : int;  (* peak in-flight deferred RPCs *)
+  mutable deferred : int;  (* RPCs issued with a deferred await *)
+  mutable deferred_errors : int;  (* deferred replies that came back Error *)
+  mutable batches : int;  (* server dispatch wakeups *)
+  mutable batched_msgs : int;  (* requests across all batches *)
+  batch_hist : int array;  (* batch_hist.(n) = batches of size n *)
+  mutable lease_hits : int;  (* block needs met by a held extent lease *)
+  mutable lease_misses : int;  (* block needs that required an Alloc RPC *)
+  mutable lease_blocks : int;  (* blocks allocated ahead of need *)
+}
+
+let create () =
+  {
+    window_hwm = 0;
+    deferred = 0;
+    deferred_errors = 0;
+    batches = 0;
+    batched_msgs = 0;
+    batch_hist = Array.make hist_buckets 0;
+    lease_hits = 0;
+    lease_misses = 0;
+    lease_blocks = 0;
+  }
+
+let note_window t depth = if depth > t.window_hwm then t.window_hwm <- depth
+
+let note_batch t size =
+  t.batches <- t.batches + 1;
+  t.batched_msgs <- t.batched_msgs + size;
+  let bucket = min (max size 0) (hist_buckets - 1) in
+  t.batch_hist.(bucket) <- t.batch_hist.(bucket) + 1
+
+let merge ~into src =
+  into.window_hwm <- max into.window_hwm src.window_hwm;
+  into.deferred <- into.deferred + src.deferred;
+  into.deferred_errors <- into.deferred_errors + src.deferred_errors;
+  into.batches <- into.batches + src.batches;
+  into.batched_msgs <- into.batched_msgs + src.batched_msgs;
+  Array.iteri
+    (fun i n -> into.batch_hist.(i) <- into.batch_hist.(i) + n)
+    src.batch_hist;
+  into.lease_hits <- into.lease_hits + src.lease_hits;
+  into.lease_misses <- into.lease_misses + src.lease_misses;
+  into.lease_blocks <- into.lease_blocks + src.lease_blocks
+
+let mean_batch t =
+  if t.batches = 0 then 0.0
+  else float_of_int t.batched_msgs /. float_of_int t.batches
+
+let lease_hit_rate t =
+  let total = t.lease_hits + t.lease_misses in
+  if total = 0 then 0.0 else float_of_int t.lease_hits /. float_of_int total
+
+let to_list t =
+  [
+    ("window high-water", t.window_hwm);
+    ("deferred rpcs", t.deferred);
+    ("deferred errors", t.deferred_errors);
+    ("server batches", t.batches);
+    ("batched requests", t.batched_msgs);
+    ("extent-lease hits", t.lease_hits);
+    ("extent-lease misses", t.lease_misses);
+    ("blocks allocated ahead", t.lease_blocks);
+  ]
+
+let is_zero t =
+  List.for_all (fun (_, n) -> n = 0) (to_list t)
+  && Array.for_all (fun n -> n = 0) t.batch_hist
+
+let pp_hist ppf t =
+  let nonzero = ref [] in
+  Array.iteri
+    (fun i n -> if i > 0 && n > 0 then nonzero := (i, n) :: !nonzero)
+    t.batch_hist;
+  match List.rev !nonzero with
+  | [] -> Format.pp_print_string ppf "empty"
+  | rows ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+        (fun ppf (size, n) ->
+          if size = hist_buckets - 1 then Format.fprintf ppf ">=%d:%d" size n
+          else Format.fprintf ppf "%d:%d" size n)
+        ppf rows
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>window high-water: %d@,\
+     deferred rpcs: %d (errors %d)@,\
+     batches: %d (%d requests, mean %.2f/batch)@,\
+     batch histogram: %a@,\
+     extent leases: %d hits / %d misses (%.0f%% hit), %d blocks ahead@]"
+    t.window_hwm t.deferred t.deferred_errors t.batches t.batched_msgs
+    (mean_batch t) pp_hist t t.lease_hits t.lease_misses
+    (100.0 *. lease_hit_rate t)
+    t.lease_blocks

@@ -1,0 +1,56 @@
+(** Pipelining / batching / extent-allocation counters (PR 2).
+
+    One mutable record per client library and per file server; {!merge}
+    folds them into a machine-wide aggregate. With the paper-faithful
+    knobs (window 1, batch 1, extent 1) every counter except the batch
+    bookkeeping stays at zero, so tests can assert the machinery is
+    inert. *)
+
+val hist_buckets : int
+(** Number of batch-histogram buckets; sizes at or above
+    [hist_buckets - 1] share the last bucket. *)
+
+type t = {
+  mutable window_hwm : int;
+      (** peak number of in-flight deferred RPCs observed in a window *)
+  mutable deferred : int;  (** RPCs issued with a deferred await *)
+  mutable deferred_errors : int;
+      (** deferred replies that came back as errors (reported here
+          because the issuing syscall already returned) *)
+  mutable batches : int;  (** server dispatch wakeups *)
+  mutable batched_msgs : int;  (** requests across all batches *)
+  batch_hist : int array;  (** [batch_hist.(n)] = batches of exactly [n] *)
+  mutable lease_hits : int;
+      (** block needs satisfied by a held extent lease, no RPC *)
+  mutable lease_misses : int;  (** block needs that required an Alloc RPC *)
+  mutable lease_blocks : int;  (** blocks allocated ahead of need *)
+}
+
+val create : unit -> t
+
+val note_window : t -> int -> unit
+(** [note_window t depth] raises the high-water mark to [depth]. *)
+
+val note_batch : t -> int -> unit
+(** [note_batch t size] records one server wakeup that drained [size]
+    requests. *)
+
+val merge : into:t -> t -> unit
+(** Sums counters; the window high-water mark merges with [max]. *)
+
+val mean_batch : t -> float
+
+val lease_hit_rate : t -> float
+(** Fraction of block needs served without an Alloc RPC; [0.] when no
+    block was ever needed. *)
+
+val to_list : t -> (string * int) list
+(** Label/value pairs in display order (histogram excluded). *)
+
+val is_zero : t -> bool
+
+val pp_hist : Format.formatter -> t -> unit
+(** Batch-size histogram as "size:count" pairs ("empty" when no batch
+    has been recorded). *)
+
+val pp : Format.formatter -> t -> unit

@@ -17,6 +17,7 @@ let () =
          Test_server_protocol.suites;
          Test_stress.suites;
          Test_fault.suites;
+         Test_pipeline.suites;
          Test_workload_outputs.suites;
          Test_exec_chain.suites;
          Test_posix_edge.suites;
