@@ -3,8 +3,10 @@
    Compares a freshly generated benchmark JSON (bench/main.exe -- --json)
    against a checked-in baseline and fails (exit 1) if any workload's
    simulated cycle count regressed by more than TOLERANCE_PCT (default
-   10%). Only workloads present in both files are compared, so adding a
-   case to the bench does not break CI until the baseline is refreshed.
+   10%), or if any baseline workload is missing from the current run —
+   a silently skipped key would let a broken benchmark pass CI. Extra
+   workloads in the current run are fine (the baseline is refreshed on
+   the next update).
 
    The parser is deliberately minimal: it only reads the flat
    { "name": ..., "simulated_cycles": ... } pairs that our own writer
@@ -85,10 +87,16 @@ let () =
   end;
   let failed = ref false in
   let compared = ref 0 in
+  let missing = ref [] in
   List.iter
     (fun (name, bcy) ->
       match List.assoc_opt name cur with
-      | None -> Printf.printf "%-24s missing from current run (skipped)\n" name
+      | None ->
+          failed := true;
+          missing := name :: !missing;
+          Printf.printf
+            "%-24s MISSING: baseline key %S not present in current run %s\n"
+            name name current
       | Some ccy ->
           incr compared;
           let delta = 100. *. (ccy -. bcy) /. bcy in
@@ -108,7 +116,15 @@ let () =
     exit 2
   end;
   if !failed then begin
-    Printf.printf "FAIL: regression beyond %.0f%% tolerance\n" tolerance;
+    (match List.rev !missing with
+    | [] -> ()
+    | keys ->
+        Printf.printf
+          "FAIL: %d baseline workload(s) missing from current run: %s\n"
+          (List.length keys)
+          (String.concat ", " keys));
+    Printf.printf "FAIL: regression or missing key beyond %.0f%% tolerance\n"
+      tolerance;
     exit 1
   end
   else Printf.printf "PASS: %d workloads within %.0f%% of baseline\n" !compared

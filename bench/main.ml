@@ -126,6 +126,9 @@ let json_cases quick =
         Config.rpc_window = window;
         batch_max = batch;
         alloc_extent = extent;
+        (* Tracing is zero-perturbation: the cycle counts below are
+           identical with it off, and it buys the per-opcode profile. *)
+        trace_enabled = true;
       }
     in
     (name, wname, ncores, config)
@@ -205,7 +208,24 @@ let run_json ~quick ~out () =
       add "      \"ops\": %d,\n" r.Driver.ops;
       add "      \"simulated_cycles\": %.0f,\n" cycles;
       add "      \"simulated_seconds\": %.9f,\n" r.Driver.elapsed;
-      add "      \"wall_clock_s\": %.6f\n" wall;
+      add "      \"wall_clock_s\": %.6f,\n" wall;
+      (* Per-opcode cycle attribution of the timed region: each row's
+         bucket values sum exactly to its total (hare_cli profile shows
+         the same breakdown interactively). *)
+      add "      \"profile\": [\n";
+      let nrows = List.length r.Driver.profile in
+      List.iteri
+        (fun j (row : Hare_trace.Trace.row) ->
+          add "        { \"op\": \"%s\", \"count\": %d, \"cycles\": %Ld"
+            row.Hare_trace.Trace.r_op row.Hare_trace.Trace.r_count
+            row.Hare_trace.Trace.r_total;
+          List.iteri
+            (fun k bname ->
+              add ", \"%s\": %Ld" bname row.Hare_trace.Trace.r_buckets.(k))
+            Hare_trace.Trace.bucket_names;
+          add " }%s\n" (if j < nrows - 1 then "," else ""))
+        r.Driver.profile;
+      add "      ]\n";
       add "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
   add "  ]\n";

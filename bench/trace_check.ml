@@ -1,0 +1,130 @@
+(* bench/trace_check.exe FILE [--tracks N]
+
+   Validates a Chrome trace-event JSON file produced by `hare_cli trace`
+   without any JSON library: the exporter writes one event per line, so
+   a line-oriented scanner suffices. Checks:
+
+   - framing: first line is `{"traceEvents":[`, last line is `]}`;
+   - every event line carries a "ph" phase and a "tid";
+   - every non-metadata event carries a "ts", and timestamps are
+     monotonically non-decreasing within each track (tid);
+   - with --tracks N: exactly N thread_name metadata records exist
+     (one Perfetto track per core plus the DRAM track).
+
+   Exit 0 when the file is well-formed, 1 with a message otherwise. *)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("trace_check: " ^ msg); exit 1) fmt
+
+(* Find `"key":` in [line] and return the character offset just past the
+   colon, skipping spaces. *)
+let find_key line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat and len = String.length line in
+  let rec scan i =
+    if i + plen > len then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else scan (i + 1)
+  in
+  scan 0
+
+let int_at line i =
+  let len = String.length line in
+  let j = ref i in
+  if !j < len && line.[!j] = '-' then incr j;
+  let v0 = !j in
+  while !j < len && line.[!j] >= '0' && line.[!j] <= '9' do
+    incr j
+  done;
+  if !j = v0 then None else Some (Int64.of_string (String.sub line i (!j - i)))
+
+let () =
+  let file, want_tracks =
+    match Array.to_list Sys.argv with
+    | [ _; f ] -> (f, None)
+    | [ _; f; "--tracks"; n ] -> (f, Some (int_of_string n))
+    | _ ->
+        prerr_endline "usage: trace_check.exe FILE [--tracks N]";
+        exit 2
+  in
+  let lines =
+    let ic = open_in file in
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev (List.filter (fun l -> String.trim l <> "") !acc)
+  in
+  (match lines with
+  | first :: _ when String.trim first = "{\"traceEvents\":[" -> ()
+  | first :: _ -> fail "bad first line %S" first
+  | [] -> fail "empty file");
+  (match List.rev lines with
+  | last :: _ when String.trim last = "]}" -> ()
+  | last :: _ -> fail "bad last line %S" last
+  | [] -> assert false);
+  let body =
+    match lines with
+    | _ :: rest -> List.filteri (fun i _ -> i < List.length rest - 1) rest
+    | [] -> []
+  in
+  let last_ts : (int64, int64) Hashtbl.t = Hashtbl.create 16 in
+  let events = ref 0 and metas = ref 0 and tracks = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 2 in
+      let ph =
+        match find_key line "ph" with
+        | Some j when j + 1 < String.length line && line.[j] = '"' ->
+            line.[j + 1]
+        | _ -> fail "line %d: no \"ph\" phase: %s" lineno line
+      in
+      let tid =
+        match find_key line "tid" with
+        | Some j -> (
+            match int_at line j with
+            | Some v -> v
+            | None -> fail "line %d: unparsable tid" lineno)
+        | None ->
+            if ph = 'M' then -1L
+            else fail "line %d: no \"tid\": %s" lineno line
+      in
+      if ph = 'M' then begin
+        incr metas;
+        let pat = "\"thread_name\"" in
+        let has_thread_name =
+          let plen = String.length pat in
+          let rec scan k =
+            k + plen <= String.length line
+            && (String.sub line k plen = pat || scan (k + 1))
+          in
+          scan 0
+        in
+        if has_thread_name then incr tracks
+      end
+      else begin
+        incr events;
+        match find_key line "ts" with
+        | None -> fail "line %d: event without \"ts\": %s" lineno line
+        | Some j -> (
+            match int_at line j with
+            | None -> fail "line %d: unparsable ts" lineno
+            | Some ts ->
+                (match Hashtbl.find_opt last_ts tid with
+                | Some prev when ts < prev ->
+                    fail
+                      "line %d: timestamps not monotonic on track %Ld \
+                       (%Ld after %Ld)"
+                      lineno tid ts prev
+                | _ -> ());
+                Hashtbl.replace last_ts tid ts)
+      end)
+    body;
+  (match want_tracks with
+  | Some n when !tracks <> n ->
+      fail "expected %d named tracks, found %d" n !tracks
+  | _ -> ());
+  Printf.printf "trace_check: OK: %d events, %d metadata records, %d tracks\n"
+    !events !metas !tracks

@@ -572,6 +572,191 @@ let perf_cmd =
       const run_perf $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
       $ window_arg $ batch_arg $ extent_arg $ dcap_arg)
 
+(* ---------- trace / profile commands ------------------------------------ *)
+
+module Trace = Hare_trace.Trace
+
+(* Boot a machine with tracing on, run the whole workload (setup
+   included), and hand back the machine. Shared by `trace` (span export)
+   and `profile` (cycle attribution). *)
+let run_traced name cores nprocs scale cap seed =
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      Error 1
+  | spec ->
+      let module Machine = Hare.Machine in
+      let module Posix = Hare.Posix in
+      let module Api = Hare_api.Api in
+      let config =
+        {
+          (Driver.default_config ~ncores:cores) with
+          Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+          trace_enabled = true;
+          trace_cap = cap;
+          seed = Int64.of_int seed;
+        }
+      in
+      let m = Machine.boot config in
+      let api = World.Hare_w.api m in
+      let nprocs =
+        match nprocs with
+        | Some n -> n
+        | None -> List.length (Config.app_cores config)
+      in
+      List.iter
+        (fun (prog, body) -> api.Api.register_program prog body)
+        (spec.Hare_workloads.Spec.programs api);
+      api.Api.register_program "bench-worker" (fun p args ->
+          let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+          spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+          0);
+      let init, _ =
+        Machine.spawn_init m
+          ~name:("trace-" ^ spec.Hare_workloads.Spec.name)
+          (fun p _ ->
+            spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+            let workers =
+              match spec.Hare_workloads.Spec.mode with
+              | Hare_workloads.Spec.Workers -> nprocs
+              | Hare_workloads.Spec.Make -> 1
+            in
+            let pids =
+              List.init workers (fun i ->
+                  Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+            in
+            List.fold_left
+              (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+              0 pids)
+      in
+      Machine.run m;
+      ignore init;
+      Ok (spec, m)
+
+let cap_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:
+          "Trace ring-buffer capacity in events; the oldest events are \
+           dropped (and counted) beyond it.")
+
+let seed_arg' =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Simulation seed; same seed => byte-identical trace.")
+
+let run_trace name out cores nprocs scale cap seed =
+  match run_traced name cores nprocs scale cap seed with
+  | Error rc -> rc
+  | Ok (spec, m) -> (
+      match Hare.Machine.trace m with
+      | None ->
+          prerr_endline "internal error: trace sink missing";
+          1
+      | Some tr ->
+          let json = Trace.to_chrome_json tr in
+          Out_channel.with_open_bin out (fun oc ->
+              Out_channel.output_string oc json);
+          Printf.printf
+            "%s: %.6f simulated seconds; %d events on %d tracks (%d \
+             dropped) -> %s\n"
+            spec.Hare_workloads.Spec.name (Hare.Machine.seconds m)
+            (List.length (Trace.events tr))
+            (List.length (Trace.tracks tr))
+            (Trace.dropped tr) out;
+          print_endline
+            "open in https://ui.perfetto.dev or chrome://tracing";
+          0)
+
+let trace_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see `hare_cli list`).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where to write the Chrome trace-event JSON.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one benchmark with span tracing on and export a \
+          Perfetto-compatible (Chrome trace-event) JSON file: one track \
+          per core plus a DRAM track, with counter tracks for CPU \
+          busy, mailbox depth, cache misses and DRAM traffic.")
+    Term.(
+      const run_trace $ name_arg $ out_arg $ cores_arg $ nprocs_arg
+      $ scale_arg $ cap_arg $ seed_arg')
+
+let run_profile name cores nprocs scale cap seed =
+  match run_traced name cores nprocs scale cap seed with
+  | Error rc -> rc
+  | Ok (spec, m) -> (
+      match Hare.Machine.trace m with
+      | None ->
+          prerr_endline "internal error: trace sink missing";
+          1
+      | Some tr ->
+          let rows = Trace.profile tr in
+          let grand = ref 0L in
+          let per_bucket = Array.make Trace.nbuckets 0L in
+          List.iter
+            (fun (r : Trace.row) ->
+              grand := Int64.add !grand r.Trace.r_total;
+              Array.iteri
+                (fun i c -> per_bucket.(i) <- Int64.add per_bucket.(i) c)
+                r.Trace.r_buckets)
+            rows;
+          Printf.printf "%s: %.6f simulated seconds, %Ld attributed cycles\n"
+            spec.Hare_workloads.Spec.name (Hare.Machine.seconds m) !grand;
+          Hare_stats.Table.print
+            ~headers:
+              ([ "op"; "count"; "cycles" ] @ Trace.bucket_names)
+            (List.map
+               (fun (r : Trace.row) ->
+                 [ r.Trace.r_op; string_of_int r.Trace.r_count;
+                   Int64.to_string r.Trace.r_total ]
+                 @ Array.to_list (Array.map Int64.to_string r.Trace.r_buckets))
+               rows
+            @ [
+                [ "TOTAL"; ""; Int64.to_string !grand ]
+                @ Array.to_list (Array.map Int64.to_string per_bucket);
+              ]);
+          let bucket_sum =
+            Array.fold_left Int64.add 0L per_bucket
+          in
+          Printf.printf "unattributed cycles: %Ld (of %Ld)\n"
+            (Int64.sub !grand bucket_sum)
+            !grand;
+          if Trace.dropped tr > 0 then
+            Printf.printf "note: %d events dropped (raise --trace-cap)\n"
+              (Trace.dropped tr);
+          if Int64.sub !grand bucket_sum <> 0L then 1 else 0)
+
+let profile_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (see `hare_cli list`).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one benchmark with span tracing on and print where the \
+          cycles went, per opcode: compute, send, queue-wait, dispatch, \
+          cache and DRAM buckets that sum exactly to each op's elapsed \
+          cycles.")
+    Term.(
+      const run_profile $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
+      $ cap_arg $ seed_arg')
+
 (* ---------- list command ------------------------------------------------ *)
 
 let run_list () =
@@ -596,6 +781,9 @@ let main =
        ~doc:
          "Hare, a file system for non-cache-coherent multicores, in \
           simulation: benchmarks and paper-figure reproduction.")
-    [ bench_cmd; fig_cmd; faults_cmd; perf_cmd; list_cmd; shell_cmd ]
+    [
+      bench_cmd; fig_cmd; faults_cmd; perf_cmd; trace_cmd; profile_cmd;
+      list_cmd; shell_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

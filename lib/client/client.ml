@@ -5,6 +5,7 @@ open Hare_proto.Types
 let src = Logs.Src.create "hare.client" ~doc:"Hare client library"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Trace = Hare_trace.Trace
 
 let bs = Hare_mem.Layout.block_size
 
@@ -33,6 +34,7 @@ type pending = {
   pd_what : string;
   pd_ino : Types.ino option;
       (* the inode the request mutates, for per-inode ordering barriers *)
+  pd_span : int; (* trace span the request carried; 0 = untraced *)
 }
 
 type t = {
@@ -128,6 +130,31 @@ let syscall t name =
   Hare_stats.Opcount.incr t.syscalls name;
   Core_res.compute t.core t.costs.syscall_trap
 
+let sink t = Engine.sink t.engine
+
+(* Wrap a public syscall body in a root trace span on this client's core
+   track. The close folds any bucket-uncovered wall time into Queue, so
+   the span's attribution always sums to its elapsed cycles. Nested
+   syscalls (close inside exit teardown) fold into the outer span. *)
+let traced t op f =
+  match sink t with
+  | None -> f ()
+  | Some tr -> (
+      let fid = Engine.fiber_id (Engine.self ()) in
+      if Trace.ctx_active tr ~fid then f ()
+      else begin
+        ignore
+          (Trace.ctx_open tr ~fid ~op ~track:(Core_res.id t.core) ~parent:0
+             ~now:(Engine.now t.engine) ~args:[]);
+        match f () with
+        | v ->
+            Trace.ctx_close_syscall tr ~fid ~now:(Engine.now t.engine);
+            v
+        | exception e ->
+            Trace.ctx_close_syscall tr ~fid ~now:(Engine.now t.engine);
+            raise e
+      end)
+
 (* ---------- RPC helpers ------------------------------------------------ *)
 
 (* Requests that are safe to retransmit under the (client, seq) dedup
@@ -170,8 +197,20 @@ let rpc_result t ?payload_lines srv req =
               t.rpc_count <- t.rpc_count + 1;
               (* Jittered backoff: desynchronizes clients hammering a
                  recovering server. *)
-              Engine.sleep
-                (Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4))));
+              let back =
+                Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4)))
+              in
+              (match sink t with
+              | Some tr ->
+                  Trace.on_wait tr
+                    ~fid:(Engine.fiber_id (Engine.self ()))
+                    ~cycles:back;
+                  Trace.instant tr ~name:"rpc-retry" ~track:(Core_res.id t.core)
+                    ~ts:(Engine.now t.engine)
+                    ~args:[ ("op", Wire.req_name req) ]
+                    ()
+              | None -> ());
+              Engine.sleep back;
               attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64))
             end
       in
@@ -203,17 +242,25 @@ let await_pending t (pd : pending) =
   if Ivar.is_filled pd.pd_future then begin
     (* The reply landed while this client was still computing: consuming
        it is a poll of a ready slot, not a blocking receive — no
-       notification/wakeup path, just the copy. *)
+       notification/wakeup path, just the copy. The server's cycles
+       overlapped our own compute, so the breakdown recorded for the
+       span is discarded (elapsed 0). *)
+    (match sink t with
+    | Some tr ->
+        let fid = Engine.fiber_id (Engine.self ()) in
+        Trace.on_blocked tr ~fid ~span:pd.pd_span ~elapsed:0L;
+        Trace.set_pending tr ~fid [ (Trace.Send, t.costs.recv_ready) ]
+    | None -> ());
     Core_res.compute t.core t.costs.recv_ready;
     Ivar.read pd.pd_future
   end
   else
   match (pd.pd_meta, t.retry) with
   | Some meta, Some rt ->
-      let rec attempt n deadline future =
+      let rec attempt n deadline future span =
         match
           Hare_msg.Rpc.await_deadline ~engine:t.engine ~from:t.core
-            ~costs:t.costs ~deadline:(Int64.of_int deadline) future
+            ~costs:t.costs ~deadline:(Int64.of_int deadline) ~span future
         with
         | Ok resp -> resp
         | Error `Timeout ->
@@ -228,17 +275,27 @@ let await_pending t (pd : pending) =
               t.robust.Hare_stats.Robust.retries <-
                 t.robust.Hare_stats.Robust.retries + 1;
               t.rpc_count <- t.rpc_count + 1;
-              Engine.sleep
-                (Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4))));
-              let future =
-                Hare_msg.Rpc.call_async t.servers.(pd.pd_srv) ~from:t.core
+              let back =
+                Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4)))
+              in
+              (match sink t with
+              | Some tr ->
+                  Trace.on_wait tr
+                    ~fid:(Engine.fiber_id (Engine.self ()))
+                    ~cycles:back
+              | None -> ());
+              Engine.sleep back;
+              let future, span =
+                Hare_msg.Rpc.call_async_sp t.servers.(pd.pd_srv) ~from:t.core
                   ~meta pd.pd_req
               in
-              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64)) future
+              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64)) future span
             end
       in
-      attempt 0 rt.rt_base pd.pd_future
-  | _ -> Hare_msg.Rpc.await ~from:t.core ~costs:t.costs pd.pd_future
+      attempt 0 rt.rt_base pd.pd_future pd.pd_span
+  | _ ->
+      Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span:pd.pd_span
+        pd.pd_future
 
 (* True when [e] means the token is stale and recovery should be tried:
    only under a fault plan, never in a fault-free run. *)
@@ -288,12 +345,12 @@ let rpc_deferred t srv ~what ?ino req =
     done;
     t.rpc_count <- t.rpc_count + 1;
     let meta = alloc_meta t req in
-    let future =
-      Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core ?meta req
+    let future, span =
+      Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta req
     in
     Queue.push
       { pd_srv = srv; pd_req = req; pd_meta = meta; pd_future = future;
-        pd_what = what; pd_ino = ino }
+        pd_what = what; pd_ino = ino; pd_span = span }
       t.window;
     t.perf.Hare_stats.Perf.deferred <- t.perf.Hare_stats.Perf.deferred + 1;
     Hare_stats.Perf.note_window t.perf (Queue.length t.window);
@@ -361,10 +418,13 @@ let multicast t ids (mk : int -> Wire.fs_req) =
       List.map
         (fun srv ->
           t.rpc_count <- t.rpc_count + 1;
-          Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core (mk srv))
+          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core (mk srv))
         ids
     in
-    List.map (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs) futures
+    List.map
+      (fun (future, span) ->
+        Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span future)
+      futures
   end
   else if t.config.Hare_config.Config.dir_broadcast && t.window_cap > 1 then begin
     let results = Array.make (List.length ids) (Error Errno.EIO) in
@@ -379,13 +439,13 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         let req = mk srv in
         t.rpc_count <- t.rpc_count + 1;
         let meta = alloc_meta t req in
-        let future =
-          Hare_msg.Rpc.call_async t.servers.(srv) ~from:t.core ?meta req
+        let future, span =
+          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta req
         in
         Queue.push
           ( i,
             { pd_srv = srv; pd_req = req; pd_meta = meta; pd_future = future;
-              pd_what = "broadcast"; pd_ino = None } )
+              pd_what = "broadcast"; pd_ino = None; pd_span = span } )
           inflight;
         Hare_stats.Perf.note_window t.perf (Queue.length inflight))
       ids;
@@ -570,6 +630,7 @@ let create_file t (dir : dirref) name (flags : open_flags) =
   end
 
 let openf t fdt ~cwd path (flags : open_flags) =
+  traced t "open" @@ fun () ->
   syscall t "open";
   let dir, name = resolve_parent t ~cwd path in
   let ino, oi =
@@ -605,7 +666,15 @@ let console_write t (c : Wire.console_ref) data =
       Hare_msg.Mailbox.send port ~from:t.core
         ~payload_lines:((String.length data / 64) + 1)
         (Wire.Pm_console_write { data; ack });
-      Ivar.read ack;
+      (match sink t with
+      | Some tr ->
+          let b0 = Engine.now t.engine in
+          Ivar.read ack;
+          Trace.on_blocked tr
+            ~fid:(Engine.fiber_id (Engine.self ()))
+            ~span:0
+            ~elapsed:(Int64.sub (Engine.now t.engine) b0)
+      | None -> Ivar.read ack);
       String.length data
 
 (* Refresh client-side file state after a shared descriptor migrates back
@@ -780,6 +849,7 @@ let rec file_write t (fs : Fdtable.file_state) data =
       | Error e -> Errno.raise_errno e "write")
 
 let read t fdt fd ~len =
+  traced t "read" @@ fun () ->
   syscall t "read";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
@@ -793,6 +863,7 @@ let read t fdt fd ~len =
   | Fdtable.Console _ -> ""
 
 let write t fdt fd data =
+  traced t "write" @@ fun () ->
   syscall t "write";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
@@ -834,6 +905,7 @@ let rec seek_file t (fs : Fdtable.file_state) ~pos whence =
       | Error e -> Errno.raise_errno e "lseek")
 
 let lseek t fdt fd ~pos whence =
+  traced t "lseek" @@ fun () ->
   syscall t "lseek";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
@@ -889,6 +961,7 @@ let release_desc t (entry : Fdtable.entry) =
   | Fdtable.Console _ -> ()
 
 let close t fdt fd =
+  traced t "close" @@ fun () ->
   syscall t "close";
   let entry = Fdtable.find_exn fdt fd in
   Fdtable.remove fdt fd;
@@ -906,6 +979,7 @@ let close_all t fdt =
   drain_window t
 
 let fsync t fdt fd =
+  traced t "fsync" @@ fun () ->
   syscall t "fsync";
   (* Durability barrier: deferred requests count as outstanding I/O. *)
   drain_window t;
@@ -919,6 +993,7 @@ let fsync t fdt fd =
   | Fdtable.Pipe _ | Fdtable.Console _ -> ()
 
 let ftruncate t fdt fd ~size =
+  traced t "ftruncate" @@ fun () ->
   syscall t "ftruncate";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
@@ -942,6 +1017,7 @@ let ftruncate t fdt fd ~size =
         | _ -> assert false)
 
 let fstat t fdt fd =
+  traced t "fstat" @@ fun () ->
   syscall t "fstat";
   let entry = Fdtable.find_exn fdt fd in
   match entry.Fdtable.desc with
@@ -958,12 +1034,14 @@ let fstat t fdt fd =
 (* ---------- dup / pipe -------------------------------------------------- *)
 
 let dup t fdt fd =
+  traced t "dup" @@ fun () ->
   syscall t "dup";
   let entry = Fdtable.find_exn fdt fd in
   entry.Fdtable.local_refs <- entry.Fdtable.local_refs + 1;
   Fdtable.alloc fdt entry
 
 let dup2 t fdt ~src ~dst =
+  traced t "dup2" @@ fun () ->
   syscall t "dup2";
   let entry = Fdtable.find_exn fdt src in
   if src = dst then dst
@@ -980,6 +1058,7 @@ let dup2 t fdt ~src ~dst =
   end
 
 let pipe t fdt =
+  traced t "pipe" @@ fun () ->
   syscall t "pipe";
   match rpc t t.local_server (Wire.Pipe_create { client = t.cid }) with
   | Wire.P_pipe { pipe_ino; rd; wr } ->
@@ -998,6 +1077,7 @@ let pipe t fdt =
 (* ---------- name-space operations --------------------------------------- *)
 
 let unlink t ~cwd path =
+  traced t "unlink" @@ fun () ->
   syscall t "unlink";
   let dir, name = resolve_parent t ~cwd path in
   let srv = entry_server t dir name in
@@ -1032,6 +1112,7 @@ let unlink t ~cwd path =
   | _ -> assert false
 
 let mkdir t ~cwd ?(dist = false) path =
+  traced t "mkdir" @@ fun () ->
   syscall t "mkdir";
   let dir, name = resolve_parent t ~cwd path in
   let dist = dist && t.config.Hare_config.Config.dir_distribution in
@@ -1075,6 +1156,7 @@ let mkdir t ~cwd ?(dist = false) path =
   | _ -> assert false
 
 let rmdir t ~cwd path =
+  traced t "rmdir" @@ fun () ->
   syscall t "rmdir";
   let dir, name = resolve_parent t ~cwd path in
   let e = lookup_entry t dir name in
@@ -1145,6 +1227,7 @@ let rmdir t ~cwd path =
   end
 
 let readdir t ~cwd path =
+  traced t "readdir" @@ fun () ->
   syscall t "readdir";
   let comps = Path.normalize ~cwd path in
   let dir = resolve_dir t comps in
@@ -1175,6 +1258,7 @@ let readdir t ~cwd path =
     | _ -> assert false
 
 let rename t ~cwd oldp newp =
+  traced t "rename" @@ fun () ->
   syscall t "rename";
   let odir, oname = resolve_parent t ~cwd oldp in
   let ndir, nname = resolve_parent t ~cwd newp in
@@ -1243,6 +1327,7 @@ let rename t ~cwd oldp newp =
   end
 
 let stat t ~cwd path =
+  traced t "stat" @@ fun () ->
   syscall t "stat";
   let comps = Path.normalize ~cwd path in
   match comps with
@@ -1261,6 +1346,7 @@ let stat t ~cwd path =
 (* ---------- descriptor transfer ----------------------------------------- *)
 
 let fork_fds t fdt =
+  traced t "fork" @@ fun () ->
   (* The child must not observe server state that a deferred request is
      still about to change; settle the window before sharing. *)
   drain_window t;

@@ -25,6 +25,8 @@ type t = {
   batch_max : int;
   alloc_extent : int;
   dircache_capacity : int;
+  trace_enabled : bool;
+  trace_cap : int;
   seed : int64;
   costs : Costs.t;
 }
@@ -61,6 +63,10 @@ let default =
     alloc_extent = 1;
     (* 0 = unbounded dircache, the paper-faithful default. *)
     dircache_capacity = 0;
+    (* Tracing off by default: no sink is attached, so every
+       instrumentation site reduces to a None check. *)
+    trace_enabled = false;
+    trace_cap = 65536;
     seed = 42L;
     costs = Costs.default;
   }
@@ -88,6 +94,7 @@ let validate t =
   else if t.alloc_extent < 1 then Error "alloc_extent must be at least 1"
   else if t.dircache_capacity < 0 then
     Error "dircache_capacity must be non-negative (0 = unbounded)"
+  else if t.trace_cap <= 0 then Error "trace_cap must be positive"
   else
     match t.placement with
     | Timeshare -> Ok ()

@@ -91,6 +91,14 @@ type t = {
       (** bound on the client directory cache, in entries, with LRU
           eviction past the bound; [0] (default) means unbounded — the
           paper's behaviour. *)
+  trace_enabled : bool;
+      (** {e extension}: attach a span-trace sink at boot
+          ([Hare_trace.Trace]). Recording is pure host-side bookkeeping
+          and charges zero simulated cycles, so traced and untraced runs
+          of the same seed are bit-identical; off by default. *)
+  trace_cap : int;
+      (** trace ring-buffer capacity in events; when full, the oldest
+          event is dropped and a dropped-events counter incremented. *)
   seed : int64;
   costs : Costs.t;
 }

@@ -28,6 +28,18 @@ let boot (config : Config.t) =
   let engine = Engine.create ~seed:config.seed () in
   let costs = config.costs in
   let ncores = config.ncores in
+  (* Tracing: the sink is created before any fiber runs, so every span id
+     allocation is part of the deterministic boot order. Host-side only —
+     it never charges simulated cycles. *)
+  if config.trace_enabled then begin
+    let tr = Hare_trace.Trace.create ~cap:config.trace_cap in
+    for i = 0 to ncores - 1 do
+      Hare_trace.Trace.declare_track tr ~track:i
+        ~name:(Printf.sprintf "core %d" i)
+    done;
+    Hare_trace.Trace.declare_track tr ~track:ncores ~name:"dram";
+    Engine.set_sink engine tr
+  end;
   let cores =
     Array.init ncores (fun i ->
         Core_res.create engine ~id:i
@@ -40,6 +52,11 @@ let boot (config : Config.t) =
      partition physically lives on its server's socket (NUMA). *)
   let per_server = max 16 (config.buffer_cache_blocks / nservers) in
   let dram = Hare_mem.Dram.create ~nblocks:(per_server * nservers) in
+  (match Engine.sink engine with
+  | Some tr ->
+      Hare_mem.Dram.set_trace dram ~sink:tr ~track:ncores
+        ~now:(fun () -> Engine.now engine)
+  | None -> ());
   let server_sockets =
     Array.map (fun c -> Core_res.socket cores.(c)) server_cores
   in
@@ -259,6 +276,12 @@ let perf t =
     (fun c -> Hare_stats.Perf.merge ~into:acc (Client.perf c))
     t.clients;
   acc
+
+let trace t = Engine.sink t.engine
+
+let reset_perf t =
+  Array.iter (fun s -> Hare_stats.Perf.reset (Server.perf s)) t.servers;
+  Array.iter (fun c -> Hare_stats.Perf.reset (Client.perf c)) t.clients
 
 let utilization t =
   let elapsed = Int64.to_float (max 1L (now t)) in

@@ -80,6 +80,16 @@ val perf : t -> Hare_stats.Perf.t
     hit rate. Inert (batches = wakeups, everything else zero) when
     [rpc_window], [batch_max] and [alloc_extent] are all 1. *)
 
+val trace : t -> Hare_trace.Trace.t option
+(** The trace sink installed at boot when [config.trace_enabled], or
+    [None]. The sink is host-side bookkeeping only: the simulation's
+    clocks and operation counts are bit-identical with tracing on or
+    off. *)
+
+val reset_perf : t -> unit
+(** Zero every server's and client's {!Hare_stats.Perf} counters, so a
+    subsequent timed region reports only its own activity. *)
+
 val utilization : t -> (int * float) list
 (** Per-core busy fraction (busy cycles / elapsed cycles) — how evenly
     the run loaded the machine. *)

@@ -11,6 +11,7 @@ type result = {
   ops : int;
   throughput : float;
   syscalls : Hare_stats.Opcount.t;
+  profile : Hare_trace.Trace.row list;
 }
 
 let default_config ~ncores =
@@ -51,6 +52,13 @@ module Make (W : World.WORLD) = struct
       W.spawn_init w ~name:("bench-" ^ spec.Spec.name) (fun p ->
           spec.Spec.setup api p ~nprocs ~scale;
           ops_before := Hare_stats.Opcount.snapshot (W.syscalls w);
+          (* The timed region reports only its own activity: perf
+             counters and the cycle-attribution profile restart here;
+             setup's spans stay in the trace ring for inspection. *)
+          W.reset_perf w;
+          (match W.trace w with
+          | Some tr -> Hare_trace.Trace.reset_profile tr
+          | None -> ());
           t0 := W.seconds w;
           let workers =
             match spec.Spec.mode with Spec.Workers -> nprocs | Spec.Make -> 1
@@ -88,5 +96,9 @@ module Make (W : World.WORLD) = struct
       throughput = (if elapsed > 0.0 then float_of_int ops /. elapsed else 0.0);
       (* the timed region's op mix only — setup excluded (Figure 5) *)
       syscalls = Hare_stats.Opcount.diff ~since:!ops_before (W.syscalls w);
+      profile =
+        (match W.trace w with
+        | Some tr -> Hare_trace.Trace.profile tr
+        | None -> []);
     }
 end

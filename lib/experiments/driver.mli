@@ -16,6 +16,10 @@ type result = {
   ops : int;
   throughput : float;  (** ops per simulated second. *)
   syscalls : Hare_stats.Opcount.t;  (** whole-run op mix. *)
+  profile : Hare_trace.Trace.row list;
+      (** Per-opcode cycle attribution of the timed region (sorted by
+          total cycles, descending). Empty unless the world was booted
+          with [trace_enabled]. *)
 }
 
 val default_config : ncores:int -> Hare_config.Config.t

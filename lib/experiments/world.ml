@@ -22,6 +22,14 @@ module type WORLD = sig
   val syscalls : world -> Hare_stats.Opcount.t
 
   val exit_status : world -> proc -> int option
+
+  val trace : world -> Hare_trace.Trace.t option
+  (** The trace sink, when the world was booted with tracing enabled.
+      The Linux baseline never traces. *)
+
+  val reset_perf : world -> unit
+  (** Zero the world's pipelining/batching counters (no-op for worlds
+      without them), so a timed region reports only its own activity. *)
 end
 
 module Hare_w = struct
@@ -82,6 +90,10 @@ module Hare_w = struct
   let syscalls = M.total_syscalls
 
   let exit_status = M.exit_status
+
+  let trace = M.trace
+
+  let reset_perf = M.reset_perf
 end
 
 module Linux_w = struct
@@ -106,6 +118,10 @@ module Linux_w = struct
   let syscalls = L.syscalls
 
   let exit_status = L.exit_status
+
+  let trace _ = None
+
+  let reset_perf _ = ()
 end
 
 let unfs_config (base : Config.t) =

@@ -26,6 +26,14 @@ module type WORLD = sig
   val syscalls : world -> Hare_stats.Opcount.t
 
   val exit_status : world -> proc -> int option
+
+  val trace : world -> Hare_trace.Trace.t option
+  (** The trace sink, when the world was booted with tracing enabled.
+      Worlds that never trace (the Linux baseline) return [None]. *)
+
+  val reset_perf : world -> unit
+  (** Zero the world's pipelining/batching counters (no-op for worlds
+      without them), so a timed region reports only its own activity. *)
 end
 
 module Hare_w : WORLD with type world = Hare.Machine.t and type proc = Hare_proc.Process.t

@@ -1,8 +1,45 @@
-type t = { nblocks : int; pages : Bytes.t option array }
+module Trace = Hare_trace.Trace
+
+type t = {
+  nblocks : int;
+  pages : Bytes.t option array;
+  (* Trace sink + track + clock source; DRAM itself has no engine, so
+     the machine injects a [now] closure at boot. *)
+  mutable trace : (Trace.t * int * (unit -> int64)) option;
+  mutable line_reads : int;
+  mutable line_writes : int;
+}
 
 let create ~nblocks =
   if nblocks <= 0 then invalid_arg "Dram.create: nblocks must be positive";
-  { nblocks; pages = Array.make nblocks None }
+  {
+    nblocks;
+    pages = Array.make nblocks None;
+    trace = None;
+    line_reads = 0;
+    line_writes = 0;
+  }
+
+let set_trace t ~sink ~track ~now = t.trace <- Some (sink, track, now)
+
+(* Sample the cumulative traffic counters every 64th line move so the
+   DRAM track stays readable (and the ring is not flooded). *)
+let sample_period = 64
+
+let note_read t =
+  t.line_reads <- t.line_reads + 1;
+  match t.trace with
+  | Some (tr, track, now) when t.line_reads mod sample_period = 0 ->
+      Trace.counter tr ~name:"dram-reads" ~track ~ts:(now ()) ~value:t.line_reads
+  | _ -> ()
+
+let note_write t =
+  t.line_writes <- t.line_writes + 1;
+  match t.trace with
+  | Some (tr, track, now) when t.line_writes mod sample_period = 0 ->
+      Trace.counter tr ~name:"dram-writes" ~track ~ts:(now ())
+        ~value:t.line_writes
+  | _ -> ()
 
 let nblocks t = t.nblocks
 
@@ -23,12 +60,14 @@ let page t block =
 
 let read_line t ~block ~line ~dst ~dst_off =
   check_line t ~block ~line;
+  note_read t;
   match t.pages.(block) with
   | None -> Bytes.fill dst dst_off Layout.line_size '\000'
   | Some p -> Bytes.blit p (line * Layout.line_size) dst dst_off Layout.line_size
 
 let write_line t ~block ~line ~src ~src_off =
   check_line t ~block ~line;
+  note_write t;
   Bytes.blit src src_off (page t block) (line * Layout.line_size)
     Layout.line_size
 

@@ -1,4 +1,5 @@
 open Hare_sim
+module Trace = Hare_trace.Trace
 
 type line = {
   key : int; (* block * lines_per_block + line index *)
@@ -57,6 +58,24 @@ let create ?block_socket dram ~core ~costs ~capacity_lines =
   }
 
 let core t = t.core
+
+let sink t = Engine.sink (Core_res.engine t.core)
+
+(* Decompose the upcoming compute charge into cache vs. DRAM cycles and
+   publish cumulative miss/write-back counters when they moved. *)
+let charge t ~cache ~dram ~miss0 ~wb0 =
+  (match sink t with
+  | None -> ()
+  | Some tr ->
+      let fid = Engine.fiber_id (Engine.self ()) in
+      Trace.set_pending tr ~fid [ (Trace.Cache, cache); (Trace.Dram, dram) ];
+      let now = Engine.now (Core_res.engine t.core) in
+      let track = Core_res.id t.core in
+      if t.misses <> miss0 then
+        Trace.counter tr ~name:"pc-miss" ~track ~ts:now ~value:t.misses;
+      if t.writebacks <> wb0 then
+        Trace.counter tr ~name:"pc-writeback" ~track ~ts:now ~value:t.writebacks);
+  Core_res.compute t.core (cache + dram)
 
 let stats t =
   {
@@ -128,14 +147,14 @@ let evict_one t =
       t.evictions <- t.evictions + 1;
       cost
 
-(* Fetch-or-miss one line; returns (line, cycle cost). *)
+(* Fetch-or-miss one line; returns (line, cache cycles, DRAM cycles). *)
 let ensure_line t ~block ~line =
   let key = key_of ~block ~line in
   match Hashtbl.find_opt t.table key with
   | Some l ->
       touch t l;
       t.hits <- t.hits + 1;
-      (l, t.costs.cache_hit_line)
+      (l, t.costs.cache_hit_line, 0)
   | None ->
       t.misses <- t.misses + 1;
       let evict_cost =
@@ -146,7 +165,7 @@ let ensure_line t ~block ~line =
       let l = { key; data; dirty = false; prev = None; next = None } in
       Hashtbl.replace t.table key l;
       push_front t l;
-      (l, evict_cost + dram_cost t block + t.costs.cache_hit_line)
+      (l, t.costs.cache_hit_line, evict_cost + dram_cost t block)
 
 let check_range ~off ~len =
   if len <= 0 then invalid_arg "Pcache: empty range";
@@ -155,14 +174,16 @@ let check_range ~off ~len =
 
 let access t ~block ~off ~len ~(per_line : line -> unit) =
   check_range ~off ~len;
+  let miss0 = t.misses and wb0 = t.writebacks in
   let first, last = Layout.lines_touched ~off ~len in
-  let cost = ref 0 in
+  let cache = ref 0 and dram = ref 0 in
   for line = first to last do
-    let l, c = ensure_line t ~block ~line in
-    cost := !cost + c;
+    let l, cc, dc = ensure_line t ~block ~line in
+    cache := !cache + cc;
+    dram := !dram + dc;
     per_line l
   done;
-  Core_res.compute t.core !cost
+  charge t ~cache:!cache ~dram:!dram ~miss0 ~wb0
 
 let read t ~block ~off ~len ~dst ~dst_off =
   let per_line l =
@@ -205,21 +226,24 @@ let lines_of_block t block =
   !acc
 
 let invalidate_block t block =
+  let miss0 = t.misses and wb0 = t.writebacks in
   let lines = lines_of_block t block in
   List.iter
     (fun l ->
       drop_line t l;
       t.invalidated <- t.invalidated + 1)
     lines;
-  Core_res.compute t.core (List.length lines * t.costs.invalidate_line)
+  charge t ~cache:(List.length lines * t.costs.invalidate_line) ~dram:0 ~miss0
+    ~wb0
 
 let writeback_block t block =
+  let miss0 = t.misses and wb0 = t.writebacks in
   let lines = lines_of_block t block in
   let cost = ref 0 in
   List.iter
     (fun l -> if flush_line t l then cost := !cost + dram_cost t block)
     lines;
-  Core_res.compute t.core !cost
+  charge t ~cache:0 ~dram:!cost ~miss0 ~wb0
 
 (* Coherent accessors: model an MESI machine by keeping DRAM authoritative
    — every write goes through to DRAM, every read refetches the line.
@@ -227,19 +251,19 @@ let writeback_block t block =
    satisfies it from cache / posted write-backs); only misses pay the
    full DRAM transfer. *)
 
-let coherent_line_cost t (l : line) c =
-  (* [c] is the ensure_line cost: hit or miss+fill. Resident lines add a
-     small write-through/snoop overhead instead of a DRAM round trip. *)
-  ignore l;
-  if c <= t.costs.cache_hit_line then t.costs.cache_hit_line + (t.costs.dram_line / 8)
-  else c
+let coherent_line_cost t ~cc ~dc =
+  (* [cc]/[dc] is the ensure_line cost split: hit or miss+fill. Resident
+     lines add a small write-through/snoop overhead instead of a DRAM
+     round trip. *)
+  if dc = 0 then (t.costs.cache_hit_line, t.costs.dram_line / 8) else (cc, dc)
 
 let read_coherent t ~block ~off ~len ~dst ~dst_off =
   check_range ~off ~len;
+  let miss0 = t.misses and wb0 = t.writebacks in
   let first, last = Layout.lines_touched ~off ~len in
-  let cost = ref 0 in
+  let cache = ref 0 and dram = ref 0 in
   for line = first to last do
-    let l, c = ensure_line t ~block ~line in
+    let l, cc, dc = ensure_line t ~block ~line in
     (* Refresh from DRAM: another (coherent) core may have written. *)
     Dram.read_line t.dram ~block ~line ~dst:l.data ~dst_off:0;
     l.dirty <- false;
@@ -247,16 +271,19 @@ let read_coherent t ~block ~off ~len ~dst ~dst_off =
     let from = max off line_start in
     let upto = min (off + len) (line_start + Layout.line_size) in
     Bytes.blit l.data (from - line_start) dst (dst_off + from - off) (upto - from);
-    cost := !cost + coherent_line_cost t l c
+    let cc, dc = coherent_line_cost t ~cc ~dc in
+    cache := !cache + cc;
+    dram := !dram + dc
   done;
-  Core_res.compute t.core !cost
+  charge t ~cache:!cache ~dram:!dram ~miss0 ~wb0
 
 let write_coherent t ~block ~off ~len ~src ~src_off =
   check_range ~off ~len;
+  let miss0 = t.misses and wb0 = t.writebacks in
   let first, last = Layout.lines_touched ~off ~len in
-  let cost = ref 0 in
+  let cache = ref 0 and dram = ref 0 in
   for line = first to last do
-    let l, c = ensure_line t ~block ~line in
+    let l, cc, dc = ensure_line t ~block ~line in
     let line_start = line * Layout.line_size in
     let from = max off line_start in
     let upto = min (off + len) (line_start + Layout.line_size) in
@@ -264,6 +291,8 @@ let write_coherent t ~block ~off ~len ~src ~src_off =
     (* Write-through: immediately visible to all cores. *)
     Dram.write_line t.dram ~block ~line ~src:l.data ~src_off:0;
     l.dirty <- false;
-    cost := !cost + coherent_line_cost t l c
+    let cc, dc = coherent_line_cost t ~cc ~dc in
+    cache := !cache + cc;
+    dram := !dram + dc
   done;
-  Core_res.compute t.core !cost
+  charge t ~cache:!cache ~dram:!dram ~miss0 ~wb0

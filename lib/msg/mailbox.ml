@@ -1,17 +1,27 @@
 open Hare_sim
+module Trace = Hare_trace.Trace
 
 type 'a t = {
   queue : 'a Bqueue.t;
   owner : Core_res.t;
   costs : Hare_config.Costs.t;
   faults : Hare_fault.Injector.link option;
+  name : string option;
   mutable sent : int;
   mutable received : int;
 }
 
 let create ?name ?faults ~owner ~costs () =
   let t =
-    { queue = Bqueue.create (); owner; costs; faults; sent = 0; received = 0 }
+    {
+      queue = Bqueue.create ();
+      owner;
+      costs;
+      faults;
+      name;
+      sent = 0;
+      received = 0;
+    }
   in
   (match name with
   | None -> ()
@@ -22,17 +32,45 @@ let create ?name ?faults ~owner ~costs () =
 
 let owner t = t.owner
 
+let sink t = Engine.sink (Core_res.engine t.owner)
+
+(* Named mailboxes publish their depth as a Perfetto counter track on the
+   owner's core whenever it changes. *)
+let depth_counter t =
+  match (sink t, t.name) with
+  | Some tr, Some name ->
+      Trace.counter tr ~name:("mb:" ^ name)
+        ~track:(Core_res.id t.owner)
+        ~ts:(Engine.now (Core_res.engine t.owner))
+        ~value:(Bqueue.length t.queue)
+  | _ -> ()
+
+let fault_instant t verdict ~span =
+  match sink t with
+  | None -> ()
+  | Some tr ->
+      Trace.instant tr ~name:("fault:" ^ verdict)
+        ~track:(Core_res.id t.owner)
+        ~ts:(Engine.now (Core_res.engine t.owner))
+        ~args:(if span <> 0 then [ ("span", string_of_int span) ] else [])
+        ()
+
 let enqueue t msg =
   Bqueue.push t.queue msg;
-  t.sent <- t.sent + 1
+  t.sent <- t.sent + 1;
+  depth_counter t
 
-let send t ~from ?(payload_lines = 0) ?(unreliable = false) msg =
+let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
   let cost = t.costs.send + (payload_lines * t.costs.msg_per_line) in
   let cost =
     if Core_res.socket from <> Core_res.socket t.owner then
       cost + t.costs.send_cross_socket
     else cost
   in
+  (match sink t with
+  | Some tr ->
+      Trace.set_pending tr ~fid:(Engine.fiber_id (Engine.self ())) [ (Trace.Send, cost) ]
+  | None -> ());
   Core_res.compute from cost;
   match t.faults with
   | None ->
@@ -40,7 +78,10 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) msg =
       enqueue t msg
   | Some link ->
       let module I = Hare_fault.Injector in
-      if I.down link && unreliable then I.note_blackholed link
+      if I.down link && unreliable then begin
+        I.note_blackholed link;
+        fault_instant t "blackhole" ~span
+      end
       else begin
         let engine = Core_res.engine t.owner in
         let now = Engine.now engine in
@@ -55,12 +96,14 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) msg =
           | Some time -> Engine.schedule_at engine time (fun () -> enqueue t msg)
         in
         match I.on_send link ~unreliable with
-        | I.Drop -> ()
+        | I.Drop -> fault_instant t "drop" ~span
         | I.Deliver -> deliver_at floor
         | I.Duplicate ->
+            fault_instant t "dup" ~span;
             deliver_at floor;
             deliver_at floor
         | I.Delay extra ->
+            fault_instant t "delay" ~span;
             let base = match floor with Some s -> s | None -> now in
             deliver_at (Some (Int64.add base extra))
       end
@@ -68,6 +111,7 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) msg =
 let recv t =
   let msg = Bqueue.pop t.queue in
   t.received <- t.received + 1;
+  depth_counter t;
   Core_res.compute t.owner t.costs.recv;
   msg
 
@@ -92,6 +136,7 @@ let recv_many t ~max =
           extra (msg :: acc) (n + 1)
   in
   let msgs = first :: extra [] 1 in
+  depth_counter t;
   Core_res.compute t.owner t.costs.recv;
   msgs
 
@@ -105,6 +150,7 @@ let poll t =
   | None -> None
   | Some msg ->
       t.received <- t.received + 1;
+      depth_counter t;
       Core_res.compute t.owner t.costs.recv;
       Some msg
 
@@ -114,7 +160,9 @@ let drain t =
     | None -> List.rev acc
     | Some msg -> go (msg :: acc)
   in
-  go []
+  let msgs = go [] in
+  depth_counter t;
+  msgs
 
 let pending t = Bqueue.length t.queue
 

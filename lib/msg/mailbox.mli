@@ -34,12 +34,17 @@ val owner : 'a t -> Hare_sim.Core_res.t
     delayed, or blackholed while the receiver is down. Reliable sends
     always enqueue (possibly late, if the link is stalled), preserving the
     atomic-delivery contract. Without a link, [unreliable] is ignored and
-    delivery is exactly the fault-free fast path. *)
+    delivery is exactly the fault-free fast path.
+
+    [span] (default 0 = none) tags fault-injector verdicts in the trace
+    with the request span the message carries; it does not affect
+    delivery. *)
 val send :
   'a t ->
   from:Hare_sim.Core_res.t ->
   ?payload_lines:int ->
   ?unreliable:bool ->
+  ?span:int ->
   'a ->
   unit
 

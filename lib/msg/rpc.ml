@@ -1,4 +1,5 @@
 open Hare_sim
+module Trace = Hare_trace.Trace
 
 type meta = { m_client : int; m_seq : int }
 
@@ -6,6 +7,7 @@ type ('req, 'resp) envelope = {
   body : 'req;
   reply_ivar : 'resp Ivar.t;
   meta : meta option;
+  span : int; (* requesting trace span; 0 = untraced *)
 }
 
 type ('req, 'resp) t = {
@@ -18,40 +20,87 @@ let endpoint ?name ?faults ~owner ~costs () =
 
 let owner t = Mailbox.owner t.mailbox
 
-let call_async t ~from ?payload_lines ?meta req =
+let sink core = Engine.sink (Core_res.engine core)
+
+let fid () = Engine.fiber_id (Engine.self ())
+
+let call_async_sp t ~from ?payload_lines ?meta req =
+  (* Allocate a span id so the server-side work for this request can be
+     tied back to the caller's open syscall span. *)
+  let span = match sink from with Some tr -> Trace.next_span tr | None -> 0 in
   let reply = Ivar.create () in
   (* Only meta-tagged (retryable) requests are fair game for the fault
      injector; everything else keeps the atomic-delivery guarantee. *)
   let unreliable = meta <> None in
-  Mailbox.send t.mailbox ~from ?payload_lines ~unreliable
-    { body = req; reply_ivar = reply; meta };
-  reply
+  Mailbox.send t.mailbox ~from ?payload_lines ~unreliable ~span
+    { body = req; reply_ivar = reply; meta; span };
+  (reply, span)
 
-let await ~from ~costs future =
-  let resp = Ivar.read future in
+let call_async t ~from ?payload_lines ?meta req =
+  fst (call_async_sp t ~from ?payload_lines ?meta req)
+
+(* Record how long the fiber was parked on the reply and attribute that
+   wait from the server-recorded breakdown for [span] (Trace.on_blocked);
+   then decompose the reply-receive charge as Send. *)
+let await ~from ~costs ?(span = 0) future =
+  let resp =
+    match sink from with
+    | None -> Ivar.read future
+    | Some tr ->
+        let engine = Core_res.engine from in
+        let b0 = Engine.now engine in
+        let resp = Ivar.read future in
+        Trace.on_blocked tr ~fid:(fid ()) ~span
+          ~elapsed:(Int64.sub (Engine.now engine) b0);
+        Trace.set_pending tr ~fid:(fid ())
+          [ (Trace.Send, costs.Hare_config.Costs.recv) ];
+        resp
+  in
   Core_res.compute from costs.Hare_config.Costs.recv;
   resp
 
-let await_deadline ~engine ~from ~costs ~deadline future =
+let await_deadline ~engine ~from ~costs ~deadline ?(span = 0) future =
+  let b0 = Engine.now engine in
   match Ivar.read_deadline future ~engine ~cycles:deadline with
   | Some resp ->
+      (match sink from with
+      | Some tr ->
+          Trace.on_blocked tr ~fid:(fid ()) ~span
+            ~elapsed:(Int64.sub (Engine.now engine) b0);
+          Trace.set_pending tr ~fid:(fid ())
+            [ (Trace.Send, costs.Hare_config.Costs.recv) ]
+      | None -> ());
       Core_res.compute from costs.Hare_config.Costs.recv;
       Ok resp
-  | None -> Error `Timeout
+  | None ->
+      (match sink from with
+      | Some tr ->
+          (* Timed out: nothing came back, the whole wait is queueing. *)
+          Trace.on_blocked tr ~fid:(fid ()) ~span:0
+            ~elapsed:(Int64.sub (Engine.now engine) b0)
+      | None -> ());
+      Error `Timeout
 
 let call t ~from ?payload_lines req =
-  await ~from ~costs:t.costs (call_async t ~from ?payload_lines req)
+  let future, span = call_async_sp t ~from ?payload_lines req in
+  await ~from ~costs:t.costs ~span future
 
 let call_deadline t ~engine ~from ?payload_lines ~meta ~deadline req =
-  await_deadline ~engine ~from ~costs:t.costs ~deadline
-    (call_async t ~from ?payload_lines ~meta req)
+  let future, span = call_async_sp t ~from ?payload_lines ~meta req in
+  await_deadline ~engine ~from ~costs:t.costs ~deadline ~span future
 
 let reply_fn t env ?(payload_lines = 0) resp =
   (* The response is a message from the endpoint's core back to the
      caller; the responder pays the send cost. *)
-  Core_res.compute (Mailbox.owner t.mailbox)
-    (t.costs.Hare_config.Costs.send
-    + (payload_lines * t.costs.Hare_config.Costs.msg_per_line));
+  let owner = Mailbox.owner t.mailbox in
+  let cost =
+    t.costs.Hare_config.Costs.send
+    + (payload_lines * t.costs.Hare_config.Costs.msg_per_line)
+  in
+  (match sink owner with
+  | Some tr -> Trace.set_pending tr ~fid:(fid ()) [ (Trace.Send, cost) ]
+  | None -> ());
+  Core_res.compute owner cost;
   match env.meta with
   | Some _ when Ivar.is_filled env.reply_ivar ->
       (* A duplicated copy of a request we already answered; the caller
@@ -63,19 +112,21 @@ let recv_full t =
   let env = Mailbox.recv t.mailbox in
   ( env.body,
     (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
-    env.meta )
+    env.meta,
+    env.span )
 
 let recv_batch_full t ~max =
   Mailbox.recv_many t.mailbox ~max
   |> List.map (fun env ->
          ( env.body,
            (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
-           env.meta ))
+           env.meta,
+           env.span ))
 
 let charge_recv t = Mailbox.charge_recv t.mailbox
 
 let recv t =
-  let req, reply, _meta = recv_full t in
+  let req, reply, _meta, _span = recv_full t in
   (req, reply)
 
 let poll t =
@@ -90,6 +141,7 @@ let drain_pending t =
   |> List.map (fun env ->
          ( env.body,
            (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
-           env.meta ))
+           env.meta,
+           env.span ))
 
 let pending t = Mailbox.pending t.mailbox

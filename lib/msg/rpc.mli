@@ -63,11 +63,25 @@ val call_async :
   'req ->
   'resp Hare_sim.Ivar.t
 
+(** Like {!call_async} but also returns the request's trace span id (0
+    when tracing is off). Pass it to {!await} so the time this fiber
+    later spends blocked on the reply is attributed from the server-side
+    breakdown recorded for that request. *)
+val call_async_sp :
+  ('req, 'resp) t ->
+  from:Hare_sim.Core_res.t ->
+  ?payload_lines:int ->
+  ?meta:meta ->
+  'req ->
+  'resp Hare_sim.Ivar.t * int
+
 (** [await ~from ~costs future] blocks for the response and charges the
-    receive cost to [from]. *)
+    receive cost to [from]. [span] (default 0) is the request's trace
+    span id, from {!call_async_sp}. *)
 val await :
   from:Hare_sim.Core_res.t ->
   costs:Hare_config.Costs.t ->
+  ?span:int ->
   'resp Hare_sim.Ivar.t ->
   'resp
 
@@ -77,6 +91,7 @@ val await_deadline :
   from:Hare_sim.Core_res.t ->
   costs:Hare_config.Costs.t ->
   deadline:int64 ->
+  ?span:int ->
   'resp Hare_sim.Ivar.t ->
   ('resp, [> `Timeout ]) result
 
@@ -88,10 +103,11 @@ val await_deadline :
     duplicated copy of an already-answered tagged request is a no-op. *)
 val recv : ('req, 'resp) t -> 'req * (?payload_lines:int -> 'resp -> unit)
 
-(** Like {!recv} but also exposes the request's idempotency tag. *)
+(** Like {!recv} but also exposes the request's idempotency tag and trace
+    span id (0 when the caller was untraced). *)
 val recv_full :
   ('req, 'resp) t ->
-  'req * (?payload_lines:int -> 'resp -> unit) * meta option
+  'req * (?payload_lines:int -> 'resp -> unit) * meta option * int
 
 (** [recv_batch_full t ~max] blocks for the first request, then drains up
     to [max - 1] already-queued requests in arrival order (see
@@ -102,7 +118,7 @@ val recv_full :
 val recv_batch_full :
   ('req, 'resp) t ->
   max:int ->
-  ('req * (?payload_lines:int -> 'resp -> unit) * meta option) list
+  ('req * (?payload_lines:int -> 'resp -> unit) * meta option * int) list
 
 (** [charge_recv t] charges the already-delivered receive cost to the
     endpoint's owner; for the messages of {!recv_batch_full} past the
@@ -118,6 +134,6 @@ val poll :
     handling uses this to abort everything in flight. *)
 val drain_pending :
   ('req, 'resp) t ->
-  ('req * (?payload_lines:int -> 'resp -> unit) * meta option) list
+  ('req * (?payload_lines:int -> 'resp -> unit) * meta option * int) list
 
 val pending : ('req, 'resp) t -> int

@@ -145,6 +145,42 @@ let req_name = function
   | Pipe_write _ -> "PIPE_WRITE"
   | Steal_blocks _ -> "STEAL_BLOCKS"
 
+(* Compact request arguments for trace spans: enough to identify the
+   object an op touched without dumping payloads. *)
+let req_args req =
+  let pp i = Format.asprintf "%a" pp_ino i in
+  let ino i = [ ("ino", pp i) ] in
+  let dir d = [ ("dir", pp d) ] in
+  match req with
+  | Lookup { dir = d; name; _ } -> dir d @ [ ("name", name) ]
+  | Add_map { dir = d; name; _ } -> dir d @ [ ("name", name) ]
+  | Rm_map { dir = d; name; _ } -> dir d @ [ ("name", name) ]
+  | Readdir_shard { dir = d } -> dir d
+  | Create_open { dir = d; name; _ } -> dir d @ [ ("name", name) ]
+  | Create_inode _ -> []
+  | Create_dir { dir = d; name; _ } -> dir d @ [ ("name", name) ]
+  | Open_inode { ino = i; _ } -> ino i
+  | Close_fd _ | Lseek_fd _ | Update_size _ | Inc_fd_ref _ -> []
+  | Read_fd { len; _ } -> [ ("len", string_of_int len) ]
+  | Write_fd { data; _ } -> [ ("len", string_of_int (String.length data)) ]
+  | Alloc_blocks { ino = i; count; _ } ->
+      ino i @ [ ("count", string_of_int count) ]
+  | Get_blocks { ino = i } -> ino i
+  | Get_attr { ino = i } -> ino i
+  | Truncate { ino = i; size } -> ino i @ [ ("size", string_of_int size) ]
+  | Unlink_ino { ino = i } -> ino i
+  | Link_ino { ino = i } -> ino i
+  | Rmdir_lock { dir = d }
+  | Rmdir_unlock { dir = d }
+  | Rmdir_prepare { dir = d }
+  | Rmdir_abort { dir = d } ->
+      dir d
+  | Rmdir_commit { dir = d; _ } | Rmdir_local { dir = d; _ } -> dir d
+  | Pipe_create _ -> []
+  | Pipe_read { len; _ } -> [ ("len", string_of_int len) ]
+  | Pipe_write { data; _ } -> [ ("len", string_of_int (String.length data)) ]
+  | Steal_blocks { count } -> [ ("count", string_of_int count) ]
+
 let pp_fs_req ppf req =
   match req with
   | Lookup { dir; name; _ } ->

@@ -158,3 +158,7 @@ val pp_fs_req : Format.formatter -> fs_req -> unit
 
 val req_name : fs_req -> string
 (** Short opcode name, for per-operation statistics. *)
+
+val req_args : fs_req -> (string * string) list
+(** Compact key/value identification of the request's target (inode,
+    directory entry, payload length) for trace-span annotation. *)

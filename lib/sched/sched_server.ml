@@ -57,13 +57,42 @@ let handle_signal t ~pid ~signal reply =
       reply (Ok pid)
 
 let start t =
+  let module Trace = Hare_trace.Trace in
+  let engine = t.kctx.Process.k_engine in
   let rec loop () =
-    let req, reply = Hare_msg.Rpc.recv t.endpoint in
+    let req, reply, _meta, span = Hare_msg.Rpc.recv_full t.endpoint in
+    let tr_opened =
+      match Engine.sink engine with
+      | Some tr ->
+          let fid = Engine.fiber_id (Engine.self ()) in
+          let op =
+            match req with
+            | Wire.S_exec _ -> "sched:exec"
+            | Wire.S_signal _ -> "sched:signal"
+          in
+          if
+            Trace.ctx_open tr ~fid ~op ~track:t.core_id ~parent:span
+              ~now:(Engine.now engine) ~args:[]
+            <> 0
+          then begin
+            Trace.set_pending tr ~fid
+              [ (Trace.Dispatch, t.costs.server_dispatch) ];
+            Some tr
+          end
+          else None
+      | None -> None
+    in
     Core_res.compute t.core t.costs.server_dispatch;
     (match req with
     | Wire.S_exec { prog; args; env; cwd_path; fds; proxy; rr_next } ->
         handle_exec t ~prog ~args ~env ~cwd_path ~fds ~proxy ~rr_next reply
     | Wire.S_signal { pid; signal } -> handle_signal t ~pid ~signal reply);
+    (match tr_opened with
+    | Some tr ->
+        Trace.ctx_close_server tr
+          ~fid:(Engine.fiber_id (Engine.self ()))
+          ~now:(Engine.now engine)
+    | None -> ());
     loop ()
   in
   ignore

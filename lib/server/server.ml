@@ -5,6 +5,7 @@ open Hare_proto.Types
 let src = Logs.Src.create "hare.server" ~doc:"Hare file server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Trace = Hare_trace.Trace
 
 type reply = ?payload_lines:int -> Wire.fs_resp -> unit
 
@@ -69,7 +70,8 @@ type t = {
   faults : Hare_fault.Injector.link option;
   mutable down : bool;
   (* reliable messages that arrived while down; served after restart *)
-  boot_queue : (Wire.fs_req * reply * Hare_msg.Rpc.meta option) Queue.t;
+  boot_queue :
+    (Wire.fs_req * reply * Hare_msg.Rpc.meta option * int) Queue.t;
   dedup : (int, (int, dedup_entry) Hashtbl.t) Hashtbl.t;
   robust : Hare_stats.Robust.t;
   (* block stealing (extension) *)
@@ -970,11 +972,48 @@ and dispatch t (req : Wire.fs_req) (reply : reply) =
    after its first message: the per-wakeup dispatch preamble was already
    paid once for the whole batch, so only the operation's marginal cost
    is charged (PR 2 batch dispatch). *)
-let execute ?(dispatch = true) t (req : Wire.fs_req) (reply : reply) =
+let execute ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
+    =
   Hare_stats.Opcount.incr t.ops (Wire.req_name req);
-  Core_res.compute t.core
-    ((if dispatch then t.costs.server_dispatch else 0) + op_cost req);
-  try handle t req reply with Errno.Error (e, _) -> reply (Error e)
+  let dcost = if dispatch then t.costs.server_dispatch else 0 in
+  let ocost = op_cost req in
+  (* Open a server-side span, child of the requesting client's span:
+     its bucket breakdown is recorded for the client's blocked-await. *)
+  let tr_opened =
+    match Engine.sink t.engine with
+    | Some tr ->
+        let fid = Engine.fiber_id (Engine.self ()) in
+        if
+          Trace.ctx_open tr ~fid
+            ~op:("srv:" ^ Wire.req_name req)
+            ~track:(Core_res.id t.core) ~parent:span ~now:(Engine.now t.engine)
+            ~args:(Wire.req_args req)
+          <> 0
+        then begin
+          Trace.set_pending tr ~fid
+            [ (Trace.Dispatch, dcost); (Trace.Compute, ocost) ];
+          Some tr
+        end
+        else None
+    | None -> None
+  in
+  let close () =
+    match tr_opened with
+    | Some tr ->
+        Trace.ctx_close_server tr
+          ~fid:(Engine.fiber_id (Engine.self ()))
+          ~now:(Engine.now t.engine)
+    | None -> ()
+  in
+  Core_res.compute t.core (dcost + ocost);
+  match handle t req reply with
+  | () -> close ()
+  | exception Errno.Error (e, _) ->
+      reply (Error e);
+      close ()
+  | exception e ->
+      close ();
+      raise e
 
 let dedup_table t client =
   match Hashtbl.find_opt t.dedup client with
@@ -993,10 +1032,10 @@ let prune_dedup table ~before =
       match entry with Done _ when seq < before -> None | e -> Some e)
     table
 
-let process ?(dispatch = true) t (req : Wire.fs_req) (reply : reply)
+let process ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
     (meta : Hare_msg.Rpc.meta option) =
   match meta with
-  | None -> execute ~dispatch t req reply
+  | None -> execute ~dispatch ~span t req reply
   | Some m -> (
       let table = dedup_table t m.m_client in
       match Hashtbl.find_opt table m.m_seq with
@@ -1026,7 +1065,7 @@ let process ?(dispatch = true) t (req : Wire.fs_req) (reply : reply)
               extras := []
             end
           in
-          execute ~dispatch t req reply')
+          execute ~dispatch ~span t req reply')
 
 let crash t =
   if not t.down then begin
@@ -1036,6 +1075,13 @@ let crash t =
     | None -> ());
     t.robust.crashes <- t.robust.crashes + 1;
     Log.debug (fun m -> m "server %d crashes at %Ld" t.sid (Engine.now t.engine));
+    (match Engine.sink t.engine with
+    | Some tr ->
+        Trace.instant tr ~name:"crash" ~track:(Core_res.id t.core)
+          ~ts:(Engine.now t.engine)
+          ~args:[ ("server", string_of_int t.sid) ]
+          ()
+    | None -> ());
     let aborted = ref 0 in
     let abort (reply : reply) =
       incr aborted;
@@ -1046,7 +1092,7 @@ let crash t =
        (reliable, non-retryable) requests get EIO so their callers
        unblock. *)
     List.iter
-      (fun ((_ : Wire.fs_req), reply, meta) ->
+      (fun ((_ : Wire.fs_req), reply, meta, (_ : int)) ->
         match meta with Some _ -> incr aborted | None -> abort reply)
       (Hare_msg.Rpc.drain_pending t.endpoint);
     (* Parked continuations are volatile: error them all out. *)
@@ -1084,6 +1130,13 @@ let restart t =
   if t.down then begin
     Log.debug (fun m ->
         m "server %d restarts at %Ld" t.sid (Engine.now t.engine));
+    (match Engine.sink t.engine with
+    | Some tr ->
+        Trace.instant tr ~name:"restart" ~track:(Core_res.id t.core)
+          ~ts:(Engine.now t.engine)
+          ~args:[ ("server", string_of_int t.sid) ]
+          ()
+    | None -> ());
     (* Every descriptor died with the crash, so orphaned blocks and
        unlinked inodes have no remaining users; the free list becomes
        whatever the surviving inodes do not reference. *)
@@ -1130,17 +1183,17 @@ let restart t =
     (* Serve the reliable requests that queued up while we were down. *)
     let parked = List.of_seq (Queue.to_seq t.boot_queue) in
     Queue.clear t.boot_queue;
-    List.iter (fun (req, reply, meta) -> process t req reply meta) parked
+    List.iter (fun (req, reply, meta, span) -> process ~span t req reply meta) parked
   end
 
 let start t =
   let batch_max = max 1 t.config.Hare_config.Config.batch_max in
-  let serve ~dispatch (req, reply, meta) =
+  let serve ~dispatch (req, reply, meta, span) =
     if t.down then
       (* The process is gone; only reliable sends still land here (the
          injector blackholes unreliable ones). Hold them for reboot. *)
-      Queue.push (req, reply, meta) t.boot_queue
-    else process ~dispatch t req reply meta
+      Queue.push (req, reply, meta, span) t.boot_queue
+    else process ~dispatch ~span t req reply meta
   in
   let loop () =
     let rec go () =
@@ -1152,6 +1205,11 @@ let start t =
          one-request-per-wakeup loop, cycle for cycle. *)
       let batch = Hare_msg.Rpc.recv_batch_full t.endpoint ~max:batch_max in
       Hare_stats.Perf.note_batch t.perf (List.length batch);
+      (match Engine.sink t.engine with
+      | Some tr ->
+          Trace.counter tr ~name:"batch" ~track:(Core_res.id t.core)
+            ~ts:(Engine.now t.engine) ~value:(List.length batch)
+      | None -> ());
       List.iteri
         (fun i msg ->
           if i > 0 then Hare_msg.Rpc.charge_recv t.endpoint;

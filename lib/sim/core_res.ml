@@ -48,4 +48,14 @@ let compute t cycles =
   t.free_at <- finish;
   t.last_fid <- fid;
   t.busy_cycles <- Int64.add t.busy_cycles cost;
+  (match Engine.sink t.engine with
+  | None -> ()
+  | Some tr ->
+      let module Trace = Hare_trace.Trace in
+      Trace.on_compute tr ~fid ~elapsed:(Int64.sub finish now) ~cost
+        ~switch:(if switching then t.ctx_switch else 0L);
+      if switching then Trace.instant tr ~name:"ctx-switch" ~track:t.id ~ts:start ();
+      (* Busy square wave: the core occupies [start, finish). *)
+      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:start ~value:1;
+      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:finish ~value:0);
   Engine.sleep (Int64.sub finish now)

@@ -20,6 +20,8 @@ type t = {
   mutable fibers : fiber list; (* for deadlock reporting *)
   mutable probes : (string * (unit -> int)) list;
       (* named pending-depth probes (mailboxes), for deadlock reporting *)
+  mutable sink : Hare_trace.Trace.t option;
+      (* trace sink; presence doubles as the "tracing enabled" flag *)
 }
 
 exception Deadlock of string
@@ -44,6 +46,7 @@ let create ?(seed = 1L) () =
     tracing = false;
     fibers = [];
     probes = [];
+    sink = None;
   }
 
 let now t = t.time
@@ -53,6 +56,10 @@ let rng t = t.root_rng
 let trace t = t.tracing
 
 let set_trace t b = t.tracing <- b
+
+let sink t = t.sink
+
+let set_sink t tr = t.sink <- Some tr
 
 let fiber_name f = f.name
 
@@ -155,10 +162,18 @@ let check_deadlock t =
       | [] -> "no undelivered mailbox messages"
       | ds -> "undelivered mailbox messages: " ^ String.concat ", " ds
     in
+    let spans =
+      match t.sink with
+      | None -> ""
+      | Some tr -> (
+          match Hare_trace.Trace.recent_spans tr ~per_track:4 with
+          | [] -> ""
+          | lines -> "; recent spans: " ^ String.concat "; " lines)
+    in
     raise
       (Deadlock
-         (Printf.sprintf "%d fiber(s) blocked with no pending events: %s (%s)"
-            t.live (blocked_names t) depths))
+         (Printf.sprintf "%d fiber(s) blocked with no pending events: %s (%s)%s"
+            t.live (blocked_names t) depths spans))
   end
 
 let run t =

@@ -82,6 +82,15 @@ val trace : t -> bool
 val set_trace : t -> bool -> unit
 (** When tracing is on, fiber lifecycle events are logged via [Logs]. *)
 
+val sink : t -> Hare_trace.Trace.t option
+(** The span-trace sink, if one was attached. Instrumentation sites
+    across the stack test this: [None] (the default) means tracing is
+    off and they do nothing. *)
+
+val set_sink : t -> Hare_trace.Trace.t -> unit
+(** Attach a span-trace sink. Recording into the sink never perturbs the
+    simulated clock ({!Hare_trace.Trace}). *)
+
 (** {1 Deadlock diagnostics} *)
 
 val register_probe : t -> name:string -> (unit -> int) -> unit

@@ -33,6 +33,17 @@ let create () =
     lease_blocks = 0;
   }
 
+let reset t =
+  t.window_hwm <- 0;
+  t.deferred <- 0;
+  t.deferred_errors <- 0;
+  t.batches <- 0;
+  t.batched_msgs <- 0;
+  Array.fill t.batch_hist 0 hist_buckets 0;
+  t.lease_hits <- 0;
+  t.lease_misses <- 0;
+  t.lease_blocks <- 0
+
 let note_window t depth = if depth > t.window_hwm then t.window_hwm <- depth
 
 let note_batch t size =

@@ -28,6 +28,11 @@ type t = {
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Zero every counter (including the histogram). Benchmarks call this
+    between the warm-up and the timed region so each run reports only
+    its own window/batch/lease activity. *)
+
 val note_window : t -> int -> unit
 (** [note_window t depth] raises the high-water mark to [depth]. *)
 

@@ -1,0 +1,407 @@
+(* Span tracing + cycle attribution. Pure host-side bookkeeping: nothing
+   here touches the simulated clock, cores, or RNGs — see trace.mli for
+   the zero-perturbation invariant. *)
+
+type bucket = Compute | Send | Queue | Dispatch | Cache | Dram
+
+let nbuckets = 6
+
+let bucket_index = function
+  | Compute -> 0
+  | Send -> 1
+  | Queue -> 2
+  | Dispatch -> 3
+  | Cache -> 4
+  | Dram -> 5
+
+let bucket_name = function
+  | Compute -> "compute"
+  | Send -> "send"
+  | Queue -> "queue"
+  | Dispatch -> "dispatch"
+  | Cache -> "cache"
+  | Dram -> "dram"
+
+let bucket_names = [ "compute"; "send"; "queue"; "dispatch"; "cache"; "dram" ]
+
+type event =
+  | Span of {
+      id : int;
+      parent : int;
+      name : string;
+      cat : string;
+      track : int;
+      t0 : int64;
+      t1 : int64;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      track : int;
+      ts : int64;
+      args : (string * string) list;
+    }
+  | Counter of { name : string; track : int; ts : int64; value : int }
+
+(* An open attribution context for one fiber. *)
+type ctx = {
+  c_op : string;
+  c_track : int;
+  c_span : int;
+  c_parent : int;
+  c_t0 : int64;
+  c_args : (string * string) list;
+  c_buckets : int64 array;
+  (* Decomposition of the fiber's next compute charge; cleared by
+     [on_compute]. *)
+  mutable c_pending : (bucket * int) list;
+}
+
+(* Per-opcode profile accumulator. *)
+type agg = {
+  mutable a_count : int;
+  mutable a_total : int64;
+  a_buckets : int64 array;
+}
+
+type t = {
+  cap : int;
+  ring : event option array;
+  mutable head : int; (* index of oldest event when full *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_id : int;
+  mutable track_names : (int * string) list; (* reversed declaration order *)
+  ctxs : (int, ctx) Hashtbl.t; (* fiber id -> open context *)
+  (* request span id -> bucket breakdown recorded by the server side,
+     consumed by the client's blocked-await. *)
+  server_done : (int, int64 array) Hashtbl.t;
+  profile : (string, agg) Hashtbl.t;
+}
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Trace.create: cap must be positive";
+  {
+    cap;
+    ring = Array.make cap None;
+    head = 0;
+    len = 0;
+    dropped = 0;
+    next_id = 0;
+    track_names = [];
+    ctxs = Hashtbl.create 64;
+    server_done = Hashtbl.create 256;
+    profile = Hashtbl.create 64;
+  }
+
+let declare_track t ~track ~name =
+  if not (List.mem_assoc track t.track_names) then
+    t.track_names <- (track, name) :: t.track_names
+
+let tracks t = List.rev t.track_names
+
+let next_span t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let dropped t = t.dropped
+
+let push t ev =
+  if t.len < t.cap then begin
+    t.ring.((t.head + t.len) mod t.cap) <- Some ev;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest slot. *)
+    t.ring.(t.head) <- Some ev;
+    t.head <- (t.head + 1) mod t.cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let events t =
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    match t.ring.((t.head + i) mod t.cap) with
+    | Some ev -> out := ev :: !out
+    | None -> ()
+  done;
+  !out
+
+let instant t ~name ~track ~ts ?(args = []) () =
+  push t (Instant { name; track; ts; args })
+
+let counter t ~name ~track ~ts ~value = push t (Counter { name; track; ts; value })
+
+(* --- attribution contexts ------------------------------------------- *)
+
+let ctx_active t ~fid = Hashtbl.mem t.ctxs fid
+
+let ctx_open t ~fid ~op ~track ~parent ~now ~args =
+  if Hashtbl.mem t.ctxs fid then 0
+  else begin
+    t.next_id <- t.next_id + 1;
+    let span = t.next_id in
+    Hashtbl.replace t.ctxs fid
+      {
+        c_op = op;
+        c_track = track;
+        c_span = span;
+        c_parent = parent;
+        c_t0 = now;
+        c_args = args;
+        c_buckets = Array.make nbuckets 0L;
+        c_pending = [];
+      };
+    span
+  end
+
+let charge ctx b cy =
+  if cy > 0L then
+    let i = bucket_index b in
+    ctx.c_buckets.(i) <- Int64.add ctx.c_buckets.(i) cy
+
+let set_pending t ~fid parts =
+  match Hashtbl.find_opt t.ctxs fid with
+  | Some ctx -> ctx.c_pending <- parts
+  | None -> ()
+
+let on_compute t ~fid ~elapsed ~cost ~switch =
+  match Hashtbl.find_opt t.ctxs fid with
+  | None -> ()
+  | Some ctx ->
+      (* Backlog waiting for the core before our charge started. *)
+      charge ctx Queue (Int64.sub elapsed cost);
+      charge ctx Dispatch switch;
+      let base = Int64.sub cost switch in
+      (* Spread [base] over the pending decomposition; uncovered cycles
+         default to Compute. Pending parts are caller estimates of the
+         same charge, so cap at what actually remains. *)
+      let remaining = ref base in
+      List.iter
+        (fun (b, cy) ->
+          let cy = Int64.of_int cy in
+          let grant = if cy < !remaining then cy else !remaining in
+          charge ctx b grant;
+          remaining := Int64.sub !remaining grant)
+        ctx.c_pending;
+      charge ctx Compute !remaining;
+      ctx.c_pending <- []
+
+let on_wait t ~fid ~cycles =
+  match Hashtbl.find_opt t.ctxs fid with
+  | Some ctx -> charge ctx Queue cycles
+  | None -> ()
+
+(* Keep [server_done] bounded: requests whose reply is lost (crash,
+   blackhole) leave entries behind. Past the high-water mark, drop the
+   older (smaller-span) half. *)
+let prune_server_done t =
+  if Hashtbl.length t.server_done > 8192 then begin
+    let spans = Hashtbl.fold (fun k _ acc -> k :: acc) t.server_done [] in
+    let sorted = List.sort compare spans in
+    let cutoff = List.nth sorted (List.length sorted / 2) in
+    List.iter (fun s -> if s < cutoff then Hashtbl.remove t.server_done s) sorted
+  end
+
+let blocked_priority = [ Dispatch; Compute; Cache; Dram; Send; Queue ]
+
+let on_blocked t ~fid ~span ~elapsed =
+  let breakdown =
+    if span = 0 then None
+    else begin
+      let b = Hashtbl.find_opt t.server_done span in
+      Hashtbl.remove t.server_done span;
+      b
+    end
+  in
+  match Hashtbl.find_opt t.ctxs fid with
+  | None -> ()
+  | Some ctx ->
+      let remaining = ref elapsed in
+      (match breakdown with
+      | Some srv ->
+          (* Grant the server's buckets, capped at the observed wait. *)
+          List.iter
+            (fun b ->
+              let cy = srv.(bucket_index b) in
+              let grant = if cy < !remaining then cy else !remaining in
+              charge ctx b grant;
+              remaining := Int64.sub !remaining grant)
+            blocked_priority
+      | None -> ());
+      charge ctx Queue !remaining
+
+let bucket_sum buckets = Array.fold_left Int64.add 0L buckets
+
+let close_common t ~fid ~now ~cat k =
+  match Hashtbl.find_opt t.ctxs fid with
+  | None -> ()
+  | Some ctx ->
+      Hashtbl.remove t.ctxs fid;
+      k ctx;
+      push t
+        (Span
+           {
+             id = ctx.c_span;
+             parent = ctx.c_parent;
+             name = ctx.c_op;
+             cat;
+             track = ctx.c_track;
+             t0 = ctx.c_t0;
+             t1 = now;
+             args = ctx.c_args;
+           })
+
+let profile_add t ctx elapsed =
+  let agg =
+    match Hashtbl.find_opt t.profile ctx.c_op with
+    | Some a -> a
+    | None ->
+        let a = { a_count = 0; a_total = 0L; a_buckets = Array.make nbuckets 0L } in
+        Hashtbl.replace t.profile ctx.c_op a;
+        a
+  in
+  agg.a_count <- agg.a_count + 1;
+  agg.a_total <- Int64.add agg.a_total elapsed;
+  Array.iteri
+    (fun i cy -> agg.a_buckets.(i) <- Int64.add agg.a_buckets.(i) cy)
+    ctx.c_buckets
+
+let ctx_close_syscall t ~fid ~now =
+  close_common t ~fid ~now ~cat:"syscall" (fun ctx ->
+      let elapsed = Int64.sub now ctx.c_t0 in
+      (* Uncovered wall time — mailbox waits, reply latency not explained
+         by the server breakdown — is queue-wait. This makes the bucket
+         sum equal elapsed exactly, by construction. *)
+      charge ctx Queue (Int64.sub elapsed (bucket_sum ctx.c_buckets));
+      profile_add t ctx elapsed)
+
+let ctx_close_server t ~fid ~now =
+  close_common t ~fid ~now ~cat:"server" (fun ctx ->
+      let elapsed = Int64.sub now ctx.c_t0 in
+      charge ctx Queue (Int64.sub elapsed (bucket_sum ctx.c_buckets));
+      profile_add t ctx elapsed;
+      if ctx.c_parent <> 0 then begin
+        Hashtbl.replace t.server_done ctx.c_parent (Array.copy ctx.c_buckets);
+        prune_server_done t
+      end)
+
+(* --- consumers ------------------------------------------------------ *)
+
+type row = {
+  r_op : string;
+  r_count : int;
+  r_total : int64;
+  r_buckets : int64 array;
+}
+
+let profile t =
+  Hashtbl.fold
+    (fun op a acc ->
+      {
+        r_op = op;
+        r_count = a.a_count;
+        r_total = a.a_total;
+        r_buckets = Array.copy a.a_buckets;
+      }
+      :: acc)
+    t.profile []
+  |> List.sort (fun a b ->
+         match compare b.r_total a.r_total with
+         | 0 -> compare a.r_op b.r_op
+         | c -> c)
+
+let reset_profile t = Hashtbl.reset t.profile
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let args_json args =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+       args)
+
+let event_ts = function
+  | Span { t0; _ } -> t0
+  | Instant { ts; _ } -> ts
+  | Counter { ts; _ } -> ts
+
+let event_json = function
+  | Span { id; parent; name; cat; track; t0; t1; args } ->
+      let dur = Int64.sub t1 t0 in
+      let extra =
+        args_json
+          ((if parent <> 0 then [ ("parent", string_of_int parent) ] else [])
+          @ args)
+      in
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%Ld,\"dur\":%Ld,\"pid\":0,\"tid\":%d,\"id\":%d,\"args\":{%s}}"
+        (json_escape name) (json_escape cat) t0 dur track id extra
+  | Instant { name; track; ts; args } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":%Ld,\"pid\":0,\"tid\":%d,\"s\":\"t\",\"args\":{%s}}"
+        (json_escape name) ts track (args_json args)
+  | Counter { name; track; ts; value } ->
+      Printf.sprintf
+        "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":%Ld,\"pid\":0,\"tid\":%d,\"args\":{\"value\":%d}}"
+        (json_escape name) ts track value
+
+let to_chrome_json t =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"hare\"}}";
+  List.iter
+    (fun (track, name) ->
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           track (json_escape name)))
+    (tracks t);
+  let evs = List.stable_sort (fun a b -> Int64.compare (event_ts a) (event_ts b)) (events t) in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf ",\n";
+      Buffer.add_string buf (event_json ev))
+    evs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let recent_spans t ~per_track =
+  (* Newest-first scan, keep up to [per_track] spans per track, then
+     restore chronological order. *)
+  let counts = Hashtbl.create 16 in
+  let kept =
+    List.fold_left
+      (fun acc ev ->
+        match ev with
+        | Span { name; track; t0; t1; id; _ } ->
+            let n = Option.value ~default:0 (Hashtbl.find_opt counts track) in
+            if n < per_track then begin
+              Hashtbl.replace counts track (n + 1);
+              (track, t0, t1, id, name) :: acc
+            end
+            else acc
+        | _ -> acc)
+      []
+      (List.rev (events t))
+  in
+  List.map
+    (fun (track, t0, t1, id, name) ->
+      Printf.sprintf "track %d: [%Ld..%Ld] span#%d %s" track t0 t1 id name)
+    kept

@@ -1,0 +1,172 @@
+(** End-to-end span tracing and cycle attribution (PR 4).
+
+    A sink collects three kinds of events on the {e simulated} clock:
+    spans (an operation with a begin and an end — a client syscall, a
+    server request execution), instants (a point occurrence — a context
+    switch, a dropped message, a crash) and counters (a sampled value —
+    mailbox depth, DRAM traffic). Events live in a bounded ring buffer:
+    when it fills, the oldest event is overwritten and {!dropped} is
+    incremented, so a sink never grows without bound.
+
+    The invariant the whole design serves: recording is pure host-side
+    bookkeeping. A sink never charges a core, never sleeps, never draws
+    from an RNG — a traced run and an untraced run of the same seed are
+    bit-identical on the simulated clock (asserted by [test_trace]).
+
+    {2 Attribution}
+
+    Each traced operation carries a per-fiber {e context} holding six
+    cycle buckets (compute / send / queue-wait / dispatch / cache /
+    DRAM). Charge sites decompose their next [Core_res.compute] with
+    {!set_pending}; the compute hook ({!on_compute}) folds the elapsed
+    core time into the context — the gap between request and start is
+    queue-wait, the context-switch penalty is dispatch, the remaining
+    cost lands in the pending decomposition (default: compute). Time a
+    client spends blocked on an RPC reply is attributed from the
+    server-side context recorded for that request's span id
+    ({!on_blocked}), capped at the observed wait; anything the buckets
+    do not explain is queue-wait, so a closed context's bucket sum
+    equals its elapsed cycles {e exactly} — no unattributed remainder. *)
+
+type t
+
+(** Where a cycle went. *)
+type bucket =
+  | Compute  (** syscall traps, server op handlers, process work *)
+  | Send  (** message marshalling + transfer, replies, receive copies *)
+  | Queue  (** core backlog, mailbox wait, blocked-on-reply remainder *)
+  | Dispatch  (** server dispatch preamble + context switches *)
+  | Cache  (** private-cache line touches *)
+  | Dram  (** DRAM line transfers (incl. cross-socket) *)
+
+val nbuckets : int
+
+val bucket_index : bucket -> int
+
+val bucket_name : bucket -> string
+
+val bucket_names : string list
+(** Display order, matching {!bucket_index}. *)
+
+type event =
+  | Span of {
+      id : int;
+      parent : int;  (** 0 = root *)
+      name : string;
+      cat : string;
+      track : int;
+      t0 : int64;
+      t1 : int64;
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      track : int;
+      ts : int64;
+      args : (string * string) list;
+    }
+  | Counter of { name : string; track : int; ts : int64; value : int }
+
+val create : cap:int -> t
+(** [create ~cap] makes a sink whose ring holds at most [cap] events.
+    [cap] must be positive. *)
+
+val declare_track : t -> track:int -> name:string -> unit
+(** Name a track (one per simulated core, plus auxiliary tracks); the
+    exporter emits the names as Perfetto thread metadata. *)
+
+val tracks : t -> (int * string) list
+(** Declared tracks, in declaration order. *)
+
+val next_span : t -> int
+(** Allocate a fresh span id (rides RPC envelopes so server-side work
+    can be tied back to the request). Ids are positive; 0 means "no
+    span". *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val events : t -> event list
+(** Ring contents, oldest first. *)
+
+val instant :
+  t -> name:string -> track:int -> ts:int64 ->
+  ?args:(string * string) list -> unit -> unit
+
+val counter : t -> name:string -> track:int -> ts:int64 -> value:int -> unit
+
+(** {1 Attribution contexts} *)
+
+val ctx_active : t -> fid:int -> bool
+(** Whether fiber [fid] has an open context (used to avoid nesting when
+    one traced syscall calls another, e.g. process-exit close). *)
+
+val ctx_open :
+  t ->
+  fid:int ->
+  op:string ->
+  track:int ->
+  parent:int ->
+  now:int64 ->
+  args:(string * string) list ->
+  int
+(** Open a context for fiber [fid]; returns the fresh span id. If the
+    fiber already has an open context this is a no-op returning 0. *)
+
+val set_pending : t -> fid:int -> (bucket * int) list -> unit
+(** Decompose fiber [fid]'s {e next} compute charge into buckets; cycles
+    of that charge not covered by the list default to {!Compute}. A
+    no-op when the fiber has no open context. *)
+
+val on_compute :
+  t -> fid:int -> elapsed:int64 -> cost:int64 -> switch:int64 -> unit
+(** Called by the core model before it sleeps: [elapsed] cycles passed
+    for the fiber, of which [cost] (including [switch] context-switch
+    penalty) was charged work and the rest was waiting for the core.
+    Folds everything into the open context (gap as {!Queue}, [switch] as
+    {!Dispatch}, the rest per {!set_pending}). *)
+
+val on_wait : t -> fid:int -> cycles:int64 -> unit
+(** Pure waiting (retry backoff sleeps) inside an operation: {!Queue}. *)
+
+val on_blocked : t -> fid:int -> span:int -> elapsed:int64 -> unit
+(** The fiber was blocked [elapsed] cycles awaiting the reply to request
+    [span]. If a server context was recorded for [span], its buckets are
+    granted — capped at [elapsed] — in priority order (dispatch, compute,
+    cache, DRAM, send, queue); the remainder is {!Queue}. *)
+
+val ctx_close_syscall : t -> fid:int -> now:int64 -> unit
+(** Close fiber [fid]'s context as a root (client-syscall) span: any
+    elapsed cycles the buckets do not cover are added to {!Queue} (so
+    the bucket sum equals elapsed exactly), the per-opcode profile is
+    updated, and the span is emitted. *)
+
+val ctx_close_server : t -> fid:int -> now:int64 -> unit
+(** Close fiber [fid]'s context as a server-side span: the bucket
+    breakdown is recorded under the {e parent} (request) span id for a
+    later {!on_blocked}, and the span is emitted. *)
+
+(** {1 Consumers} *)
+
+type row = {
+  r_op : string;
+  r_count : int;
+  r_total : int64;  (** total simulated cycles across all calls *)
+  r_buckets : int64 array;  (** indexed by {!bucket_index}; sums to [r_total] *)
+}
+
+val profile : t -> row list
+(** Per-opcode attribution table, sorted by descending total cycles. *)
+
+val reset_profile : t -> unit
+(** Forget accumulated profile rows (driver: exclude benchmark setup). *)
+
+val to_chrome_json : t -> string
+(** The ring as Chrome trace-event JSON (Perfetto-loadable): one
+    complete-event per span, instants and counters on their tracks,
+    thread-name metadata per declared track, events sorted by timestamp,
+    one event per line. Deterministic for a deterministic run. *)
+
+val recent_spans : t -> per_track:int -> string list
+(** The last [per_track] closed spans of each declared track, formatted
+    for deadlock reports (newest last). *)

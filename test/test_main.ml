@@ -21,4 +21,5 @@ let () =
          Test_workload_outputs.suites;
          Test_exec_chain.suites;
          Test_posix_edge.suites;
+         Test_trace.suites;
        ])
