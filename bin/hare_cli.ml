@@ -757,6 +757,230 @@ let profile_cmd =
       const run_profile $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
       $ cap_arg $ seed_arg')
 
+(* ---------- check command ----------------------------------------------- *)
+
+(* Run workloads under the coherence sanitizer. Each workload runs twice
+   — checker off, then checker on with the same seed — so the
+   zero-perturbation contract is verified on every invocation: the two
+   simulated clocks must be bit-identical. Exit code contract: 0 = all
+   runs clean; 1 = the sanitizer recorded violations; 2 = the checker
+   itself perturbed the simulation (a sanitizer bug). *)
+let run_check name plan deadline retries seed cores nprocs scale window batch
+    extent verbose =
+  let module Machine = Hare.Machine in
+  let module Posix = Hare.Posix in
+  let module Api = Hare_api.Api in
+  let module Check = Hare_check.Check in
+  let module Sanity = Hare_stats.Sanity in
+  let specs =
+    if name = "all" then Some Hare_workloads.All.specs
+    else
+      match Hare_workloads.All.find name with
+      | spec -> Some [ spec ]
+      | exception Not_found -> None
+  in
+  match specs with
+  | None ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | Some specs -> (
+      match Hare_fault.Plan.parse plan with
+      | Error msg ->
+          Printf.eprintf "bad --plan: %s\n" msg;
+          1
+      | Ok _ ->
+          let deadline =
+            match deadline with
+            | Some d -> d
+            | None -> if plan = "" then 0 else 25_000
+          in
+          if plan <> "" && deadline <= 0 then (
+            Printf.eprintf
+              "a fault plan needs --deadline > 0: without timeouts clients \
+               never retry a dropped message\n";
+            exit 1);
+          let run_one (spec : Hare_workloads.Spec.t) ~enabled =
+            let config =
+              {
+                (Driver.default_config ~ncores:cores) with
+                Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+                fault_plan = plan;
+                rpc_deadline = deadline;
+                rpc_retries = retries;
+                rpc_window = window;
+                batch_max = batch;
+                alloc_extent = extent;
+                check_enabled = enabled;
+                seed = Int64.of_int seed;
+              }
+            in
+            let m = Machine.boot config in
+            let api = World.Hare_w.api m in
+            let nprocs =
+              match nprocs with
+              | Some n -> n
+              | None -> List.length (Config.app_cores config)
+            in
+            List.iter
+              (fun (prog, body) -> api.Api.register_program prog body)
+              (spec.Hare_workloads.Spec.programs api);
+            api.Api.register_program "bench-worker" (fun p args ->
+                let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+                spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+                0);
+            let init, _ =
+              Machine.spawn_init m
+                ~name:("check-" ^ spec.Hare_workloads.Spec.name)
+                (fun p _ ->
+                  spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+                  let workers =
+                    match spec.Hare_workloads.Spec.mode with
+                    | Hare_workloads.Spec.Workers -> nprocs
+                    | Hare_workloads.Spec.Make -> 1
+                  in
+                  let pids =
+                    List.init workers (fun i ->
+                        Posix.spawn p ~prog:"bench-worker"
+                          ~args:[ string_of_int i ])
+                  in
+                  List.fold_left
+                    (fun acc pid ->
+                      if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+                    0 pids)
+            in
+            Machine.run m;
+            (m, Machine.exit_status m init)
+          in
+          let total = Sanity.create () in
+          let perturbed = ref false in
+          let recorded = ref [] in
+          List.iter
+            (fun (spec : Hare_workloads.Spec.t) ->
+              let wname = spec.Hare_workloads.Spec.name in
+              let off, _ = run_one spec ~enabled:false in
+              let on, status = run_one spec ~enabled:true in
+              (match status with
+              | Some 0 -> ()
+              | Some n -> Printf.printf "%s: %d worker(s) failed\n" wname n
+              | None -> Printf.printf "%s: init never finished\n" wname);
+              if Machine.now off <> Machine.now on then begin
+                perturbed := true;
+                Printf.printf
+                  "%s: PERTURBED: %Ld cycles unchecked vs %Ld checked\n" wname
+                  (Machine.now off) (Machine.now on)
+              end
+              else
+                Printf.printf
+                  "%s: %.6f simulated seconds, clock identical with checking \
+                   on\n"
+                  wname (Machine.seconds on);
+              match Machine.check on with
+              | None -> ()
+              | Some chk ->
+                  Sanity.merge ~into:total (Check.stats chk);
+                  recorded := !recorded @ Check.violations chk)
+            specs;
+          Hare_stats.Table.print
+            ~headers:[ "rule"; "violations" ]
+            (List.map
+               (fun (k, v) -> [ k; string_of_int v ])
+               (Sanity.violations total));
+          if verbose then
+            Hare_stats.Table.print
+              ~headers:[ "checker counter"; "value" ]
+              (List.map
+                 (fun (k, v) -> [ k; string_of_int v ])
+                 (Sanity.to_list total));
+          let shown = ref 0 in
+          List.iter
+            (fun v ->
+              if !shown < 20 then begin
+                Format.printf "%a@." Check.pp_violation v;
+                incr shown
+              end)
+            !recorded;
+          if List.length !recorded > 20 then
+            Printf.printf "... and %d more\n" (List.length !recorded - 20);
+          if !perturbed then begin
+            print_endline "FAIL: the sanitizer perturbed the simulation";
+            2
+          end
+          else if Sanity.total_violations total > 0 then begin
+            print_endline "FAIL: coherence/protocol violations detected";
+            1
+          end
+          else begin
+            print_endline "OK: no violations, zero perturbation";
+            0
+          end)
+
+let check_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark name (see `hare_cli list`), or 'all'.")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan to check under, e.g. \
+             'drop:fs:0.05;crash:1@200000+150000'. Empty runs fault-free.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:
+            "First-attempt RPC deadline in cycles; defaults to 0 without a \
+             plan, 25000 with one.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"RPC attempts before giving up with EIO.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Simulation seed (both runs of each pair share it).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "window" ] ~docv:"W" ~doc:"rpc_window (1 = synchronous).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"batch_max (1 = one request per wakeup).")
+  in
+  let extent_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "extent" ] ~docv:"E" ~doc:"alloc_extent (1 = block-at-a-time).")
+  in
+  let verbose = flag "verbose" "Also print the checker's event counters." in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run benchmarks under the coherence sanitizer: vector-clock race \
+          detection over the simulated caches plus Hare protocol lint \
+          rules. Each workload runs twice (checker off/on) to prove the \
+          checker is zero-perturbation. Exit 0: clean; 1: violations; 2: \
+          the checker perturbed the simulation.")
+    Term.(
+      const run_check $ name_arg $ plan_arg $ deadline_arg $ retries_arg
+      $ seed_arg $ cores_arg $ nprocs_arg $ scale_arg $ window_arg $ batch_arg
+      $ extent_arg $ verbose)
+
 (* ---------- list command ------------------------------------------------ *)
 
 let run_list () =
@@ -783,7 +1007,7 @@ let main =
           simulation: benchmarks and paper-figure reproduction.")
     [
       bench_cmd; fig_cmd; faults_cmd; perf_cmd; trace_cmd; profile_cmd;
-      list_cmd; shell_cmd;
+      check_cmd; list_cmd; shell_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,427 @@
+(* Coherence sanitizer: ThreadSanitizer-style happens-before race
+   detection plus a Hare protocol lint pass, over the simulated machine.
+
+   One vector clock per core. Clocks advance on communication — a
+   mailbox send snapshots the sender's clock and ticks it; the matching
+   receive joins the snapshot into the receiver (pointwise max, no tick)
+   — and on shadow write events (dirtying a copy, a write-back reaching
+   DRAM), which tick the writer so that a write is ordered before
+   another core's use only via a real message chain: a freshly ticked
+   epoch is strictly above every previously sent snapshot. RPC replies
+   ride the same mechanism via a stamp stashed on the reply ivar.
+   Everything that happens on one core is totally ordered by the core's
+   own component (cores are single-threaded in the simulation), so an
+   event's epoch is just [vc.(c).(c)] and "event e on core c' is
+   visible to core c" is [e <= vc.(c).(c')].
+
+   Per cache line the checker keeps shadow metadata: which version each
+   core's pcache copy is based on, whether that copy is dirty (and the
+   epoch of the first dirtying write), the last write to reach DRAM, and
+   per-core read epochs. Pcache fills/hits/evictions/write-backs/
+   invalidations drive the shadow state and are checked against the
+   happens-before order; violations increment Hare_stats.Sanity counters
+   and record a capped list of earliest occurrences.
+
+   ZERO PERTURBATION INVARIANT: nothing in this module may charge
+   simulated cycles, sleep, touch the simulation RNG, or otherwise
+   influence scheduling. All entry points are plain state updates; the
+   [now] closure is read-only. The self-tests assert bit-identical clocks
+   with the checker on vs. off. *)
+
+type stamp = int array
+
+type rule =
+  | Stale_read
+  | Lost_write
+  | Write_race
+  | Missed_writeback
+  | Open_inval
+  | Close_writeback
+  | Dircache_stale
+  | Fd_leak
+  | Lease_leak
+
+let rule_name = function
+  | Stale_read -> "stale-read"
+  | Lost_write -> "lost-write"
+  | Write_race -> "write-race"
+  | Missed_writeback -> "missed-writeback"
+  | Open_inval -> "open-inval"
+  | Close_writeback -> "close-writeback"
+  | Dircache_stale -> "dircache-stale"
+  | Fd_leak -> "fd-leak"
+  | Lease_leak -> "lease-leak"
+
+type violation = { rule : rule; detail : string; time : int64 }
+
+(* A core's private-cache copy of one line: which DRAM version it was
+   filled from ([base_core]/[base_epoch] identify the write, -1 = the
+   pristine zero-filled line), whether the copy has unflushed local
+   writes, and the epoch of the first such write. *)
+type copy = {
+  mutable base_core : int;
+  mutable base_epoch : int;
+  mutable dirty : bool;
+  mutable d_epoch : int;
+}
+
+type lstate = {
+  copies : copy option array; (* per core; None = not resident *)
+  readers : int array; (* per core: epoch of latest read, 0 = never *)
+  mutable w_core : int; (* core of last write to reach DRAM, -1 = none *)
+  mutable w_epoch : int;
+}
+
+type t = {
+  ncores : int;
+  vc : int array array; (* vc.(c) = core c's vector clock *)
+  chans : (int, stamp Queue.t) Hashtbl.t;
+  mutable next_chan : int;
+  lines : (int, lstate) Hashtbl.t;
+  (* Outstanding dircache invalidations: the server sent Inval_entry to
+     [client] and the protocol owes an application of it before the
+     client's next cache hit on that name. *)
+  obligations : (int * int * int * string, unit) Hashtbl.t;
+  stats : Hare_stats.Sanity.t;
+  mutable violations : violation list; (* newest first, capped *)
+  mutable nviol : int;
+  mutable now : unit -> int64;
+}
+
+let max_recorded = 100
+
+let create ~ncores () =
+  {
+    ncores;
+    vc = Array.init ncores (fun _ -> Array.make ncores 0);
+    chans = Hashtbl.create 64;
+    next_chan = 0;
+    lines = Hashtbl.create 4096;
+    obligations = Hashtbl.create 64;
+    stats = Hare_stats.Sanity.create ();
+    violations = [];
+    nviol = 0;
+    now = (fun () -> 0L);
+  }
+
+let set_now t f = t.now <- f
+
+let stats t = t.stats
+
+let violations t = List.rev t.violations
+
+let total_violations t = Hare_stats.Sanity.total_violations t.stats
+
+let report t = Hare_stats.Sanity.violations t.stats
+
+let bump t rule =
+  let s = t.stats in
+  match rule with
+  | Stale_read -> s.stale_reads <- s.stale_reads + 1
+  | Lost_write -> s.lost_writes <- s.lost_writes + 1
+  | Write_race -> s.write_races <- s.write_races + 1
+  | Missed_writeback -> s.missed_writebacks <- s.missed_writebacks + 1
+  | Open_inval -> s.open_invals <- s.open_invals + 1
+  | Close_writeback -> s.close_writebacks <- s.close_writebacks + 1
+  | Dircache_stale -> s.dircache_stale <- s.dircache_stale + 1
+  | Fd_leak -> s.fd_leaks <- s.fd_leaks + 1
+  | Lease_leak -> s.lease_leaks <- s.lease_leaks + 1
+
+let violate t rule detail =
+  bump t rule;
+  if t.nviol < max_recorded then begin
+    t.violations <- { rule; detail; time = t.now () } :: t.violations;
+    t.nviol <- t.nviol + 1
+  end
+
+(* ---------- happens-before machinery ---------------------------------- *)
+
+let epoch t ~core = t.vc.(core).(core)
+
+(* Write events get a fresh epoch: strictly above every snapshot this
+   core sent earlier, so the write is HB-visible elsewhere only through
+   a message sent at-or-after it. *)
+let tick t ~core =
+  let c = t.vc.(core) in
+  c.(core) <- c.(core) + 1;
+  c.(core)
+
+(* Snapshot-then-tick: the snapshot carries everything the sender did up
+   to and including this send; work the sender does afterwards gets a
+   strictly larger own-component and stays concurrent to the receiver. *)
+let msg_stamp t ~core =
+  let s = Array.copy t.vc.(core) in
+  t.vc.(core).(core) <- t.vc.(core).(core) + 1;
+  s
+
+let join t ~core (s : stamp) =
+  let c = t.vc.(core) in
+  for i = 0 to t.ncores - 1 do
+    if s.(i) > c.(i) then c.(i) <- s.(i)
+  done;
+  t.stats.hb_joins <- t.stats.hb_joins + 1
+
+(* [e <= vc.(core).(of_core)]: has [core] heard about event [e] that
+   happened on [of_core]? Events on one core are ordered by its own
+   epoch counter. *)
+let hb t ~core ~of_core e = e <= t.vc.(core).(of_core)
+
+(* Per-channel stamp queues mirror mailbox FIFOs: a send pushes its stamp
+   in delivery order (after fault drop/dup/delay dice have resolved), a
+   receive pops and joins. Alignment with the real queue is structural —
+   push happens exactly where the message enters the Bqueue. *)
+let new_chan t =
+  let id = t.next_chan in
+  t.next_chan <- id + 1;
+  Hashtbl.replace t.chans id (Queue.create ());
+  id
+
+let chan_push t ~chan (s : stamp) =
+  match Hashtbl.find_opt t.chans chan with
+  | Some q -> Queue.push s q
+  | None -> ()
+
+let chan_pop t ~chan ~core =
+  match Hashtbl.find_opt t.chans chan with
+  | Some q -> ( match Queue.take_opt q with Some s -> join t ~core s | None -> ())
+  | None -> ()
+
+(* ---------- shadow line state ----------------------------------------- *)
+
+let line t key =
+  match Hashtbl.find_opt t.lines key with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          copies = Array.make t.ncores None;
+          readers = Array.make t.ncores 0;
+          w_core = -1;
+          w_epoch = 0;
+        }
+      in
+      Hashtbl.replace t.lines key l;
+      t.stats.lines_tracked <- t.stats.lines_tracked + 1;
+      l
+
+let fresh_copy ls =
+  { base_core = ls.w_core; base_epoch = ls.w_epoch; dirty = false; d_epoch = 0 }
+
+let based_on_current ls (cp : copy) =
+  cp.base_core = ls.w_core && cp.base_epoch = ls.w_epoch
+
+(* Some other core holds a dirty copy of this line while [core] is about
+   to use it. If that foreign write is HB-ordered before us, the protocol
+   should have written it back first (missed-writeback); if it is
+   concurrent and we are writing too, it is a plain write-write race. *)
+let check_foreign_dirty t ls ~core ~key ~racy_unordered =
+  Array.iteri
+    (fun c cp_opt ->
+      match cp_opt with
+      | Some cp when c <> core && cp.dirty ->
+          if hb t ~core ~of_core:c cp.d_epoch then
+            violate t Missed_writeback
+              (Printf.sprintf
+                 "line %d: core %d uses line while core %d holds an \
+                  ordered-earlier dirty copy (no write-back)"
+                 key core c)
+          else if racy_unordered then
+            violate t Write_race
+              (Printf.sprintf
+                 "line %d: cores %d and %d dirty the same line unordered" key
+                 core c)
+      | _ -> ())
+    ls.copies
+
+(* A checked access through a core's private cache. [filled] is whether
+   the real pcache had to fetch the line from DRAM (miss) as opposed to
+   hitting a resident copy. On a fill we validate the version the copy is
+   (re)based on; on a hit we validate the *old* copy the core is reusing. *)
+let cache_access t ~core ~key ~write ~filled =
+  let ls = line t key in
+  if filled then t.stats.cache_fills <- t.stats.cache_fills + 1
+  else t.stats.cache_hits <- t.stats.cache_hits + 1;
+  let cp_opt = if filled then None else ls.copies.(core) in
+  (match cp_opt with
+  | Some cp when ls.w_core >= 0 && not (based_on_current ls cp) ->
+      (* Reusing a cached copy that predates the last DRAM write. *)
+      if hb t ~core ~of_core:ls.w_core ls.w_epoch then
+        violate t
+          (if write then Lost_write else Stale_read)
+          (Printf.sprintf
+             "line %d: core %d %s a cached copy superseded by core %d's \
+              ordered-earlier write (missing invalidation)"
+             key core
+             (if write then "overwrites" else "reads")
+             ls.w_core)
+      else if write && ls.w_core <> core then
+        violate t Write_race
+          (Printf.sprintf "line %d: cores %d and %d write the same line \
+                           unordered" key core ls.w_core)
+  | _ -> ());
+  check_foreign_dirty t ls ~core ~key ~racy_unordered:write;
+  let cp =
+    match cp_opt with
+    | Some cp -> cp
+    | None ->
+        let cp = fresh_copy ls in
+        ls.copies.(core) <- Some cp;
+        cp
+  in
+  if write then begin
+    if not cp.dirty then begin
+      cp.dirty <- true;
+      cp.d_epoch <- tick t ~core
+    end
+  end
+  else ls.readers.(core) <- epoch t ~core
+
+(* Dirty line flushed to DRAM. If DRAM moved past the version this copy
+   was based on, the flush clobbers that newer data. *)
+let cache_writeback t ~core ~key =
+  let ls = line t key in
+  t.stats.cache_writebacks <- t.stats.cache_writebacks + 1;
+  (match ls.copies.(core) with
+  | Some cp when ls.w_core >= 0 && ls.w_core <> core && not (based_on_current ls cp)
+    ->
+      if hb t ~core ~of_core:ls.w_core ls.w_epoch then
+        violate t Lost_write
+          (Printf.sprintf
+             "line %d: core %d's write-back clobbers core %d's \
+              ordered-earlier write"
+             key core ls.w_core)
+      else
+        violate t Write_race
+          (Printf.sprintf
+             "line %d: cores %d and %d write back the same line unordered" key
+             core ls.w_core)
+  | _ -> ());
+  let e = tick t ~core in
+  ls.w_core <- core;
+  ls.w_epoch <- e;
+  (match ls.copies.(core) with
+  | Some cp ->
+      cp.dirty <- false;
+      cp.base_core <- core;
+      cp.base_epoch <- e
+  | None ->
+      (* Flush of a line the shadow never saw resident: adopt it. *)
+      ls.copies.(core) <-
+        Some { base_core = core; base_epoch = e; dirty = false; d_epoch = 0 })
+
+let cache_evict t ~core ~key =
+  let ls = line t key in
+  t.stats.cache_evictions <- t.stats.cache_evictions + 1;
+  ls.copies.(core) <- None
+
+let cache_invalidate t ~core ~key ~dirty =
+  let ls = line t key in
+  t.stats.cache_invalidated <- t.stats.cache_invalidated + 1;
+  if dirty then t.stats.dirty_discarded <- t.stats.dirty_discarded + 1;
+  ls.copies.(core) <- None
+
+(* Coherent (read-through/write-through) access, used by servers for
+   shared metadata and data paths: the line is fetched fresh and any
+   local write goes straight to DRAM, so the copy is never left dirty. *)
+let coherent_access t ~core ~key ~write ~filled =
+  let ls = line t key in
+  if filled then t.stats.cache_fills <- t.stats.cache_fills + 1
+  else t.stats.cache_hits <- t.stats.cache_hits + 1;
+  (match ls.copies.(core) with
+  | Some cp when cp.dirty ->
+      (* A coherent access re-fetches from DRAM, silently discarding any
+         buffered local writes — the protocol must never mix modes. *)
+      violate t Lost_write
+        (Printf.sprintf
+           "line %d: coherent access on core %d discards its own dirty \
+            buffered copy"
+           key core)
+  | _ -> ());
+  check_foreign_dirty t ls ~core ~key ~racy_unordered:write;
+  if write then begin
+    let e = tick t ~core in
+    ls.w_core <- core;
+    ls.w_epoch <- e
+  end
+  else ls.readers.(core) <- epoch t ~core;
+  ls.copies.(core) <-
+    Some
+      { base_core = ls.w_core; base_epoch = ls.w_epoch; dirty = false; d_epoch = 0 }
+
+(* ---------- protocol lint rules --------------------------------------- *)
+
+(* Close-to-open: opening a file in direct (uncached-metadata) mode must
+   invalidate every locally cached line of it before the first read. *)
+let lint_open t ~core ~keys =
+  let resident =
+    List.fold_left
+      (fun acc key ->
+        match Hashtbl.find_opt t.lines key with
+        | Some ls when ls.copies.(core) <> None -> acc + 1
+        | _ -> acc)
+      0 keys
+  in
+  if resident > 0 then
+    violate t Open_inval
+      (Printf.sprintf
+         "core %d: open left %d cached line(s) of the file resident \
+          (close-to-open invalidation skipped)"
+         core resident)
+
+(* Write-back before close/fsync: after the flush point, none of the
+   file's lines may remain dirty in this core's cache. *)
+let lint_flush t ~core ~keys ~what =
+  let dirty =
+    List.fold_left
+      (fun acc key ->
+        match Hashtbl.find_opt t.lines key with
+        | Some ls -> (
+            match ls.copies.(core) with
+            | Some cp when cp.dirty -> acc + 1
+            | _ -> acc)
+        | None -> acc)
+      0 keys
+  in
+  if dirty > 0 then
+    violate t Close_writeback
+      (Printf.sprintf
+         "core %d: %s left %d dirty line(s) unflushed (write-back skipped)"
+         core what dirty)
+
+let lint_exit t ~core ~fds ~leases =
+  if fds > 0 then
+    violate t Fd_leak
+      (Printf.sprintf "core %d: process exited with %d open fd(s)" core fds);
+  if leases > 0 then
+    violate t Lease_leak
+      (Printf.sprintf
+         "core %d: process exited holding %d unreturned allocation lease \
+          block(s)"
+         core leases)
+
+(* ---------- dircache obligation tracking ------------------------------ *)
+
+let dircache_sent t ~client ~server ~ino ~name =
+  Hashtbl.replace t.obligations (client, server, ino, name) ()
+
+let dircache_applied t ~client ~server ~ino ~name =
+  Hashtbl.remove t.obligations (client, server, ino, name)
+
+let dircache_flushed t ~client =
+  let stale =
+    Hashtbl.fold
+      (fun ((c, _, _, _) as k) () acc -> if c = client then k :: acc else acc)
+      t.obligations []
+  in
+  List.iter (Hashtbl.remove t.obligations) stale
+
+let dircache_hit t ~client ~server ~ino ~name =
+  if Hashtbl.mem t.obligations (client, server, ino, name) then
+    violate t Dircache_stale
+      (Printf.sprintf
+         "client %d: dircache hit on (%d/%d, %S) with an undelivered \
+          invalidation outstanding"
+         client server ino name)
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%Ld] %s: %s" v.time (rule_name v.rule) v.detail

@@ -6,11 +6,28 @@ let src = Logs.Src.create "hare.client" ~doc:"Hare client library"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Trace = Hare_trace.Trace
+module Check = Hare_check.Check
 
 let bs = Hare_mem.Layout.block_size
 
 (* Blocks needed to back [size] bytes. *)
 let blocks_needed size = if size <= 0 then 0 else ((size - 1) / bs) + 1
+
+(* Seeded-mutation hooks for the sanitizer self-tests: deliberately skip
+   a close-to-open protocol step so the matching lint rule must fire.
+   Never set outside tests. *)
+let mutate_skip_open_inval = ref false
+
+let mutate_skip_writeback = ref false
+
+(* All shadow line keys of [block], prepended to [acc] (sanitizer lint
+   bookkeeping only). *)
+let block_line_keys block acc =
+  let rec go line acc =
+    if line >= Hare_mem.Layout.lines_per_block then acc
+    else go (line + 1) (Hare_mem.Pcache.key_of ~block ~line :: acc)
+  in
+  go 0 acc
 
 (* Retry state, present only when [rpc_deadline > 0]: requests carry a
    (client, seq) idempotency tag, time out, and are resent with bounded
@@ -106,6 +123,8 @@ let cid t = t.cid
 
 let core t = t.core
 
+let pcache t = t.pcache
+
 let dircache t = t.dircache
 
 let syscalls t = t.syscalls
@@ -131,6 +150,8 @@ let syscall t name =
   Core_res.compute t.core t.costs.syscall_trap
 
 let sink t = Engine.sink t.engine
+
+let checker t = Engine.checker t.engine
 
 (* Wrap a public syscall body in a root trace span on this client's core
    track. The close folds any bucket-uncovered wall time into Queue, so
@@ -252,6 +273,7 @@ let await_pending t (pd : pending) =
         Trace.set_pending tr ~fid [ (Trace.Send, t.costs.recv_ready) ]
     | None -> ());
     Core_res.compute t.core t.costs.recv_ready;
+    Hare_msg.Rpc.note_reply ~from:t.core pd.pd_future;
     Ivar.read pd.pd_future
   end
   else
@@ -390,6 +412,7 @@ let recover_token t (fs : Fdtable.file_state) =
          (* The restart reclaimed our extent lease; resync the block list
             so we never write into blocks the server already freed, and
             drop dirty marks for blocks we no longer own. *)
+         let prev = fs.Fdtable.f_blocks in
          fs.Fdtable.f_blocks <- oi.Wire.blocks;
          fs.Fdtable.f_size <- min fs.Fdtable.f_size oi.Wire.isize;
          fs.Fdtable.f_lease <-
@@ -398,7 +421,16 @@ let recover_token t (fs : Fdtable.file_state) =
          Array.iter (fun b -> Hashtbl.replace owned b ()) oi.Wire.blocks;
          Hashtbl.filter_map_inplace
            (fun b () -> if Hashtbl.mem owned b then Some () else None)
-           fs.Fdtable.f_dirty
+           fs.Fdtable.f_dirty;
+         (* Disowned blocks may still sit (dirty) in our private cache;
+            dropping only their dirty marks would let a later LRU
+            eviction flush stale lines over whatever the server
+            reallocated them to. Invalidate the lines themselves too. *)
+         Array.iter
+           (fun b ->
+             if not (Hashtbl.mem owned b) then
+               Hare_mem.Pcache.invalidate_block t.pcache b)
+           prev
        end);
       (match fs.Fdtable.f_pos with
       | Fdtable.Shared -> fs.Fdtable.f_pos <- Fdtable.Local 0
@@ -511,11 +543,23 @@ let direct_mode t = t.config.Hare_config.Config.direct_access
 let invalidate_blocks t blocks =
   Array.iter (fun b -> Hare_mem.Pcache.invalidate_block t.pcache b) blocks
 
-let writeback_dirty t (fs : Fdtable.file_state) =
-  Hashtbl.iter
-    (fun b () -> Hare_mem.Pcache.writeback_block t.pcache b)
-    fs.f_dirty;
-  Hashtbl.reset fs.f_dirty
+let writeback_dirty ?(what = "close/fsync") t (fs : Fdtable.file_state) =
+  (* Capture the dirty block set up front: the reset below must happen
+     whether or not the (possibly mutation-skipped) write-back ran, and
+     the lint needs the keys afterwards. *)
+  let keys =
+    match checker t with
+    | Some _ -> Hashtbl.fold (fun b () acc -> block_line_keys b acc) fs.f_dirty []
+    | None -> []
+  in
+  if not !mutate_skip_writeback then
+    Hashtbl.iter
+      (fun b () -> Hare_mem.Pcache.writeback_block t.pcache b)
+      fs.f_dirty;
+  Hashtbl.reset fs.f_dirty;
+  match checker t with
+  | Some chk -> Check.lint_flush chk ~core:(Core_res.id t.core) ~keys ~what
+  | None -> ()
 
 (* ---------- open -------------------------------------------------------- *)
 
@@ -526,7 +570,14 @@ let file_entry t ~(flags : open_flags) ~ino ~(oi : Wire.open_info) : Fdtable.ent
      file's blocks, which another core may have rewritten since we last
      saw them. Only needed when we will access the buffer cache
      directly. *)
-  if direct_mode t then invalidate_blocks t oi.blocks;
+  (if direct_mode t then begin
+     if not !mutate_skip_open_inval then invalidate_blocks t oi.blocks;
+     match checker t with
+     | Some chk ->
+         let keys = Array.fold_left (fun acc b -> block_line_keys b acc) [] oi.blocks in
+         Check.lint_open chk ~core:(Core_res.id t.core) ~keys
+     | None -> ()
+   end);
   {
     Fdtable.desc =
       Fdtable.File
@@ -929,7 +980,7 @@ let rec update_size t (fs : Fdtable.file_state) =
 let release_desc t (entry : Fdtable.entry) =
   match entry.Fdtable.desc with
   | Fdtable.File fs ->
-      if fs.f_wrote && direct_mode t then writeback_dirty t fs;
+      if fs.f_wrote && direct_mode t then writeback_dirty ~what:"close" t fs;
       (* Report our size view only while the offset (and hence the size)
          is client-owned; for a shared descriptor the server's view is
          authoritative (§3.4). *)
@@ -987,7 +1038,7 @@ let fsync t fdt fd =
   match entry.Fdtable.desc with
   | Fdtable.File fs ->
       if fs.f_wrote && direct_mode t then begin
-        writeback_dirty t fs;
+        writeback_dirty ~what:"fsync" t fs;
         update_size t fs
       end
   | Fdtable.Pipe _ | Fdtable.Console _ -> ()
@@ -1002,7 +1053,7 @@ let ftruncate t fdt fd ~size =
       (* Surviving bytes must be in DRAM before the server scrubs the
          tail; flush our dirty lines first. *)
       if fs.f_wrote && direct_mode t then begin
-        writeback_dirty t fs;
+        writeback_dirty ~what:"ftruncate" t fs;
         update_size t fs
       end;
       ignore (rpc t fs.f_ino.server (Wire.Truncate { ino = fs.f_ino; size }));
@@ -1373,7 +1424,7 @@ let fork_fds t fdt =
               if fs.f_wrote && direct_mode t then begin
                 (* Make our writes visible before the other process reads
                    through the server. *)
-                writeback_dirty t fs;
+                writeback_dirty ~what:"fd-share" t fs;
                 ignore
                   (rpc t fs.f_ino.server
                      (Wire.Update_size { token = fs.f_token; size = fs.f_size }))

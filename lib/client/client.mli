@@ -35,6 +35,9 @@ val cid : t -> int
 
 val core : t -> Hare_sim.Core_res.t
 
+val pcache : t -> Hare_mem.Pcache.t
+(** This client's private cache, for stats cross-checks (tests). *)
+
 val dircache : t -> Dircache.t
 
 val syscalls : t -> Hare_stats.Opcount.t
@@ -44,6 +47,18 @@ val rpc_count : t -> int
 
 val robust : t -> Hare_stats.Robust.t
 (** Timeout/retry/recovery counters (all zero without a fault plan). *)
+
+val mutate_skip_open_inval : bool ref
+(** Sanitizer self-test hook: when set, direct-mode open skips the
+    close-to-open invalidation, so the sanitizer's open-inval lint (and,
+    on a cross-core reread, stale-read) must fire. Never set outside
+    tests. *)
+
+val mutate_skip_writeback : bool ref
+(** Sanitizer self-test hook: when set, close/fsync/truncate skip the
+    dirty write-back (the dirty set is still forgotten, as a real bug
+    would), so the sanitizer's close-writeback lint must fire. Never set
+    outside tests. *)
 
 val perf : t -> Hare_stats.Perf.t
 (** Pipelining-window and extent-lease counters (all zero when

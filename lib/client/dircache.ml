@@ -1,6 +1,12 @@
 open Hare_proto
+module Check = Hare_check.Check
 
 type key = Types.ino * string
+
+(* Seeded-mutation hook for the sanitizer self-tests: drop incoming
+   invalidations on the floor so the dircache-stale rule must fire.
+   Never set outside tests. *)
+let mutate_drop_inval = ref false
 
 (* The LRU order is kept lazily: every hit or insert pushes a freshly
    stamped (key, stamp) pair onto [order], and eviction pops pairs until
@@ -43,6 +49,13 @@ let enabled t = t.enabled
 
 let port t = t.port
 
+let owner_core t = Hare_msg.Mailbox.owner t.port
+
+let checker t =
+  Hare_sim.Engine.checker (Hare_sim.Core_res.engine (owner_core t))
+
+let client_id t = Hare_sim.Core_res.id (owner_core t)
+
 let touch t key (slot : slot) =
   t.tick <- t.tick + 1;
   slot.stamp <- t.tick;
@@ -52,7 +65,14 @@ let rec drain t =
   match Hare_msg.Mailbox.poll t.port with
   | None -> ()
   | Some (Wire.Inval_entry { i_dir; i_name }) ->
-      Hashtbl.remove t.entries (i_dir, i_name);
+      if not !mutate_drop_inval then begin
+        Hashtbl.remove t.entries (i_dir, i_name);
+        match checker t with
+        | Some chk ->
+            Check.dircache_applied chk ~client:(client_id t)
+              ~server:i_dir.Types.server ~ino:i_dir.Types.ino ~name:i_name
+        | None -> ()
+      end;
       t.invalidations <- t.invalidations + 1;
       drain t
   | Some Wire.Inval_all ->
@@ -60,6 +80,9 @@ let rec drain t =
       Hashtbl.reset t.entries;
       Queue.clear t.order;
       t.flushes <- t.flushes + 1;
+      (match checker t with
+      | Some chk -> Check.dircache_flushed chk ~client:(client_id t)
+      | None -> ());
       drain t
 
 let find t ~dir ~name =
@@ -69,6 +92,11 @@ let find t ~dir ~name =
     match Hashtbl.find_opt t.entries (dir, name) with
     | Some slot ->
         t.hits <- t.hits + 1;
+        (match checker t with
+        | Some chk ->
+            Check.dircache_hit chk ~client:(client_id t)
+              ~server:dir.Types.server ~ino:dir.Types.ino ~name
+        | None -> ());
         touch t (dir, name) slot;
         Some slot.info
     | None ->

@@ -8,6 +8,12 @@
 
 type t
 
+val mutate_drop_inval : bool ref
+(** Sanitizer self-test hook: when set, {!drain} drops [Inval_entry]
+    messages without applying them, so the sanitizer's dircache-stale
+    rule must fire on the next hit of an invalidated entry. Never set
+    outside tests. *)
+
 val create :
   enabled:bool ->
   ?capacity:int ->

@@ -27,6 +27,7 @@ type t = {
   dircache_capacity : int;
   trace_enabled : bool;
   trace_cap : int;
+  check_enabled : bool;
   seed : int64;
   costs : Costs.t;
 }
@@ -67,6 +68,9 @@ let default =
        instrumentation site reduces to a None check. *)
     trace_enabled = false;
     trace_cap = 65536;
+    (* Sanitizer off by default: no checker is attached, so every hook
+       site reduces to a None check. *)
+    check_enabled = false;
     seed = 42L;
     costs = Costs.default;
   }

@@ -99,6 +99,13 @@ type t = {
   trace_cap : int;
       (** trace ring-buffer capacity in events; when full, the oldest
           event is dropped and a dropped-events counter incremented. *)
+  check_enabled : bool;
+      (** {e extension}: attach the coherence sanitizer at boot
+          ([Hare_check.Check]): vector-clock happens-before race
+          detection over the shadow cache state plus protocol lint
+          rules. Pure host-side bookkeeping, zero simulated cycles —
+          checked and unchecked runs of the same seed are
+          bit-identical; off by default. *)
   seed : int64;
   costs : Costs.t;
 }

@@ -40,6 +40,13 @@ let boot (config : Config.t) =
     Hare_trace.Trace.declare_track tr ~track:ncores ~name:"dram";
     Engine.set_sink engine tr
   end;
+  (* Sanitizer: attached before any mailbox exists, so every mailbox gets
+     a stamp channel. Host-side only — zero simulated cycles. *)
+  if config.check_enabled then begin
+    let chk = Hare_check.Check.create ~ncores () in
+    Hare_check.Check.set_now chk (fun () -> Engine.now engine);
+    Engine.set_checker engine chk
+  end;
   let cores =
     Array.init ncores (fun i ->
         Core_res.create engine ~id:i
@@ -278,6 +285,8 @@ let perf t =
   acc
 
 let trace t = Engine.sink t.engine
+
+let check t = Engine.checker t.engine
 
 let reset_perf t =
   Array.iter (fun s -> Hare_stats.Perf.reset (Server.perf s)) t.servers;

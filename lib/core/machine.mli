@@ -86,6 +86,12 @@ val trace : t -> Hare_trace.Trace.t option
     clocks and operation counts are bit-identical with tracing on or
     off. *)
 
+val check : t -> Hare_check.Check.t option
+(** The coherence sanitizer installed at boot when
+    [config.check_enabled], or [None]. Like the trace sink it is
+    host-side bookkeeping only: simulated clocks are bit-identical with
+    checking on or off. *)
+
 val reset_perf : t -> unit
 (** Zero every server's and client's {!Hare_stats.Perf} counters, so a
     subsequent timed region reports only its own activity. *)

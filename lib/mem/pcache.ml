@@ -1,5 +1,6 @@
 open Hare_sim
 module Trace = Hare_trace.Trace
+module Check = Hare_check.Check
 
 type line = {
   key : int; (* block * lines_per_block + line index *)
@@ -60,6 +61,10 @@ let create ?block_socket dram ~core ~costs ~capacity_lines =
 let core t = t.core
 
 let sink t = Engine.sink (Core_res.engine t.core)
+
+let checker t = Engine.checker (Core_res.engine t.core)
+
+let cid t = Core_res.id t.core
 
 (* Decompose the upcoming compute charge into cache vs. DRAM cycles and
    publish cumulative miss/write-back counters when they moved. *)
@@ -126,6 +131,9 @@ let flush_line t l =
       ~line:(line_of_key l.key) ~src:l.data ~src_off:0;
     l.dirty <- false;
     t.writebacks <- t.writebacks + 1;
+    (match checker t with
+    | Some chk -> Check.cache_writeback chk ~core:(cid t) ~key:l.key
+    | None -> ());
     true
   end
   else false
@@ -145,6 +153,9 @@ let evict_one t =
       in
       drop_line t victim;
       t.evictions <- t.evictions + 1;
+      (match checker t with
+      | Some chk -> Check.cache_evict chk ~core:(cid t) ~key:victim.key
+      | None -> ());
       cost
 
 (* Fetch-or-miss one line; returns (line, cache cycles, DRAM cycles). *)
@@ -172,13 +183,19 @@ let check_range ~off ~len =
   if off < 0 || off + len > Layout.block_size then
     invalid_arg "Pcache: range escapes block"
 
-let access t ~block ~off ~len ~(per_line : line -> unit) =
+let access t ~block ~off ~len ~write ~(per_line : line -> unit) =
   check_range ~off ~len;
   let miss0 = t.misses and wb0 = t.writebacks in
   let first, last = Layout.lines_touched ~off ~len in
   let cache = ref 0 and dram = ref 0 in
   for line = first to last do
+    let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    (match checker t with
+    | Some chk ->
+        Check.cache_access chk ~core:(cid t) ~key:l.key ~write
+          ~filled:(t.misses > m0)
+    | None -> ());
     cache := !cache + cc;
     dram := !dram + dc;
     per_line l
@@ -193,7 +210,7 @@ let read t ~block ~off ~len ~dst ~dst_off =
     let upto = min (off + len) (line_start + Layout.line_size) in
     Bytes.blit l.data (from - line_start) dst (dst_off + from - off) (upto - from)
   in
-  access t ~block ~off ~len ~per_line
+  access t ~block ~off ~len ~write:false ~per_line
 
 let write t ~block ~off ~len ~src ~src_off =
   let per_line l =
@@ -204,7 +221,7 @@ let write t ~block ~off ~len ~src ~src_off =
     Bytes.blit src (src_off + from - off) l.data (from - line_start) (upto - from);
     l.dirty <- true
   in
-  access t ~block ~off ~len ~per_line
+  access t ~block ~off ~len ~write:true ~per_line
 
 let read_string t ~block ~off ~len =
   let dst = Bytes.create len in
@@ -230,6 +247,10 @@ let invalidate_block t block =
   let lines = lines_of_block t block in
   List.iter
     (fun l ->
+      (match checker t with
+      | Some chk ->
+          Check.cache_invalidate chk ~core:(cid t) ~key:l.key ~dirty:l.dirty
+      | None -> ());
       drop_line t l;
       t.invalidated <- t.invalidated + 1)
     lines;
@@ -263,7 +284,13 @@ let read_coherent t ~block ~off ~len ~dst ~dst_off =
   let first, last = Layout.lines_touched ~off ~len in
   let cache = ref 0 and dram = ref 0 in
   for line = first to last do
+    let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    (match checker t with
+    | Some chk ->
+        Check.coherent_access chk ~core:(cid t) ~key:l.key ~write:false
+          ~filled:(t.misses > m0)
+    | None -> ());
     (* Refresh from DRAM: another (coherent) core may have written. *)
     Dram.read_line t.dram ~block ~line ~dst:l.data ~dst_off:0;
     l.dirty <- false;
@@ -283,7 +310,13 @@ let write_coherent t ~block ~off ~len ~src ~src_off =
   let first, last = Layout.lines_touched ~off ~len in
   let cache = ref 0 and dram = ref 0 in
   for line = first to last do
+    let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    (match checker t with
+    | Some chk ->
+        Check.coherent_access chk ~core:(cid t) ~key:l.key ~write:true
+          ~filled:(t.misses > m0)
+    | None -> ());
     let line_start = line * Layout.line_size in
     let from = max off line_start in
     let upto = min (off + len) (line_start + Layout.line_size) in

@@ -35,6 +35,11 @@ val create :
 
 val core : t -> Hare_sim.Core_res.t
 
+val key_of : block:int -> line:int -> int
+(** The per-line shadow key ([block * Layout.lines_per_block + line])
+    used by the coherence sanitizer; exposed so protocol lint sites can
+    name the lines of a block. *)
+
 (** [read t ~block ~off ~len ~dst ~dst_off] reads through the cache.
     The byte range must lie within one block. *)
 val read : t -> block:int -> off:int -> len:int -> dst:Bytes.t -> dst_off:int -> unit

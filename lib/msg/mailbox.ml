@@ -1,5 +1,6 @@
 open Hare_sim
 module Trace = Hare_trace.Trace
+module Check = Hare_check.Check
 
 type 'a t = {
   queue : 'a Bqueue.t;
@@ -7,11 +8,18 @@ type 'a t = {
   costs : Hare_config.Costs.t;
   faults : Hare_fault.Injector.link option;
   name : string option;
+  chan : int;
+      (* sanitizer stamp-FIFO id mirroring [queue]; -1 = checking off *)
   mutable sent : int;
   mutable received : int;
 }
 
 let create ?name ?faults ~owner ~costs () =
+  let chan =
+    match Engine.checker (Core_res.engine owner) with
+    | Some chk -> Check.new_chan chk
+    | None -> -1
+  in
   let t =
     {
       queue = Bqueue.create ();
@@ -19,6 +27,7 @@ let create ?name ?faults ~owner ~costs () =
       costs;
       faults;
       name;
+      chan;
       sent = 0;
       received = 0;
     }
@@ -33,6 +42,17 @@ let create ?name ?faults ~owner ~costs () =
 let owner t = t.owner
 
 let sink t = Engine.sink (Core_res.engine t.owner)
+
+let checker t = Engine.checker (Core_res.engine t.owner)
+
+(* Join the stamp matching the message just popped from the queue. The
+   stamp FIFO evolves in lockstep with the real queue (pushed exactly
+   where the message enters it), so a plain pop realigns. *)
+let note_recv t =
+  if t.chan >= 0 then
+    match checker t with
+    | Some chk -> Check.chan_pop chk ~chan:t.chan ~core:(Core_res.id t.owner)
+    | None -> ()
 
 (* Named mailboxes publish their depth as a Perfetto counter track on the
    owner's core whenever it changes. *)
@@ -55,12 +75,28 @@ let fault_instant t verdict ~span =
         ~args:(if span <> 0 then [ ("span", string_of_int span) ] else [])
         ()
 
-let enqueue t msg =
+let enqueue t ?stamp msg =
   Bqueue.push t.queue msg;
+  (match stamp with
+  | Some s when t.chan >= 0 -> (
+      match checker t with
+      | Some chk -> Check.chan_push chk ~chan:t.chan s
+      | None -> ())
+  | _ -> ());
   t.sent <- t.sent + 1;
   depth_counter t
 
 let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
+  (* Happens-before edge: snapshot the sender's clock now; the snapshot
+     enters the stamp FIFO wherever the fault dice let the message enter
+     the real queue (dropped message = no push, duplicate = two). *)
+  let stamp =
+    if t.chan >= 0 then
+      match checker t with
+      | Some chk -> Some (Check.msg_stamp chk ~core:(Core_res.id from))
+      | None -> None
+    else None
+  in
   let cost = t.costs.send + (payload_lines * t.costs.msg_per_line) in
   let cost =
     if Core_res.socket from <> Core_res.socket t.owner then
@@ -75,7 +111,7 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
   match t.faults with
   | None ->
       (* Atomic delivery: the enqueue happens before send returns. *)
-      enqueue t msg
+      enqueue t ?stamp msg
   | Some link ->
       let module I = Hare_fault.Injector in
       if I.down link && unreliable then begin
@@ -92,8 +128,9 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
           if s > now then Some s else None
         in
         let deliver_at = function
-          | None -> enqueue t msg
-          | Some time -> Engine.schedule_at engine time (fun () -> enqueue t msg)
+          | None -> enqueue t ?stamp msg
+          | Some time ->
+              Engine.schedule_at engine time (fun () -> enqueue t ?stamp msg)
         in
         match I.on_send link ~unreliable with
         | I.Drop -> fault_instant t "drop" ~span
@@ -110,6 +147,7 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
 
 let recv t =
   let msg = Bqueue.pop t.queue in
+  note_recv t;
   t.received <- t.received + 1;
   depth_counter t;
   Core_res.compute t.owner t.costs.recv;
@@ -125,6 +163,7 @@ let recv t =
    {!recv}'s. *)
 let recv_many t ~max =
   let first = Bqueue.pop t.queue in
+  note_recv t;
   t.received <- t.received + 1;
   let rec extra acc n =
     if n >= max then List.rev acc
@@ -132,6 +171,7 @@ let recv_many t ~max =
       match Bqueue.pop_nonblocking t.queue with
       | None -> List.rev acc
       | Some msg ->
+          note_recv t;
           t.received <- t.received + 1;
           extra (msg :: acc) (n + 1)
   in
@@ -149,6 +189,7 @@ let poll t =
   match Bqueue.pop_nonblocking t.queue with
   | None -> None
   | Some msg ->
+      note_recv t;
       t.received <- t.received + 1;
       depth_counter t;
       Core_res.compute t.owner t.costs.recv;
@@ -158,7 +199,9 @@ let drain t =
   let rec go acc =
     match Bqueue.pop_nonblocking t.queue with
     | None -> List.rev acc
-    | Some msg -> go (msg :: acc)
+    | Some msg ->
+        note_recv t;
+        go (msg :: acc)
   in
   let msgs = go [] in
   depth_counter t;

@@ -1,5 +1,6 @@
 open Hare_sim
 module Trace = Hare_trace.Trace
+module Check = Hare_check.Check
 
 type meta = { m_client : int; m_seq : int }
 
@@ -23,6 +24,18 @@ let owner t = Mailbox.owner t.mailbox
 let sink core = Engine.sink (Core_res.engine core)
 
 let fid () = Engine.fiber_id (Engine.self ())
+
+(* Sanitizer reply edge: the responder stamps the ivar just before
+   filling it ({!reply_fn}); readers join the stamp into their core's
+   clock once the value is in hand. Exposed for the client's deferred
+   fast path, which reads filled ivars without going through {!await}. *)
+let note_reply ~from future =
+  match Engine.checker (Core_res.engine from) with
+  | Some chk -> (
+      match Ivar.stamp future with
+      | Some s -> Check.join chk ~core:(Core_res.id from) s
+      | None -> ())
+  | None -> ()
 
 let call_async_sp t ~from ?payload_lines ?meta req =
   (* Allocate a span id so the server-side work for this request can be
@@ -56,6 +69,7 @@ let await ~from ~costs ?(span = 0) future =
           [ (Trace.Send, costs.Hare_config.Costs.recv) ];
         resp
   in
+  note_reply ~from future;
   Core_res.compute from costs.Hare_config.Costs.recv;
   resp
 
@@ -70,6 +84,7 @@ let await_deadline ~engine ~from ~costs ~deadline ?(span = 0) future =
           Trace.set_pending tr ~fid:(fid ())
             [ (Trace.Send, costs.Hare_config.Costs.recv) ]
       | None -> ());
+      note_reply ~from future;
       Core_res.compute from costs.Hare_config.Costs.recv;
       Ok resp
   | None ->
@@ -106,7 +121,13 @@ let reply_fn t env ?(payload_lines = 0) resp =
       (* A duplicated copy of a request we already answered; the caller
          has its response, so this fill would be a double-assignment. *)
       ()
-  | _ -> Ivar.fill env.reply_ivar resp
+  | _ ->
+      (match Engine.checker (Core_res.engine owner) with
+      | Some chk ->
+          Ivar.set_stamp env.reply_ivar
+            (Check.msg_stamp chk ~core:(Core_res.id owner))
+      | None -> ());
+      Ivar.fill env.reply_ivar resp
 
 let recv_full t =
   let env = Mailbox.recv t.mailbox in

@@ -85,6 +85,14 @@ val await :
   'resp Hare_sim.Ivar.t ->
   'resp
 
+(** [note_reply ~from future] joins the sanitizer happens-before stamp
+    the responder stashed on [future] into [from]'s vector clock. No-op
+    when checking is off or the ivar carries no stamp. {!await} and
+    {!await_deadline} call this internally; it is exposed for callers
+    that read an already-filled future directly (the client's deferred
+    fast path). *)
+val note_reply : from:Hare_sim.Core_res.t -> 'resp Hare_sim.Ivar.t -> unit
+
 (** Deadline-bounded {!await}. *)
 val await_deadline :
   engine:Hare_sim.Engine.t ->

@@ -6,6 +6,7 @@ let src = Logs.Src.create "hare.server" ~doc:"Hare file server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Trace = Hare_trace.Trace
+module Check = Hare_check.Check
 
 type reply = ?payload_lines:int -> Wire.fs_resp -> unit
 
@@ -129,6 +130,8 @@ let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
 let sid t = t.sid
 
 let core t = t.core
+
+let pcache t = t.pcache
 
 let endpoint t = t.endpoint
 
@@ -338,6 +341,15 @@ let send_invals t ~dir ~name ~except =
               if client <> except then begin
                 Hare_msg.Mailbox.send t.inval_ports.(client) ~from:t.core
                   (Wire.Inval_entry { i_dir = dir; i_name = name });
+                (* Sanitizer obligation: the client must apply this
+                   invalidation before its next dircache hit on the
+                   entry (atomic delivery + drain-before-find make that
+                   a protocol guarantee, not a timing accident). *)
+                (match Engine.checker (Core_res.engine t.core) with
+                | Some chk ->
+                    Check.dircache_sent chk ~client ~server:dir.Types.server
+                      ~ino:dir.Types.ino ~name
+                | None -> ());
                 t.invals_sent <- t.invals_sent + 1
               end)
             clients;

@@ -31,6 +31,9 @@ val sid : t -> int
 
 val core : t -> Hare_sim.Core_res.t
 
+val pcache : t -> Hare_mem.Pcache.t
+(** This server's private cache, for stats cross-checks (tests). *)
+
 val endpoint : t -> (Hare_proto.Wire.fs_req, Hare_proto.Wire.fs_resp) Hare_msg.Rpc.t
 
 (** [install_root t ~dist] creates the root directory inode; call exactly

@@ -22,6 +22,8 @@ type t = {
       (* named pending-depth probes (mailboxes), for deadlock reporting *)
   mutable sink : Hare_trace.Trace.t option;
       (* trace sink; presence doubles as the "tracing enabled" flag *)
+  mutable checker : Hare_check.Check.t option;
+      (* coherence sanitizer; presence doubles as the "check enabled" flag *)
 }
 
 exception Deadlock of string
@@ -47,6 +49,7 @@ let create ?(seed = 1L) () =
     fibers = [];
     probes = [];
     sink = None;
+    checker = None;
   }
 
 let now t = t.time
@@ -58,6 +61,10 @@ let trace t = t.tracing
 let set_trace t b = t.tracing <- b
 
 let sink t = t.sink
+
+let checker t = t.checker
+
+let set_checker t c = t.checker <- Some c
 
 let set_sink t tr = t.sink <- Some tr
 

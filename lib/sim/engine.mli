@@ -91,6 +91,15 @@ val set_sink : t -> Hare_trace.Trace.t -> unit
 (** Attach a span-trace sink. Recording into the sink never perturbs the
     simulated clock ({!Hare_trace.Trace}). *)
 
+val checker : t -> Hare_check.Check.t option
+(** The coherence sanitizer, if one was attached. Mirrors the trace
+    sink: hook sites across the stack test this, and [None] (the
+    default) means checking is off and they do nothing. *)
+
+val set_checker : t -> Hare_check.Check.t -> unit
+(** Attach the coherence sanitizer. Checking never perturbs the
+    simulated clock ({!Hare_check.Check}). *)
+
 (** {1 Deadlock diagnostics} *)
 
 val register_probe : t -> name:string -> (unit -> int) -> unit

@@ -1,0 +1,46 @@
+(** Coherence-sanitizer counters.
+
+    Nine violation counters (one per sanitizer rule, see
+    {!Hare_check.Check}) plus informational counters used to cross-check
+    the checker's shadow state against the real caches. A run is clean iff
+    {!total_violations} is zero; the informational counters may move
+    freely. *)
+
+type t = {
+  mutable stale_reads : int;
+  mutable lost_writes : int;
+  mutable write_races : int;
+  mutable missed_writebacks : int;
+  mutable open_invals : int;
+  mutable close_writebacks : int;
+  mutable dircache_stale : int;
+  mutable fd_leaks : int;
+  mutable lease_leaks : int;
+  mutable dirty_discarded : int;
+  mutable hb_joins : int;
+  mutable lines_tracked : int;
+  mutable cache_hits : int;
+  mutable cache_fills : int;
+  mutable cache_evictions : int;
+  mutable cache_writebacks : int;
+  mutable cache_invalidated : int;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val merge : into:t -> t -> unit
+
+val violations : t -> (string * int) list
+(** Per-rule violation counts in stable display order; informational
+    counters excluded. *)
+
+val total_violations : t -> int
+
+val to_list : t -> (string * int) list
+(** All counters (violations first), for table rendering and tests. *)
+
+val is_zero : t -> bool
+
+val pp : Format.formatter -> t -> unit

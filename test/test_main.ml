@@ -22,4 +22,5 @@ let () =
          Test_exec_chain.suites;
          Test_posix_edge.suites;
          Test_trace.suites;
+         Test_check.suites;
        ])
