@@ -9,18 +9,24 @@
    the next update).
 
    The parser is deliberately minimal: it only reads the flat
-   { "name": ..., "simulated_cycles": ... } pairs that our own writer
-   emits, in order, so it needs no JSON library. *)
+   { "name": ..., "simulated_cycles": ..., "p99_cycles": ... } pairs
+   that our own writer emits, in order, so it needs no JSON library.
+   Unknown keys are skipped, so additive schema growth never breaks the
+   gate; a new metric is only compared once it appears in the baseline. *)
+
+(* Metric keys gated against the baseline. Each is paired with the most
+   recent "name" field; every other key is ignored. *)
+let gated = [ "simulated_cycles"; "p99_cycles" ]
 
 let scan_workloads path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  (* Every workload object lists "name" before "simulated_cycles"; pair
-     each cycles field with the most recent name field. *)
+  (* Every workload object lists "name" before its metrics; attribute
+     each gated metric to the most recent name field. *)
   let results = ref [] in
-  let pending_name = ref None in
+  let cur_name = ref None in
   let len = String.length s in
   let rec field_from i =
     match String.index_from_opt s i '"' with
@@ -35,36 +41,34 @@ let scan_workloads path =
             while !rest < len && (s.[!rest] = ' ' || s.[!rest] = ':') do
               incr rest
             done;
-            (match key with
-            | "name" -> (
-                match String.index_from_opt s !rest '"' with
-                | Some v0 -> (
-                    match String.index_from_opt s (v0 + 1) '"' with
-                    | Some v1 ->
-                        pending_name :=
-                          Some (String.sub s (v0 + 1) (v1 - v0 - 1));
-                        rest := v1 + 1
-                    | None -> ())
-                | None -> ())
-            | "simulated_cycles" -> (
-                let v0 = !rest in
-                let v1 = ref v0 in
-                while
-                  !v1 < len
-                  && (match s.[!v1] with
-                     | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
-                     | _ -> false)
-                do
-                  incr v1
-                done;
-                match !pending_name with
-                | Some name when !v1 > v0 ->
-                    results :=
-                      (name, float_of_string (String.sub s v0 (!v1 - v0)))
-                      :: !results;
-                    pending_name := None
-                | _ -> ())
-            | _ -> ());
+            (if key = "name" then
+               match String.index_from_opt s !rest '"' with
+               | Some v0 -> (
+                   match String.index_from_opt s (v0 + 1) '"' with
+                   | Some v1 ->
+                       cur_name := Some (String.sub s (v0 + 1) (v1 - v0 - 1));
+                       rest := v1 + 1
+                   | None -> ())
+               | None -> ()
+             else if List.mem key gated then begin
+               let v0 = !rest in
+               let v1 = ref v0 in
+               while
+                 !v1 < len
+                 && (match s.[!v1] with
+                    | '0' .. '9' | '.' | '-' | 'e' | 'E' | '+' -> true
+                    | _ -> false)
+               do
+                 incr v1
+               done;
+               match !cur_name with
+               | Some name when !v1 > v0 ->
+                   results :=
+                     ( name ^ "/" ^ key,
+                       float_of_string (String.sub s v0 (!v1 - v0)) )
+                     :: !results
+               | _ -> ()
+             end);
             field_from !rest)
   in
   field_from 0;
@@ -95,20 +99,25 @@ let () =
           failed := true;
           missing := name :: !missing;
           Printf.printf
-            "%-24s MISSING: baseline key %S not present in current run %s\n"
+            "%-36s MISSING: baseline key %S not present in current run %s\n"
             name name current
       | Some ccy ->
           incr compared;
-          let delta = 100. *. (ccy -. bcy) /. bcy in
-          let verdict =
-            if delta > tolerance then begin
-              failed := true;
-              "REGRESSED"
-            end
-            else "ok"
-          in
-          Printf.printf "%-24s %14.0f -> %14.0f  %+6.2f%%  %s\n" name bcy ccy
-            delta verdict)
+          if bcy = 0.0 then
+            Printf.printf "%-36s %14.0f -> %14.0f  (zero baseline, skipped)\n"
+              name bcy ccy
+          else begin
+            let delta = 100. *. (ccy -. bcy) /. bcy in
+            let verdict =
+              if delta > tolerance then begin
+                failed := true;
+                "REGRESSED"
+              end
+              else "ok"
+            in
+            Printf.printf "%-36s %14.0f -> %14.0f  %+6.2f%%  %s\n" name bcy
+              ccy delta verdict
+          end)
     base;
   if !compared = 0 then begin
     Printf.eprintf "check: no common workloads between %s and %s\n" current
@@ -127,5 +136,5 @@ let () =
       tolerance;
     exit 1
   end
-  else Printf.printf "PASS: %d workloads within %.0f%% of baseline\n" !compared
+  else Printf.printf "PASS: %d metrics within %.0f%% of baseline\n" !compared
       tolerance

@@ -131,7 +131,7 @@ let json_cases quick =
         trace_enabled = true;
       }
     in
-    (name, wname, ncores, config)
+    (name, wname, ncores, None, config)
   in
   let figure_cases =
     if quick then
@@ -150,21 +150,52 @@ let json_cases quick =
         case "punzip@4" "punzip" 4;
       ]
   in
+  (* Overload-control soak (PR 6): open-loop arrivals past saturation of
+     a single dedicated server core, every control-plane knob on. The
+     row's p99_cycles regression-gates graceful degradation. *)
+  let overload_case name ncores =
+    let config =
+      {
+        (Driver.default_config ~ncores) with
+        Config.placement = Config.Split 1;
+        trace_enabled = true;
+        rpc_deadline = 60_000;
+        rpc_retries = 6;
+        rpc_deadline_max = 240_000;
+        deadline_propagation = true;
+        mailbox_capacity = 24;
+        retry_budget = 12;
+        breaker_threshold = 6;
+        breaker_cooldown = 150_000;
+        shed_watermark = 8;
+      }
+    in
+    (* Many more workers than app cores: arrivals keep landing while
+       earlier requests are still queued, so the server queue actually
+       builds depth and the watermark/credit/deadline machinery engages. *)
+    (name, "overload", ncores, Some (3 * ncores), config)
+  in
   figure_cases
   @ [
       case "creates@8/baseline" "creates" 8;
       case ~window:8 ~batch:8 ~extent:8 "creates@8/pipelined" "creates" 8;
       case "writes@8/baseline" "writes" 8;
       case ~window:8 ~batch:8 ~extent:8 "writes@8/pipelined" "writes" 8;
+      overload_case "overload@8/open" 8;
     ]
 
 let run_json ~quick ~out () =
   let cases = json_cases quick in
   let rows =
     List.map
-      (fun (name, wname, ncores, config) ->
+      (fun (name, wname, ncores, nprocs, config) ->
+        if wname = "overload" then begin
+          Hare_workloads.Overload.reset ();
+          (* ~2x the single server core's service rate at 24 workers *)
+          Hare_workloads.Overload.period := 30_000
+        end;
         let t0 = Unix.gettimeofday () in
-        let r = HD.run ~config (bench wname) in
+        let r = HD.run ~config ?nprocs (bench wname) in
         let wall = Unix.gettimeofday () -. t0 in
         let cycles =
           r.Driver.elapsed
@@ -207,6 +238,46 @@ let run_json ~quick ~out () =
         config.Config.costs.Hare_config.Costs.cycles_per_us;
       add "      \"ops\": %d,\n" r.Driver.ops;
       add "      \"simulated_cycles\": %.0f,\n" cycles;
+      (* Worst per-class p99 of the timed region: the graceful-degradation
+         gate. Additive key — older baselines simply do not compare it. *)
+      let p99 =
+        List.fold_left
+          (fun acc (_, d) -> max acc d.Hare_stats.Latency.p99)
+          0L r.Driver.latencies
+      in
+      add "      \"p99_cycles\": %Ld,\n" p99;
+      (if r.Driver.latencies <> [] then begin
+         add "      \"latency\": { ";
+         List.iteri
+           (fun j (cls, (d : Hare_stats.Latency.dist)) ->
+             add
+               "%s\"%s\": { \"n\": %d, \"p50\": %Ld, \"p95\": %Ld, \"p99\": \
+                %Ld, \"max\": %Ld }"
+               (if j > 0 then ", " else "")
+               cls d.Hare_stats.Latency.n d.Hare_stats.Latency.p50
+               d.Hare_stats.Latency.p95 d.Hare_stats.Latency.p99
+               d.Hare_stats.Latency.lmax)
+           r.Driver.latencies;
+         add " },\n"
+       end);
+      (if wname = "overload" then begin
+         let module O = Hare_workloads.Overload in
+         let rb = r.Driver.robust in
+         add
+           "      \"overload\": { \"sent\": %d, \"ok\": %d, \"shed\": %d, \
+            \"fast_fail\": %d, \"skipped\": %d, \"retries\": %d, \
+            \"giveups\": %d, \"shed_load\": %d, \"shed_expired\": %d, \
+            \"flow_blocks\": %d, \"budget_denied\": %d, \"breaker_opens\": \
+            %d, \"breaker_half_opens\": %d, \"breaker_closes\": %d },\n"
+           !O.sent !O.ok !O.shed !O.fast_fail !O.skipped
+           rb.Hare_stats.Robust.retries rb.Hare_stats.Robust.giveups
+           rb.Hare_stats.Robust.shed_load rb.Hare_stats.Robust.shed_expired
+           rb.Hare_stats.Robust.flow_blocks
+           rb.Hare_stats.Robust.budget_denied
+           rb.Hare_stats.Robust.breaker_opens
+           rb.Hare_stats.Robust.breaker_half_opens
+           rb.Hare_stats.Robust.breaker_closes
+       end);
       add "      \"simulated_seconds\": %.9f,\n" r.Driver.elapsed;
       add "      \"wall_clock_s\": %.6f,\n" wall;
       (* Per-opcode cycle attribution of the timed region: each row's

@@ -449,6 +449,248 @@ let faults_cmd =
       const run_faults $ name_arg $ plan_arg $ deadline_arg $ retries_arg
       $ seed_arg $ cores_arg $ nprocs_arg $ scale_arg $ strict)
 
+(* ---------- overload command -------------------------------------------- *)
+
+(* Drive the open-loop overload workload with the flow-control, load-shed,
+   retry-budget and circuit-breaker knobs open, and report how gracefully
+   the machine degrades: goodput vs. offered load, shed / fast-fail
+   counts, breaker transitions, and per-class latency percentiles from
+   the trace spans. Optionally runs under the coherence sanitizer and a
+   fault plan (a server crash is what trips the breakers). *)
+let run_overload cores split nprocs scale period deadline retries deadline_max
+    capacity budget breaker cooldown watermark seed plan check =
+  let module Machine = Hare.Machine in
+  let module Posix = Hare.Posix in
+  let module Api = Hare_api.Api in
+  let module Check = Hare_check.Check in
+  let module Sanity = Hare_stats.Sanity in
+  let module O = Hare_workloads.Overload in
+  match Hare_fault.Plan.parse plan with
+  | Error msg ->
+      Printf.eprintf "bad --plan: %s\n" msg;
+      1
+  | Ok _ ->
+      let spec = O.spec in
+      let config =
+        {
+          (Driver.default_config ~ncores:cores) with
+          Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+          placement = Config.Split split;
+          trace_enabled = true;
+          check_enabled = check;
+          fault_plan = plan;
+          rpc_deadline = deadline;
+          rpc_retries = retries;
+          rpc_deadline_max = deadline_max;
+          deadline_propagation = deadline > 0;
+          mailbox_capacity = capacity;
+          retry_budget = budget;
+          breaker_threshold = breaker;
+          breaker_cooldown = cooldown;
+          shed_watermark = watermark;
+          seed = Int64.of_int seed;
+        }
+      in
+      (* Open-loop saturation needs more synchronous workers than app
+         cores: each worker has at most one request outstanding. *)
+      let nprocs = match nprocs with Some n -> n | None -> 3 * cores in
+      O.reset ();
+      O.period := period;
+      let m = Machine.boot config in
+      let api = World.Hare_w.api m in
+      List.iter
+        (fun (prog, body) -> api.Api.register_program prog body)
+        (spec.Hare_workloads.Spec.programs api);
+      api.Api.register_program "bench-worker" (fun p args ->
+          let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+          spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+          0);
+      let init, _ =
+        Machine.spawn_init m ~name:"overload" (fun p _ ->
+            spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+            let pids =
+              List.init nprocs (fun i ->
+                  Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+            in
+            List.fold_left
+              (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+              0 pids)
+      in
+      Machine.run m;
+      let failed =
+        match Machine.exit_status m init with
+        | Some 0 -> false
+        | Some n ->
+            Printf.printf "%d worker(s) failed\n" n;
+            true
+        | None ->
+            print_endline "init never finished";
+            true
+      in
+      let secs = Machine.seconds m in
+      Printf.printf
+        "overload: %d cores (%d server), %d workers, mean period %d cycles, \
+         %.6f simulated seconds\n"
+        cores split nprocs period secs;
+      Printf.printf "  sent %d | ok %d | shed %d | fast-fail %d | skipped %d\n"
+        !O.sent !O.ok !O.shed !O.fast_fail !O.skipped;
+      if secs > 0. && !O.sent > 0 then
+        Printf.printf
+          "  goodput %.0f ops/s of %.0f offered (%.1f%% completed)\n"
+          (float_of_int !O.ok /. secs)
+          (float_of_int !O.sent /. secs)
+          (100. *. float_of_int !O.ok /. float_of_int !O.sent);
+      let robust = Machine.robustness m in
+      Hare_stats.Table.print
+        ~headers:[ "robustness counter"; "count" ]
+        (List.map
+           (fun (k, v) -> [ k; string_of_int v ])
+           (Hare_stats.Robust.to_list robust));
+      (match Machine.trace m with
+      | None -> ()
+      | Some tr -> (
+          match Driver.latencies_of_trace tr with
+          | [] -> ()
+          | dists ->
+              Hare_stats.Table.print
+                ~headers:[ "class"; "n"; "p50"; "p95"; "p99"; "max" ]
+                (List.map
+                   (fun (cls, d) ->
+                     [
+                       cls;
+                       string_of_int d.Hare_stats.Latency.n;
+                       Int64.to_string d.Hare_stats.Latency.p50;
+                       Int64.to_string d.Hare_stats.Latency.p95;
+                       Int64.to_string d.Hare_stats.Latency.p99;
+                       Int64.to_string d.Hare_stats.Latency.lmax;
+                     ])
+                   dists)));
+      let violations =
+        match Machine.check m with
+        | None -> 0
+        | Some chk ->
+            let stats = Check.stats chk in
+            Hare_stats.Table.print
+              ~headers:[ "rule"; "violations" ]
+              (List.map
+                 (fun (k, v) -> [ k; string_of_int v ])
+                 (Sanity.violations stats));
+            let shown = ref 0 in
+            List.iter
+              (fun v ->
+                if !shown < 20 then begin
+                  Format.printf "%a@." Check.pp_violation v;
+                  incr shown
+                end)
+              (Check.violations chk);
+            Sanity.total_violations stats
+      in
+      if violations > 0 then begin
+        print_endline "FAIL: coherence/protocol violations under overload";
+        1
+      end
+      else if failed then 1
+      else 0
+
+let overload_cmd =
+  let split_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "split" ] ~docv:"S"
+          ~doc:"Cores dedicated to file servers (the bottleneck).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 30_000
+      & info [ "period" ] ~docv:"CYCLES"
+          ~doc:
+            "Mean inter-arrival gap per worker; smaller means a hotter \
+             offered load.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 60_000
+      & info [ "deadline" ] ~docv:"CYCLES"
+          ~doc:"First-attempt RPC deadline; 0 disables retries.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"RPC attempts before giving up with EIO.")
+  in
+  let deadline_max_arg =
+    Arg.(
+      value & opt int 240_000
+      & info [ "deadline-max" ] ~docv:"CYCLES"
+          ~doc:"Ceiling on the backed-off retry deadline.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Server mailbox capacity; senders without a credit park until \
+             a slot frees (0 = unbounded).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Per-server retry budget; an empty bucket turns timeouts into \
+             immediate give-ups (0 = unlimited).")
+  in
+  let breaker_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "breaker" ] ~docv:"N"
+          ~doc:
+            "Consecutive give-ups that open a per-server circuit breaker \
+             (0 = disabled).")
+  in
+  let cooldown_arg =
+    Arg.(
+      value & opt int 150_000
+      & info [ "cooldown" ] ~docv:"CYCLES"
+          ~doc:"How long an open breaker fast-fails before probing.")
+  in
+  let watermark_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Server queue depth above which background (then data) \
+             requests are shed with EBUSY (0 = disabled).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Simulation seed; arrivals are deterministic per seed.")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"SPEC"
+          ~doc:
+            "Fault plan, e.g. 'crash:0@2000000+500000' — a server crash \
+             under load is what trips the circuit breakers.")
+  in
+  let check = flag "check" "Also run the coherence sanitizer." in
+  Cmd.v
+    (Cmd.info "overload"
+       ~doc:
+         "Drive the open-loop overload workload past saturation with the \
+          flow-control, shedding, retry-budget and circuit-breaker knobs \
+          open; print goodput, shed/fast-fail counts, breaker transitions \
+          and per-class latency percentiles.")
+    Term.(
+      const run_overload $ cores_arg $ split_arg $ nprocs_arg $ scale_arg
+      $ period_arg $ deadline_arg $ retries_arg $ deadline_max_arg
+      $ capacity_arg $ budget_arg $ breaker_arg $ cooldown_arg $ watermark_arg
+      $ seed_arg $ plan_arg $ check)
+
 (* ---------- perf command ------------------------------------------------ *)
 
 (* Run a workload with the pipelining/batching/extent knobs set from the
@@ -1006,8 +1248,8 @@ let main =
          "Hare, a file system for non-cache-coherent multicores, in \
           simulation: benchmarks and paper-figure reproduction.")
     [
-      bench_cmd; fig_cmd; faults_cmd; perf_cmd; trace_cmd; profile_cmd;
-      check_cmd; list_cmd; shell_cmd;
+      bench_cmd; fig_cmd; faults_cmd; overload_cmd; perf_cmd; trace_cmd;
+      profile_cmd; check_cmd; list_cmd; shell_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -28,6 +28,8 @@ type 'p t = {
   random : 'p -> int -> int;
   print : 'p -> string -> unit;
   core_of : 'p -> int;
+  now_cycles : 'p -> int64;
+  sleep_until : 'p -> int64 -> unit;
 }
 
 let write_all api p fd data =

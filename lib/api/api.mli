@@ -38,6 +38,11 @@ type 'p t = {
   random : 'p -> int -> int;  (** deterministic per-process PRNG. *)
   print : 'p -> string -> unit;
   core_of : 'p -> int;
+  now_cycles : 'p -> int64;
+      (** current simulated clock, for open-loop pacing (0 on Linux). *)
+  sleep_until : 'p -> int64 -> unit;
+      (** idle (without burning CPU) until the given instant; no-op if it
+          is already past, and on Linux. *)
 }
 
 (** Convenience wrappers over a ['p t]. *)

@@ -379,6 +379,11 @@ let api t : proc Hare_api.Api.t =
         | Some { desc = Lconsole buf; _ } -> Buffer.add_string buf s
         | _ -> ());
     core_of = (fun p -> p.core_id);
+    now_cycles = (fun p -> Engine.now p.w.engine);
+    sleep_until =
+      (fun p target ->
+        let dt = Int64.sub target (Engine.now p.w.engine) in
+        if dt > 0L then Engine.sleep dt);
   }
 
 let spawn_init t ~name body =

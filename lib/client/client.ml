@@ -36,8 +36,21 @@ let block_line_keys block acc =
 type retry = {
   rt_base : int;  (** first-attempt deadline, in cycles *)
   rt_max : int;  (** attempts before giving up with [EIO] *)
+  rt_cap : int;  (** ceiling on per-attempt deadline growth *)
   rt_rng : Rng.t;
   mutable rt_seq : int;
+}
+
+(* Per-server circuit breaker (PR 6): consecutive give-ups trip it open,
+   and while open every retryable RPC to that server fast-fails with
+   [EIO] instead of burning a full timeout ladder. After the cooldown a
+   single probe is admitted (half-open); its fate decides whether the
+   breaker closes or re-opens. Inert unless [breaker_threshold > 0]. *)
+type breaker_state = Br_closed | Br_open of int64 | Br_half_open
+
+type breaker = {
+  mutable br_state : breaker_state;
+  mutable br_fails : int;  (* consecutive give-ups while closed *)
 }
 
 (* A deferred RPC: sent, not yet awaited (rpc_window > 1). The
@@ -74,6 +87,10 @@ type t = {
   window : pending Queue.t;
   extent : int;
   mutable rpc_count : int;
+  (* overload control (PR 6); all inert at the default knob settings *)
+  breakers : breaker array;  (* one per server *)
+  budget_tokens : int array;  (* retry tokens left, per server *)
+  budget_successes : int array;  (* successes since last refill, per server *)
 }
 
 let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
@@ -85,6 +102,12 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
         {
           rt_base = config.Hare_config.Config.rpc_deadline;
           rt_max = config.Hare_config.Config.rpc_retries;
+          rt_cap =
+            (* The legacy implicit ceiling (64x the base deadline) unless
+               an explicit [rpc_deadline_max] caps backoff growth. *)
+            (if config.Hare_config.Config.rpc_deadline_max > 0 then
+               config.Hare_config.Config.rpc_deadline_max
+             else config.Hare_config.Config.rpc_deadline * 64);
           rt_rng =
             Rng.create
               ~seed:
@@ -117,6 +140,12 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     window = Queue.create ();
     extent = config.Hare_config.Config.alloc_extent;
     rpc_count = 0;
+    breakers =
+      Array.init (Array.length servers) (fun _ ->
+          { br_state = Br_closed; br_fails = 0 });
+    budget_tokens =
+      Array.make (Array.length servers) config.Hare_config.Config.retry_budget;
+    budget_successes = Array.make (Array.length servers) 0;
   }
 
 let cid t = t.cid
@@ -188,10 +217,134 @@ let retryable (req : Wire.fs_req) =
   | Wire.Pipe_read _ | Wire.Pipe_write _ | Wire.Rmdir_lock _ -> false
   | _ -> true
 
+(* ---------- overload control: breakers and retry budgets --------------- *)
+
+let breaker_enabled t = t.config.Hare_config.Config.breaker_threshold > 0
+
+let breaker_instant t name srv =
+  match sink t with
+  | Some tr ->
+      Trace.instant tr ~name ~track:(Core_res.id t.core)
+        ~ts:(Engine.now t.engine)
+        ~args:[ ("server", string_of_int srv) ]
+        ()
+  | None -> ()
+
+(* Admission decision for a retryable RPC to [srv]: [true] = send it.
+   An open breaker fast-fails callers until its cooldown elapses, then
+   admits exactly one probe (half-open); further calls keep fast-failing
+   until the probe's fate resolves the state. *)
+let breaker_admit t srv =
+  (not (breaker_enabled t))
+  ||
+  let br = t.breakers.(srv) in
+  match br.br_state with
+  | Br_closed -> true
+  | Br_half_open -> false (* a probe is already in flight *)
+  | Br_open until ->
+      if Engine.now t.engine >= until then begin
+        br.br_state <- Br_half_open;
+        t.robust.Hare_stats.Robust.breaker_half_opens <-
+          t.robust.Hare_stats.Robust.breaker_half_opens + 1;
+        breaker_instant t "breaker-half-open" srv;
+        true
+      end
+      else false
+
+(* Any delivered reply — even a server-side errno — proves the server is
+   alive, so it counts as breaker success. *)
+let breaker_success t srv =
+  if breaker_enabled t then begin
+    let br = t.breakers.(srv) in
+    (match br.br_state with
+    | Br_half_open ->
+        t.robust.Hare_stats.Robust.breaker_closes <-
+          t.robust.Hare_stats.Robust.breaker_closes + 1;
+        breaker_instant t "breaker-close" srv
+    | Br_closed | Br_open _ -> ());
+    br.br_state <- Br_closed;
+    br.br_fails <- 0
+  end
+
+(* Called when an RPC exhausts its retries (or its retry budget): a
+   give-up is the breaker's failure unit, not a single timeout. *)
+let breaker_failure t srv =
+  if breaker_enabled t then begin
+    let br = t.breakers.(srv) in
+    let open_now () =
+      br.br_state <-
+        Br_open
+          (Int64.add (Engine.now t.engine)
+             (Int64.of_int t.config.Hare_config.Config.breaker_cooldown));
+      br.br_fails <- 0;
+      t.robust.Hare_stats.Robust.breaker_opens <-
+        t.robust.Hare_stats.Robust.breaker_opens + 1;
+      breaker_instant t "breaker-open" srv
+    in
+    match br.br_state with
+    | Br_half_open -> open_now () (* the probe failed: back to open *)
+    | Br_closed ->
+        br.br_fails <- br.br_fails + 1;
+        if br.br_fails >= t.config.Hare_config.Config.breaker_threshold then
+          open_now ()
+    | Br_open _ -> ()
+  end
+
+let fast_fail t srv req =
+  t.robust.Hare_stats.Robust.fast_fails <-
+    t.robust.Hare_stats.Robust.fast_fails + 1;
+  (match sink t with
+  | Some tr ->
+      Trace.instant tr ~name:"fast-fail" ~track:(Core_res.id t.core)
+        ~ts:(Engine.now t.engine)
+        ~args:[ ("op", Wire.req_name req); ("server", string_of_int srv) ]
+        ()
+  | None -> ());
+  Error Errno.EIO
+
+(* One retransmission costs one token; an empty bucket converts the
+   retry into an immediate give-up, so a dead or drowning server cannot
+   consume unbounded retry capacity. Successes refill the bucket slowly
+   (one token per ten), keeping the steady-state retry rate a small
+   fraction of goodput. *)
+let budget_take t srv =
+  let cap = t.config.Hare_config.Config.retry_budget in
+  if cap = 0 then true
+  else if t.budget_tokens.(srv) > 0 then begin
+    t.budget_tokens.(srv) <- t.budget_tokens.(srv) - 1;
+    true
+  end
+  else begin
+    t.robust.Hare_stats.Robust.budget_denied <-
+      t.robust.Hare_stats.Robust.budget_denied + 1;
+    false
+  end
+
+let budget_note_success t srv =
+  let cap = t.config.Hare_config.Config.retry_budget in
+  if cap > 0 then begin
+    t.budget_successes.(srv) <- t.budget_successes.(srv) + 1;
+    if t.budget_successes.(srv) mod 10 = 0 && t.budget_tokens.(srv) < cap then
+      t.budget_tokens.(srv) <- t.budget_tokens.(srv) + 1
+  end
+
+let note_success t srv =
+  breaker_success t srv;
+  budget_note_success t srv
+
+(* Absolute deadline to ride the request envelope: the server drops the
+   copy unserved if it is still queued past this instant. 0 = none. *)
+let propagated_deadline t deadline =
+  if t.config.Hare_config.Config.deadline_propagation then
+    Int64.add (Engine.now t.engine) (Int64.of_int deadline)
+  else 0L
+
 let rpc_result t ?payload_lines srv req =
   t.rpc_count <- t.rpc_count + 1;
   match t.retry with
   | Some rt when retryable req ->
+      if not (breaker_admit t srv) then fast_fail t srv req
+      else begin
       (* One sequence number for every attempt of this call: the server
          deduplicates retransmissions, so the operation takes effect
          exactly once no matter how many copies arrive. *)
@@ -201,15 +354,20 @@ let rpc_result t ?payload_lines srv req =
         match
           Hare_msg.Rpc.call_deadline t.servers.(srv) ~engine:t.engine
             ~from:t.core ?payload_lines ~meta
-            ~deadline:(Int64.of_int deadline) req
+            ~deadline:(Int64.of_int deadline)
+            ~abs_deadline:(propagated_deadline t deadline)
+            ~prio:(Wire.req_prio req) req
         with
-        | Ok resp -> resp
+        | Ok resp ->
+            note_success t srv;
+            resp
         | Error `Timeout ->
             t.robust.Hare_stats.Robust.timeouts <-
               t.robust.Hare_stats.Robust.timeouts + 1;
-            if n + 1 >= rt.rt_max then begin
+            if n + 1 >= rt.rt_max || not (budget_take t srv) then begin
               t.robust.Hare_stats.Robust.giveups <-
                 t.robust.Hare_stats.Robust.giveups + 1;
+              breaker_failure t srv;
               Error Errno.EIO
             end
             else begin
@@ -232,10 +390,11 @@ let rpc_result t ?payload_lines srv req =
                     ()
               | None -> ());
               Engine.sleep back;
-              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64))
+              attempt (n + 1) (min (deadline * 2) rt.rt_cap)
             end
       in
       attempt 0 rt.rt_base
+      end
   | _ -> Hare_msg.Rpc.call t.servers.(srv) ~from:t.core ?payload_lines req
 
 let rpc t ?payload_lines srv req =
@@ -284,13 +443,16 @@ let await_pending t (pd : pending) =
           Hare_msg.Rpc.await_deadline ~engine:t.engine ~from:t.core
             ~costs:t.costs ~deadline:(Int64.of_int deadline) ~span future
         with
-        | Ok resp -> resp
+        | Ok resp ->
+            note_success t pd.pd_srv;
+            resp
         | Error `Timeout ->
             t.robust.Hare_stats.Robust.timeouts <-
               t.robust.Hare_stats.Robust.timeouts + 1;
-            if n + 1 >= rt.rt_max then begin
+            if n + 1 >= rt.rt_max || not (budget_take t pd.pd_srv) then begin
               t.robust.Hare_stats.Robust.giveups <-
                 t.robust.Hare_stats.Robust.giveups + 1;
+              breaker_failure t pd.pd_srv;
               Error Errno.EIO
             end
             else begin
@@ -307,11 +469,14 @@ let await_pending t (pd : pending) =
                     ~cycles:back
               | None -> ());
               Engine.sleep back;
+              let next_deadline = min (deadline * 2) rt.rt_cap in
               let future, span =
                 Hare_msg.Rpc.call_async_sp t.servers.(pd.pd_srv) ~from:t.core
-                  ~meta pd.pd_req
+                  ~meta
+                  ~abs_deadline:(propagated_deadline t next_deadline)
+                  ~prio:(Wire.req_prio pd.pd_req) pd.pd_req
               in
-              attempt (n + 1) (min (deadline * 2) (rt.rt_base * 64)) future span
+              attempt (n + 1) next_deadline future span
             end
       in
       attempt 0 rt.rt_base pd.pd_future pd.pd_span
@@ -368,7 +533,8 @@ let rpc_deferred t srv ~what ?ino req =
     t.rpc_count <- t.rpc_count + 1;
     let meta = alloc_meta t req in
     let future, span =
-      Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta req
+      Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta
+        ~prio:(Wire.req_prio req) req
     in
     Queue.push
       { pd_srv = srv; pd_req = req; pd_meta = meta; pd_future = future;
@@ -472,7 +638,8 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         t.rpc_count <- t.rpc_count + 1;
         let meta = alloc_meta t req in
         let future, span =
-          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta req
+          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta
+            ~prio:(Wire.req_prio req) req
         in
         Queue.push
           ( i,

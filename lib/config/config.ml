@@ -21,6 +21,13 @@ type t = {
   rpc_deadline : int;
   rpc_retries : int;
   partial_broadcast : bool;
+  mailbox_capacity : int;
+  deadline_propagation : bool;
+  rpc_deadline_max : int;
+  retry_budget : int;
+  breaker_threshold : int;
+  breaker_cooldown : int;
+  shed_watermark : int;
   rpc_window : int;
   batch_max : int;
   alloc_extent : int;
@@ -57,6 +64,17 @@ let default =
     rpc_deadline = 0;
     rpc_retries = 12;
     partial_broadcast = true;
+    (* Overload-control knobs all off: unbounded mailboxes, no deadline
+       on the wire, retry-deadline cap at the legacy 64x, unlimited
+       retries, breakers and load shedding disabled — the exact paper
+       behaviour, cycle for cycle. *)
+    mailbox_capacity = 0;
+    deadline_propagation = false;
+    rpc_deadline_max = 0;
+    retry_budget = 0;
+    breaker_threshold = 0;
+    breaker_cooldown = 200_000;
+    shed_watermark = 0;
     (* Pipelining/batching/extent knobs at 1 = the paper's strictly
        synchronous one-request-per-message behaviour. *)
     rpc_window = 1;
@@ -93,6 +111,27 @@ let validate t =
   else if t.rpc_retries <= 0 then Error "rpc_retries must be positive"
   else if t.fault_plan <> "" && t.rpc_deadline = 0 then
     Error "a fault plan requires rpc_deadline > 0 (clients must retry)"
+  else if t.mailbox_capacity < 0 then
+    Error "mailbox_capacity must be non-negative (0 = unbounded)"
+  else if t.rpc_deadline_max < 0 then
+    Error "rpc_deadline_max must be non-negative (0 = 64x rpc_deadline)"
+  else if t.rpc_deadline_max > 0 && t.rpc_deadline_max < t.rpc_deadline then
+    Error "rpc_deadline_max must be at least rpc_deadline"
+  else if t.retry_budget < 0 then
+    Error "retry_budget must be non-negative (0 = unlimited)"
+  else if t.breaker_threshold < 0 then
+    Error "breaker_threshold must be non-negative (0 = breakers off)"
+  else if t.breaker_threshold > 0 && t.breaker_cooldown <= 0 then
+    Error "breaker_cooldown must be positive when breakers are enabled"
+  else if t.shed_watermark < 0 then
+    Error "shed_watermark must be non-negative (0 = shedding off)"
+  else if t.deadline_propagation && t.rpc_deadline = 0 then
+    Error "deadline_propagation requires rpc_deadline > 0"
+  else if (t.retry_budget > 0 || t.breaker_threshold > 0) && t.rpc_deadline = 0
+  then
+    Error
+      "retry budgets and circuit breakers require rpc_deadline > 0 (they act \
+       on retry decisions)"
   else if t.rpc_window < 1 then Error "rpc_window must be at least 1"
   else if t.batch_max < 1 then Error "batch_max must be at least 1"
   else if t.alloc_extent < 1 then Error "alloc_extent must be at least 1"

@@ -61,6 +61,47 @@ type t = {
       (** when a broadcast op (readdir) cannot reach a server, return the
           surviving servers' entries ([true], default) or raise [EIO]
           ([false]). *)
+  (* {e extension}: overload control and graceful degradation (PR 6).
+     Every knob defaults to "off", reproducing the paper's behaviour
+     bit-identically. *)
+  mailbox_capacity : int;
+      (** bound on each file server's request mailbox, in messages.
+          Senders wait for a credit (queue slot) before their message is
+          admitted, so a saturated server exerts backpressure instead of
+          growing its queue without bound. [0] (default) = unbounded,
+          the paper's behaviour. *)
+  deadline_propagation : bool;
+      (** carry the client's remaining deadline on the RPC envelope;
+          servers drop requests that have already expired before paying
+          their dispatch and handler costs (counted as shed work). Off
+          by default; requires [rpc_deadline > 0]. *)
+  rpc_deadline_max : int;
+      (** explicit cap on the per-attempt retry deadline growth (the
+          deadline doubles each retry). [0] (default) keeps the legacy
+          cap of [64 * rpc_deadline]. *)
+  retry_budget : int;
+      (** per-(client, server) retry token bucket: each retransmission
+          spends a token, every 10 successful calls to that server earn
+          one back (up to the bucket size), and an empty bucket turns
+          the retry into an immediate [EIO] give-up — so retries cannot
+          amplify an overload. [0] (default) = unlimited retries within
+          [rpc_retries], the paper's behaviour. *)
+  breaker_threshold : int;
+      (** per-(client, server) circuit breaker: after this many
+          consecutive RPC give-ups the breaker opens and calls to that
+          server fast-fail with [EIO] (no message sent) until
+          [breaker_cooldown] cycles pass; the next call is a half-open
+          probe that closes the breaker on success or re-opens it on
+          failure. [0] (default) disables breakers. *)
+  breaker_cooldown : int;
+      (** cycles an open breaker waits before admitting a probe. *)
+  shed_watermark : int;
+      (** server-side priority load shedding: with more than this many
+          requests still queued, background-class requests (unlink
+          inode reclaim, block stealing) are answered [EBUSY] without
+          execution; above twice the watermark, data-class requests
+          (read/write/alloc) are shed too. Metadata requests are never
+          shed. [0] (default) disables shedding. *)
   (* {e extension}: asynchronous RPC pipeline (PR 2). All three knobs
      default to 1, which reproduces the paper's strictly synchronous
      one-request-per-message protocol bit-identically. *)

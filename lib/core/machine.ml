@@ -267,11 +267,17 @@ let robustness t =
   Array.iter
     (fun c -> Hare_stats.Robust.merge ~into:acc (Client.robust c))
     t.clients;
-  (* Dircache flushes are counted at the cache, not in a Robust record. *)
+  (* Dircache flushes are counted at the cache, not in a Robust record;
+     likewise credit-blocked sends are counted at the server endpoint
+     (the mailbox cannot see a Robust record). *)
   acc.Hare_stats.Robust.cache_flushes <-
     Array.fold_left
       (fun n c -> n + Hare_client.Dircache.flushes (Client.dircache c))
       0 t.clients;
+  acc.Hare_stats.Robust.flow_blocks <-
+    Array.fold_left
+      (fun n s -> n + Hare_msg.Rpc.flow_blocked (Server.endpoint s))
+      0 t.servers;
   acc
 
 let perf t =
@@ -290,7 +296,15 @@ let check t = Engine.checker t.engine
 
 let reset_perf t =
   Array.iter (fun s -> Hare_stats.Perf.reset (Server.perf s)) t.servers;
-  Array.iter (fun c -> Hare_stats.Perf.reset (Client.perf c)) t.clients
+  Array.iter (fun c -> Hare_stats.Perf.reset (Client.perf c)) t.clients;
+  (* Robustness counters reset alongside, so a timed region reports only
+     its own sheds/retries/breaker activity. *)
+  Array.iter (fun s -> Hare_stats.Robust.reset (Server.robust s)) t.servers;
+  Array.iter (fun c -> Hare_stats.Robust.reset (Client.robust c)) t.clients;
+  Array.iter (fun s -> Hare_msg.Rpc.reset_flow (Server.endpoint s)) t.servers;
+  match t.injector with
+  | Some inj -> Hare_stats.Robust.reset (Hare_fault.Injector.stats inj)
+  | None -> ()
 
 let utilization t =
   let elapsed = Int64.to_float (max 1L (now t)) in

@@ -93,8 +93,10 @@ val check : t -> Hare_check.Check.t option
     checking on or off. *)
 
 val reset_perf : t -> unit
-(** Zero every server's and client's {!Hare_stats.Perf} counters, so a
-    subsequent timed region reports only its own activity. *)
+(** Zero every server's and client's {!Hare_stats.Perf} and
+    {!Hare_stats.Robust} counters (including the fault injector's and
+    the endpoints' credit-block counts), so a subsequent timed region
+    reports only its own activity. *)
 
 val utilization : t -> (int * float) list
 (** Per-core busy fraction (busy cycles / elapsed cycles) — how evenly

@@ -101,6 +101,13 @@ let setenv (p : P.t) name value =
 
 let compute (p : P.t) cycles = Core_res.compute (P.core p) cycles
 
+let now_cycles (p : P.t) = Engine.now (Core_res.engine (P.core p))
+
+(* Open-loop pacing: idle (blocked, not computing) until [target]. *)
+let sleep_until (p : P.t) target =
+  let dt = Int64.sub target (now_cycles p) in
+  if dt > 0L then Engine.sleep dt
+
 let print p s = ignore (write p 1 s)
 
 let fork (p : P.t) child_body =

@@ -103,6 +103,13 @@ val compute : P.t -> int -> unit
 (** Burn CPU cycles on the process's core (models application compute,
     e.g. compilation or decompression work). *)
 
+val now_cycles : P.t -> int64
+(** Current simulated clock. *)
+
+val sleep_until : P.t -> int64 -> unit
+(** Idle (blocked, not computing) until the given instant; returns
+    immediately if it is already past. Open-loop workload pacing. *)
+
 val print : P.t -> string -> unit
 (** Write to fd 1. *)
 

@@ -12,7 +12,38 @@ type result = {
   throughput : float;
   syscalls : Hare_stats.Opcount.t;
   profile : Hare_trace.Trace.row list;
+  latencies : (string * Hare_stats.Latency.dist) list;
+  robust : Hare_stats.Robust.t;
 }
+
+(* Per-class latency distributions of the root syscall spans that began
+   at or after [since] (cycles). Shared with hare_cli's overload report;
+   spans still open when the trace was read are not in the ring, so only
+   completed requests contribute. *)
+let latencies_of_trace ?(since = 0L) tr =
+  let module Trace = Hare_trace.Trace in
+  let buckets = Hashtbl.create 4 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev with
+      | Trace.Span { parent = 0; name; t0; t1; _ } when t0 >= since -> (
+          match Hare_stats.Latency.class_of_op name with
+          | Some cls ->
+              let prev =
+                match Hashtbl.find_opt buckets cls with
+                | Some ds -> ds
+                | None -> []
+              in
+              Hashtbl.replace buckets cls (Int64.sub t1 t0 :: prev)
+          | None -> ())
+      | _ -> ())
+    (Trace.events tr);
+  List.filter_map
+    (fun cls ->
+      match Hashtbl.find_opt buckets cls with
+      | Some ds -> Some (cls, Hare_stats.Latency.of_durations ds)
+      | None -> None)
+    Hare_stats.Latency.class_names
 
 let default_config ~ncores =
   {
@@ -100,5 +131,20 @@ module Make (W : World.WORLD) = struct
         (match W.trace w with
         | Some tr -> Hare_trace.Trace.profile tr
         | None -> []);
+      latencies =
+        (match W.trace w with
+        | Some tr ->
+            (* Only spans of the timed region: convert its start from
+               seconds back to the cycle clock the spans carry. *)
+            let cycles_per_s =
+              float_of_int
+                config.Config.costs.Hare_config.Costs.cycles_per_us
+              *. 1e6
+            in
+            latencies_of_trace
+              ~since:(Int64.of_float ((!t0 *. cycles_per_s) +. 0.5))
+              tr
+        | None -> []);
+      robust = W.robustness w;
     }
 end

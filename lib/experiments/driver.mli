@@ -20,7 +20,22 @@ type result = {
       (** Per-opcode cycle attribution of the timed region (sorted by
           total cycles, descending). Empty unless the world was booted
           with [trace_enabled]. *)
+  latencies : (string * Hare_stats.Latency.dist) list;
+      (** Per-priority-class (meta/data/background) latency percentiles
+          of the timed region's completed syscalls, from the trace
+          spans. Empty unless the world was booted with
+          [trace_enabled]. *)
+  robust : Hare_stats.Robust.t;
+      (** Fault/overload counters of the timed region (reset alongside
+          the perf counters; all zero for the Linux baseline). *)
 }
+
+val latencies_of_trace :
+  ?since:int64 ->
+  Hare_trace.Trace.t ->
+  (string * Hare_stats.Latency.dist) list
+(** Per-class latency distributions of the root syscall spans beginning
+    at or after [since] (cycles); classes with no samples are omitted. *)
 
 val default_config : ncores:int -> Hare_config.Config.t
 (** The experiments' standard configuration: [ncores] cores, a scaled

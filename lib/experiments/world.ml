@@ -30,6 +30,10 @@ module type WORLD = sig
   val reset_perf : world -> unit
   (** Zero the world's pipelining/batching counters (no-op for worlds
       without them), so a timed region reports only its own activity. *)
+
+  val robustness : world -> Hare_stats.Robust.t
+  (** Aggregate fault/overload counters (always zero for the Linux
+      baseline, which has neither). *)
 end
 
 module Hare_w = struct
@@ -77,6 +81,8 @@ module Hare_w = struct
       random = (fun p bound -> Hare_sim.Rng.int p.P.prng bound);
       print = Posix.print;
       core_of = (fun p -> p.P.core_id);
+      now_cycles = Posix.now_cycles;
+      sleep_until = Posix.sleep_until;
     }
 
   let spawn_init m ~name body =
@@ -94,6 +100,8 @@ module Hare_w = struct
   let trace = M.trace
 
   let reset_perf = M.reset_perf
+
+  let robustness = M.robustness
 end
 
 module Linux_w = struct
@@ -122,6 +130,8 @@ module Linux_w = struct
   let trace _ = None
 
   let reset_perf _ = ()
+
+  let robustness _ = Hare_stats.Robust.create ()
 end
 
 let unfs_config (base : Config.t) =

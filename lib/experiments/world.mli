@@ -34,6 +34,10 @@ module type WORLD = sig
   val reset_perf : world -> unit
   (** Zero the world's pipelining/batching counters (no-op for worlds
       without them), so a timed region reports only its own activity. *)
+
+  val robustness : world -> Hare_stats.Robust.t
+  (** Aggregate fault/overload counters (always zero for the Linux
+      baseline, which has neither). *)
 end
 
 module Hare_w : WORLD with type world = Hare.Machine.t and type proc = Hare_proc.Process.t

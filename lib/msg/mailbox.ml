@@ -12,17 +12,23 @@ type 'a t = {
       (* sanitizer stamp-FIFO id mirroring [queue]; -1 = checking off *)
   mutable sent : int;
   mutable received : int;
+  mutable flow_blocked : int;
+      (* sends that had to wait for a credit (bounded mailbox full) *)
 }
 
-let create ?name ?faults ~owner ~costs () =
+let create ?name ?capacity ?faults ~owner ~costs () =
   let chan =
     match Engine.checker (Core_res.engine owner) with
     | Some chk -> Check.new_chan chk
     | None -> -1
   in
+  (match capacity with
+  | Some c when c <= 0 ->
+      invalid_arg "Mailbox.create: capacity must be positive"
+  | _ -> ());
   let t =
     {
-      queue = Bqueue.create ();
+      queue = Bqueue.create ?capacity ();
       owner;
       costs;
       faults;
@@ -30,6 +36,7 @@ let create ?name ?faults ~owner ~costs () =
       chan;
       sent = 0;
       received = 0;
+      flow_blocked = 0;
     }
   in
   (match name with
@@ -75,8 +82,12 @@ let fault_instant t verdict ~span =
         ~args:(if span <> 0 then [ ("span", string_of_int span) ] else [])
         ()
 
+(* Admission (the credit) was secured in {!send}; the enqueue itself
+   never blocks, so it is safe inside the fault injector's scheduler
+   callbacks, and a duplicate verdict's second copy rides the same
+   credit (bounded overshoot, like a retransmission on a real wire). *)
 let enqueue t ?stamp msg =
-  Bqueue.push t.queue msg;
+  Bqueue.push_overflow t.queue msg;
   (match stamp with
   | Some s when t.chan >= 0 -> (
       match checker t with
@@ -108,6 +119,25 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
       Trace.set_pending tr ~fid:(Engine.fiber_id (Engine.self ())) [ (Trace.Send, cost) ]
   | None -> ());
   Core_res.compute from cost;
+  (* Credit-based flow control (PR 6): a bounded mailbox admits a
+     message only when a queue slot is free. The sender parks here, at
+     send time, until the owner drains — backpressure instead of
+     unbounded queue growth. Unbounded mailboxes (the default) never
+     enter this branch. *)
+  if Bqueue.is_full t.queue then begin
+    t.flow_blocked <- t.flow_blocked + 1;
+    (match sink t with
+    | Some tr ->
+        Trace.instant tr ~name:"flow-block" ~track:(Core_res.id from)
+          ~ts:(Engine.now (Core_res.engine from))
+          ~args:
+            (match t.name with
+            | Some n -> [ ("mailbox", n) ]
+            | None -> [])
+          ()
+    | None -> ());
+    Bqueue.wait_not_full t.queue
+  end;
   match t.faults with
   | None ->
       (* Atomic delivery: the enqueue happens before send returns. *)
@@ -210,5 +240,9 @@ let drain t =
 let pending t = Bqueue.length t.queue
 
 let sent t = t.sent
+
+let flow_blocked t = t.flow_blocked
+
+let reset_flow t = t.flow_blocked <- 0
 
 let received t = t.received

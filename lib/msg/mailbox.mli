@@ -14,14 +14,19 @@ type 'a t
 
 val create :
   ?name:string ->
+  ?capacity:int ->
   ?faults:Hare_fault.Injector.link ->
   owner:Hare_sim.Core_res.t ->
   costs:Hare_config.Costs.t ->
   unit ->
   'a t
 (** [name], when given, registers the queue depth as an engine probe so
-    deadlock reports can show where messages piled up. [faults] attaches
-    an injector link: sends then route through the injector's dice. *)
+    deadlock reports can show where messages piled up. [capacity]
+    bounds the queue: senders wait for a free slot (a credit) before
+    their message is admitted — backpressure instead of unbounded
+    growth; omitted = unbounded, the paper's behaviour. [faults]
+    attaches an injector link: sends then route through the injector's
+    dice. *)
 
 val owner : 'a t -> Hare_sim.Core_res.t
 
@@ -79,5 +84,12 @@ val drain : 'a t -> 'a list
 val pending : 'a t -> int
 
 val sent : 'a t -> int
+
+val flow_blocked : 'a t -> int
+(** Sends that had to wait for a credit because the bounded queue was
+    full; always 0 for unbounded mailboxes. *)
+
+val reset_flow : 'a t -> unit
+(** Zero {!flow_blocked} (per-driver-run stats hygiene). *)
 
 val received : 'a t -> int

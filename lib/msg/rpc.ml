@@ -9,6 +9,8 @@ type ('req, 'resp) envelope = {
   reply_ivar : 'resp Ivar.t;
   meta : meta option;
   span : int; (* requesting trace span; 0 = untraced *)
+  deadline : int64; (* absolute expiry on the simulated clock; 0 = none *)
+  prio : int; (* shed class: 0 metadata, 1 data, 2 background *)
 }
 
 type ('req, 'resp) t = {
@@ -16,8 +18,8 @@ type ('req, 'resp) t = {
   costs : Hare_config.Costs.t;
 }
 
-let endpoint ?name ?faults ~owner ~costs () =
-  { mailbox = Mailbox.create ?name ?faults ~owner ~costs (); costs }
+let endpoint ?name ?capacity ?faults ~owner ~costs () =
+  { mailbox = Mailbox.create ?name ?capacity ?faults ~owner ~costs (); costs }
 
 let owner t = Mailbox.owner t.mailbox
 
@@ -37,7 +39,8 @@ let note_reply ~from future =
       | None -> ())
   | None -> ()
 
-let call_async_sp t ~from ?payload_lines ?meta req =
+let call_async_sp t ~from ?payload_lines ?meta ?(abs_deadline = 0L)
+    ?(prio = 0) req =
   (* Allocate a span id so the server-side work for this request can be
      tied back to the caller's open syscall span. *)
   let span = match sink from with Some tr -> Trace.next_span tr | None -> 0 in
@@ -46,7 +49,7 @@ let call_async_sp t ~from ?payload_lines ?meta req =
      injector; everything else keeps the atomic-delivery guarantee. *)
   let unreliable = meta <> None in
   Mailbox.send t.mailbox ~from ?payload_lines ~unreliable ~span
-    { body = req; reply_ivar = reply; meta; span };
+    { body = req; reply_ivar = reply; meta; span; deadline = abs_deadline; prio };
   (reply, span)
 
 let call_async t ~from ?payload_lines ?meta req =
@@ -100,8 +103,11 @@ let call t ~from ?payload_lines req =
   let future, span = call_async_sp t ~from ?payload_lines req in
   await ~from ~costs:t.costs ~span future
 
-let call_deadline t ~engine ~from ?payload_lines ~meta ~deadline req =
-  let future, span = call_async_sp t ~from ?payload_lines ~meta req in
+let call_deadline t ~engine ~from ?payload_lines ~meta ~deadline
+    ?abs_deadline ?prio req =
+  let future, span =
+    call_async_sp t ~from ?payload_lines ~meta ?abs_deadline ?prio req
+  in
   await_deadline ~engine ~from ~costs:t.costs ~deadline ~span future
 
 let reply_fn t env ?(payload_lines = 0) resp =
@@ -134,7 +140,9 @@ let recv_full t =
   ( env.body,
     (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
     env.meta,
-    env.span )
+    env.span,
+    env.deadline,
+    env.prio )
 
 let recv_batch_full t ~max =
   Mailbox.recv_many t.mailbox ~max
@@ -142,12 +150,14 @@ let recv_batch_full t ~max =
          ( env.body,
            (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
            env.meta,
-           env.span ))
+           env.span,
+           env.deadline,
+           env.prio ))
 
 let charge_recv t = Mailbox.charge_recv t.mailbox
 
 let recv t =
-  let req, reply, _meta, _span = recv_full t in
+  let req, reply, _meta, _span, _deadline, _prio = recv_full t in
   (req, reply)
 
 let poll t =
@@ -163,6 +173,12 @@ let drain_pending t =
          ( env.body,
            (fun ?payload_lines resp -> reply_fn t env ?payload_lines resp),
            env.meta,
-           env.span ))
+           env.span,
+           env.deadline,
+           env.prio ))
 
 let pending t = Mailbox.pending t.mailbox
+
+let flow_blocked t = Mailbox.flow_blocked t.mailbox
+
+let reset_flow t = Mailbox.reset_flow t.mailbox

@@ -21,12 +21,15 @@ type ('req, 'resp) t
 
 val endpoint :
   ?name:string ->
+  ?capacity:int ->
   ?faults:Hare_fault.Injector.link ->
   owner:Hare_sim.Core_res.t ->
   costs:Hare_config.Costs.t ->
   unit ->
   ('req, 'resp) t
-(** [name]/[faults] are forwarded to the underlying {!Mailbox.create}. *)
+(** [name]/[capacity]/[faults] are forwarded to the underlying
+    {!Mailbox.create}; a bounded endpoint makes callers wait for a
+    queue credit before their request is admitted. *)
 
 val owner : ('req, 'resp) t -> Hare_sim.Core_res.t
 
@@ -41,7 +44,9 @@ val call :
 (** [call_deadline t ~engine ~from ~meta ~deadline req] sends [req] with
     an idempotency tag and waits at most [deadline] cycles for the reply.
     A late response still fills the future; it is simply no longer
-    observed by this call. *)
+    observed by this call. [abs_deadline]/[prio] ride the request
+    envelope (deadline propagation and shed class, PR 6); defaults 0 =
+    never shed, metadata class. *)
 val call_deadline :
   ('req, 'resp) t ->
   engine:Hare_sim.Engine.t ->
@@ -49,6 +54,8 @@ val call_deadline :
   ?payload_lines:int ->
   meta:meta ->
   deadline:int64 ->
+  ?abs_deadline:int64 ->
+  ?prio:int ->
   'req ->
   ('resp, [> `Timeout ]) result
 
@@ -66,12 +73,15 @@ val call_async :
 (** Like {!call_async} but also returns the request's trace span id (0
     when tracing is off). Pass it to {!await} so the time this fiber
     later spends blocked on the reply is attributed from the server-side
-    breakdown recorded for that request. *)
+    breakdown recorded for that request. [abs_deadline]/[prio] ride the
+    envelope as in {!call_deadline}. *)
 val call_async_sp :
   ('req, 'resp) t ->
   from:Hare_sim.Core_res.t ->
   ?payload_lines:int ->
   ?meta:meta ->
+  ?abs_deadline:int64 ->
+  ?prio:int ->
   'req ->
   'resp Hare_sim.Ivar.t * int
 
@@ -111,11 +121,17 @@ val await_deadline :
     duplicated copy of an already-answered tagged request is a no-op. *)
 val recv : ('req, 'resp) t -> 'req * (?payload_lines:int -> 'resp -> unit)
 
-(** Like {!recv} but also exposes the request's idempotency tag and trace
-    span id (0 when the caller was untraced). *)
+(** Like {!recv} but also exposes the request's idempotency tag, trace
+    span id (0 when the caller was untraced), absolute deadline (0 =
+    none) and shed-priority class. *)
 val recv_full :
   ('req, 'resp) t ->
-  'req * (?payload_lines:int -> 'resp -> unit) * meta option * int
+  'req
+  * (?payload_lines:int -> 'resp -> unit)
+  * meta option
+  * int
+  * int64
+  * int
 
 (** [recv_batch_full t ~max] blocks for the first request, then drains up
     to [max - 1] already-queued requests in arrival order (see
@@ -126,7 +142,13 @@ val recv_full :
 val recv_batch_full :
   ('req, 'resp) t ->
   max:int ->
-  ('req * (?payload_lines:int -> 'resp -> unit) * meta option * int) list
+  ('req
+  * (?payload_lines:int -> 'resp -> unit)
+  * meta option
+  * int
+  * int64
+  * int)
+  list
 
 (** [charge_recv t] charges the already-delivered receive cost to the
     endpoint's owner; for the messages of {!recv_batch_full} past the
@@ -142,6 +164,18 @@ val poll :
     handling uses this to abort everything in flight. *)
 val drain_pending :
   ('req, 'resp) t ->
-  ('req * (?payload_lines:int -> 'resp -> unit) * meta option * int) list
+  ('req
+  * (?payload_lines:int -> 'resp -> unit)
+  * meta option
+  * int
+  * int64
+  * int)
+  list
 
 val pending : ('req, 'resp) t -> int
+
+val flow_blocked : ('req, 'resp) t -> int
+(** Requests whose senders waited for a mailbox credit (bounded
+    endpoints only). *)
+
+val reset_flow : ('req, 'resp) t -> unit

@@ -145,6 +145,18 @@ let req_name = function
   | Pipe_write _ -> "PIPE_WRITE"
   | Steal_blocks _ -> "STEAL_BLOCKS"
 
+(* Overload priority class: metadata RPCs (0) are never shed, data RPCs
+   (1) move bulk bytes, background RPCs (2) are deferrable housekeeping.
+   Rides the RPC envelope so a loaded server can shed by class. *)
+let req_prio : fs_req -> int = function
+  | Read_fd _ | Write_fd _ | Alloc_blocks _ | Get_blocks _ | Update_size _
+  | Pipe_read _ | Pipe_write _ ->
+      1
+  | Unlink_ino _ | Steal_blocks _ -> 2
+  | _ -> 0
+
+let prio_name = function 0 -> "meta" | 1 -> "data" | _ -> "background"
+
 (* Compact request arguments for trace spans: enough to identify the
    object an op touched without dumping payloads. *)
 let req_args req =

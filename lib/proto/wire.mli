@@ -162,3 +162,10 @@ val req_name : fs_req -> string
 val req_args : fs_req -> (string * string) list
 (** Compact key/value identification of the request's target (inode,
     directory entry, payload length) for trace-span annotation. *)
+
+val req_prio : fs_req -> int
+(** Overload priority class: 0 = metadata (never shed), 1 = data,
+    2 = background (shed first above the watermark). *)
+
+val prio_name : int -> string
+(** ["meta"], ["data"] or ["background"]. *)

@@ -60,7 +60,9 @@ let start t =
   let module Trace = Hare_trace.Trace in
   let engine = t.kctx.Process.k_engine in
   let rec loop () =
-    let req, reply, _meta, span = Hare_msg.Rpc.recv_full t.endpoint in
+    let req, reply, _meta, span, _deadline, _prio =
+      Hare_msg.Rpc.recv_full t.endpoint
+    in
     let tr_opened =
       match Engine.sink engine with
       | Some tr ->

@@ -72,7 +72,8 @@ type t = {
   mutable down : bool;
   (* reliable messages that arrived while down; served after restart *)
   boot_queue :
-    (Wire.fs_req * reply * Hare_msg.Rpc.meta option * int) Queue.t;
+    (Wire.fs_req * reply * Hare_msg.Rpc.meta option * int * int64 * int)
+    Queue.t;
   dedup : (int, (int, dedup_entry) Hashtbl.t) Hashtbl.t;
   robust : Hare_stats.Robust.t;
   (* block stealing (extension) *)
@@ -100,6 +101,10 @@ let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
     endpoint =
       Hare_msg.Rpc.endpoint
         ~name:(Printf.sprintf "fs%d" sid)
+        ?capacity:
+          (if config.Hare_config.Config.mailbox_capacity > 0 then
+             Some config.Hare_config.Config.mailbox_capacity
+           else None)
         ?faults ~owner:core ~costs:config.Hare_config.Config.costs ();
     inodes = Hashtbl.create 1024;
     next_lid = 1;
@@ -1104,7 +1109,8 @@ let crash t =
        (reliable, non-retryable) requests get EIO so their callers
        unblock. *)
     List.iter
-      (fun ((_ : Wire.fs_req), reply, meta, (_ : int)) ->
+      (fun ((_ : Wire.fs_req), reply, meta, (_ : int), (_ : int64), (_ : int))
+           ->
         match meta with Some _ -> incr aborted | None -> abort reply)
       (Hare_msg.Rpc.drain_pending t.endpoint);
     (* Parked continuations are volatile: error them all out. *)
@@ -1195,16 +1201,62 @@ let restart t =
     (* Serve the reliable requests that queued up while we were down. *)
     let parked = List.of_seq (Queue.to_seq t.boot_queue) in
     Queue.clear t.boot_queue;
-    List.iter (fun (req, reply, meta, span) -> process ~span t req reply meta) parked
+    List.iter
+      (fun (req, reply, meta, span, (_ : int64), (_ : int)) ->
+        process ~span t req reply meta)
+      parked
   end
 
 let start t =
   let batch_max = max 1 t.config.Hare_config.Config.batch_max in
-  let serve ~dispatch (req, reply, meta, span) =
+  let wm = t.config.Hare_config.Config.shed_watermark in
+  let shed_instant name req =
+    match Engine.sink t.engine with
+    | Some tr ->
+        Trace.instant tr ~name ~track:(Core_res.id t.core)
+          ~ts:(Engine.now t.engine)
+          ~args:[ ("op", Wire.req_name req) ]
+          ()
+    | None -> ()
+  in
+  let serve ~dispatch (req, reply, meta, span, deadline, prio) =
     if t.down then
       (* The process is gone; only reliable sends still land here (the
          injector blackholes unreliable ones). Hold them for reboot. *)
-      Queue.push (req, reply, meta, span) t.boot_queue
+      Queue.push (req, reply, meta, span, deadline, prio) t.boot_queue
+    else if
+      (* Class shed first: a categorical EBUSY tells the client to back
+         off now, whereas an expiry drop costs it a full timeout — so
+         above the watermark the deferrable classes (background first,
+         then data; metadata never) are pushed back even if the copy has
+         also expired. The verdict is cached in the dedup table so
+         duplicate copies replay EBUSY rather than executing the
+         operation invisibly. *)
+      wm > 0 && meta <> None && prio > 0
+      && (let depth = Hare_msg.Rpc.pending t.endpoint in
+          (prio >= 2 && depth > wm) || (prio >= 1 && depth > 2 * wm))
+    then begin
+      ignore dispatch;
+      t.robust.shed_load <- t.robust.shed_load + 1;
+      shed_instant "shed-load" req;
+      Core_res.compute t.core t.costs.server_dispatch;
+      (match meta with
+      | Some m ->
+          Hashtbl.replace (dedup_table t m.m_client) m.m_seq
+            (Done (Error Errno.EBUSY))
+      | None -> ());
+      reply (Error Errno.EBUSY)
+    end
+    else if deadline > 0L && meta <> None && Engine.now t.engine > deadline
+    then begin
+      (* Already expired: the client's RPC deadline fired before we got
+         here, so a retransmission (with a fresh deadline) is already on
+         its way. Serving this copy would be wasted work — drop it
+         without replying, charging only the envelope examination. *)
+      t.robust.shed_expired <- t.robust.shed_expired + 1;
+      shed_instant "shed-expired" req;
+      Core_res.compute t.core t.costs.server_dispatch
+    end
     else process ~dispatch ~span t req reply meta
   in
   let loop () =

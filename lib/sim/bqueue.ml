@@ -35,6 +35,21 @@ let rec push t v =
     Condition.signal t.not_empty
   end
 
+(* Admission was granted elsewhere (a delayed delivery whose sender
+   already waited for its credit): append even past capacity. Must never
+   block — it runs inside scheduler callbacks. *)
+let push_overflow t v =
+  Queue.push v t.items;
+  Condition.signal t.not_empty
+
+(* Park until a slot is free, without enqueueing — senders that must
+   secure admission now but materialize the message later. *)
+let rec wait_not_full t =
+  if is_full t then begin
+    Condition.wait t.not_full;
+    wait_not_full t
+  end
+
 let push_nonblocking t v =
   if is_full t then false
   else begin

@@ -14,6 +14,20 @@ val push : 'a t -> 'a -> unit
 (** [push_nonblocking t v] appends [v]; returns [false] if full. *)
 val push_nonblocking : 'a t -> 'a -> bool
 
+(** [push_overflow t v] appends [v] even past capacity, never blocking —
+    for deliveries whose admission credit was granted at send time but
+    which materialize later (fault-injector delays) inside scheduler
+    callbacks that must not suspend. *)
+val push_overflow : 'a t -> 'a -> unit
+
+(** [is_full t] is [false] for unbounded queues. *)
+val is_full : 'a t -> bool
+
+(** [wait_not_full t] blocks the calling fiber until the queue has a
+    free slot (returns immediately for unbounded queues). Pairs with
+    {!push_overflow}: secure admission now, enqueue later. *)
+val wait_not_full : 'a t -> unit
+
 (** [pop t] removes and returns the oldest element, blocking while empty. *)
 val pop : 'a t -> 'a
 

@@ -1,0 +1,50 @@
+(* Latency percentile summaries over span durations (PR 6).
+
+   Pure arithmetic: callers (the driver, hare_cli) walk the trace ring
+   themselves and hand in cycle durations; this module only sorts and
+   picks nearest-rank percentiles, so it stays dependency-free. *)
+
+type dist = {
+  n : int;
+  p50 : int64;
+  p95 : int64;
+  p99 : int64;
+  lmax : int64;
+}
+
+let empty = { n = 0; p50 = 0L; p95 = 0L; p99 = 0L; lmax = 0L }
+
+(* Nearest-rank percentile of a sorted array: the smallest value such
+   that at least q% of samples are <= it. *)
+let rank n q =
+  let r = int_of_float (ceil (float_of_int n *. q /. 100.)) in
+  max 0 (min (n - 1) (r - 1))
+
+let of_durations ds =
+  match ds with
+  | [] -> empty
+  | _ ->
+      let a = Array.of_list ds in
+      Array.sort Int64.compare a;
+      let n = Array.length a in
+      {
+        n;
+        p50 = a.(rank n 50.);
+        p95 = a.(rank n 95.);
+        p99 = a.(rank n 99.);
+        lmax = a.(n - 1);
+      }
+
+(* Syscall op name (a client-side root span) -> overload priority class.
+   The classes mirror the server-side shed classes: metadata RPCs are
+   never shed, data moves bulk bytes, background is deferrable
+   housekeeping. *)
+let class_of_op = function
+  | "read" | "write" | "lseek" | "fsync" | "ftruncate" -> Some "data"
+  | "open" | "close" | "stat" | "fstat" | "mkdir" | "rmdir" | "readdir"
+  | "rename" | "dup" | "dup2" | "pipe" | "fork" ->
+      Some "meta"
+  | "unlink" -> Some "background"
+  | _ -> None
+
+let class_names = [ "meta"; "data"; "background" ]

@@ -1,0 +1,28 @@
+(** Latency percentile summaries over span durations (PR 6).
+
+    Callers walk the trace ring and hand in per-request cycle durations;
+    {!of_durations} summarizes them with nearest-rank percentiles.
+    {!class_of_op} maps a client syscall span name to its overload
+    priority class (metadata / data / background), matching the
+    server-side shed classes. *)
+
+type dist = {
+  n : int;  (** sample count *)
+  p50 : int64;
+  p95 : int64;
+  p99 : int64;
+  lmax : int64;  (** worst sample *)
+}
+
+val empty : dist
+
+val of_durations : int64 list -> dist
+(** Nearest-rank percentiles of the given cycle durations ({!empty} for
+    the empty list). *)
+
+val class_of_op : string -> string option
+(** Priority class of a client syscall span name, or [None] for spans
+    that are not client syscalls. *)
+
+val class_names : string list
+(** Display order: meta, data, background. *)

@@ -21,9 +21,22 @@ type t = {
   mutable cache_flushes : int;  (** dircache full flushes on reconnect *)
   mutable partial_broadcasts : int;  (** broadcasts that skipped a server *)
   mutable blocks_rebuilt : int;  (** free blocks recovered on restart *)
+  (* overload control (PR 6); all zero when the knobs are off *)
+  mutable flow_blocks : int;  (** sends that waited for a mailbox credit *)
+  mutable shed_expired : int;  (** requests dropped as already expired *)
+  mutable shed_load : int;  (** requests answered EBUSY above watermark *)
+  mutable fast_fails : int;  (** RPCs fast-failed by an open breaker *)
+  mutable budget_denied : int;  (** retries denied by an empty token bucket *)
+  mutable breaker_opens : int;  (** closed/half-open -> open transitions *)
+  mutable breaker_half_opens : int;  (** open -> half-open (probe admitted) *)
+  mutable breaker_closes : int;  (** half-open -> closed (probe succeeded) *)
 }
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Zero every counter, so a timed region reports only its own activity
+    (the [Perf.reset] pattern; called per driver run). *)
 
 val merge : into:t -> t -> unit
 (** [merge ~into src] adds every counter of [src] into [into]. *)

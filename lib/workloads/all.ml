@@ -13,6 +13,7 @@ let specs : Spec.t list =
     Mailbench.spec;
     Fsstress.spec;
     Build_linux.spec;
+    Overload.spec;
   ]
 
 let find name = List.find (fun (s : Spec.t) -> s.Spec.name = name) specs

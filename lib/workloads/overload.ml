@@ -1,0 +1,105 @@
+(* overload: an open-loop arrival process for exercising the PR-6
+   overload-control plane. Each worker issues a paced stream of small
+   mail-style operations — deliver (create/write/close), read back, stat,
+   unlink — with seeded-jittered inter-arrival gaps, independent of
+   completion times. Run near or past saturation, completions lag
+   arrivals and the control plane (credits, deadlines, retry budgets,
+   breakers, sheds) decides what degrades; the counters below report how
+   gracefully.
+
+   Unlike the closed-loop workloads, errors are part of the measurement:
+   EBUSY (load shed) and EIO (give-up or breaker fast-fail) are counted,
+   not raised. Goodput = ok / elapsed. *)
+
+module Api = Hare_api.Api
+open Hare_proto
+
+(* Mean inter-arrival gap per worker, in cycles. Settable by the bench
+   and CLI drivers before the run; the default saturates a Split 1
+   machine at a few workers. *)
+let period = ref 12_000
+
+let iters ~scale = 120 * scale
+
+let msg_bytes = 512
+
+(* Aggregated across workers; the driver resets before a (re)run. *)
+let sent = ref 0
+
+let ok = ref 0
+
+let shed = ref 0 (* EBUSY: server load shed *)
+
+let fast_fail = ref 0 (* EIO: retry give-up or open breaker *)
+
+let skipped = ref 0 (* ENOENT: target's deliver was itself refused *)
+
+let reset () =
+  sent := 0;
+  ok := 0;
+  shed := 0;
+  fast_fail := 0;
+  skipped := 0
+
+let setup (api : 'p Api.t) p ~nprocs ~scale:_ =
+  api.Api.mkdir p ~dist:false "/overload";
+  for idx = 0 to nprocs - 1 do
+    api.Api.mkdir p ~dist:false (Printf.sprintf "/overload/w%d" idx)
+  done
+
+let count_result = function
+  | Ok () -> incr ok
+  | Error Errno.EBUSY -> incr shed
+  | Error Errno.EIO -> incr fast_fail
+  | Error Errno.ENOENT -> incr skipped
+  | Error _ -> incr fast_fail
+
+let attempt f = count_result (try Ok (f ()) with Errno.Error (e, _) -> Error e)
+
+let worker (api : 'p Api.t) p ~idx ~nprocs:_ ~scale =
+  let n = iters ~scale in
+  let dir = Printf.sprintf "/overload/w%d" idx in
+  let body = Tree.file_data msg_bytes idx in
+  let path i = Printf.sprintf "%s/m%05d" dir i in
+  let deliver i () =
+    let fd = api.Api.openf p (path i) Types.flags_w in
+    Api.write_all api p fd body;
+    api.Api.close p fd
+  in
+  let read_back i () =
+    let fd = api.Api.openf p (path i) Types.flags_r in
+    ignore (Api.read_to_eof api p fd);
+    api.Api.close p fd
+  in
+  (* Open-loop pacing: the next arrival time advances by a seeded
+     jittered gap (mean ~[period]) regardless of how long the previous
+     operation took. When service lags, sleep_until returns immediately
+     and the backlog expresses itself as server queue depth. *)
+  let gap () = (!period / 2) + 1 + api.Api.random p !period in
+  let next = ref (api.Api.now_cycles p) in
+  for i = 1 to n do
+    next := Int64.add !next (Int64.of_int (gap ()));
+    api.Api.sleep_until p !next;
+    incr sent;
+    match i mod 8 with
+    | 0 | 1 | 2 | 3 -> attempt (deliver i)
+    | 4 | 5 ->
+        (* read back a recent delivery (i-4 lands on a deliver arm;
+           the very first cycle reads a never-written path and counts
+           as skipped) *)
+        attempt (read_back (i - 4))
+    | 6 -> attempt (fun () -> ignore (api.Api.stat p (path (i - 6))))
+    | _ -> attempt (fun () -> api.Api.unlink p (path (i - 7)))
+  done
+
+let spec : Spec.t =
+  {
+    name = "overload";
+    mode = Spec.Workers;
+    exec_policy = Hare_config.Config.Round_robin;
+    uses_dist = false;
+    setup;
+    worker;
+    programs = Spec.no_programs;
+    ops = (fun ~nprocs ~scale -> nprocs * iters ~scale);
+  }

@@ -23,4 +23,5 @@ let () =
          Test_posix_edge.suites;
          Test_trace.suites;
          Test_check.suites;
+         Test_overload.suites;
        ])
