@@ -14,9 +14,25 @@
    Unknown keys are skipped, so additive schema growth never breaks the
    gate; a new metric is only compared once it appears in the baseline. *)
 
-(* Metric keys gated against the baseline. Each is paired with the most
-   recent "name" field; every other key is ignored. *)
-let gated = [ "simulated_cycles"; "p99_cycles" ]
+(* Metric keys gated against the baseline, with the direction that
+   counts as a regression. Each is paired with the most recent "name"
+   field; every other key is ignored.
+
+   [`Lower] metrics (simulated cycles, fiber counts) are deterministic
+   functions of the seed, so the CLI tolerance applies as-is. [`Higher]
+   metrics are host wall-clock throughput, which swings by ±25% on a
+   shared single-CPU CI runner — they get a wider band (at least 40%)
+   so the gate only trips on a genuine engine slowdown, not scheduler
+   noise. *)
+let gated =
+  [
+    ("simulated_cycles", `Lower);
+    ("p99_cycles", `Lower);
+    ("peak_live_fibers", `Lower);
+    ("sim_ops_per_sec", `Higher);
+  ]
+
+let higher_tolerance tolerance = Float.max 40.0 tolerance
 
 let scan_workloads path =
   let ic = open_in path in
@@ -50,7 +66,7 @@ let scan_workloads path =
                        rest := v1 + 1
                    | None -> ())
                | None -> ()
-             else if List.mem key gated then begin
+             else if List.mem_assoc key gated then begin
                let v0 = !rest in
                let v1 = ref v0 in
                while
@@ -108,8 +124,19 @@ let () =
               name bcy ccy
           else begin
             let delta = 100. *. (ccy -. bcy) /. bcy in
+            (* direction comes from the metric key (after the last '/') *)
+            let key =
+              match String.rindex_opt name '/' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            let regressed =
+              match List.assoc_opt key gated with
+              | Some `Higher -> delta < -.higher_tolerance tolerance
+              | _ -> delta > tolerance
+            in
             let verdict =
-              if delta > tolerance then begin
+              if regressed then begin
                 failed := true;
                 "REGRESSED"
               end

@@ -127,8 +127,12 @@ let json_cases quick =
         batch_max = batch;
         alloc_extent = extent;
         (* Tracing is zero-perturbation: the cycle counts below are
-           identical with it off, and it buys the per-opcode profile. *)
+           identical with it off, and it buys the per-opcode profile.
+           Profile-only (no event ring): these rows never export the
+           event stream, and ring recording roughly halves wall-clock
+           simulation throughput. *)
         trace_enabled = true;
+        trace_ring = false;
       }
     in
     (name, wname, ncores, None, config)
@@ -175,6 +179,27 @@ let json_cases quick =
        builds depth and the watermark/credit/deadline machinery engages. *)
     (name, "overload", ncores, Some (3 * ncores), config)
   in
+  (* Engine-scalability sweep (PR 7): machines of 64..512 cores, one
+     file server per 8 cores (placement scaling with Config.nservers).
+     Untraced — these rows measure raw event-loop throughput
+     (sim_ops_per_sec / sim_events_per_sec / peak_live_fibers); the
+     simulated-cycle fields regression-gate the usual way. *)
+  let scale_case wname ncores =
+    let config =
+      {
+        (Driver.default_config ~ncores) with
+        Config.placement = Config.Split (ncores / 8);
+      }
+    in
+    (Printf.sprintf "%s@%d/scale" wname ncores, wname, ncores, None, config)
+  in
+  let scale_cases =
+    if quick then [ scale_case "creates" 64 ]
+    else
+      List.concat_map
+        (fun w -> List.map (scale_case w) [ 64; 128; 256; 512 ])
+        [ "creates"; "writes"; "renames" ]
+  in
   figure_cases
   @ [
       case "creates@8/baseline" "creates" 8;
@@ -183,6 +208,7 @@ let json_cases quick =
       case ~window:8 ~batch:8 ~extent:8 "writes@8/pipelined" "writes" 8;
       overload_case "overload@8/open" 8;
     ]
+  @ scale_cases
 
 let run_json ~quick ~out () =
   let cases = json_cases quick in
@@ -280,6 +306,18 @@ let run_json ~quick ~out () =
        end);
       add "      \"simulated_seconds\": %.9f,\n" r.Driver.elapsed;
       add "      \"wall_clock_s\": %.6f,\n" wall;
+      (* Host-side engine throughput: how fast the simulator chewed
+         through this row (nothing to do with the simulated clock). *)
+      let es = r.Driver.engine in
+      add "      \"sim_ops_per_sec\": %.0f,\n"
+        (if wall > 0.0 then float_of_int r.Driver.ops /. wall else 0.0);
+      add "      \"sim_events_per_sec\": %.0f,\n"
+        (if wall > 0.0 then
+           float_of_int es.World.es_events /. wall
+         else 0.0);
+      add "      \"engine_events\": %d,\n" es.World.es_events;
+      add "      \"peak_live_fibers\": %d,\n" es.World.es_peak_fibers;
+      add "      \"spawned_fibers\": %d,\n" es.World.es_spawned;
       (* Per-opcode cycle attribution of the timed region: each row's
          bucket values sum exactly to its total (hare_cli profile shows
          the same breakdown interactively). *)

@@ -101,16 +101,25 @@ let run_bench name cores nprocs scale world split nd nb ndir ndc na width st
       1
   | spec ->
       let config = mk_config cores split nd nb ndir ndc na width st in
+      let t0 = Unix.gettimeofday () in
       let result =
         match world with
         | `Hare -> HD.run ~config ?nprocs ~scale spec
         | `Linux -> LD.run ~config ?nprocs ~scale spec
         | `Unfs -> HD.run ~config:(World.unfs_config config) ?nprocs ~scale spec
       in
+      let wall = Unix.gettimeofday () -. t0 in
       Printf.printf
         "%s on %s: %d procs, %d ops in %.6f simulated seconds = %.0f ops/s\n"
         result.Driver.bench result.Driver.world result.Driver.nprocs
         result.Driver.ops result.Driver.elapsed result.Driver.throughput;
+      let es = result.Driver.engine in
+      if es.World.es_events > 0 then
+        Printf.printf
+          "engine: %d events, peak %d live fibers, %.2fs wall (%.0f \
+           sim_ops/s host-side)\n"
+          es.World.es_events es.World.es_peak_fibers wall
+          (if wall > 0.0 then float_of_int result.Driver.ops /. wall else 0.0);
       if verbose then begin
         print_endline "system-call mix:";
         Format.printf "%a@." Hare_stats.Opcount.pp result.Driver.syscalls
@@ -126,7 +135,14 @@ let bench_cmd =
   in
   let verbose = flag "verbose" "Also print the system-call mix." in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Run one benchmark and print its throughput.")
+    (Cmd.info "bench"
+       ~doc:
+         "Run one benchmark and print its throughput, plus the simulator \
+          engine's host-side cost (events executed, peak live fibers, wall \
+          clock). Machines up to 512 cores are practical, e.g. $(b,bench \
+          creates --cores 512 --split 64); $(b,bench/main.exe -- --json) \
+          emits the full 64-512-core engine-scalability sweep \
+          (sim_ops_per_sec, sim_events_per_sec, peak_live_fibers per row).")
     Term.(
       const run_bench $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
       $ world_arg $ split_arg $ no_dist $ no_bcast $ no_direct $ no_dcache

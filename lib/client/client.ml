@@ -190,7 +190,7 @@ let traced t op f =
   match sink t with
   | None -> f ()
   | Some tr -> (
-      let fid = Engine.fiber_id (Engine.self ()) in
+      let fid = Engine.current_fid t.engine in
       if Trace.ctx_active tr ~fid then f ()
       else begin
         ignore
@@ -376,20 +376,18 @@ let rpc_result t ?payload_lines srv req =
               t.rpc_count <- t.rpc_count + 1;
               (* Jittered backoff: desynchronizes clients hammering a
                  recovering server. *)
-              let back =
-                Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4)))
-              in
+              let back = 1 + Rng.int rt.rt_rng (max 2 (deadline / 4)) in
               (match sink t with
               | Some tr ->
                   Trace.on_wait tr
-                    ~fid:(Engine.fiber_id (Engine.self ()))
+                    ~fid:(Engine.current_fid t.engine)
                     ~cycles:back;
                   Trace.instant tr ~name:"rpc-retry" ~track:(Core_res.id t.core)
                     ~ts:(Engine.now t.engine)
                     ~args:[ ("op", Wire.req_name req) ]
                     ()
               | None -> ());
-              Engine.sleep back;
+              Engine.sleep_cycles back;
               attempt (n + 1) (min (deadline * 2) rt.rt_cap)
             end
       in
@@ -427,8 +425,8 @@ let await_pending t (pd : pending) =
        span is discarded (elapsed 0). *)
     (match sink t with
     | Some tr ->
-        let fid = Engine.fiber_id (Engine.self ()) in
-        Trace.on_blocked tr ~fid ~span:pd.pd_span ~elapsed:0L;
+        let fid = Engine.current_fid t.engine in
+        Trace.on_blocked tr ~fid ~span:pd.pd_span ~elapsed:0;
         Trace.set_pending tr ~fid [ (Trace.Send, t.costs.recv_ready) ]
     | None -> ());
     Core_res.compute t.core t.costs.recv_ready;
@@ -459,16 +457,14 @@ let await_pending t (pd : pending) =
               t.robust.Hare_stats.Robust.retries <-
                 t.robust.Hare_stats.Robust.retries + 1;
               t.rpc_count <- t.rpc_count + 1;
-              let back =
-                Int64.of_int (1 + Rng.int rt.rt_rng (max 2 (deadline / 4)))
-              in
+              let back = 1 + Rng.int rt.rt_rng (max 2 (deadline / 4)) in
               (match sink t with
               | Some tr ->
                   Trace.on_wait tr
-                    ~fid:(Engine.fiber_id (Engine.self ()))
+                    ~fid:(Engine.current_fid t.engine)
                     ~cycles:back
               | None -> ());
-              Engine.sleep back;
+              Engine.sleep_cycles back;
               let next_deadline = min (deadline * 2) rt.rt_cap in
               let future, span =
                 Hare_msg.Rpc.call_async_sp t.servers.(pd.pd_srv) ~from:t.core
@@ -889,9 +885,9 @@ let console_write t (c : Wire.console_ref) data =
           let b0 = Engine.now t.engine in
           Ivar.read ack;
           Trace.on_blocked tr
-            ~fid:(Engine.fiber_id (Engine.self ()))
+            ~fid:(Engine.current_fid t.engine)
             ~span:0
-            ~elapsed:(Int64.sub (Engine.now t.engine) b0)
+            ~elapsed:(Int64.to_int (Int64.sub (Engine.now t.engine) b0))
       | None -> Ivar.read ack);
       String.length data
 

@@ -34,6 +34,7 @@ type t = {
   dircache_capacity : int;
   trace_enabled : bool;
   trace_cap : int;
+  trace_ring : bool;
   check_enabled : bool;
   seed : int64;
   costs : Costs.t;
@@ -86,6 +87,7 @@ let default =
        instrumentation site reduces to a None check. *)
     trace_enabled = false;
     trace_cap = 65536;
+    trace_ring = true;
     (* Sanitizer off by default: no checker is attached, so every hook
        site reduces to a None check. *)
     check_enabled = false;

@@ -140,6 +140,14 @@ type t = {
   trace_cap : int;
       (** trace ring-buffer capacity in events; when full, the oldest
           event is dropped and a dropped-events counter incremented. *)
+  trace_ring : bool;
+      (** record individual events (spans, instants, counters) in the
+          ring for Perfetto export; on by default. When off, tracing is
+          {e profile-only}: the per-opcode cycle-bucket attribution is
+          still maintained but no events are retained, roughly halving
+          the host-side cost of a traced run. Benchmark runs that only
+          consume the profile use this mode. Either way the simulated
+          clock is untouched. *)
   check_enabled : bool;
       (** {e extension}: attach the coherence sanitizer at boot
           ([Hare_check.Check]): vector-clock happens-before race

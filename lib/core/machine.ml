@@ -32,7 +32,9 @@ let boot (config : Config.t) =
      allocation is part of the deterministic boot order. Host-side only —
      it never charges simulated cycles. *)
   if config.trace_enabled then begin
-    let tr = Hare_trace.Trace.create ~cap:config.trace_cap in
+    let tr =
+      Hare_trace.Trace.create ~ring:config.trace_ring ~cap:config.trace_cap ()
+    in
     for i = 0 to ncores - 1 do
       Hare_trace.Trace.declare_track tr ~track:i
         ~name:(Printf.sprintf "core %d" i)

@@ -14,30 +14,32 @@ type result = {
   profile : Hare_trace.Trace.row list;
   latencies : (string * Hare_stats.Latency.dist) list;
   robust : Hare_stats.Robust.t;
+  engine : World.engine_stats;
+      (* simulator event-loop counters for the whole run (boot + setup +
+         timed region); all zero on the Linux baseline *)
 }
 
 (* Per-class latency distributions of the root syscall spans that began
-   at or after [since] (cycles). Shared with hare_cli's overload report;
-   spans still open when the trace was read are not in the ring, so only
-   completed requests contribute. *)
+   at or after [since] (cycles). Shared with hare_cli's overload report.
+   Reads the trace's root-span log, not the event ring: the log is
+   recorded even in profile-only mode and never loses samples to ring
+   overwrite; only completed requests contribute. *)
 let latencies_of_trace ?(since = 0L) tr =
   let module Trace = Hare_trace.Trace in
   let buckets = Hashtbl.create 4 in
   List.iter
-    (fun (ev : Trace.event) ->
-      match ev with
-      | Trace.Span { parent = 0; name; t0; t1; _ } when t0 >= since -> (
-          match Hare_stats.Latency.class_of_op name with
-          | Some cls ->
-              let prev =
-                match Hashtbl.find_opt buckets cls with
-                | Some ds -> ds
-                | None -> []
-              in
-              Hashtbl.replace buckets cls (Int64.sub t1 t0 :: prev)
-          | None -> ())
-      | _ -> ())
-    (Trace.events tr);
+    (fun (name, t0, dur) ->
+      if t0 >= since then
+        match Hare_stats.Latency.class_of_op name with
+        | Some cls ->
+            let prev =
+              match Hashtbl.find_opt buckets cls with
+              | Some ds -> ds
+              | None -> []
+            in
+            Hashtbl.replace buckets cls (dur :: prev)
+        | None -> ())
+    (Trace.root_spans tr);
   List.filter_map
     (fun cls ->
       match Hashtbl.find_opt buckets cls with
@@ -146,5 +148,6 @@ module Make (W : World.WORLD) = struct
               tr
         | None -> []);
       robust = W.robustness w;
+      engine = W.engine_stats w;
     }
 end

@@ -28,6 +28,9 @@ type result = {
   robust : Hare_stats.Robust.t;
       (** Fault/overload counters of the timed region (reset alongside
           the perf counters; all zero for the Linux baseline). *)
+  engine : World.engine_stats;
+      (** Simulator event-loop counters for the whole run (boot + setup
+          + timed region); all zero on the Linux baseline. *)
 }
 
 val latencies_of_trace :

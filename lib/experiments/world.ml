@@ -2,6 +2,16 @@ module Api = Hare_api.Api
 module Config = Hare_config.Config
 open Hare_proto
 
+(* Host-side simulator-engine counters, for benchmark reporting: how
+   much event-loop work a run cost, independent of the simulated clock.
+   All zero for worlds without a discrete-event engine (the Linux
+   baseline). *)
+type engine_stats = {
+  es_events : int;  (** engine events executed *)
+  es_peak_fibers : int;  (** peak live (registered) fibers *)
+  es_spawned : int;  (** fibers spawned over the whole run *)
+}
+
 module type WORLD = sig
   type world
 
@@ -34,6 +44,10 @@ module type WORLD = sig
   val robustness : world -> Hare_stats.Robust.t
   (** Aggregate fault/overload counters (always zero for the Linux
       baseline, which has neither). *)
+
+  val engine_stats : world -> engine_stats
+  (** Simulator event-loop counters for this run (zero for the Linux
+      baseline). *)
 end
 
 module Hare_w = struct
@@ -102,6 +116,14 @@ module Hare_w = struct
   let reset_perf = M.reset_perf
 
   let robustness = M.robustness
+
+  let engine_stats m =
+    let e = M.engine m in
+    {
+      es_events = Hare_sim.Engine.events_executed e;
+      es_peak_fibers = Hare_sim.Engine.peak_fibers e;
+      es_spawned = Hare_sim.Engine.spawned_fibers e;
+    }
 end
 
 module Linux_w = struct
@@ -132,6 +154,8 @@ module Linux_w = struct
   let reset_perf _ = ()
 
   let robustness _ = Hare_stats.Robust.create ()
+
+  let engine_stats _ = { es_events = 0; es_peak_fibers = 0; es_spawned = 0 }
 end
 
 let unfs_config (base : Config.t) =

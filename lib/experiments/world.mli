@@ -6,6 +6,15 @@
     paper's three systems: Hare itself, Linux tmpfs/ramfs, and the
     UNFS3-style loopback NFS. *)
 
+(** Host-side simulator-engine counters for one run: how much event-loop
+    work the run cost, independent of the simulated clock. All zero for
+    worlds without a discrete-event engine (the Linux baseline). *)
+type engine_stats = {
+  es_events : int;  (** engine events executed *)
+  es_peak_fibers : int;  (** peak live (registered) fibers *)
+  es_spawned : int;  (** fibers spawned over the whole run *)
+}
+
 module type WORLD = sig
   type world
 
@@ -38,6 +47,9 @@ module type WORLD = sig
   val robustness : world -> Hare_stats.Robust.t
   (** Aggregate fault/overload counters (always zero for the Linux
       baseline, which has neither). *)
+
+  val engine_stats : world -> engine_stats
+  (** Simulator event-loop counters for this run. *)
 end
 
 module Hare_w : WORLD with type world = Hare.Machine.t and type proc = Hare_proc.Process.t

@@ -2,12 +2,18 @@ open Hare_sim
 module Trace = Hare_trace.Trace
 module Check = Hare_check.Check
 
+(* A cached line. [prev]/[next] form an intrusive LRU list through a
+   per-cache sentinel — no [option] boxing on the hottest pointer
+   updates. [key] is mutable so an evicted line's record and 64-byte
+   buffer are recycled for the incoming line: at steady state (cache at
+   capacity, the common case for the writes workload) the per-line miss
+   path allocates nothing. *)
 type line = {
-  key : int; (* block * lines_per_block + line index *)
+  mutable key : int; (* block * lines_per_block + line index; -1 = none *)
   data : Bytes.t; (* Layout.line_size bytes *)
   mutable dirty : bool;
-  mutable prev : line option;
-  mutable next : line option;
+  mutable prev : line;
+  mutable next : line;
 }
 
 type stats = {
@@ -18,22 +24,39 @@ type stats = {
   invalidated : int;
 }
 
+(* Filler for empty hash-table value slots; never linked or read. *)
+let rec dummy_line =
+  { key = -1; data = Bytes.empty; dirty = false; prev = dummy_line;
+    next = dummy_line }
+
 type t = {
   dram : Dram.t;
   core : Core_res.t;
   costs : Hare_config.Costs.t;
   block_socket : int -> int;
   capacity : int;
-  table : (int, line) Hashtbl.t;
-  (* LRU list: head = most recently used, tail = eviction victim. *)
-  mutable head : line option;
-  mutable tail : line option;
+  (* Open-addressed hash table, line keys -> lines. Parallel arrays with
+     linear probing replace the previous [Hashtbl]: lookups are
+     allocation-free (no [Some], no bucket cells) and the steady-state
+     write path — evict + insert per line — touches two flat arrays. *)
+  mutable tkeys : int array; (* -1 empty, -2 tombstone *)
+  mutable tvals : line array;
+  mutable tmask : int; (* Array.length tkeys - 1 (power of two) *)
+  mutable tcount : int;
+  mutable ttombs : int;
+  lru : line; (* sentinel: [lru.next] = MRU, [lru.prev] = victim *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
   mutable invalidated : int;
 }
+
+let empty_slot = -1
+
+let tomb_slot = -2
+
+let initial_slots = 64
 
 let create ?block_socket dram ~core ~costs ~capacity_lines =
   if capacity_lines <= 0 then invalid_arg "Pcache.create: empty capacity";
@@ -42,15 +65,21 @@ let create ?block_socket dram ~core ~costs ~capacity_lines =
     | Some f -> f
     | None -> fun (_ : int) -> Core_res.socket core
   in
+  let rec lru =
+    { key = -1; data = Bytes.empty; dirty = false; prev = lru; next = lru }
+  in
   {
     dram;
     core;
     costs;
     block_socket;
     capacity = capacity_lines;
-    table = Hashtbl.create (2 * capacity_lines);
-    head = None;
-    tail = None;
+    tkeys = Array.make initial_slots empty_slot;
+    tvals = Array.make initial_slots dummy_line;
+    tmask = initial_slots - 1;
+    tcount = 0;
+    ttombs = 0;
+    lru;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -66,13 +95,79 @@ let checker t = Engine.checker (Core_res.engine t.core)
 
 let cid t = Core_res.id t.core
 
+(* --- open-addressed table -------------------------------------------- *)
+
+(* Multiplicative spread of the (sequential) line keys; [land] with a
+   positive mask keeps the slot non-negative even on overflow. *)
+let[@inline] slot_of t key = (key * 0x2545F491) land t.tmask
+
+(* Slot index of [key], or -1. *)
+let tab_find t key =
+  let keys = t.tkeys and mask = t.tmask in
+  let rec go i =
+    let k = Array.unsafe_get keys i in
+    if k = key then i
+    else if k = empty_slot then -1
+    else go ((i + 1) land mask)
+  in
+  go (slot_of t key)
+
+let tab_place t key l =
+  let keys = t.tkeys and mask = t.tmask in
+  let rec go i =
+    let k = Array.unsafe_get keys i in
+    if k = empty_slot then begin
+      Array.unsafe_set keys i key;
+      Array.unsafe_set t.tvals i l;
+      t.tcount <- t.tcount + 1
+    end
+    else if k = tomb_slot then begin
+      Array.unsafe_set keys i key;
+      Array.unsafe_set t.tvals i l;
+      t.tcount <- t.tcount + 1;
+      t.ttombs <- t.ttombs - 1
+    end
+    else go ((i + 1) land mask)
+  in
+  go (slot_of t key)
+
+let tab_rehash t =
+  let old_keys = t.tkeys and old_vals = t.tvals in
+  let old_size = Array.length old_keys in
+  (* Grow only when live entries crowd the table; a rehash triggered by
+     tombstones alone reuses the same size (churn from evictions). *)
+  let size = if t.tcount * 2 >= old_size then old_size * 2 else old_size in
+  t.tkeys <- Array.make size empty_slot;
+  t.tvals <- Array.make size dummy_line;
+  t.tmask <- size - 1;
+  t.tcount <- 0;
+  t.ttombs <- 0;
+  for i = 0 to old_size - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k >= 0 then tab_place t k (Array.unsafe_get old_vals i)
+  done
+
+(* Insert a key known to be absent. *)
+let tab_insert t key l =
+  if (t.tcount + t.ttombs) * 4 >= Array.length t.tkeys * 3 then tab_rehash t;
+  tab_place t key l
+
+let tab_delete t key =
+  let i = tab_find t key in
+  if i >= 0 then begin
+    t.tkeys.(i) <- tomb_slot;
+    t.tvals.(i) <- dummy_line;
+    t.tcount <- t.tcount - 1;
+    t.ttombs <- t.ttombs + 1
+  end
+
 (* Decompose the upcoming compute charge into cache vs. DRAM cycles and
    publish cumulative miss/write-back counters when they moved. *)
 let charge t ~cache ~dram ~miss0 ~wb0 =
   (match sink t with
   | None -> ()
   | Some tr ->
-      let fid = Engine.fiber_id (Engine.self ()) in
+      let fid = Engine.current_fid (Core_res.engine t.core) in
       Trace.set_pending tr ~fid [ (Trace.Cache, cache); (Trace.Dram, dram) ];
       let now = Engine.now (Core_res.engine t.core) in
       let track = Core_res.id t.core in
@@ -91,7 +186,7 @@ let stats t =
     invalidated = t.invalidated;
   }
 
-let resident_lines t = Hashtbl.length t.table
+let resident_lines t = t.tcount
 
 let key_of ~block ~line = (block * Layout.lines_per_block) + line
 
@@ -105,23 +200,22 @@ let block_of_key key = key / Layout.lines_per_block
 
 let line_of_key key = key mod Layout.lines_per_block
 
-(* --- intrusive LRU list ---------------------------------------------- *)
+(* --- intrusive LRU list (sentinel-linked) ----------------------------- *)
 
-let unlink t l =
-  (match l.prev with Some p -> p.next <- l.next | None -> t.head <- l.next);
-  (match l.next with Some n -> n.prev <- l.prev | None -> t.tail <- l.prev);
-  l.prev <- None;
-  l.next <- None
+let[@inline] unlink l =
+  l.prev.next <- l.next;
+  l.next.prev <- l.prev
 
-let push_front t l =
-  l.next <- t.head;
-  l.prev <- None;
-  (match t.head with Some h -> h.prev <- Some l | None -> t.tail <- Some l);
-  t.head <- Some l
+let[@inline] push_front t l =
+  let s = t.lru in
+  l.next <- s.next;
+  l.prev <- s;
+  s.next.prev <- l;
+  s.next <- l
 
-let touch t l =
-  if t.head != Some l then begin
-    unlink t l;
+let[@inline] touch t l =
+  if t.lru.next != l then begin
+    unlink l;
     push_front t l
   end
 
@@ -139,44 +233,54 @@ let flush_line t l =
   else false
 
 let drop_line t l =
-  unlink t l;
-  Hashtbl.remove t.table l.key
-
-(* Evict the LRU victim; returns the cycle cost of any write-back. *)
-let evict_one t =
-  match t.tail with
-  | None -> 0
-  | Some victim ->
-      let cost =
-        if flush_line t victim then dram_cost t (block_of_key victim.key)
-        else 0
-      in
-      drop_line t victim;
-      t.evictions <- t.evictions + 1;
-      (match checker t with
-      | Some chk -> Check.cache_evict chk ~core:(cid t) ~key:victim.key
-      | None -> ());
-      cost
+  unlink l;
+  tab_delete t l.key
 
 (* Fetch-or-miss one line; returns (line, cache cycles, DRAM cycles). *)
 let ensure_line t ~block ~line =
   let key = key_of ~block ~line in
-  match Hashtbl.find_opt t.table key with
-  | Some l ->
-      touch t l;
-      t.hits <- t.hits + 1;
-      (l, t.costs.cache_hit_line, 0)
-  | None ->
-      t.misses <- t.misses + 1;
+  let i = tab_find t key in
+  if i >= 0 then begin
+    let l = Array.unsafe_get t.tvals i in
+    touch t l;
+    t.hits <- t.hits + 1;
+    (l, t.costs.cache_hit_line, 0)
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    if t.tcount >= t.capacity then begin
+      (* At capacity: evict the LRU victim and recycle its record and
+         buffer for the incoming line — the steady-state miss allocates
+         nothing. Hook order matches the historic evict-then-fill path:
+         write-back, drop, eviction count, evict hook. *)
+      let victim = t.lru.prev in
       let evict_cost =
-        if Hashtbl.length t.table >= t.capacity then evict_one t else 0
+        if flush_line t victim then dram_cost t (block_of_key victim.key)
+        else 0
       in
+      tab_delete t victim.key;
+      t.evictions <- t.evictions + 1;
+      (match checker t with
+      | Some chk -> Check.cache_evict chk ~core:(cid t) ~key:victim.key
+      | None -> ());
+      victim.key <- key;
+      victim.dirty <- false;
+      Dram.read_line t.dram ~block ~line ~dst:victim.data ~dst_off:0;
+      tab_insert t key victim;
+      touch t victim;
+      (victim, t.costs.cache_hit_line, evict_cost + dram_cost t block)
+    end
+    else begin
       let data = Bytes.create Layout.line_size in
       Dram.read_line t.dram ~block ~line ~dst:data ~dst_off:0;
-      let l = { key; data; dirty = false; prev = None; next = None } in
-      Hashtbl.replace t.table key l;
+      let l =
+        { key; data; dirty = false; prev = dummy_line; next = dummy_line }
+      in
+      tab_insert t key l;
       push_front t l;
-      (l, t.costs.cache_hit_line, evict_cost + dram_cost t block)
+      (l, t.costs.cache_hit_line, dram_cost t block)
+    end
+  end
 
 let check_range ~off ~len =
   if len <= 0 then invalid_arg "Pcache: empty range";
@@ -236,9 +340,8 @@ let lines_of_block t block =
   (* Collect first: callbacks mutate the LRU list. *)
   let acc = ref [] in
   for line = 0 to Layout.lines_per_block - 1 do
-    match Hashtbl.find_opt t.table (key_of ~block ~line) with
-    | Some l -> acc := l :: !acc
-    | None -> ()
+    let i = tab_find t (key_of ~block ~line) in
+    if i >= 0 then acc := t.tvals.(i) :: !acc
   done;
   !acc
 

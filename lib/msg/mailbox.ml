@@ -14,6 +14,8 @@ type 'a t = {
   mutable received : int;
   mutable flow_blocked : int;
       (* sends that had to wait for a credit (bounded mailbox full) *)
+  mutable probe : int;
+      (* engine probe slot for the depth probe; -1 = unnamed/unwatched *)
 }
 
 let create ?name ?capacity ?faults ~owner ~costs () =
@@ -37,16 +39,35 @@ let create ?name ?capacity ?faults ~owner ~costs () =
       sent = 0;
       received = 0;
       flow_blocked = 0;
+      probe = -1;
     }
   in
   (match name with
   | None -> ()
   | Some name ->
-      Engine.register_probe (Core_res.engine owner) ~name (fun () ->
-          Bqueue.length t.queue));
+      t.probe <-
+        Engine.register_probe (Core_res.engine owner) ~name (fun () ->
+            Bqueue.length t.queue));
   t
 
 let owner t = t.owner
+
+(* Crashed endpoints stop advertising their depth: a dead server's
+   mailbox in a deadlock report is noise, and the engine should not scan
+   it forever. [rewatch] re-registers on restart. Both are idempotent. *)
+let unwatch t =
+  if t.probe >= 0 then begin
+    Engine.unregister_probe (Core_res.engine t.owner) t.probe;
+    t.probe <- -1
+  end
+
+let rewatch t =
+  match t.name with
+  | Some name when t.probe < 0 ->
+      t.probe <-
+        Engine.register_probe (Core_res.engine t.owner) ~name (fun () ->
+            Bqueue.length t.queue)
+  | _ -> ()
 
 let sink t = Engine.sink (Core_res.engine t.owner)
 
@@ -116,7 +137,9 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
   in
   (match sink t with
   | Some tr ->
-      Trace.set_pending tr ~fid:(Engine.fiber_id (Engine.self ())) [ (Trace.Send, cost) ]
+      Trace.set_pending tr
+        ~fid:(Engine.current_fid (Core_res.engine from))
+        [ (Trace.Send, cost) ]
   | None -> ());
   Core_res.compute from cost;
   (* Credit-based flow control (PR 6): a bounded mailbox admits a

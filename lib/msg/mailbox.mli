@@ -30,6 +30,15 @@ val create :
 
 val owner : 'a t -> Hare_sim.Core_res.t
 
+val unwatch : 'a t -> unit
+(** Deregister this mailbox's engine depth probe (no-op if unnamed or
+    already unwatched). Called when the owning endpoint crashes so
+    deadlock reports and probe scans skip dead mailboxes. *)
+
+val rewatch : 'a t -> unit
+(** Re-register the depth probe of a previously {!unwatch}ed named
+    mailbox (no-op if unnamed or already watched); called on restart. *)
+
 (** [send t ~from msg] delivers [msg]; on return the message is queued at
     the receiver. [payload_lines] (default 0) charges marshalling cost for
     bulk payloads.

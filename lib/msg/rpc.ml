@@ -23,9 +23,15 @@ let endpoint ?name ?capacity ?faults ~owner ~costs () =
 
 let owner t = Mailbox.owner t.mailbox
 
+let unwatch t = Mailbox.unwatch t.mailbox
+
+let rewatch t = Mailbox.rewatch t.mailbox
+
 let sink core = Engine.sink (Core_res.engine core)
 
-let fid () = Engine.fiber_id (Engine.self ())
+(* Trace-path fiber id: an O(1) engine field read, not a [Self] effect
+   round trip — these sites fire on every traced RPC. *)
+let fid core = Engine.current_fid (Core_res.engine core)
 
 (* Sanitizer reply edge: the responder stamps the ivar just before
    filling it ({!reply_fn}); readers join the stamp into their core's
@@ -66,9 +72,9 @@ let await ~from ~costs ?(span = 0) future =
         let engine = Core_res.engine from in
         let b0 = Engine.now engine in
         let resp = Ivar.read future in
-        Trace.on_blocked tr ~fid:(fid ()) ~span
-          ~elapsed:(Int64.sub (Engine.now engine) b0);
-        Trace.set_pending tr ~fid:(fid ())
+        Trace.on_blocked tr ~fid:(fid from) ~span
+          ~elapsed:(Int64.to_int (Int64.sub (Engine.now engine) b0));
+        Trace.set_pending tr ~fid:(fid from)
           [ (Trace.Send, costs.Hare_config.Costs.recv) ];
         resp
   in
@@ -82,9 +88,9 @@ let await_deadline ~engine ~from ~costs ~deadline ?(span = 0) future =
   | Some resp ->
       (match sink from with
       | Some tr ->
-          Trace.on_blocked tr ~fid:(fid ()) ~span
-            ~elapsed:(Int64.sub (Engine.now engine) b0);
-          Trace.set_pending tr ~fid:(fid ())
+          Trace.on_blocked tr ~fid:(fid from) ~span
+            ~elapsed:(Int64.to_int (Int64.sub (Engine.now engine) b0));
+          Trace.set_pending tr ~fid:(fid from)
             [ (Trace.Send, costs.Hare_config.Costs.recv) ]
       | None -> ());
       note_reply ~from future;
@@ -94,8 +100,8 @@ let await_deadline ~engine ~from ~costs ~deadline ?(span = 0) future =
       (match sink from with
       | Some tr ->
           (* Timed out: nothing came back, the whole wait is queueing. *)
-          Trace.on_blocked tr ~fid:(fid ()) ~span:0
-            ~elapsed:(Int64.sub (Engine.now engine) b0)
+          Trace.on_blocked tr ~fid:(fid from) ~span:0
+            ~elapsed:(Int64.to_int (Int64.sub (Engine.now engine) b0))
       | None -> ());
       Error `Timeout
 
@@ -119,7 +125,7 @@ let reply_fn t env ?(payload_lines = 0) resp =
     + (payload_lines * t.costs.Hare_config.Costs.msg_per_line)
   in
   (match sink owner with
-  | Some tr -> Trace.set_pending tr ~fid:(fid ()) [ (Trace.Send, cost) ]
+  | Some tr -> Trace.set_pending tr ~fid:(fid owner) [ (Trace.Send, cost) ]
   | None -> ());
   Core_res.compute owner cost;
   match env.meta with

@@ -33,6 +33,15 @@ val endpoint :
 
 val owner : ('req, 'resp) t -> Hare_sim.Core_res.t
 
+val unwatch : ('req, 'resp) t -> unit
+(** Deregister the endpoint's queue-depth probe from the engine (e.g.
+    when the owning server crashes — a dead server's queue should not
+    appear in deadlock reports). Idempotent. *)
+
+val rewatch : ('req, 'resp) t -> unit
+(** Re-register the probe dropped by {!unwatch} (server restart).
+    No-op if currently watched or the endpoint was never named. *)
+
 (** [call t ~from req] sends [req] and blocks until the response arrives. *)
 val call :
   ('req, 'resp) t ->

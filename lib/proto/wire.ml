@@ -145,6 +145,41 @@ let req_name = function
   | Pipe_write _ -> "PIPE_WRITE"
   | Steal_blocks _ -> "STEAL_BLOCKS"
 
+(* Span names for server-side trace contexts. Literal per constructor —
+   ["srv:" ^ req_name req] would allocate a fresh string on every traced
+   request. *)
+let req_srv_name = function
+  | Lookup _ -> "srv:LOOKUP"
+  | Add_map _ -> "srv:ADD_MAP"
+  | Rm_map _ -> "srv:RM_MAP"
+  | Readdir_shard _ -> "srv:READDIR"
+  | Create_open _ -> "srv:CREATE_OPEN"
+  | Create_inode _ -> "srv:CREATE_INODE"
+  | Create_dir _ -> "srv:CREATE_DIR"
+  | Open_inode _ -> "srv:OPEN"
+  | Close_fd _ -> "srv:CLOSE"
+  | Read_fd _ -> "srv:READ"
+  | Write_fd _ -> "srv:WRITE"
+  | Lseek_fd _ -> "srv:LSEEK"
+  | Alloc_blocks _ -> "srv:ALLOC"
+  | Get_blocks _ -> "srv:GET_BLOCKS"
+  | Update_size _ -> "srv:UPDATE_SIZE"
+  | Get_attr _ -> "srv:GETATTR"
+  | Truncate _ -> "srv:TRUNCATE"
+  | Unlink_ino _ -> "srv:UNLINK_INO"
+  | Link_ino _ -> "srv:LINK_INO"
+  | Inc_fd_ref _ -> "srv:INC_FD_REF"
+  | Rmdir_lock _ -> "srv:RMDIR_LOCK"
+  | Rmdir_unlock _ -> "srv:RMDIR_UNLOCK"
+  | Rmdir_prepare _ -> "srv:RMDIR_PREPARE"
+  | Rmdir_commit _ -> "srv:RMDIR_COMMIT"
+  | Rmdir_abort _ -> "srv:RMDIR_ABORT"
+  | Rmdir_local _ -> "srv:RMDIR_LOCAL"
+  | Pipe_create _ -> "srv:PIPE_CREATE"
+  | Pipe_read _ -> "srv:PIPE_READ"
+  | Pipe_write _ -> "srv:PIPE_WRITE"
+  | Steal_blocks _ -> "srv:STEAL_BLOCKS"
+
 (* Overload priority class: metadata RPCs (0) are never shed, data RPCs
    (1) move bulk bytes, background RPCs (2) are deferrable housekeeping.
    Rides the RPC envelope so a loaded server can shed by class. *)

@@ -159,6 +159,10 @@ val pp_fs_req : Format.formatter -> fs_req -> unit
 val req_name : fs_req -> string
 (** Short opcode name, for per-operation statistics. *)
 
+val req_srv_name : fs_req -> string
+(** ["srv:" ^ req_name req] as a literal per constructor (no per-call
+    allocation); names server-side trace spans. *)
+
 val req_args : fs_req -> (string * string) list
 (** Compact key/value identification of the request's target (inode,
     directory entry, payload length) for trace-span annotation. *)

@@ -66,7 +66,7 @@ let start t =
     let tr_opened =
       match Engine.sink engine with
       | Some tr ->
-          let fid = Engine.fiber_id (Engine.self ()) in
+          let fid = Engine.current_fid engine in
           let op =
             match req with
             | Wire.S_exec _ -> "sched:exec"
@@ -92,7 +92,7 @@ let start t =
     (match tr_opened with
     | Some tr ->
         Trace.ctx_close_server tr
-          ~fid:(Engine.fiber_id (Engine.self ()))
+          ~fid:(Engine.current_fid engine)
           ~now:(Engine.now engine)
     | None -> ());
     loop ()

@@ -999,12 +999,13 @@ let execute ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
   let tr_opened =
     match Engine.sink t.engine with
     | Some tr ->
-        let fid = Engine.fiber_id (Engine.self ()) in
+        let fid = Engine.current_fid t.engine in
         if
-          Trace.ctx_open tr ~fid
-            ~op:("srv:" ^ Wire.req_name req)
+          Trace.ctx_open tr ~fid ~op:(Wire.req_srv_name req)
             ~track:(Core_res.id t.core) ~parent:span ~now:(Engine.now t.engine)
-            ~args:(Wire.req_args req)
+            (* Span args only decorate exported events; a profile-only
+               sink drops them, so skip the pretty-printing. *)
+            ~args:(if Trace.ring_enabled tr then Wire.req_args req else [])
           <> 0
         then begin
           Trace.set_pending tr ~fid
@@ -1018,7 +1019,7 @@ let execute ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
     match tr_opened with
     | Some tr ->
         Trace.ctx_close_server tr
-          ~fid:(Engine.fiber_id (Engine.self ()))
+          ~fid:(Engine.current_fid t.engine)
           ~now:(Engine.now t.engine)
     | None -> ()
   in
@@ -1141,6 +1142,9 @@ let crash t =
       t.inodes;
     Hashtbl.reset t.dedup;
     Hashtbl.reset t.tracking;
+    (* A dead server's queue depth is meaningless; keep it out of
+       deadlock reports (and free the probe slot) until restart. *)
+    Hare_msg.Rpc.unwatch t.endpoint;
     t.robust.aborted <- t.robust.aborted + !aborted
   end
 
@@ -1187,6 +1191,7 @@ let restart t =
     let reclaimed = Blocklist.rebuild t.blocks ~live in
     t.robust.blocks_rebuilt <- t.robust.blocks_rebuilt + reclaimed;
     t.down <- false;
+    Hare_msg.Rpc.rewatch t.endpoint;
     (match t.faults with
     | Some l -> Hare_fault.Injector.set_down l false
     | None -> ());

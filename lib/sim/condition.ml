@@ -1,44 +1,72 @@
-type t = { mutable queue : Engine.waker list (* reversed: newest first *) }
+(* Waiters live in a FIFO queue of cancellable cells: [signal] is O(1)
+   amortized (pop, skip tombstones) instead of the former double
+   list-reversal per signal, and a timed-out waiter marks its cell dead
+   rather than filtering the whole queue. Wake order is unchanged:
+   oldest live waiter first. *)
 
-let create () = { queue = [] }
+type entry = { mutable dead : bool; wake : unit -> unit }
 
-let wait t = Engine.suspend (fun waker -> t.queue <- waker :: t.queue)
+type t = { q : entry Queue.t; mutable live : int }
 
-let signal t =
-  match List.rev t.queue with
-  | [] -> ()
-  | oldest :: rest ->
-      t.queue <- List.rev rest;
-      oldest ()
+let create () = { q = Queue.create (); live = 0 }
+
+let enqueue t wake =
+  Queue.push { dead = false; wake } t.q;
+  t.live <- t.live + 1
+
+let wait t = Engine.suspend (fun waker -> enqueue t waker)
+
+let rec signal t =
+  match Queue.take_opt t.q with
+  | None -> ()
+  | Some e ->
+      if e.dead then signal t
+      else begin
+        e.dead <- true;
+        t.live <- t.live - 1;
+        e.wake ()
+      end
 
 let wait_deadline t ~engine ~cycles =
   if cycles < 0L then invalid_arg "Condition.wait_deadline: negative deadline";
   let outcome = ref `Timeout in
   Engine.suspend (fun waker ->
-      let fired = ref false in
-      let entry () =
-        if not !fired then begin
-          fired := true;
-          outcome := `Signalled;
-          waker ()
-        end
+      let entry =
+        {
+          dead = false;
+          wake =
+            (fun () ->
+              outcome := `Signalled;
+              waker ());
+        }
       in
-      t.queue <- entry :: t.queue;
+      Queue.push entry t.q;
+      t.live <- t.live + 1;
       Engine.schedule_at engine
         (Int64.add (Engine.now engine) cycles)
         (fun () ->
-          if not !fired then begin
-            fired := true;
-            (* Remove ourselves so a later signal is not consumed by a
-               waiter that already gave up. *)
-            t.queue <- List.filter (fun w -> w != entry) t.queue;
+          if not entry.dead then begin
+            (* Tombstone ourselves so a later signal is not consumed by a
+               waiter that already gave up; the cell stays queued and is
+               skipped when it surfaces. *)
+            entry.dead <- true;
+            t.live <- t.live - 1;
             waker ()
           end));
   !outcome
 
 let broadcast t =
-  let waiters = List.rev t.queue in
-  t.queue <- [];
-  List.iter (fun wake -> wake ()) waiters
+  let rec drain () =
+    match Queue.take_opt t.q with
+    | None -> ()
+    | Some e ->
+        if not e.dead then begin
+          e.dead <- true;
+          t.live <- t.live - 1;
+          e.wake ()
+        end;
+        drain ()
+  in
+  drain ()
 
-let waiters t = List.length t.queue
+let waiters t = t.live

@@ -1,11 +1,15 @@
+(* Cycle counters are native ints: mutable [int64] record fields box on
+   every store and every [Int64] op allocates, which made [compute] — the
+   hottest call in the simulator — allocate several words per charge.
+   Simulated runs stay far below 2^62 cycles, so int is safe. *)
 type t = {
   engine : Engine.t;
   id : int;
   socket : int;
-  ctx_switch : int64;
-  mutable free_at : int64;
+  ctx_switch : int;
+  mutable free_at : int;
   mutable last_fid : int;
-  mutable busy_cycles : int64;
+  mutable busy_cycles : int;
   mutable switches : int;
 }
 
@@ -15,10 +19,10 @@ let create engine ~id ~socket ~ctx_switch =
     engine;
     id;
     socket;
-    ctx_switch = Int64.of_int ctx_switch;
-    free_at = 0L;
+    ctx_switch;
+    free_at = 0;
     last_fid = -1;
-    busy_cycles = 0L;
+    busy_cycles = 0;
     switches = 0;
   }
 
@@ -28,34 +32,38 @@ let engine t = t.engine
 
 let socket t = t.socket
 
-let free_at t = t.free_at
+let free_at t = Int64.of_int t.free_at
 
-let busy_cycles t = t.busy_cycles
+let busy_cycles t = Int64.of_int t.busy_cycles
 
 let switches t = t.switches
 
 let compute t cycles =
   if cycles < 0 then invalid_arg "Core_res.compute: negative cycles";
-  let fiber = Engine.self () in
-  let fid = Engine.fiber_id fiber in
-  let now = Engine.now t.engine in
+  (* O(1) engine field read; [Engine.self ()] would pay an effect-handler
+     round trip on every charge. *)
+  let fid = Engine.current_fid t.engine in
+  let now = Int64.to_int (Engine.now t.engine) in
   let start = if t.free_at > now then t.free_at else now in
   let switching = t.last_fid <> fid && t.last_fid <> -1 in
-  let cost = Int64.of_int cycles in
-  let cost = if switching then Int64.add cost t.ctx_switch else cost in
+  let cost = if switching then cycles + t.ctx_switch else cycles in
   if switching then t.switches <- t.switches + 1;
-  let finish = Int64.add start cost in
+  let finish = start + cost in
   t.free_at <- finish;
   t.last_fid <- fid;
-  t.busy_cycles <- Int64.add t.busy_cycles cost;
+  t.busy_cycles <- t.busy_cycles + cost;
   (match Engine.sink t.engine with
   | None -> ()
   | Some tr ->
       let module Trace = Hare_trace.Trace in
-      Trace.on_compute tr ~fid ~elapsed:(Int64.sub finish now) ~cost
-        ~switch:(if switching then t.ctx_switch else 0L);
-      if switching then Trace.instant tr ~name:"ctx-switch" ~track:t.id ~ts:start ();
+      Trace.on_compute tr ~fid ~elapsed:(finish - now) ~cost
+        ~switch:(if switching then t.ctx_switch else 0);
+      if switching then
+        Trace.instant tr ~name:"ctx-switch" ~track:t.id
+          ~ts:(Int64.of_int start) ();
       (* Busy square wave: the core occupies [start, finish). *)
-      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:start ~value:1;
-      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:finish ~value:0);
-  Engine.sleep (Int64.sub finish now)
+      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:(Int64.of_int start)
+        ~value:1;
+      Trace.counter tr ~name:"cpu" ~track:t.id ~ts:(Int64.of_int finish)
+        ~value:0);
+  Engine.sleep_cycles (finish - now)

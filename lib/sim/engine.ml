@@ -9,6 +9,11 @@ type fiber = {
   mutable state : [ `Created | `Runnable | `Blocked | `Done ];
 }
 
+(* A registered pending-depth probe. Slots are recycled through a free
+   list so crash/teardown can deregister a mailbox without leaving the
+   registry to scan dead entries forever. *)
+type probe = { p_name : string; p_depth : unit -> int }
+
 type t = {
   mutable time : int64;
   events : (unit -> unit) Heap.t;
@@ -17,9 +22,16 @@ type t = {
   mutable next_fid : int;
   root_rng : Rng.t;
   mutable tracing : bool;
-  mutable fibers : fiber list; (* for deadlock reporting *)
-  mutable probes : (string * (unit -> int)) list;
-      (* named pending-depth probes (mailboxes), for deadlock reporting *)
+  fibers : (int, fiber) Hashtbl.t;
+      (* fibers that have not finished, for deadlock reporting; `Done
+         fibers are pruned so long open-loop runs do not leak *)
+  mutable peak_fibers : int;
+  mutable spawned : int;
+  mutable steps : int; (* events executed, for host-throughput metrics *)
+  mutable cur : fiber option; (* fiber currently executing, if any *)
+  mutable probes : probe option array; (* compact slots; None = free *)
+  mutable nprobes : int; (* upper bound of used slots *)
+  mutable probe_free : int list; (* recycled slot indices *)
   mutable sink : Hare_trace.Trace.t option;
       (* trace sink; presence doubles as the "tracing enabled" flag *)
   mutable checker : Hare_check.Check.t option;
@@ -35,6 +47,7 @@ type waker = unit -> unit
 type _ Effect.t +=
   | Self : fiber Effect.t
   | Sleep : int64 -> unit Effect.t
+  | Sleep_cycles : int -> unit Effect.t
   | Suspend : (waker -> unit) -> unit Effect.t
 
 let create ?(seed = 1L) () =
@@ -46,8 +59,14 @@ let create ?(seed = 1L) () =
     next_fid = 0;
     root_rng = Rng.create ~seed;
     tracing = false;
-    fibers = [];
-    probes = [];
+    fibers = Hashtbl.create 256;
+    peak_fibers = 0;
+    spawned = 0;
+    steps = 0;
+    cur = None;
+    probes = [||];
+    nprobes = 0;
+    probe_free = [];
     sink = None;
     checker = None;
   }
@@ -74,35 +93,56 @@ let fiber_id f = f.fid
 
 let live_fibers t = t.live
 
+let registered_fibers t = Hashtbl.length t.fibers
+
+let peak_fibers t = t.peak_fibers
+
+let spawned_fibers t = t.spawned
+
+let events_executed t = t.steps
+
+(* The id of the fiber currently executing, or -1 between events. Exactly
+   one fiber runs at a time (run-to-completion between effects), so a
+   single mutable field — maintained at every resume point — replaces the
+   [Self] effect on hot paths like [Core_res.compute]. *)
+let current_fid t = match t.cur with Some f -> f.fid | None -> -1
+
 let schedule_at t time f =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %Ld is in the past (now %Ld)"
          time t.time);
   t.seq <- t.seq + 1;
-  Heap.push t.events ~time ~seq:t.seq f
+  Heap.push t.events ~time:(Int64.to_int time) ~seq:t.seq f
 
 let spawn t ?(daemon = false) ~name body =
   let fiber = { fid = t.next_fid; name; daemon; state = `Created } in
   t.next_fid <- t.next_fid + 1;
+  t.spawned <- t.spawned + 1;
   if not daemon then t.live <- t.live + 1;
-  t.fibers <- fiber :: t.fibers;
+  Hashtbl.replace t.fibers fiber.fid fiber;
+  let n = Hashtbl.length t.fibers in
+  if n > t.peak_fibers then t.peak_fibers <- n;
+  let finish () =
+    fiber.state <- `Done;
+    Hashtbl.remove t.fibers fiber.fid;
+    if not daemon then t.live <- t.live - 1
+  in
   let start () =
     fiber.state <- `Runnable;
+    t.cur <- Some fiber;
     if t.tracing then Log.debug (fun m -> m "fiber %s[%d] starts" name fiber.fid);
     let open Effect.Deep in
     match_with body ()
       {
         retc =
           (fun () ->
-            fiber.state <- `Done;
-            if not daemon then t.live <- t.live - 1;
+            finish ();
             if t.tracing then
               Log.debug (fun m -> m "fiber %s[%d] done" name fiber.fid));
         exnc =
           (fun exn ->
-            fiber.state <- `Done;
-            if not daemon then t.live <- t.live - 1;
+            finish ();
             raise (Fiber_failure (name, exn)));
         effc =
           (fun (type a) (eff : a Effect.t) ->
@@ -117,7 +157,25 @@ let spawn t ?(daemon = false) ~name body =
                       discontinue k (Invalid_argument "Engine.sleep: negative")
                     else
                       schedule_at t (Int64.add t.time d) (fun () ->
+                          t.cur <- Some fiber;
                           continue k ()))
+            | Sleep_cycles d ->
+                (* Unboxed twin of [Sleep]: an immediate-int payload and
+                   native-int time arithmetic, so the per-compute sleep on
+                   the hot path allocates nothing. *)
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    if d < 0 then
+                      discontinue k (Invalid_argument "Engine.sleep: negative")
+                    else begin
+                      t.seq <- t.seq + 1;
+                      Heap.push t.events
+                        ~time:(Int64.to_int t.time + d)
+                        ~seq:t.seq
+                        (fun () ->
+                          t.cur <- Some fiber;
+                          continue k ())
+                    end)
             | Suspend register ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -131,7 +189,9 @@ let spawn t ?(daemon = false) ~name body =
                       else begin
                         fired := true;
                         fiber.state <- `Runnable;
-                        schedule_at t t.time (fun () -> continue k ())
+                        schedule_at t t.time (fun () ->
+                            t.cur <- Some fiber;
+                            continue k ())
                       end
                     in
                     register waker)
@@ -141,25 +201,68 @@ let spawn t ?(daemon = false) ~name body =
   schedule_at t t.time start;
   fiber
 
-let register_probe t ~name depth = t.probes <- (name, depth) :: t.probes
+let register_probe t ~name depth =
+  let probe = Some { p_name = name; p_depth = depth } in
+  match t.probe_free with
+  | slot :: rest ->
+      t.probe_free <- rest;
+      t.probes.(slot) <- probe;
+      slot
+  | [] ->
+      let slot = t.nprobes in
+      let capacity = Array.length t.probes in
+      if slot = capacity then begin
+        let capacity' = if capacity = 0 then 16 else capacity * 2 in
+        let probes' = Array.make capacity' None in
+        Array.blit t.probes 0 probes' 0 capacity;
+        t.probes <- probes'
+      end;
+      t.probes.(slot) <- probe;
+      t.nprobes <- slot + 1;
+      slot
+
+let unregister_probe t id =
+  if id >= 0 && id < t.nprobes && t.probes.(id) <> None then begin
+    t.probes.(id) <- None;
+    t.probe_free <- id :: t.probe_free
+  end
+
+let probe_count t =
+  let n = ref 0 in
+  for i = 0 to t.nprobes - 1 do
+    if t.probes.(i) <> None then incr n
+  done;
+  !n
 
 let pending_depths t =
-  List.rev t.probes
-  |> List.filter_map (fun (name, depth) ->
-         match depth () with
-         | 0 -> None
-         | d -> Some (Printf.sprintf "%s=%d" name d)
-         | exception _ -> None)
+  let out = ref [] in
+  for i = t.nprobes - 1 downto 0 do
+    match t.probes.(i) with
+    | None -> ()
+    | Some p -> (
+        match p.p_depth () with
+        | 0 -> ()
+        | d -> out := Printf.sprintf "%s=%d" p.p_name d :: !out
+        | exception _ -> ())
+  done;
+  !out
 
 let blocked_names t =
-  t.fibers
-  |> List.filter (fun f -> f.state = `Blocked && not f.daemon)
+  Hashtbl.fold
+    (fun _ f acc ->
+      if f.state = `Blocked && not f.daemon then f :: acc else acc)
+    t.fibers []
+  |> List.sort (fun a b -> compare a.fid b.fid)
   |> List.map (fun f -> Printf.sprintf "%s[%d]" f.name f.fid)
   |> String.concat ", "
 
 let step t =
   let time, _seq, f = Heap.pop_min t.events in
-  t.time <- time;
+  t.time <- Int64.of_int time;
+  t.steps <- t.steps + 1;
+  (* Plain callbacks (timers) run outside any fiber; fiber starts and
+     resumes re-set [cur] themselves before continuing. *)
+  t.cur <- None;
   f ()
 
 let check_deadlock t =
@@ -187,15 +290,18 @@ let run t =
   while not (Heap.is_empty t.events) do
     step t
   done;
+  (* The last event may have run (and completed) inside a fiber; nothing
+     is executing once the loop exits. *)
+  t.cur <- None;
   check_deadlock t
 
 let run_for t budget =
-  let limit = Int64.add t.time budget in
+  let limit = Int64.to_int (Int64.add t.time budget) in
   let continue_ = ref true in
   while !continue_ && not (Heap.is_empty t.events) do
-    let time, _, _ = Heap.peek_min t.events in
-    if time > limit then continue_ := false else step t
+    if Heap.min_time t.events > limit then continue_ := false else step t
   done;
+  t.cur <- None;
   if Heap.is_empty t.events then check_deadlock t
 
 (* Effects-performing helpers; callable only from inside a fiber. *)
@@ -203,5 +309,7 @@ let run_for t budget =
 let self () = Effect.perform Self
 
 let sleep d = Effect.perform (Sleep d)
+
+let sleep_cycles d = Effect.perform (Sleep_cycles d)
 
 let suspend register = Effect.perform (Suspend register)

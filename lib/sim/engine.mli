@@ -55,6 +55,27 @@ val fiber_id : fiber -> int
 val live_fibers : t -> int
 (** Number of non-daemon fibers that have started but not finished. *)
 
+val registered_fibers : t -> int
+(** Number of fibers (daemons included) currently in the registry —
+    spawned but not yet finished. Finished fibers are pruned, so this
+    stays bounded on long open-loop runs. *)
+
+val peak_fibers : t -> int
+(** High-water mark of {!registered_fibers} over the run. *)
+
+val spawned_fibers : t -> int
+(** Total fibers ever spawned (a monotone counter). *)
+
+val events_executed : t -> int
+(** Total events the engine has executed; divided by wall-clock time this
+    is the engine's host-side throughput (the bench's
+    [sim_events_per_sec]). *)
+
+val current_fid : t -> int
+(** Id of the fiber currently executing, or [-1] between events. O(1)
+    field read — the allocation-free replacement for
+    [fiber_id (self ())] on hot instrumentation paths. *)
+
 (** {1 Effects — callable only from inside a fiber} *)
 
 val self : unit -> fiber
@@ -63,6 +84,11 @@ val self : unit -> fiber
 val sleep : int64 -> unit
 (** Advance this fiber's view of time by the given number of cycles without
     occupying any core (pure waiting). *)
+
+val sleep_cycles : int -> unit
+(** [sleep] with a native-int duration. Semantically identical; the
+    immediate-int effect payload makes it allocation-free, so hot paths
+    ([Core_res.compute]) prefer it. *)
 
 val schedule_at : t -> int64 -> (unit -> unit) -> unit
 (** [schedule_at t time f] runs the callback [f] at absolute simulated
@@ -102,11 +128,20 @@ val set_checker : t -> Hare_check.Check.t -> unit
 
 (** {1 Deadlock diagnostics} *)
 
-val register_probe : t -> name:string -> (unit -> int) -> unit
+val register_probe : t -> name:string -> (unit -> int) -> int
 (** [register_probe t ~name depth] registers a named pending-depth probe
     (typically a mailbox's queue length). When {!run} raises {!Deadlock},
     the report appends every probe with a non-zero depth, so a lost-reply
-    hang shows at a glance where messages piled up. *)
+    hang shows at a glance where messages piled up. Returns a probe id
+    for {!unregister_probe}; slots are recycled. *)
+
+val unregister_probe : t -> int -> unit
+(** Remove a probe registered by {!register_probe} (idempotent). Called
+    on file-server crash/teardown so {!pending_depths} never scans dead
+    mailboxes. *)
+
+val probe_count : t -> int
+(** Number of currently registered probes. *)
 
 val pending_depths : t -> string list
 (** Formatted ["name=depth"] strings for all probes with non-zero depth. *)

@@ -1,31 +1,62 @@
-type 'a entry = { time : int64; seq : int; value : 'a }
+(* Binary min-heap over (time, seq) int keys, stored as three parallel
+   flat arrays. Native-int keys keep every comparison and swap unboxed
+   (no per-entry record, no Int64 boxes held live), which matters because
+   the engine pushes and pops one entry per simulated event: at 512 cores
+   the heap is the single hottest data structure in the process. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+}
 
-let create () = { arr = [||]; size = 0 }
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Vacated tail slots keep their stale value until overwritten by a later
+   push. The retention is bounded by the heap's high-water mark, and the
+   engine's values are small scheduled-callback closures, so no quadratic
+   or unbounded growth can hide here. *)
 
-let grow h entry =
-  let capacity = Array.length h.arr in
+let grow h time seq value =
+  let capacity = Array.length h.times in
   if h.size = capacity then begin
     let capacity' = if capacity = 0 then 64 else capacity * 2 in
-    let arr' = Array.make capacity' entry in
-    Array.blit h.arr 0 arr' 0 h.size;
-    h.arr <- arr'
+    let times' = Array.make capacity' time in
+    let seqs' = Array.make capacity' seq in
+    let values' = Array.make capacity' value in
+    Array.blit h.times 0 times' 0 h.size;
+    Array.blit h.seqs 0 seqs' 0 h.size;
+    Array.blit h.values 0 values' 0 h.size;
+    h.times <- times';
+    h.seqs <- seqs';
+    h.values <- values'
   end
+
+let[@inline] lt h i j =
+  let ti = Array.unsafe_get h.times i and tj = Array.unsafe_get h.times j in
+  ti < tj || (ti = tj && Array.unsafe_get h.seqs i < Array.unsafe_get h.seqs j)
+
+let[@inline] swap h i j =
+  let t = h.times.(i) in
+  h.times.(i) <- h.times.(j);
+  h.times.(j) <- t;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.values.(i) in
+  h.values.(i) <- h.values.(j);
+  h.values.(j) <- v
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt h.arr.(i) h.arr.(parent) then begin
-      let tmp = h.arr.(i) in
-      h.arr.(i) <- h.arr.(parent);
-      h.arr.(parent) <- tmp;
+    if lt h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -33,31 +64,40 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && lt h.arr.(left) h.arr.(!smallest) then smallest := left;
-  if right < h.size && lt h.arr.(right) h.arr.(!smallest) then smallest := right;
+  if left < h.size && lt h left !smallest then smallest := left;
+  if right < h.size && lt h right !smallest then smallest := right;
   if !smallest <> i then begin
-    let tmp = h.arr.(i) in
-    h.arr.(i) <- h.arr.(!smallest);
-    h.arr.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow h entry;
-  h.arr.(h.size) <- entry;
+  if time < 0 then invalid_arg "Heap.push: negative time";
+  grow h time seq value;
+  let i = h.size in
+  h.times.(i) <- time;
+  h.seqs.(i) <- seq;
+  h.values.(i) <- value;
   h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  sift_up h i
+
+let min_time h =
+  if h.size = 0 then raise Not_found;
+  h.times.(0)
 
 let peek_min h =
   if h.size = 0 then raise Not_found;
-  let e = h.arr.(0) in
-  (e.time, e.seq, e.value)
+  (h.times.(0), h.seqs.(0), h.values.(0))
 
 let pop_min h =
   if h.size = 0 then raise Not_found;
-  let e = h.arr.(0) in
-  h.size <- h.size - 1;
-  h.arr.(0) <- h.arr.(h.size);
-  sift_down h 0;
-  (e.time, e.seq, e.value)
+  let time = h.times.(0) and seq = h.seqs.(0) and v = h.values.(0) in
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    h.times.(0) <- h.times.(last);
+    h.seqs.(0) <- h.seqs.(last);
+    h.values.(0) <- h.values.(last);
+    sift_down h 0
+  end;
+  (time, seq, v)

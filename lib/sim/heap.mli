@@ -1,9 +1,14 @@
-(** Binary min-heap keyed by [(int64 * int)] pairs.
+(** Binary min-heap keyed by [(time, seq)] native-int pairs.
 
     The key is a (time, sequence) pair: the heap orders events primarily by
     simulated time and breaks ties by insertion sequence, which gives the
     discrete-event engine a deterministic FIFO order for simultaneous
-    events. *)
+    events.
+
+    Keys are native ints (63-bit on 64-bit platforms), not int64: simulated
+    cycle counts stay far below 2^62, and unboxed keys in flat parallel
+    arrays keep the per-event push/pop — the engine's hottest path — free
+    of allocation. *)
 
 type 'a t
 
@@ -13,13 +18,18 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [push h ~time ~seq v] inserts [v] with key [(time, seq)]. *)
-val push : 'a t -> time:int64 -> seq:int -> 'a -> unit
+(** [push h ~time ~seq v] inserts [v] with key [(time, seq)].
+    Raises [Invalid_argument] if [time] is negative. *)
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
 
 (** [pop_min h] removes and returns the minimum element together with its
     key. Raises [Not_found] when the heap is empty. *)
-val pop_min : 'a t -> int64 * int * 'a
+val pop_min : 'a t -> int * int * 'a
 
 (** [peek_min h] returns the minimum element without removing it.
     Raises [Not_found] when the heap is empty. *)
-val peek_min : 'a t -> int64 * int * 'a
+val peek_min : 'a t -> int * int * 'a
+
+(** [min_time h] returns the minimum key's time without any allocation.
+    Raises [Not_found] when the heap is empty. *)
+val min_time : 'a t -> int

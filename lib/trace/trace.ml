@@ -43,15 +43,22 @@ type event =
     }
   | Counter of { name : string; track : int; ts : int64; value : int }
 
-(* An open attribution context for one fiber. *)
+(* An open attribution context for one fiber. Cycle counts are native
+   ints (cycle totals stay far below 2^62): an [int64 array] stores
+   boxed values, so charging a bucket on every compute allocated — ints
+   in a flat array do not. All fields are mutable because contexts are
+   recycled in place: a fiber opens and closes one per syscall, and the
+   closed record (plus its buckets array) stays parked in the fid slot
+   for the next open instead of becoming garbage. *)
 type ctx = {
-  c_op : string;
-  c_track : int;
-  c_span : int;
-  c_parent : int;
-  c_t0 : int64;
-  c_args : (string * string) list;
-  c_buckets : int64 array;
+  mutable c_open : bool;
+  mutable c_op : string;
+  mutable c_track : int;
+  mutable c_span : int;
+  mutable c_parent : int;
+  mutable c_t0 : int;
+  mutable c_args : (string * string) list;
+  mutable c_buckets : int array;
   (* Decomposition of the fiber's next compute charge; cleared by
      [on_compute]. *)
   mutable c_pending : (bucket * int) list;
@@ -60,39 +67,125 @@ type ctx = {
 (* Per-opcode profile accumulator. *)
 type agg = {
   mutable a_count : int;
-  mutable a_total : int64;
-  a_buckets : int64 array;
+  mutable a_total : int;
+  a_buckets : int array;
 }
+
+(* Event kind tags for the flattened ring. *)
+let k_span = '\000'
+
+let k_instant = '\001'
+
+let k_counter = '\002'
 
 type t = {
   cap : int;
-  ring : event option array;
+  (* When false the trace is profile-only: attribution contexts and the
+     per-opcode aggregate run as usual but no events are written to the
+     ring (and the ring arrays are empty). *)
+  ring : bool;
+  (* The ring is a struct-of-arrays, not an [event array]: keeping tens
+     of thousands of live event records (each with boxed int64 stamps)
+     made every minor collection promote the ring's whole working set —
+     the dominant cost of traced runs. Flat int/string arrays retain
+     nothing the GC must trace per event; [event] records materialize
+     only on export ({!events}). Writers set exactly the fields their
+     kind reads back, so stale values from overwritten slots are never
+     observed. *)
+  e_kind : Bytes.t;
+  e_name : string array;
+  e_cat : string array; (* spans *)
+  e_track : int array;
+  e_t0 : int array; (* span start / instant / counter timestamp *)
+  e_t1 : int array; (* span end *)
+  e_id : int array; (* spans *)
+  e_parent : int array; (* spans *)
+  e_value : int array; (* counters *)
+  e_args : (string * string) list array; (* spans + instants *)
   mutable head : int; (* index of oldest event when full *)
   mutable len : int;
   mutable dropped : int;
   mutable next_id : int;
   mutable track_names : (int * string) list; (* reversed declaration order *)
-  ctxs : (int, ctx) Hashtbl.t; (* fiber id -> open context *)
+  mutable ctxs : ctx option array; (* fiber id -> open context *)
   (* request span id -> bucket breakdown recorded by the server side,
-     consumed by the client's blocked-await. *)
-  server_done : (int, int64 array) Hashtbl.t;
+     consumed by the client's blocked-await. Open-addressed (linear
+     probing; 0 = empty, -1 = tombstone — span ids are positive) because
+     a Hashtbl paid an allocation per insert on every traced RPC. *)
+  mutable sd_keys : int array;
+  mutable sd_vals : int array array;
+  mutable sd_count : int;
+  mutable sd_tombs : int;
   profile : (string, agg) Hashtbl.t;
+  (* Root-span (syscall) completion log: op name, start stamp, duration.
+     Latency percentiles come from here rather than the event ring, so
+     they survive profile-only mode and never lose samples to ring
+     overwrite. Cleared alongside the profile at timed-region start. *)
+  mutable lat_ops : string array;
+  mutable lat_t0 : int array;
+  mutable lat_dur : int array;
+  mutable lat_len : int;
 }
 
-let create ~cap =
+let create ?(ring = true) ~cap () =
   if cap <= 0 then invalid_arg "Trace.create: cap must be positive";
+  let rcap = if ring then cap else 0 in
   {
     cap;
-    ring = Array.make cap None;
+    ring;
+    e_kind = Bytes.make rcap k_counter;
+    e_name = Array.make rcap "";
+    e_cat = Array.make rcap "";
+    e_track = Array.make rcap 0;
+    e_t0 = Array.make rcap 0;
+    e_t1 = Array.make rcap 0;
+    e_id = Array.make rcap 0;
+    e_parent = Array.make rcap 0;
+    e_value = Array.make rcap 0;
+    e_args = Array.make rcap [];
     head = 0;
     len = 0;
     dropped = 0;
     next_id = 0;
     track_names = [];
-    ctxs = Hashtbl.create 64;
-    server_done = Hashtbl.create 256;
+    ctxs = Array.make 1024 None;
+    sd_keys = Array.make 512 0;
+    sd_vals = Array.make 512 [||];
+    sd_count = 0;
+    sd_tombs = 0;
     profile = Hashtbl.create 64;
+    lat_ops = [||];
+    lat_t0 = [||];
+    lat_dur = [||];
+    lat_len = 0;
   }
+
+(* Fiber ids index [ctxs] directly: contexts open and close on every
+   syscall, and a Hashtbl round trip per lookup dominated traced runs.
+   The array grows to the highest fid seen with an open context — one
+   word per fiber ever spawned, reclaimed with the trace. Closed
+   contexts stay in their slot with [c_open = false] awaiting reuse, so
+   the match below must check the flag, and must return the stored
+   option as-is (no fresh [Some] allocation). *)
+let[@inline] ctx_find t fid =
+  if fid >= 0 && fid < Array.length t.ctxs then
+    match Array.unsafe_get t.ctxs fid with
+    | Some c as s -> if c.c_open then s else None
+    | None -> None
+  else None
+
+let ctx_set t fid c =
+  let n = Array.length t.ctxs in
+  if fid >= n then begin
+    let n' = ref (n * 2) in
+    while fid >= !n' do
+      n' := !n' * 2
+    done;
+    let ctxs' = Array.make !n' None in
+    Array.blit t.ctxs 0 ctxs' 0 n;
+    t.ctxs <- ctxs'
+  end;
+  t.ctxs.(fid) <- c
 
 let declare_track t ~track ~name =
   if not (List.mem_assoc track t.track_names) then
@@ -106,115 +199,234 @@ let next_span t =
 
 let dropped t = t.dropped
 
-let push t ev =
+let ring_enabled t = t.ring
+
+(* Claim the ring slot for the next event (overwriting the oldest when
+   full) and return its index. *)
+let[@inline] slot t =
   if t.len < t.cap then begin
-    t.ring.((t.head + t.len) mod t.cap) <- Some ev;
-    t.len <- t.len + 1
+    let i = t.head + t.len in
+    let i = if i >= t.cap then i - t.cap else i in
+    t.len <- t.len + 1;
+    i
   end
   else begin
-    (* Full: overwrite the oldest slot. *)
-    t.ring.(t.head) <- Some ev;
-    t.head <- (t.head + 1) mod t.cap;
-    t.dropped <- t.dropped + 1
+    let i = t.head in
+    let h = t.head + 1 in
+    t.head <- (if h = t.cap then 0 else h);
+    t.dropped <- t.dropped + 1;
+    i
   end
+
+let event_at t j =
+  let name = t.e_name.(j)
+  and track = t.e_track.(j)
+  and t0 = Int64.of_int t.e_t0.(j) in
+  match Bytes.get t.e_kind j with
+  | c when c = k_counter ->
+      Counter { name; track; ts = t0; value = t.e_value.(j) }
+  | c when c = k_instant ->
+      Instant { name; track; ts = t0; args = t.e_args.(j) }
+  | _ ->
+      Span
+        {
+          id = t.e_id.(j);
+          parent = t.e_parent.(j);
+          name;
+          cat = t.e_cat.(j);
+          track;
+          t0;
+          t1 = Int64.of_int t.e_t1.(j);
+          args = t.e_args.(j);
+        }
 
 let events t =
   let out = ref [] in
   for i = t.len - 1 downto 0 do
-    match t.ring.((t.head + i) mod t.cap) with
-    | Some ev -> out := ev :: !out
-    | None -> ()
+    let j = t.head + i in
+    let j = if j >= t.cap then j - t.cap else j in
+    out := event_at t j :: !out
   done;
   !out
 
 let instant t ~name ~track ~ts ?(args = []) () =
-  push t (Instant { name; track; ts; args })
+  if t.ring then begin
+    let i = slot t in
+    Bytes.unsafe_set t.e_kind i k_instant;
+    Array.unsafe_set t.e_name i name;
+    Array.unsafe_set t.e_track i track;
+    Array.unsafe_set t.e_t0 i (Int64.to_int ts);
+    Array.unsafe_set t.e_args i args
+  end
 
-let counter t ~name ~track ~ts ~value = push t (Counter { name; track; ts; value })
+let counter t ~name ~track ~ts ~value =
+  if t.ring then begin
+    let i = slot t in
+    Bytes.unsafe_set t.e_kind i k_counter;
+    Array.unsafe_set t.e_name i name;
+    Array.unsafe_set t.e_track i track;
+    Array.unsafe_set t.e_t0 i (Int64.to_int ts);
+    Array.unsafe_set t.e_value i value
+  end
 
 (* --- attribution contexts ------------------------------------------- *)
 
-let ctx_active t ~fid = Hashtbl.mem t.ctxs fid
+let ctx_active t ~fid = ctx_find t fid <> None
 
 let ctx_open t ~fid ~op ~track ~parent ~now ~args =
-  if Hashtbl.mem t.ctxs fid then 0
+  if fid < 0 || ctx_find t fid <> None then 0
   else begin
     t.next_id <- t.next_id + 1;
     let span = t.next_id in
-    Hashtbl.replace t.ctxs fid
-      {
-        c_op = op;
-        c_track = track;
-        c_span = span;
-        c_parent = parent;
-        c_t0 = now;
-        c_args = args;
-        c_buckets = Array.make nbuckets 0L;
-        c_pending = [];
-      };
+    (* Reuse the parked context from this fiber's last operation when
+       there is one; a fresh record is only paid once per fiber. *)
+    (match if fid < Array.length t.ctxs then t.ctxs.(fid) else None with
+    | Some c ->
+        c.c_open <- true;
+        c.c_op <- op;
+        c.c_track <- track;
+        c.c_span <- span;
+        c.c_parent <- parent;
+        c.c_t0 <- Int64.to_int now;
+        c.c_args <- args;
+        Array.fill c.c_buckets 0 nbuckets 0;
+        c.c_pending <- []
+    | None ->
+        ctx_set t fid
+          (Some
+             {
+               c_open = true;
+               c_op = op;
+               c_track = track;
+               c_span = span;
+               c_parent = parent;
+               c_t0 = Int64.to_int now;
+               c_args = args;
+               c_buckets = Array.make nbuckets 0;
+               c_pending = [];
+             }));
     span
   end
 
-let charge ctx b cy =
-  if cy > 0L then
+let[@inline] charge ctx b cy =
+  if cy > 0 then begin
     let i = bucket_index b in
-    ctx.c_buckets.(i) <- Int64.add ctx.c_buckets.(i) cy
+    Array.unsafe_set ctx.c_buckets i (Array.unsafe_get ctx.c_buckets i + cy)
+  end
 
 let set_pending t ~fid parts =
-  match Hashtbl.find_opt t.ctxs fid with
+  match ctx_find t fid with
   | Some ctx -> ctx.c_pending <- parts
   | None -> ()
 
 let on_compute t ~fid ~elapsed ~cost ~switch =
-  match Hashtbl.find_opt t.ctxs fid with
+  match ctx_find t fid with
   | None -> ()
   | Some ctx ->
       (* Backlog waiting for the core before our charge started. *)
-      charge ctx Queue (Int64.sub elapsed cost);
+      charge ctx Queue (elapsed - cost);
       charge ctx Dispatch switch;
-      let base = Int64.sub cost switch in
+      let base = cost - switch in
       (* Spread [base] over the pending decomposition; uncovered cycles
          default to Compute. Pending parts are caller estimates of the
          same charge, so cap at what actually remains. *)
       let remaining = ref base in
       List.iter
         (fun (b, cy) ->
-          let cy = Int64.of_int cy in
           let grant = if cy < !remaining then cy else !remaining in
           charge ctx b grant;
-          remaining := Int64.sub !remaining grant)
+          remaining := !remaining - grant)
         ctx.c_pending;
       charge ctx Compute !remaining;
       ctx.c_pending <- []
 
 let on_wait t ~fid ~cycles =
-  match Hashtbl.find_opt t.ctxs fid with
+  match ctx_find t fid with
   | Some ctx -> charge ctx Queue cycles
   | None -> ()
 
-(* Keep [server_done] bounded: requests whose reply is lost (crash,
+(* --- the server-done table ------------------------------------------ *)
+
+let[@inline] sd_slot t span = span * 0x2545F491 land (Array.length t.sd_keys - 1)
+
+(* Slot holding [span], or -1. *)
+let sd_find t span =
+  let mask = Array.length t.sd_keys - 1 in
+  let rec probe i =
+    match Array.unsafe_get t.sd_keys i with
+    | 0 -> -1
+    | k when k = span -> i
+    | _ -> probe ((i + 1) land mask)
+  in
+  probe (sd_slot t span)
+
+let sd_rehash t size =
+  let old_keys = t.sd_keys and old_vals = t.sd_vals in
+  t.sd_keys <- Array.make size 0;
+  t.sd_vals <- Array.make size [||];
+  t.sd_tombs <- 0;
+  let mask = size - 1 in
+  Array.iteri
+    (fun i k ->
+      if k > 0 then begin
+        let j = ref (k * 0x2545F491 land mask) in
+        while t.sd_keys.(!j) <> 0 do
+          j := (!j + 1) land mask
+        done;
+        t.sd_keys.(!j) <- k;
+        t.sd_vals.(!j) <- old_vals.(i)
+      end)
+    old_keys
+
+let sd_put t span v =
+  let size = Array.length t.sd_keys in
+  if (t.sd_count + t.sd_tombs + 1) * 4 >= size * 3 then
+    sd_rehash t (if (t.sd_count + 1) * 2 >= size then size * 2 else size);
+  let mask = Array.length t.sd_keys - 1 in
+  let rec probe i free =
+    match Array.unsafe_get t.sd_keys i with
+    | 0 ->
+        let i = if free >= 0 then free else i in
+        if t.sd_keys.(i) = -1 then t.sd_tombs <- t.sd_tombs - 1;
+        t.sd_keys.(i) <- span;
+        t.sd_vals.(i) <- v;
+        t.sd_count <- t.sd_count + 1
+    | k when k = span -> t.sd_vals.(i) <- v
+    | -1 -> probe ((i + 1) land mask) (if free >= 0 then free else i)
+    | _ -> probe ((i + 1) land mask) free
+  in
+  probe (sd_slot t span) (-1)
+
+(* Find-and-remove: each breakdown is consumed by exactly one await. *)
+let sd_take t span =
+  let i = sd_find t span in
+  if i < 0 then None
+  else begin
+    let v = t.sd_vals.(i) in
+    t.sd_keys.(i) <- -1;
+    t.sd_vals.(i) <- [||];
+    t.sd_count <- t.sd_count - 1;
+    t.sd_tombs <- t.sd_tombs + 1;
+    Some v
+  end
+
+(* Keep the table bounded: requests whose reply is lost (crash,
    blackhole) leave entries behind. Past the high-water mark, drop the
    older (smaller-span) half. *)
 let prune_server_done t =
-  if Hashtbl.length t.server_done > 8192 then begin
-    let spans = Hashtbl.fold (fun k _ acc -> k :: acc) t.server_done [] in
-    let sorted = List.sort compare spans in
+  if t.sd_count > 8192 then begin
+    let spans = ref [] in
+    Array.iter (fun k -> if k > 0 then spans := k :: !spans) t.sd_keys;
+    let sorted = List.sort compare !spans in
     let cutoff = List.nth sorted (List.length sorted / 2) in
-    List.iter (fun s -> if s < cutoff then Hashtbl.remove t.server_done s) sorted
+    List.iter (fun s -> if s < cutoff then ignore (sd_take t s)) sorted
   end
 
 let blocked_priority = [ Dispatch; Compute; Cache; Dram; Send; Queue ]
 
 let on_blocked t ~fid ~span ~elapsed =
-  let breakdown =
-    if span = 0 then None
-    else begin
-      let b = Hashtbl.find_opt t.server_done span in
-      Hashtbl.remove t.server_done span;
-      b
-    end
-  in
-  match Hashtbl.find_opt t.ctxs fid with
+  let breakdown = if span = 0 then None else sd_take t span in
+  match ctx_find t fid with
   | None -> ()
   | Some ctx ->
       let remaining = ref elapsed in
@@ -226,63 +438,88 @@ let on_blocked t ~fid ~span ~elapsed =
               let cy = srv.(bucket_index b) in
               let grant = if cy < !remaining then cy else !remaining in
               charge ctx b grant;
-              remaining := Int64.sub !remaining grant)
+              remaining := !remaining - grant)
             blocked_priority
       | None -> ());
       charge ctx Queue !remaining
 
-let bucket_sum buckets = Array.fold_left Int64.add 0L buckets
+let bucket_sum buckets = Array.fold_left ( + ) 0 buckets
 
 let close_common t ~fid ~now ~cat k =
-  match Hashtbl.find_opt t.ctxs fid with
+  match ctx_find t fid with
   | None -> ()
   | Some ctx ->
-      Hashtbl.remove t.ctxs fid;
+      (* Park the record in its slot for the fiber's next open. *)
+      ctx.c_open <- false;
       k ctx;
-      push t
-        (Span
-           {
-             id = ctx.c_span;
-             parent = ctx.c_parent;
-             name = ctx.c_op;
-             cat;
-             track = ctx.c_track;
-             t0 = ctx.c_t0;
-             t1 = now;
-             args = ctx.c_args;
-           })
+      if t.ring then begin
+        let i = slot t in
+        Bytes.unsafe_set t.e_kind i k_span;
+        Array.unsafe_set t.e_name i ctx.c_op;
+        Array.unsafe_set t.e_cat i cat;
+        Array.unsafe_set t.e_track i ctx.c_track;
+        Array.unsafe_set t.e_t0 i ctx.c_t0;
+        Array.unsafe_set t.e_t1 i (Int64.to_int now);
+        Array.unsafe_set t.e_id i ctx.c_span;
+        Array.unsafe_set t.e_parent i ctx.c_parent;
+        Array.unsafe_set t.e_args i ctx.c_args
+      end
 
 let profile_add t ctx elapsed =
   let agg =
     match Hashtbl.find_opt t.profile ctx.c_op with
     | Some a -> a
     | None ->
-        let a = { a_count = 0; a_total = 0L; a_buckets = Array.make nbuckets 0L } in
+        let a = { a_count = 0; a_total = 0; a_buckets = Array.make nbuckets 0 } in
         Hashtbl.replace t.profile ctx.c_op a;
         a
   in
   agg.a_count <- agg.a_count + 1;
-  agg.a_total <- Int64.add agg.a_total elapsed;
+  agg.a_total <- agg.a_total + elapsed;
   Array.iteri
-    (fun i cy -> agg.a_buckets.(i) <- Int64.add agg.a_buckets.(i) cy)
+    (fun i cy -> agg.a_buckets.(i) <- agg.a_buckets.(i) + cy)
     ctx.c_buckets
+
+let lat_push t op t0 dur =
+  let n = Array.length t.lat_ops in
+  if t.lat_len = n then begin
+    let n' = if n = 0 then 1024 else n * 2 in
+    let ops' = Array.make n' ""
+    and t0' = Array.make n' 0
+    and dur' = Array.make n' 0 in
+    Array.blit t.lat_ops 0 ops' 0 n;
+    Array.blit t.lat_t0 0 t0' 0 n;
+    Array.blit t.lat_dur 0 dur' 0 n;
+    t.lat_ops <- ops';
+    t.lat_t0 <- t0';
+    t.lat_dur <- dur'
+  end;
+  t.lat_ops.(t.lat_len) <- op;
+  t.lat_t0.(t.lat_len) <- t0;
+  t.lat_dur.(t.lat_len) <- dur;
+  t.lat_len <- t.lat_len + 1
 
 let ctx_close_syscall t ~fid ~now =
   close_common t ~fid ~now ~cat:"syscall" (fun ctx ->
-      let elapsed = Int64.sub now ctx.c_t0 in
+      let elapsed = Int64.to_int now - ctx.c_t0 in
       (* Uncovered wall time — mailbox waits, reply latency not explained
          by the server breakdown — is queue-wait. This makes the bucket
          sum equal elapsed exactly, by construction. *)
-      charge ctx Queue (Int64.sub elapsed (bucket_sum ctx.c_buckets));
-      profile_add t ctx elapsed)
+      charge ctx Queue (elapsed - bucket_sum ctx.c_buckets);
+      profile_add t ctx elapsed;
+      if ctx.c_parent = 0 then lat_push t ctx.c_op ctx.c_t0 elapsed)
 
 let ctx_close_server t ~fid ~now =
   close_common t ~fid ~now ~cat:"server" (fun ctx ->
-      let elapsed = Int64.sub now ctx.c_t0 in
-      charge ctx Queue (Int64.sub elapsed (bucket_sum ctx.c_buckets));
+      let elapsed = Int64.to_int now - ctx.c_t0 in
+      charge ctx Queue (elapsed - bucket_sum ctx.c_buckets);
       profile_add t ctx elapsed;
       if ctx.c_parent <> 0 then begin
-        Hashtbl.replace t.server_done ctx.c_parent (Array.copy ctx.c_buckets);
+        (* Hand the buckets array itself to the server-done table (the
+           context is recycled, so it gets a fresh one) rather than
+           copying. *)
+        sd_put t ctx.c_parent ctx.c_buckets;
+        ctx.c_buckets <- Array.make nbuckets 0;
         prune_server_done t
       end)
 
@@ -301,8 +538,8 @@ let profile t =
       {
         r_op = op;
         r_count = a.a_count;
-        r_total = a.a_total;
-        r_buckets = Array.copy a.a_buckets;
+        r_total = Int64.of_int a.a_total;
+        r_buckets = Array.map Int64.of_int a.a_buckets;
       }
       :: acc)
     t.profile []
@@ -311,7 +548,13 @@ let profile t =
          | 0 -> compare a.r_op b.r_op
          | c -> c)
 
-let reset_profile t = Hashtbl.reset t.profile
+let reset_profile t =
+  Hashtbl.reset t.profile;
+  t.lat_len <- 0
+
+let root_spans t =
+  List.init t.lat_len (fun i ->
+      (t.lat_ops.(i), Int64.of_int t.lat_t0.(i), Int64.of_int t.lat_dur.(i)))
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

@@ -67,9 +67,13 @@ type event =
     }
   | Counter of { name : string; track : int; ts : int64; value : int }
 
-val create : cap:int -> t
-(** [create ~cap] makes a sink whose ring holds at most [cap] events.
-    [cap] must be positive. *)
+val create : ?ring:bool -> cap:int -> unit -> t
+(** [create ~cap ()] makes a sink whose ring holds at most [cap] events.
+    [cap] must be positive. With [~ring:false] the sink is profile-only:
+    attribution (contexts, buckets, the per-opcode profile) runs as
+    usual, but {!instant}, {!counter} and span emission become no-ops
+    and {!events} is always empty — about half the host-side overhead,
+    for consumers (benchmarks) that never export the event stream. *)
 
 val declare_track : t -> track:int -> name:string -> unit
 (** Name a track (one per simulated core, plus auxiliary tracks); the
@@ -85,6 +89,11 @@ val next_span : t -> int
 
 val dropped : t -> int
 (** Events overwritten because the ring was full. *)
+
+val ring_enabled : t -> bool
+(** Whether this sink retains events (false = profile-only). Charge
+    sites use it to skip building export-only decoration — span args,
+    pretty-printed ids — that a profile-only sink would discard. *)
 
 val events : t -> event list
 (** Ring contents, oldest first. *)
@@ -119,17 +128,17 @@ val set_pending : t -> fid:int -> (bucket * int) list -> unit
     no-op when the fiber has no open context. *)
 
 val on_compute :
-  t -> fid:int -> elapsed:int64 -> cost:int64 -> switch:int64 -> unit
+  t -> fid:int -> elapsed:int -> cost:int -> switch:int -> unit
 (** Called by the core model before it sleeps: [elapsed] cycles passed
     for the fiber, of which [cost] (including [switch] context-switch
     penalty) was charged work and the rest was waiting for the core.
     Folds everything into the open context (gap as {!Queue}, [switch] as
     {!Dispatch}, the rest per {!set_pending}). *)
 
-val on_wait : t -> fid:int -> cycles:int64 -> unit
+val on_wait : t -> fid:int -> cycles:int -> unit
 (** Pure waiting (retry backoff sleeps) inside an operation: {!Queue}. *)
 
-val on_blocked : t -> fid:int -> span:int -> elapsed:int64 -> unit
+val on_blocked : t -> fid:int -> span:int -> elapsed:int -> unit
 (** The fiber was blocked [elapsed] cycles awaiting the reply to request
     [span]. If a server context was recorded for [span], its buckets are
     granted — capped at [elapsed] — in priority order (dispatch, compute,
@@ -159,7 +168,14 @@ val profile : t -> row list
 (** Per-opcode attribution table, sorted by descending total cycles. *)
 
 val reset_profile : t -> unit
-(** Forget accumulated profile rows (driver: exclude benchmark setup). *)
+(** Forget accumulated profile rows and the root-span log (driver:
+    exclude benchmark setup). *)
+
+val root_spans : t -> (string * int64 * int64) list
+(** [(op, t0, duration)] for every completed root (client syscall) span
+    since the last {!reset_profile}, in completion order. Recorded even
+    in profile-only mode and never dropped by ring overwrite — latency
+    percentiles should come from here, not from {!events}. *)
 
 val to_chrome_json : t -> string
 (** The ring as Chrome trace-event JSON (Perfetto-loadable): one

@@ -102,11 +102,17 @@ let run_fsstress config =
           0
         end)
   in
+  let probes0 = Hare_sim.Engine.probe_count (Machine.engine m) in
   (match Machine.run m with
   | () -> ()
   | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
   Alcotest.(check (option int)) "soak workers all ok" (Some 0)
     (Machine.exit_status m init);
+  (* Crashed servers unwatch their queue-depth probes and restarts
+     rewatch them; every fault plan here restarts, so the registry must
+     end exactly where it began (no leaked or lost probe slots). *)
+  Alcotest.(check int) "probe registry restored" probes0
+    (Hare_sim.Engine.probe_count (Machine.engine m));
   (!tree, Machine.robustness m, Machine.now m)
 
 (* The fault-free oracle, computed once and shared by every soak case. *)

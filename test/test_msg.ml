@@ -205,6 +205,31 @@ let test_payload_lines_cost () =
            (Int64.sub (Engine.now e) t0)));
   Engine.run e
 
+let test_unwatch_rewatch () =
+  (* A named mailbox holds an engine depth probe; crash handling drops
+     it ([unwatch]) so deadlock reports skip dead queues, and restart
+     brings it back ([rewatch]). Both directions are idempotent. *)
+  let e = Engine.create () in
+  ignore
+    (Engine.spawn e ~name:"t" (fun () ->
+         let owner = Core_res.create e ~id:1 ~socket:0 ~ctx_switch:0 in
+         let mb = Hare_msg.Mailbox.create ~name:"fs0" ~owner ~costs () in
+         let anon = Hare_msg.Mailbox.create ~owner ~costs () in
+         Alcotest.(check int) "named mailbox registers" 1 (Engine.probe_count e);
+         Hare_msg.Mailbox.unwatch mb;
+         Alcotest.(check int) "unwatch drops it" 0 (Engine.probe_count e);
+         Hare_msg.Mailbox.unwatch mb;
+         Alcotest.(check int) "unwatch idempotent" 0 (Engine.probe_count e);
+         Hare_msg.Mailbox.rewatch mb;
+         Alcotest.(check int) "rewatch restores" 1 (Engine.probe_count e);
+         Hare_msg.Mailbox.rewatch mb;
+         Alcotest.(check int) "rewatch idempotent" 1 (Engine.probe_count e);
+         Hare_msg.Mailbox.unwatch anon;
+         Hare_msg.Mailbox.rewatch anon;
+         Alcotest.(check int) "unnamed mailbox is a no-op" 1
+           (Engine.probe_count e)));
+  Engine.run e
+
 let tc = Alcotest.test_case
 
 let suites : (string * unit Alcotest.test_case list) list =
@@ -217,6 +242,7 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "blocking recv" `Quick test_mailbox_blocking_recv;
         tc "poll" `Quick test_mailbox_poll;
         tc "payload cost" `Quick test_payload_lines_cost;
+        tc "unwatch/rewatch probe" `Quick test_unwatch_rewatch;
       ] );
     ( "msg.rpc",
       [

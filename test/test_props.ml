@@ -15,9 +15,7 @@ let prop_heap_sorted =
     Q.(list (pair (int_bound 10_000) small_nat))
     (fun entries ->
       let h = Heap.create () in
-      List.iteri
-        (fun seq (t, v) -> Heap.push h ~time:(Int64.of_int t) ~seq v)
-        entries;
+      List.iteri (fun seq (t, v) -> Heap.push h ~time:t ~seq v) entries;
       let rec drain last acc =
         if Heap.is_empty h then List.rev acc
         else begin
@@ -26,7 +24,7 @@ let prop_heap_sorted =
           drain t (t :: acc)
         end
       in
-      let popped = drain Int64.min_int [] in
+      let popped = drain min_int [] in
       List.length popped = List.length entries)
 
 (* ---------- rng --------------------------------------------------------- *)

@@ -9,10 +9,10 @@ let contains ~needle hay =
 
 let test_heap_ordering () =
   let h = Heap.create () in
-  Heap.push h ~time:5L ~seq:1 "b";
-  Heap.push h ~time:3L ~seq:2 "a";
-  Heap.push h ~time:5L ~seq:0 "c";
-  Heap.push h ~time:9L ~seq:3 "d";
+  Heap.push h ~time:5 ~seq:1 "b";
+  Heap.push h ~time:3 ~seq:2 "a";
+  Heap.push h ~time:5 ~seq:0 "c";
+  Heap.push h ~time:9 ~seq:3 "d";
   let order =
     List.init 4 (fun _ ->
         let _, _, v = Heap.pop_min h in
@@ -25,16 +25,75 @@ let test_heap_large () =
   let rng = Rng.create ~seed:7L in
   let n = 2000 in
   for i = 0 to n - 1 do
-    Heap.push h ~time:(Int64.of_int (Rng.int rng 1000)) ~seq:i i
+    Heap.push h ~time:(Rng.int rng 1000) ~seq:i i
   done;
   Alcotest.(check int) "length" n (Heap.length h);
-  let last = ref (-1L) in
+  let last = ref (-1) in
   for _ = 1 to n do
     let t, _, _ = Heap.pop_min h in
     Alcotest.(check bool) "monotone" true (t >= !last);
     last := t
   done;
   Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+(* Property test at engine scale: 100k events with clustered timestamps
+   (many ties) must drain in exact (time, seq) order, interleaving pushes
+   and pops the way [run_for] does. A model priority list would be
+   O(n^2); instead exploit that seq is unique and increasing per push, so
+   sorting the recorded (time, seq) pops must reproduce the pop order. *)
+let test_heap_property_100k () =
+  let h = Heap.create () in
+  let rng = Rng.create ~seed:11L in
+  let n = 100_000 in
+  let popped = ref [] in
+  let seq = ref 0 in
+  let pushed = ref 0 in
+  while !pushed < n do
+    (* burst of pushes ... *)
+    let burst = 1 + Rng.int rng 8 in
+    for _ = 1 to burst do
+      if !pushed < n then begin
+        Heap.push h ~time:(Rng.int rng 5000) ~seq:!seq !seq;
+        incr seq;
+        incr pushed
+      end
+    done;
+    (* ... then drain a few, like the engine's pop-schedule-pop loop *)
+    let drain = Rng.int rng 4 in
+    for _ = 1 to drain do
+      if not (Heap.is_empty h) then begin
+        Alcotest.(check int) "min_time matches peek" (Heap.min_time h)
+          (let t, _, _ = Heap.peek_min h in
+           t);
+        let t, s, v = Heap.pop_min h in
+        Alcotest.(check int) "value is its seq" s v;
+        popped := (t, s) :: !popped
+      end
+    done
+  done;
+  while not (Heap.is_empty h) do
+    let t, s, v = Heap.pop_min h in
+    Alcotest.(check int) "value is its seq" s v;
+    popped := (t, s) :: !popped
+  done;
+  let order = List.rev !popped in
+  Alcotest.(check int) "all drained" n (List.length order);
+  (* Interleaved pushes mean pop order need not be globally time-sorted,
+     but ties on time must always pop in increasing seq order: if (t, s2)
+     pops after (t, s1) with s2 < s1, then s2 was pushed first and sat in
+     the heap while s1 popped — contradicting min-heap order. *)
+  let last_seq_at : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (t, s) ->
+      (match Hashtbl.find_opt last_seq_at t with
+      | Some prev when prev >= s ->
+          Alcotest.failf "time %d popped seq %d after %d" t s prev
+      | _ -> ());
+      Hashtbl.replace last_seq_at t s)
+    order;
+  Alcotest.check_raises "negative time rejected"
+    (Invalid_argument "Heap.push: negative time") (fun () ->
+      Heap.push h ~time:(-1) ~seq:0 0)
 
 let test_heap_empty () =
   let h : int Heap.t = Heap.create () in
@@ -342,7 +401,7 @@ let test_condition_wait_deadline () =
 let test_deadlock_reports_mailbox_depths () =
   let e = Engine.create () in
   let q : int Bqueue.t = Bqueue.create () in
-  Engine.register_probe e ~name:"fs0" (fun () -> Bqueue.length q);
+  let _ : int = Engine.register_probe e ~name:"fs0" (fun () -> Bqueue.length q) in
   Bqueue.push q 1;
   Bqueue.push q 2;
   ignore
@@ -354,7 +413,7 @@ let test_deadlock_reports_mailbox_depths () =
         (contains ~needle:"fs0=2" msg));
   (* and with nothing queued, it says so instead of listing noise *)
   let e2 = Engine.create () in
-  Engine.register_probe e2 ~name:"fs0" (fun () -> 0);
+  let _ : int = Engine.register_probe e2 ~name:"fs0" (fun () -> 0) in
   ignore
     (Engine.spawn e2 ~name:"wedged2" (fun () -> Engine.suspend (fun _ -> ())));
   match Engine.run e2 with
@@ -362,6 +421,96 @@ let test_deadlock_reports_mailbox_depths () =
   | exception Engine.Deadlock msg ->
       Alcotest.(check bool) "no undelivered messages" true
         (contains ~needle:"no undelivered" msg)
+
+let test_probe_unregister () =
+  let e = Engine.create () in
+  let a = Engine.register_probe e ~name:"alpha" (fun () -> 3) in
+  let b = Engine.register_probe e ~name:"beta" (fun () -> 5) in
+  Alcotest.(check int) "two probes" 2 (Engine.probe_count e);
+  Alcotest.(check (list string))
+    "both report" [ "alpha=3"; "beta=5" ] (Engine.pending_depths e);
+  Engine.unregister_probe e a;
+  Alcotest.(check int) "one left" 1 (Engine.probe_count e);
+  Alcotest.(check (list string)) "dead probe gone" [ "beta=5" ]
+    (Engine.pending_depths e);
+  Engine.unregister_probe e a;
+  (* idempotent *)
+  Alcotest.(check int) "still one" 1 (Engine.probe_count e);
+  (* slot recycling: the freed slot is reused, the registry stays compact *)
+  let c = Engine.register_probe e ~name:"gamma" (fun () -> 7) in
+  Alcotest.(check int) "slot recycled" a c;
+  Alcotest.(check (list string))
+    "recycled slot reports" [ "gamma=7"; "beta=5" ] (Engine.pending_depths e);
+  Engine.unregister_probe e b;
+  Engine.unregister_probe e c;
+  Alcotest.(check int) "empty" 0 (Engine.probe_count e);
+  Alcotest.(check (list string)) "silent" [] (Engine.pending_depths e)
+
+let test_live_fiber_accounting () =
+  (* Finished fibers must be pruned from the registry (no leak on long
+     open-loop runs) while blocked ones stay visible; the peak and
+     spawned counters track the churn. *)
+  let e = Engine.create () in
+  Alcotest.(check int) "empty registry" 0 (Engine.registered_fibers e);
+  let running = ref 0 in
+  ignore
+    (Engine.spawn e ~name:"root" (fun () ->
+         for wave = 1 to 4 do
+           for i = 1 to 8 do
+             ignore
+               (Engine.spawn e
+                  ~name:(Printf.sprintf "w%d.%d" wave i)
+                  (fun () ->
+                    incr running;
+                    Engine.sleep 10L;
+                    decr running))
+           done;
+           Engine.sleep 100L;
+           (* wave drained: registry holds only root *)
+           Alcotest.(check int)
+             (Printf.sprintf "wave %d drained" wave)
+             1 (Engine.registered_fibers e)
+         done));
+  Engine.run e;
+  Alcotest.(check int) "all pruned at exit" 0 (Engine.registered_fibers e);
+  Alcotest.(check int) "spawned total" 33 (Engine.spawned_fibers e);
+  (* peak = root + one full wave of 8 (waves never overlap) *)
+  Alcotest.(check int) "peak live" 9 (Engine.peak_fibers e);
+  Alcotest.(check bool) "events counted" true (Engine.events_executed e > 0);
+  (* a crashing fiber is pruned too (exnc path) *)
+  let e2 = Engine.create () in
+  ignore (Engine.spawn e2 ~name:"boom" (fun () -> failwith "crash"));
+  (match Engine.run e2 with
+  | () -> Alcotest.fail "expected failure"
+  | exception Engine.Fiber_failure _ -> ());
+  Alcotest.(check int) "crashed fiber pruned" 0 (Engine.registered_fibers e2)
+
+let test_current_fid_tracking () =
+  (* [current_fid] must match [fiber_id (self ())] at every resume point:
+     fresh start, after sleep, and after a suspend/waker round trip. *)
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let check_here where f =
+    Alcotest.(check int) where (Engine.fiber_id f) (Engine.current_fid e)
+  in
+  ignore
+    (Engine.spawn e ~name:"a" (fun () ->
+         let f = Engine.self () in
+         check_here "a: at start" f;
+         Engine.sleep 5L;
+         check_here "a: after sleep" f;
+         Alcotest.(check int) "a: ivar value" 42 (Ivar.read iv);
+         check_here "a: after suspend" f));
+  ignore
+    (Engine.spawn e ~name:"b" (fun () ->
+         let f = Engine.self () in
+         check_here "b: at start" f;
+         Engine.sleep 20L;
+         check_here "b: after sleep" f;
+         Ivar.fill iv 42;
+         check_here "b: after fill" f));
+  Engine.run e;
+  Alcotest.(check int) "idle engine" (-1) (Engine.current_fid e)
 
 let tc = Alcotest.test_case
 
@@ -372,6 +521,7 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "ordering" `Quick test_heap_ordering;
         tc "large" `Quick test_heap_large;
         tc "empty" `Quick test_heap_empty;
+        tc "property 100k" `Quick test_heap_property_100k;
       ] );
     ( "sim.rng",
       [
@@ -388,6 +538,9 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "fiber failure" `Quick test_engine_fiber_failure;
         tc "run_for budget" `Quick test_engine_run_for;
         tc "deadlock mailbox depths" `Quick test_deadlock_reports_mailbox_depths;
+        tc "probe unregister" `Quick test_probe_unregister;
+        tc "live fiber accounting" `Quick test_live_fiber_accounting;
+        tc "current fid tracking" `Quick test_current_fid_tracking;
       ] );
     ( "sim.ivar",
       [

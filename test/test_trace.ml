@@ -205,7 +205,7 @@ let test_perf_reset_machine () =
 
 let test_deadlock_reports_spans () =
   let e = Engine.create () in
-  let tr = Trace.create ~cap:64 in
+  let tr = Trace.create ~cap:64 () in
   Engine.set_sink e tr;
   (* A finished span on track 0 — what the wedged machine last did. *)
   ignore

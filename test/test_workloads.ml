@@ -69,6 +69,61 @@ let dist_off_still_correct () =
   in
   check_result (HareD.run ~config:cfg (Hare_workloads.All.find "mailbench"))
 
+(* Golden simulated clocks: every workload's timed region, in cycles,
+   for the default seed. The engine overhaul (fiber pruning, probe
+   slots, flat attribution contexts, [Sleep_cycles]) is host-side only;
+   any change to these numbers means a scheduling-order perturbation
+   leaked into the simulation, which would silently invalidate every
+   figure. Regenerate deliberately (and say why in the commit) with the
+   formula below if a simulated-cost change is intended. *)
+let golden_clocks =
+  [
+    ("creates", 4, 1, 1, 1, 6447400L);
+    ("writes", 4, 1, 1, 1, 4791250L);
+    ("renames", 4, 1, 1, 1, 3045100L);
+    ("directories", 4, 1, 1, 1, 6868050L);
+    ("rm dense", 4, 1, 1, 1, 15646950L);
+    ("rm sparse", 4, 1, 1, 1, 3793800L);
+    ("pfind dense", 4, 1, 1, 1, 30209420L);
+    ("pfind sparse", 4, 1, 1, 1, 9425410L);
+    ("extract", 4, 1, 1, 1, 1931535L);
+    ("punzip", 4, 1, 1, 1, 1650172L);
+    ("mailbench", 4, 1, 1, 1, 9496882L);
+    ("fsstress", 4, 1, 1, 1, 7905119L);
+    ("build linux", 4, 1, 1, 1, 142055979L);
+    ("overload", 4, 1, 1, 1, 6286924L);
+    ("creates", 4, 8, 8, 8, 5476600L);
+    ("writes", 4, 8, 8, 8, 3790450L);
+    ("creates", 8, 1, 1, 1, 6943200L);
+    ("writes", 8, 1, 1, 1, 5880650L);
+  ]
+
+let golden_determinism () =
+  List.iter
+    (fun (name, ncores, window, batch, extent, expect) ->
+      let config =
+        {
+          (Driver.default_config ~ncores) with
+          Hare_config.Config.rpc_window = window;
+          batch_max = batch;
+          alloc_extent = extent;
+        }
+      in
+      let r = HareD.run ~config (Hare_workloads.All.find name) in
+      let cycles =
+        Int64.of_float
+          (r.Driver.elapsed
+           *. float_of_int
+                config.Hare_config.Config.costs.Hare_config.Costs.cycles_per_us
+           *. 1e6
+          +. 0.5)
+      in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s @%d cores (window=%d batch=%d extent=%d)" name
+           ncores window batch extent)
+        expect cycles)
+    golden_clocks
+
 let tc = Alcotest.test_case
 
 let suites : (string * unit Alcotest.test_case list) list =
@@ -86,5 +141,6 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "unfs slower" `Quick unfs_case;
         tc "scaling sanity" `Quick scaling_sanity;
         tc "all techniques off" `Quick dist_off_still_correct;
+        tc "golden simulated clocks" `Quick golden_determinism;
       ] );
   ]
