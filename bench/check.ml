@@ -30,6 +30,9 @@ let gated =
     ("p99_cycles", `Lower);
     ("peak_live_fibers", `Lower);
     ("sim_ops_per_sec", `Higher);
+    (* Sharding balance gate: max/mean per-server ops ratio; a consistent-
+       hash regression shows up as one server soaking up the ring. *)
+    ("imbalance", `Lower);
   ]
 
 let higher_tolerance tolerance = Float.max 40.0 tolerance

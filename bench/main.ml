@@ -200,6 +200,30 @@ let json_cases quick =
         (fun w -> List.map (scale_case w) [ 64; 128; 256; 512 ])
         [ "creates"; "writes"; "renames" ]
   in
+  (* Consistent-hash sharding sweep (PR 8): Sharded placement at 512
+     cores, doubling the ring's server count — creates/renames
+     throughput should improve monotonically while the per-server load
+     stays balanced (each row's "imbalance" is regression-gated). *)
+  let sharded_case wname ncores nsrv =
+    let config =
+      {
+        (Driver.default_config ~ncores) with
+        Config.placement = Config.Sharded { servers = nsrv; vnodes = 32 };
+      }
+    in
+    ( Printf.sprintf "%s@%d/sharded%d" wname ncores nsrv,
+      wname,
+      ncores,
+      None,
+      config )
+  in
+  let sharded_cases =
+    if quick then [ sharded_case "creates" 64 8 ]
+    else
+      List.concat_map
+        (fun w -> List.map (sharded_case w 512) [ 8; 16; 32 ])
+        [ "creates"; "renames" ]
+  in
   figure_cases
   @ [
       case "creates@8/baseline" "creates" 8;
@@ -208,7 +232,7 @@ let json_cases quick =
       case ~window:8 ~batch:8 ~extent:8 "writes@8/pipelined" "writes" 8;
       overload_case "overload@8/open" 8;
     ]
-  @ scale_cases
+  @ scale_cases @ sharded_cases
 
 let run_json ~quick ~out () =
   let cases = json_cases quick in
@@ -246,6 +270,18 @@ let run_json ~quick ~out () =
             (100. *. (b -. p) /. b)
       | _ -> ())
     [ "creates"; "writes" ];
+  (* Sharded scaling summary: cycles must fall as the ring doubles. *)
+  List.iter
+    (fun w ->
+      let cy n = find (Printf.sprintf "%s@512/sharded%d" w n) in
+      match (cy 8, cy 16, cy 32) with
+      | Some a, Some b, Some c ->
+          Printf.printf
+            "%s@512 sharded 8->16->32 servers: %.0f -> %.0f -> %.0f cycles%s\n"
+            w a b c
+            (if b < a && c < b then "  (monotone)" else "  (NOT monotone)")
+      | _ -> ())
+    [ "creates"; "renames" ];
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
@@ -318,6 +354,19 @@ let run_json ~quick ~out () =
       add "      \"engine_events\": %d,\n" es.World.es_events;
       add "      \"peak_live_fibers\": %d,\n" es.World.es_peak_fibers;
       add "      \"spawned_fibers\": %d,\n" es.World.es_spawned;
+      (* Per-server load distribution (whole run) and its max/mean
+         imbalance — the sharding balance gate. *)
+      (if r.Driver.loads <> [] then begin
+         add "      \"imbalance\": %.3f,\n" r.Driver.imbalance;
+         add "      \"server_loads\": [ ";
+         List.iteri
+           (fun j (sid, ops, peak) ->
+             add "%s{ \"sid\": %d, \"ops\": %d, \"peak_queue\": %d }"
+               (if j > 0 then ", " else "")
+               sid ops peak)
+           r.Driver.loads;
+         add " ],\n"
+       end);
       (* Per-opcode cycle attribution of the timed region: each row's
          bucket values sum exactly to its total (hare_cli profile shows
          the same breakdown interactively). *)

@@ -73,12 +73,42 @@ let width_arg =
 let steal =
   flag "steal" "Enable block stealing between servers (extension, §3.2)."
 
-let mk_config cores split nd nb ndir ndc na width st =
+let shard_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard" ] ~docv:"S"
+        ~doc:
+          "Consistent-hash placement: $(docv) file-server homes on a \
+           rendezvous ring (extension; overrides --split).")
+
+let vnodes_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "vnodes" ] ~docv:"V"
+        ~doc:"Hash points per server on the placement ring (with --shard).")
+
+let shard_plan_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "shard-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Ring-membership plan (with --shard): 'add@CYCLES' activates a \
+           spare server, 'remove:SID@CYCLES' drains one; ';'-separated.")
+
+let mk_config ?(shard = None) ?(vnodes = 32) ?(shard_plan = "") cores split nd
+    nb ndir ndc na width st =
   let c = Driver.default_config ~ncores:cores in
   let c =
-    match split with
-    | Some s -> { c with Config.placement = Config.Split s }
-    | None -> c
+    match (shard, split) with
+    | Some s, _ ->
+        {
+          c with
+          Config.placement = Config.Sharded { servers = s; vnodes };
+          shard_plan;
+        }
+    | None, Some s -> { c with Config.placement = Config.Split s }
+    | None, None -> c
   in
   {
     c with
@@ -93,14 +123,17 @@ let mk_config cores split nd nb ndir ndc na width st =
 
 (* ---------- bench command ----------------------------------------------- *)
 
-let run_bench name cores nprocs scale world split nd nb ndir ndc na width st
-    verbose =
+let run_bench name cores nprocs scale world split shard vnodes shard_plan nd nb
+    ndir ndc na width st verbose =
   match Hare_workloads.All.find name with
   | exception Not_found ->
       Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
       1
   | spec ->
-      let config = mk_config cores split nd nb ndir ndc na width st in
+      let config =
+        mk_config ~shard ~vnodes ~shard_plan cores split nd nb ndir ndc na
+          width st
+      in
       let t0 = Unix.gettimeofday () in
       let result =
         match world with
@@ -145,8 +178,9 @@ let bench_cmd =
           (sim_ops_per_sec, sim_events_per_sec, peak_live_fibers per row).")
     Term.(
       const run_bench $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
-      $ world_arg $ split_arg $ no_dist $ no_bcast $ no_direct $ no_dcache
-      $ no_affinity $ width_arg $ steal $ verbose)
+      $ world_arg $ split_arg $ shard_arg $ vnodes_arg $ shard_plan_arg
+      $ no_dist $ no_bcast $ no_direct $ no_dcache $ no_affinity $ width_arg
+      $ steal $ verbose)
 
 (* ---------- fig command ------------------------------------------------- *)
 
@@ -1241,6 +1275,187 @@ let check_cmd =
 
 (* ---------- list command ------------------------------------------------ *)
 
+(* ---------- shard command ----------------------------------------------- *)
+
+(* Run a workload on a Sharded machine and dump the placement ring: which
+   physical server hosts which logical homes (and how much state), plus
+   the migration counters a membership plan produced. *)
+let run_shard name cores servers vnodes plan nprocs scale seed check =
+  let module Machine = Hare.Machine in
+  let module Posix = Hare.Posix in
+  let module Api = Hare_api.Api in
+  let module Place = Hare_place.Place in
+  let module Server = Hare_server.Server in
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | spec -> (
+      let config =
+        {
+          (Driver.default_config ~ncores:cores) with
+          Config.placement = Config.Sharded { servers; vnodes };
+          shard_plan = plan;
+          exec_policy = spec.Hare_workloads.Spec.exec_policy;
+          check_enabled = check;
+          seed = Int64.of_int seed;
+        }
+      in
+      match Config.validate config with
+      | Error msg ->
+          Printf.eprintf "bad configuration: %s\n" msg;
+          1
+      | Ok () ->
+          let m = Machine.boot config in
+          let api = World.Hare_w.api m in
+          let nprocs =
+            match nprocs with
+            | Some n -> n
+            | None -> List.length (Config.app_cores config)
+          in
+          List.iter
+            (fun (prog, body) -> api.Api.register_program prog body)
+            (spec.Hare_workloads.Spec.programs api);
+          api.Api.register_program "bench-worker" (fun p args ->
+              let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+              spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+              0);
+          let init, _ =
+            Machine.spawn_init m
+              ~name:("shard-" ^ spec.Hare_workloads.Spec.name)
+              (fun p _ ->
+                spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+                let workers =
+                  match spec.Hare_workloads.Spec.mode with
+                  | Hare_workloads.Spec.Workers -> nprocs
+                  | Hare_workloads.Spec.Make -> 1
+                in
+                let pids =
+                  List.init workers (fun i ->
+                      Posix.spawn p ~prog:"bench-worker"
+                        ~args:[ string_of_int i ])
+                in
+                List.fold_left
+                  (fun acc pid ->
+                    if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+                  0 pids)
+          in
+          Machine.run m;
+          (match Machine.exit_status m init with
+          | Some 0 -> ()
+          | Some n -> Printf.printf "%d worker(s) failed\n" n
+          | None -> print_endline "init never finished");
+          let place =
+            match Machine.place m with
+            | Some p -> p
+            | None -> assert false
+          in
+          Printf.printf
+            "ring: %d logical homes x %d vnodes over %d physical servers \
+             (epoch %d)\n"
+            (Place.nhomes place) (Place.vnodes place) (Place.nphys place)
+            (Place.epoch place);
+          Printf.printf
+            "%.6f simulated seconds; load imbalance (max/mean ops) %.2f\n\n"
+            (Machine.seconds m) (Machine.imbalance m);
+          let loads = Machine.server_loads m in
+          Hare_stats.Table.print
+            ~headers:
+              [ "srv"; "state"; "homes"; "inodes"; "dentries"; "ops";
+                "peak-q"; "in"; "out"; "bounced" ]
+            (Array.to_list (Machine.servers m)
+            |> List.map (fun s ->
+                   let sid = Server.sid s in
+                   let ops, peak =
+                     match List.assoc_opt sid
+                             (List.map (fun (i, o, q) -> (i, (o, q))) loads)
+                     with
+                     | Some (o, q) -> (o, q)
+                     | None -> (0, 0)
+                   in
+                   [
+                     Printf.sprintf "fs%d" sid;
+                     (if Place.active place sid then "active" else "retired");
+                     String.concat ","
+                       (List.map string_of_int (Server.hosted_homes s));
+                     string_of_int (Server.inode_count s);
+                     string_of_int (Server.dentry_count s);
+                     string_of_int ops;
+                     string_of_int peak;
+                     string_of_int (Server.homes_migrated_in s);
+                     string_of_int (Server.homes_migrated_out s);
+                     string_of_int (Server.moved_rejects s);
+                   ]));
+          print_newline ();
+          (* Vnode layout: each home's current route and its rendezvous
+             weight there (the argmax over the active servers' points). *)
+          Hare_stats.Table.print
+            ~headers:[ "home"; "srv"; "weight" ]
+            (List.init (Place.nhomes place) (fun h ->
+                 let srv = Place.phys place h in
+                 [
+                   string_of_int h;
+                   Printf.sprintf "fs%d" srv;
+                   Printf.sprintf "%08x"
+                     (Place.weight place ~home:h ~srv land 0xffffffff);
+                 ]));
+          Printf.printf
+            "\nmigrations: %d moved, %d aborted; clients chased %d EMOVED \
+             bounce(s)\n"
+            (Place.migrations place) (Place.aborted place)
+            (Machine.total_moved_retries m);
+          (match Machine.check m with
+          | None -> 0
+          | Some chk ->
+              let total =
+                Hare_stats.Sanity.total_violations
+                  (Hare_check.Check.stats chk)
+              in
+              if total > 0 then begin
+                Printf.printf "sanitizer: %d violation(s)\n" total;
+                1
+              end
+              else begin
+                print_endline "sanitizer: clean";
+                0
+              end))
+
+let shard_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "creates"
+      & info [] ~docv:"BENCH" ~doc:"Benchmark to drive the ring (default: creates).")
+  in
+  let servers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "servers" ] ~docv:"S" ~doc:"Logical file-server homes.")
+  in
+  let plan_arg =
+    Arg.(
+      value & opt string ""
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Ring-membership plan: 'add@CYCLES' activates a spare physical \
+             server, 'remove:SID@CYCLES' drains one; ';'-separated.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+  in
+  let check_flag = flag "check" "Run with the coherence sanitizer attached." in
+  Cmd.v
+    (Cmd.info "shard"
+       ~doc:
+         "Run a benchmark under consistent-hash (Sharded) placement and dump \
+          the ring: per-server home ownership, inode/dentry counts, load and \
+          queue depth, the vnode layout, and migration counters. With \
+          $(b,--plan), servers are added/removed mid-run and whole homes \
+          migrate live between physical servers.")
+    Term.(
+      const run_shard $ name_arg $ cores_arg $ servers_arg $ vnodes_arg
+      $ plan_arg $ nprocs_arg $ scale_arg $ seed_arg $ check_flag)
+
 let run_list () =
   List.iter
     (fun (s : Hare_workloads.Spec.t) ->
@@ -1265,7 +1480,7 @@ let main =
           simulation: benchmarks and paper-figure reproduction.")
     [
       bench_cmd; fig_cmd; faults_cmd; overload_cmd; perf_cmd; trace_cmd;
-      profile_cmd; check_cmd; list_cmd; shell_cmd;
+      profile_cmd; check_cmd; shard_cmd; list_cmd; shell_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

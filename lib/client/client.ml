@@ -74,7 +74,13 @@ type t = {
   cid : int;
   core : Core_res.t;
   pcache : Hare_mem.Pcache.t;
+  (* [servers] is indexed by PHYSICAL server id; everything above this
+     layer (inode placement, dentry hashing, ino.server) speaks LOGICAL
+     home ids, which are stable forever. [place] maps home -> physical
+     endpoint; absent under static placements (identity). *)
   servers : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array;
+  place : Hare_place.Place.t option;
+  nhomes : int;  (* the hashing space: logical server count *)
   server_sockets : int array;
   local_server : int;
   root_dist : bool;
@@ -87,14 +93,15 @@ type t = {
   window : pending Queue.t;
   extent : int;
   mutable rpc_count : int;
+  mutable moved_retries : int;  (* EMOVED bounces chased to the new owner *)
   (* overload control (PR 6); all inert at the default knob settings *)
-  breakers : breaker array;  (* one per server *)
-  budget_tokens : int array;  (* retry tokens left, per server *)
-  budget_successes : int array;  (* successes since last refill, per server *)
+  breakers : breaker array;  (* one per physical server *)
+  budget_tokens : int array;  (* retry tokens left, per physical server *)
+  budget_successes : int array;  (* successes since last refill *)
 }
 
 let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
-    ~local_server ~root_dist ~inval_port () =
+    ~local_server ~root_dist ~inval_port ?place () =
   let costs = config.Hare_config.Config.costs in
   let retry =
     if config.Hare_config.Config.rpc_deadline > 0 then
@@ -125,6 +132,11 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     core;
     pcache;
     servers;
+    place;
+    nhomes =
+      (match place with
+      | Some p -> Hare_place.Place.nhomes p
+      | None -> Array.length servers);
     server_sockets;
     local_server;
     root_dist;
@@ -140,6 +152,7 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     window = Queue.create ();
     extent = config.Hare_config.Config.alloc_extent;
     rpc_count = 0;
+    moved_retries = 0;
     breakers =
       Array.init (Array.length servers) (fun _ ->
           { br_state = Br_closed; br_fails = 0 });
@@ -160,11 +173,28 @@ let syscalls t = t.syscalls
 
 let rpc_count t = t.rpc_count
 
+let moved_retries t = t.moved_retries
+
 let robust t = t.robust
 
 let perf t = t.perf
 
-let nservers t = Array.length t.servers
+(* The hashing space: placement decisions (dentry_server, shard_servers,
+   choose_inode_server) distribute over logical homes, never physical
+   servers, so where things live is independent of ring membership. *)
+let nservers t = t.nhomes
+
+(* Logical home -> physical endpoint index, re-read at every send so a
+   rebalance takes effect on the next RPC. *)
+let phys t srv =
+  match t.place with Some p -> Hare_place.Place.phys p srv | None -> srv
+
+(* Fixed pause before chasing an EMOVED bounce: long enough to let the
+   coordinator's Install_shard land at the new owner, short enough to be
+   invisible next to a timeout ladder. *)
+let moved_backoff = 200
+
+let moved_cap = 1000
 
 (* Effective distribution width: the whole machine (the paper), or the
    configured subset size (§6 extension). *)
@@ -339,35 +369,65 @@ let propagated_deadline t deadline =
     Int64.add (Engine.now t.engine) (Int64.of_int deadline)
   else 0L
 
+(* Pause before chasing an EMOVED bounce to the shard's new owner. *)
+let moved_wait t req =
+  t.moved_retries <- t.moved_retries + 1;
+  (match sink t with
+  | Some tr ->
+      Trace.on_wait tr
+        ~fid:(Engine.current_fid t.engine)
+        ~cycles:moved_backoff;
+      Trace.instant tr ~name:"rpc-moved" ~track:(Core_res.id t.core)
+        ~ts:(Engine.now t.engine)
+        ~args:[ ("op", Wire.req_name req) ]
+        ()
+  | None -> ());
+  Engine.sleep_cycles moved_backoff
+
 let rpc_result t ?payload_lines srv req =
   t.rpc_count <- t.rpc_count + 1;
   match t.retry with
   | Some rt when retryable req ->
-      if not (breaker_admit t srv) then fast_fail t srv req
+      if not (breaker_admit t (phys t srv)) then fast_fail t (phys t srv) req
       else begin
       (* One sequence number for every attempt of this call: the server
          deduplicates retransmissions, so the operation takes effect
-         exactly once no matter how many copies arrive. *)
+         exactly once no matter how many copies arrive. Attempts re-read
+         the ring route, so a retry lands at the shard's current owner
+         under the same tag. *)
       rt.rt_seq <- rt.rt_seq + 1;
       let meta = { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq } in
-      let rec attempt n deadline =
+      let rec attempt ~moved n deadline =
+        let ep = phys t srv in
         match
-          Hare_msg.Rpc.call_deadline t.servers.(srv) ~engine:t.engine
+          Hare_msg.Rpc.call_deadline t.servers.(ep) ~engine:t.engine
             ~from:t.core ?payload_lines ~meta
             ~deadline:(Int64.of_int deadline)
             ~abs_deadline:(propagated_deadline t deadline)
             ~prio:(Wire.req_prio req) req
         with
+        | Ok (Error Errno.EMOVED) ->
+            (* The home migrated between our route read and the server's
+               ownership check. Nothing executed and nothing was recorded
+               under our tag, so resend — same tag — after the route
+               settles. Bounces are not failures: they do not count
+               against the attempt ladder or the breaker. *)
+            if moved >= moved_cap then Error Errno.EIO
+            else begin
+              t.rpc_count <- t.rpc_count + 1;
+              moved_wait t req;
+              attempt ~moved:(moved + 1) n deadline
+            end
         | Ok resp ->
-            note_success t srv;
+            note_success t ep;
             resp
         | Error `Timeout ->
             t.robust.Hare_stats.Robust.timeouts <-
               t.robust.Hare_stats.Robust.timeouts + 1;
-            if n + 1 >= rt.rt_max || not (budget_take t srv) then begin
+            if n + 1 >= rt.rt_max || not (budget_take t ep) then begin
               t.robust.Hare_stats.Robust.giveups <-
                 t.robust.Hare_stats.Robust.giveups + 1;
-              breaker_failure t srv;
+              breaker_failure t ep;
               Error Errno.EIO
             end
             else begin
@@ -388,12 +448,26 @@ let rpc_result t ?payload_lines srv req =
                     ()
               | None -> ());
               Engine.sleep_cycles back;
-              attempt (n + 1) (min (deadline * 2) rt.rt_cap)
+              attempt ~moved (n + 1) (min (deadline * 2) rt.rt_cap)
             end
       in
-      attempt 0 rt.rt_base
+      attempt ~moved:0 0 rt.rt_base
       end
-  | _ -> Hare_msg.Rpc.call t.servers.(srv) ~from:t.core ?payload_lines req
+  | _ ->
+      (* Reliable path (no fault plan): sends are exactly-once, so an
+         EMOVED bounce is simply re-sent to the re-resolved owner. *)
+      let rec go moved =
+        match
+          Hare_msg.Rpc.call t.servers.(phys t srv) ~from:t.core ?payload_lines
+            req
+        with
+        | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
+            t.rpc_count <- t.rpc_count + 1;
+            moved_wait t req;
+            go (moved + 1)
+        | resp -> resp
+      in
+      go 0
 
 let rpc t ?payload_lines srv req =
   match rpc_result t ?payload_lines srv req with
@@ -416,7 +490,7 @@ let alloc_meta t req =
    discipline as [rpc_result]. The original future may already hold the
    reply; retransmissions re-send the tagged request and wait on a fresh
    future (the server's dedup table replays the reply to every copy). *)
-let await_pending t (pd : pending) =
+let await_pending_once t (pd : pending) =
   if Ivar.is_filled pd.pd_future then begin
     (* The reply landed while this client was still computing: consuming
        it is a poll of a ready slot, not a blocking receive — no
@@ -442,15 +516,16 @@ let await_pending t (pd : pending) =
             ~costs:t.costs ~deadline:(Int64.of_int deadline) ~span future
         with
         | Ok resp ->
-            note_success t pd.pd_srv;
+            note_success t (phys t pd.pd_srv);
             resp
         | Error `Timeout ->
             t.robust.Hare_stats.Robust.timeouts <-
               t.robust.Hare_stats.Robust.timeouts + 1;
-            if n + 1 >= rt.rt_max || not (budget_take t pd.pd_srv) then begin
+            if n + 1 >= rt.rt_max || not (budget_take t (phys t pd.pd_srv))
+            then begin
               t.robust.Hare_stats.Robust.giveups <-
                 t.robust.Hare_stats.Robust.giveups + 1;
-              breaker_failure t pd.pd_srv;
+              breaker_failure t (phys t pd.pd_srv);
               Error Errno.EIO
             end
             else begin
@@ -467,8 +542,8 @@ let await_pending t (pd : pending) =
               Engine.sleep_cycles back;
               let next_deadline = min (deadline * 2) rt.rt_cap in
               let future, span =
-                Hare_msg.Rpc.call_async_sp t.servers.(pd.pd_srv) ~from:t.core
-                  ~meta
+                Hare_msg.Rpc.call_async_sp t.servers.(phys t pd.pd_srv)
+                  ~from:t.core ~meta
                   ~abs_deadline:(propagated_deadline t next_deadline)
                   ~prio:(Wire.req_prio pd.pd_req) pd.pd_req
               in
@@ -479,6 +554,23 @@ let await_pending t (pd : pending) =
   | _ ->
       Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span:pd.pd_span
         pd.pd_future
+
+(* Await a deferred request, chasing [EMOVED] bounces: re-send (same tag,
+   so dedup still holds) to the re-resolved owner and await again. *)
+let await_pending t (pd : pending) =
+  let rec go moved pd =
+    match await_pending_once t pd with
+    | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
+        t.rpc_count <- t.rpc_count + 1;
+        moved_wait t pd.pd_req;
+        let future, span =
+          Hare_msg.Rpc.call_async_sp t.servers.(phys t pd.pd_srv) ~from:t.core
+            ?meta:pd.pd_meta ~prio:(Wire.req_prio pd.pd_req) pd.pd_req
+        in
+        go (moved + 1) { pd with pd_future = future; pd_span = span }
+    | resp -> resp
+  in
+  go 0 pd
 
 (* True when [e] means the token is stale and recovery should be tried:
    only under a fault plan, never in a fault-free run. *)
@@ -529,7 +621,7 @@ let rpc_deferred t srv ~what ?ino req =
     t.rpc_count <- t.rpc_count + 1;
     let meta = alloc_meta t req in
     let future, span =
-      Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta
+      Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core ?meta
         ~prio:(Wire.req_prio req) req
     in
     Queue.push
@@ -608,16 +700,35 @@ let recover_token t (fs : Fdtable.file_state) =
    idempotency tag and deadline/retry loop. *)
 let multicast t ids (mk : int -> Wire.fs_req) =
   if t.config.Hare_config.Config.dir_broadcast && t.retry = None then begin
+    (* Overlapped reliable legs: an [EMOVED] bounce on one leg is settled
+       by re-sending that leg alone to the re-resolved owner. *)
+    let rec settle moved srv req resp =
+      match resp with
+      | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
+          t.rpc_count <- t.rpc_count + 1;
+          moved_wait t req;
+          let future, span =
+            Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core req
+          in
+          settle (moved + 1) srv req
+            (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span future)
+      | resp -> resp
+    in
     let futures =
       List.map
         (fun srv ->
           t.rpc_count <- t.rpc_count + 1;
-          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core (mk srv))
+          let req = mk srv in
+          let future, span =
+            Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core req
+          in
+          (srv, req, future, span))
         ids
     in
     List.map
-      (fun (future, span) ->
-        Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span future)
+      (fun (srv, req, future, span) ->
+        settle 0 srv req
+          (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span future))
       futures
   end
   else if t.config.Hare_config.Config.dir_broadcast && t.window_cap > 1 then begin
@@ -634,7 +745,7 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         t.rpc_count <- t.rpc_count + 1;
         let meta = alloc_meta t req in
         let future, span =
-          Hare_msg.Rpc.call_async_sp t.servers.(srv) ~from:t.core ?meta
+          Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core ?meta
             ~prio:(Wire.req_prio req) req
         in
         Queue.push
@@ -669,7 +780,9 @@ let lookup_entry t (dir : dirref) name : Wire.entry_info =
   | Some e -> e
   | None -> (
       let srv = entry_server t dir name in
-      match rpc t srv (Wire.Lookup { dir = dir.d_ino; name; client = t.cid }) with
+      match
+        rpc t srv (Wire.Lookup { dir = dir.d_ino; name; client = t.cid; home = srv })
+      with
       | Wire.P_lookup { target; ftype; dist } ->
           let e = { Wire.t_ino = target; t_ftype = ftype; t_dist = dist } in
           Dircache.add t.dircache ~dir:dir.d_ino ~name e;
@@ -783,6 +896,7 @@ let create_file t (dir : dirref) name (flags : open_flags) =
              excl = flags.excl;
              trunc = flags.trunc;
              client = t.cid;
+             home = entry_srv;
            })
     with
     | Wire.P_open_ino { oi; ino } ->
@@ -800,7 +914,8 @@ let create_file t (dir : dirref) name (flags : open_flags) =
   else begin
     match
       rpc t inode_srv
-        (Wire.Create_inode { ftype = Reg; dist = false; and_open = true })
+        (Wire.Create_inode
+           { ftype = Reg; dist = false; and_open = true; home = inode_srv })
     with
     | Wire.P_open_ino { oi; ino } -> (
         match
@@ -814,6 +929,7 @@ let create_file t (dir : dirref) name (flags : open_flags) =
                  dist = false;
                  replace = false;
                  client = t.cid;
+                 home = entry_srv;
                })
         with
         | Ok _ ->
@@ -1274,7 +1390,10 @@ let dup2 t fdt ~src ~dst =
 let pipe t fdt =
   traced t "pipe" @@ fun () ->
   syscall t "pipe";
-  match rpc t t.local_server (Wire.Pipe_create { client = t.cid }) with
+  match
+    rpc t t.local_server
+      (Wire.Pipe_create { client = t.cid; home = t.local_server })
+  with
   | Wire.P_pipe { pipe_ino; rd; wr } ->
       let mk token write =
         {
@@ -1295,8 +1414,11 @@ let unlink t ~cwd path =
   syscall t "unlink";
   let dir, name = resolve_parent t ~cwd path in
   let srv = entry_server t dir name in
-  match rpc t srv
-      (Wire.Rm_map { dir = dir.d_ino; name; only_if = None; client = t.cid }) with
+  match
+    rpc t srv
+      (Wire.Rm_map
+         { dir = dir.d_ino; name; only_if = None; client = t.cid; home = srv })
+  with
   | Wire.P_removed { target; ftype } ->
       Dircache.remove t.dircache ~dir:dir.d_ino ~name;
       if ftype = Dir then begin
@@ -1312,6 +1434,7 @@ let unlink t ~cwd path =
                   dist = true;
                   replace = false;
                   client = t.cid;
+                  home = srv;
                 }));
         Errno.raise_errno Errno.EISDIR name
       end;
@@ -1336,7 +1459,8 @@ let mkdir t ~cwd ?(dist = false) path =
     (* Coalesced mkdir (§3.6.3): one message creates inode + entry. *)
     match
       rpc t entry_srv
-        (Wire.Create_dir { dir = dir.d_ino; name; dist; client = t.cid })
+        (Wire.Create_dir
+           { dir = dir.d_ino; name; dist; client = t.cid; home = entry_srv })
     with
     | Wire.P_created_ino ino ->
         Dircache.add t.dircache ~dir:dir.d_ino ~name
@@ -1345,7 +1469,9 @@ let mkdir t ~cwd ?(dist = false) path =
   end
   else
   match
-    rpc t home_srv (Wire.Create_inode { ftype = Dir; dist; and_open = false })
+    rpc t home_srv
+      (Wire.Create_inode
+         { ftype = Dir; dist; and_open = false; home = home_srv })
   with
   | Wire.P_created_ino ino -> (
       match
@@ -1359,6 +1485,7 @@ let mkdir t ~cwd ?(dist = false) path =
                dist;
                replace = false;
                client = t.cid;
+               home = entry_srv;
              })
       with
       | Ok _ ->
@@ -1384,10 +1511,17 @@ let rmdir t ~cwd path =
     ignore (rpc t home (Wire.Rmdir_local { dir = target; client = t.cid }));
     (* conditional: a same-named directory may already have been
        recreated; its entry is not ours to remove *)
-    (match
-       rpc_result t (entry_server t dir name)
+    (let esrv = entry_server t dir name in
+     match
+       rpc_result t esrv
          (Wire.Rm_map
-            { dir = dir.d_ino; name; only_if = Some target; client = t.cid })
+            {
+              dir = dir.d_ino;
+              name;
+              only_if = Some target;
+              client = t.cid;
+              home = esrv;
+            })
      with
     | Ok _ | Error Errno.ENOENT -> ()
     | Error err -> Errno.raise_errno err name);
@@ -1406,7 +1540,8 @@ let rmdir t ~cwd path =
   (* Phase 1: ask every involved server to mark-for-deletion; succeeds
      only on empty shards. *)
   let prepare_results =
-    multicast t servers_involved (fun _srv -> Wire.Rmdir_prepare { dir = target })
+    multicast t servers_involved (fun srv ->
+        Wire.Rmdir_prepare { dir = target; home = srv })
   in
   let all_ok = List.for_all Result.is_ok prepare_results in
   if all_ok then begin
@@ -1415,18 +1550,25 @@ let rmdir t ~cwd path =
     (match
        rpc_result t srv
          (Wire.Rm_map
-            { dir = dir.d_ino; name; only_if = Some target; client = t.cid })
+            {
+              dir = dir.d_ino;
+              name;
+              only_if = Some target;
+              client = t.cid;
+              home = srv;
+            })
      with
     | Ok _ -> Dircache.remove t.dircache ~dir:dir.d_ino ~name
     | Error _ -> ());
     ignore
-      (multicast t servers_involved (fun _ ->
-           Wire.Rmdir_commit { dir = target; client = t.cid }))
+      (multicast t servers_involved (fun srv ->
+           Wire.Rmdir_commit { dir = target; client = t.cid; home = srv }))
     (* The commit at the home server destroys the lock with the inode. *)
   end
   else begin
     List.iter
-      (fun srv -> ignore (rpc_result t srv (Wire.Rmdir_abort { dir = target })))
+      (fun srv ->
+        ignore (rpc_result t srv (Wire.Rmdir_abort { dir = target; home = srv })))
       servers_involved;
     ignore (rpc_result t home (Wire.Rmdir_unlock { dir = target }));
     (* Distinguish "a shard holds entries" from "a shard's server is
@@ -1447,8 +1589,8 @@ let readdir t ~cwd path =
   let dir = resolve_dir t comps in
   if dir.d_dist then begin
     let results =
-      multicast t (shard_servers t dir.d_ino) (fun _ ->
-          Wire.Readdir_shard { dir = dir.d_ino })
+      multicast t (shard_servers t dir.d_ino) (fun srv ->
+          Wire.Readdir_shard { dir = dir.d_ino; home = srv })
     in
     List.concat_map
       (function
@@ -1467,7 +1609,10 @@ let readdir t ~cwd path =
       results
   end
   else
-    match rpc t dir.d_ino.server (Wire.Readdir_shard { dir = dir.d_ino }) with
+    match
+      rpc t dir.d_ino.server
+        (Wire.Readdir_shard { dir = dir.d_ino; home = dir.d_ino.server })
+    with
     | Wire.P_entries es -> es
     | _ -> assert false
 
@@ -1499,6 +1644,7 @@ let rename t ~cwd oldp newp =
                dist = e.Wire.t_dist;
                replace = true;
                client = t.cid;
+               home = nsrv;
              })
       with
       | Wire.P_removed { target = victim; ftype = Reg } -> Some victim
@@ -1518,7 +1664,13 @@ let rename t ~cwd oldp newp =
     match
       rpc_result t osrv
         (Wire.Rm_map
-           { dir = odir.d_ino; name = oname; only_if = Some target; client = t.cid })
+           {
+             dir = odir.d_ino;
+             name = oname;
+             only_if = Some target;
+             client = t.cid;
+             home = osrv;
+           })
     with
     | Ok _ ->
         Dircache.remove t.dircache ~dir:odir.d_ino ~name:oname;
@@ -1534,6 +1686,7 @@ let rename t ~cwd oldp newp =
                   name = nname;
                   only_if = Some target;
                   client = t.cid;
+                  home = nsrv;
                 }));
         unlink_victim ();
         Errno.raise_errno Errno.ENOENT oname

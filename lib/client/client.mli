@@ -26,10 +26,15 @@ val create :
   local_server:int ->
   root_dist:bool ->
   inval_port:Wire.inval Hare_msg.Mailbox.t ->
+  ?place:Hare_place.Place.t ->
   unit ->
   t
-(** [inval_port] must be the mailbox registered with every file server for
-    this client id; the directory cache drains it before each lookup. *)
+(** [inval_port] must be the mailbox registered with every client id at
+    every file server; the directory cache drains it before each lookup.
+    [place] is the machine's consistent-hash ring: [servers] is then
+    indexed by physical server id while all placement hashing stays in
+    logical home ids, each send resolving home [->] physical through the
+    ring's current route (so a request follows a migrated shard). *)
 
 val cid : t -> int
 
@@ -44,6 +49,9 @@ val syscalls : t -> Hare_stats.Opcount.t
 (** POSIX-call mix issued through this client (Figure 5). *)
 
 val rpc_count : t -> int
+
+val moved_retries : t -> int
+(** Requests re-sent after an [EMOVED] bounce (shard migration races). *)
 
 val robust : t -> Hare_stats.Robust.t
 (** Timeout/retry/recovery counters (all zero without a fault plan). *)

@@ -1,4 +1,7 @@
-type placement = Timeshare | Split of int
+type placement =
+  | Timeshare
+  | Split of int
+  | Sharded of { servers : int; vnodes : int }
 
 type exec_policy = Random_placement | Round_robin
 
@@ -17,6 +20,7 @@ type t = {
   block_stealing : bool;
   buffer_cache_blocks : int;
   pcache_lines : int;
+  shard_plan : string;
   fault_plan : string;
   rpc_deadline : int;
   rpc_retries : int;
@@ -59,6 +63,9 @@ let default =
     (* 512 KiB of 64-byte lines per core: the per-core L2 of the E7-4850
        family, the cache level that matters for write-back traffic. *)
     pcache_lines = 8192;
+    (* Ring membership static: no server adds/removes, so Sharded
+       placement is bit-identical to the equivalent Split. *)
+    shard_plan = "";
     (* Fault injection off: empty plan, unbounded RPC waits — the exact
        behaviour of the pre-fault-injection code paths. *)
     fault_plan = "";
@@ -140,6 +147,10 @@ let validate t =
   else if t.dircache_capacity < 0 then
     Error "dircache_capacity must be non-negative (0 = unbounded)"
   else if t.trace_cap <= 0 then Error "trace_cap must be positive"
+  else if
+    t.shard_plan <> ""
+    && match t.placement with Sharded _ -> false | _ -> true
+  then Error "a shard plan requires Sharded placement"
   else
     match t.placement with
     | Timeshare -> Ok ()
@@ -148,25 +159,76 @@ let validate t =
         else if n >= t.ncores then
           Error "split must leave at least one application core"
         else Ok ()
+    | Sharded { servers; vnodes } -> (
+        if servers <= 0 then Error "sharded server count must be positive"
+        else if vnodes <= 0 then
+          Error "sharded vnodes must be positive"
+        else
+          match Hare_place.Place.parse_plan t.shard_plan with
+          | Error e -> Error e
+          | Ok events ->
+              let adds =
+                List.fold_left
+                  (fun n -> function
+                    | Hare_place.Place.Add _ -> n + 1
+                    | Hare_place.Place.Remove _ -> n)
+                  0 events
+              in
+              let removes = List.filter_map
+                  (function
+                    | Hare_place.Place.Remove { sid; _ } -> Some sid
+                    | Hare_place.Place.Add _ -> None)
+                  events
+              in
+              let nphys = servers + adds in
+              if nphys >= t.ncores then
+                Error
+                  "sharded must leave at least one application core (servers \
+                   plus planned adds exceed cores)"
+              else if List.exists (fun sid -> sid < 0 || sid >= nphys) removes
+              then Error "shard plan removes a server id outside the ring"
+              else if
+                List.length (List.sort_uniq compare removes)
+                <> List.length removes
+              then Error "shard plan removes the same server twice"
+              else if List.length removes >= nphys then
+                Error "shard plan must leave at least one server in the ring"
+              else Ok ())
 
 let nservers t =
-  match t.placement with Timeshare -> t.ncores | Split n -> n
+  match t.placement with
+  | Timeshare -> t.ncores
+  | Split n -> n
+  | Sharded { servers; _ } -> servers
+
+(* Physical server count: logical homes plus the spare servers a shard
+   plan will activate mid-run. Equals [nservers] when the plan is empty,
+   so membership-stable Sharded matches Split exactly. *)
+let physical_servers t =
+  match t.placement with
+  | Timeshare -> t.ncores
+  | Split n -> n
+  | Sharded { servers; _ } ->
+      servers + Hare_place.Place.count_adds t.shard_plan
 
 let server_cores t =
   match t.placement with
   | Timeshare -> List.init t.ncores Fun.id
-  | Split n -> List.init n Fun.id
+  | Split _ | Sharded _ -> List.init (physical_servers t) Fun.id
 
 let app_cores t =
   match t.placement with
   | Timeshare -> List.init t.ncores Fun.id
-  | Split n -> List.init (t.ncores - n) (fun i -> n + i)
+  | Split _ | Sharded _ ->
+      let n = physical_servers t in
+      List.init (t.ncores - n) (fun i -> n + i)
 
 let socket_of_core t core = core / t.cores_per_socket
 
 let pp_placement ppf = function
   | Timeshare -> Fmt.string ppf "timeshare"
   | Split n -> Fmt.pf ppf "split:%d" n
+  | Sharded { servers; vnodes } -> Fmt.pf ppf "sharded:%d/v%d" servers vnodes
 
 let pp ppf t =
   Fmt.pf ppf

@@ -10,6 +10,13 @@ type placement =
   | Split of int
       (** [Split n]: file servers on [n] dedicated cores; applications and
           scheduling servers on the remaining cores. *)
+  | Sharded of { servers : int; vnodes : int }
+      (** {e extension}: consistent-hash placement. [servers] logical
+          file-server homes on dedicated cores, each owning [vnodes]
+          rendezvous-hash points on the placement ring
+          ([Hare_place.Place]); a {!field-shard_plan} can add or remove
+          physical servers mid-run, migrating whole homes between them.
+          With an empty plan this is bit-identical to [Split servers]. *)
 
 type exec_policy = Random_placement | Round_robin
 
@@ -47,6 +54,12 @@ type t = {
   buffer_cache_blocks : int;  (** total shared buffer cache, in 4K blocks. *)
   pcache_lines : int;  (** private-cache capacity per core, in 64B lines. *)
   (* {e extension}: robustness (fault injection, timeouts, recovery). *)
+  shard_plan : string;
+      (** ring-membership plan for [Sharded] placement (see
+          [Hare_place.Place.parse_plan]): [add@CYCLES] activates the next
+          spare physical server, [remove:SID@CYCLES] drains one;
+          [;]-separated. [""] (default) keeps membership static — the
+          zero-cost, bit-identical-to-[Split] path. *)
   fault_plan : string;
       (** fault-plan spec string (see [Hare_fault.Plan]); [""] disables
           injection entirely — the zero-cost default. *)
@@ -171,7 +184,13 @@ val validate : t -> (unit, string) result
 (** Check internal consistency (positive sizes, split bounds, ...). *)
 
 val nservers : t -> int
-(** Number of file servers implied by the placement. *)
+(** Number of {e logical} file servers implied by the placement — the
+    hashing space for inode and directory-entry placement. *)
+
+val physical_servers : t -> int
+(** Number of physical server processes to boot: [nservers] plus the
+    spare servers a shard plan activates mid-run. Equals [nservers]
+    whenever the shard plan is empty. *)
 
 val server_cores : t -> int list
 (** Core ids that run a file server. *)

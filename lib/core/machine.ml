@@ -7,6 +7,7 @@ module Client = Hare_client.Client
 module Fdtable = Hare_client.Fdtable
 module Process = Hare_proc.Process
 module Program = Hare_proc.Program
+module Place = Hare_place.Place
 
 type t = {
   engine : Engine.t;
@@ -19,6 +20,7 @@ type t = {
   registry : Program.t;
   kctx : Process.kctx;
   injector : Hare_fault.Injector.t option;
+  place : Place.t option;
 }
 
 let boot (config : Config.t) =
@@ -55,12 +57,27 @@ let boot (config : Config.t) =
           ~socket:(Config.socket_of_core config i)
           ~ctx_switch:costs.ctx_switch)
   in
+  (* [nservers] is the number of *logical* homes (the stable hashing
+     space); [nphys] adds the spare physical servers a shard plan will
+     activate mid-run. They are equal except under a non-empty plan. *)
   let nservers = Config.nservers config in
+  let nphys = Config.physical_servers config in
   let server_cores = Array.of_list (Config.server_cores config) in
+  let place =
+    match config.placement with
+    | Config.Sharded { servers; vnodes } ->
+        let events =
+          match Place.parse_plan config.shard_plan with
+          | Ok evs -> evs
+          | Error msg -> invalid_arg ("Machine.boot: bad shard_plan: " ^ msg)
+        in
+        Some (Place.create ~nhomes:servers ~vnodes ~events)
+    | Config.Timeshare | Config.Split _ -> None
+  in
   (* The buffer cache is partitioned evenly among the file servers; each
      partition physically lives on its server's socket (NUMA). *)
-  let per_server = max 16 (config.buffer_cache_blocks / nservers) in
-  let dram = Hare_mem.Dram.create ~nblocks:(per_server * nservers) in
+  let per_server = max 16 (config.buffer_cache_blocks / nphys) in
+  let dram = Hare_mem.Dram.create ~nblocks:(per_server * nphys) in
   (match Engine.sink engine with
   | Some tr ->
       Hare_mem.Dram.set_trace dram ~sink:tr ~track:ncores
@@ -69,7 +86,7 @@ let boot (config : Config.t) =
   let server_sockets =
     Array.map (fun c -> Core_res.socket cores.(c)) server_cores
   in
-  let block_socket b = server_sockets.(min (b / per_server) (nservers - 1)) in
+  let block_socket b = server_sockets.(min (b / per_server) (nphys - 1)) in
   let pcaches =
     Array.init ncores (fun i ->
         Hare_mem.Pcache.create ~block_socket dram ~core:cores.(i) ~costs
@@ -93,7 +110,7 @@ let boot (config : Config.t) =
     else begin
       List.iter
         (fun (ev : Hare_fault.Plan.server_event) ->
-          if ev.ev_sid < 0 || ev.ev_sid >= nservers then
+          if ev.ev_sid < 0 || ev.ev_sid >= nphys then
             invalid_arg
               (Printf.sprintf "Machine.boot: fault_plan targets fs%d but only %d server(s) exist"
                  ev.ev_sid nservers))
@@ -108,12 +125,12 @@ let boot (config : Config.t) =
     Option.map (fun inj -> Hare_fault.Injector.link inj ~sid:s) injector
   in
   let servers =
-    Array.init nservers (fun s ->
+    Array.init nphys (fun s ->
         Server.create ~engine ~config ~sid:s
           ~core:cores.(server_cores.(s))
           ~pcache:pcaches.(server_cores.(s))
           ~dram ~blocks_first:(s * per_server) ~blocks_count:per_server
-          ~inval_ports ?faults:(fault_link s) ())
+          ~inval_ports ?place ?faults:(fault_link s) ())
   in
   Server.install_root servers.(Types.root_ino.server)
     ~dist:(config.root_distributed && config.dir_distribution);
@@ -150,7 +167,8 @@ let boot (config : Config.t) =
   let endpoints = Array.map Server.endpoint servers in
   Array.iter (fun s -> Server.set_peers s endpoints) servers;
   (* Designated local server per client (§3.6.4): prefer a same-socket
-     server, spreading the clients of a socket across its servers. *)
+     server, spreading the clients of a socket across its servers. Only
+     logical homes qualify — spares host nothing at boot. *)
   let local_server_of core_id =
     let sock = Core_res.socket cores.(core_id) in
     let same =
@@ -167,7 +185,7 @@ let boot (config : Config.t) =
         Client.create ~engine ~config ~cid:i ~core:cores.(i) ~pcache:pcaches.(i)
           ~servers:endpoints ~server_sockets ~local_server:(local_server_of i)
           ~root_dist:(config.root_distributed && config.dir_distribution)
-          ~inval_port:inval_ports.(i) ())
+          ~inval_port:inval_ports.(i) ?place ())
   in
   let sched_ports =
     Array.init ncores (fun i -> Hare_msg.Rpc.endpoint ~owner:cores.(i) ~costs ())
@@ -191,7 +209,87 @@ let boot (config : Config.t) =
           ~endpoint:sched_ports.(i) ())
   in
   Array.iter Hare_sched.Sched_server.start scheds;
-  { engine; config; cores; dram; servers; clients; scheds; registry; kctx; injector }
+  (* Rebalancing coordinator: one daemon fiber walks the membership plan
+     in time order. For each home to move it flips the ring route FIRST
+     (requests admitted after the old owner packs the shard bounce with
+     [EMOVED] and chase the new route), then hands the shard off with a
+     reliable Migrate_out / Install_shard pair — the fault injector never
+     touches coordinator traffic, so a handed-off shard cannot be lost.
+     A busy shard (parked pipe readers, held rmdir locks, in-flight
+     steals) refuses to pack; the route is restored while it drains and
+     the move retried, bounded, before being abandoned. *)
+  (match place with
+  | Some p when Place.migratory p ->
+      let coord_core = cores.(List.hd (Config.app_cores config)) in
+      let migrate ~home ~dst =
+        let src = Place.phys p home in
+        if src <> dst then begin
+          let rec attempt tries =
+            Place.set_route p ~home ~dst;
+            match
+              Hare_msg.Rpc.call
+                (Server.endpoint servers.(src))
+                ~from:coord_core
+                (Wire.Migrate_out { home })
+            with
+            | Ok (Wire.P_pack pack) -> (
+                match
+                  Hare_msg.Rpc.call
+                    (Server.endpoint servers.(dst))
+                    ~from:coord_core
+                    (Wire.Install_shard { home; pack })
+                with
+                | Ok _ -> Place.note_migration p
+                | Error _ ->
+                    (* The destination refused an install it must accept;
+                       fail loudly rather than lose the shard. *)
+                    failwith "Machine: shard install refused")
+            | Ok _ ->
+                (* A pack reply carries P_pack by construction. *)
+                failwith "Machine: malformed Migrate_out reply"
+            | Error _ when tries > 0 ->
+                (* Busy (or mid-crash): point the route back at the still-
+                   hosting source while the shard drains, then retry. *)
+                Place.set_route p ~home ~dst:src;
+                Engine.sleep_cycles 2_000;
+                attempt (tries - 1)
+            | Error _ ->
+                Place.set_route p ~home ~dst:src;
+                Place.note_abort p
+          in
+          attempt 50
+        end
+      in
+      let ev_at = function Place.Add { at } | Place.Remove { at; _ } -> at in
+      let events =
+        List.stable_sort
+          (fun a b -> Int64.compare (ev_at a) (ev_at b))
+          (Place.events p)
+      in
+      let next_spare = ref (Place.nhomes p) in
+      let body () =
+        List.iter
+          (fun ev ->
+            let lag = Int64.sub (ev_at ev) (Engine.now engine) in
+            if Int64.compare lag 0L > 0 then Engine.sleep lag;
+            (match ev with
+            | Place.Add _ ->
+                let q = !next_spare in
+                incr next_spare;
+                Place.activate p q;
+                List.iter (fun home -> migrate ~home ~dst:q) (Place.plan_add p q)
+            | Place.Remove { sid; _ } ->
+                Place.deactivate p sid;
+                List.iter
+                  (fun (home, dst) -> migrate ~home ~dst)
+                  (Place.plan_remove p sid));
+            Place.commit p)
+          events
+      in
+      ignore (Engine.spawn engine ~daemon:true ~name:"rebalancer" body)
+  | _ -> ());
+  { engine; config; cores; dram; servers; clients; scheds; registry; kctx;
+    injector; place }
 
 let engine t = t.engine
 
@@ -202,6 +300,37 @@ let kctx t = t.kctx
 let servers t = t.servers
 
 let clients t = t.clients
+
+let place t = t.place
+
+let server_loads t =
+  Array.to_list t.servers
+  |> List.map (fun s ->
+         ( Server.sid s,
+           Hare_stats.Opcount.total (Server.ops s),
+           Server.peak_queue s ))
+
+let imbalance t =
+  (* Max/mean served-operation ratio over the servers that did any work
+     (a spare that was added late or drained early still counts once it
+     served anything). *)
+  let loads =
+    List.filter_map
+      (fun (_, ops, _) -> if ops > 0 then Some (float_of_int ops) else None)
+      (server_loads t)
+  in
+  match loads with
+  | [] -> 1.0
+  | l ->
+      let n = float_of_int (List.length l) in
+      let mean = List.fold_left ( +. ) 0.0 l /. n in
+      List.fold_left max 0.0 l /. mean
+
+let total_moved_retries t =
+  Array.fold_left (fun acc c -> acc + Client.moved_retries c) 0 t.clients
+
+let total_moved_rejects t =
+  Array.fold_left (fun acc s -> acc + Server.moved_rejects s) 0 t.servers
 
 let dram t = t.dram
 
@@ -304,6 +433,7 @@ let reset_perf t =
   Array.iter (fun s -> Hare_stats.Robust.reset (Server.robust s)) t.servers;
   Array.iter (fun c -> Hare_stats.Robust.reset (Client.robust c)) t.clients;
   Array.iter (fun s -> Hare_msg.Rpc.reset_flow (Server.endpoint s)) t.servers;
+  Array.iter Server.reset_peak_queue t.servers;
   match t.injector with
   | Some inj -> Hare_stats.Robust.reset (Hare_fault.Injector.stats inj)
   | None -> ()

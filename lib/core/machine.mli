@@ -29,6 +29,23 @@ val servers : t -> Hare_server.Server.t array
 
 val clients : t -> Hare_client.Client.t array
 
+val place : t -> Hare_place.Place.t option
+(** The consistent-hash ring, present iff the placement is [Sharded]. *)
+
+val server_loads : t -> (int * int * int) list
+(** Per physical server: [(sid, ops served, peak request-queue depth)].
+    Ops accumulate since boot; peaks since the last {!reset_perf}. *)
+
+val imbalance : t -> float
+(** Max/mean ratio of served operations over the servers that served
+    anything — 1.0 is a perfectly even ring. *)
+
+val total_moved_retries : t -> int
+(** Client re-sends after an [EMOVED] bounce (shard migration races). *)
+
+val total_moved_rejects : t -> int
+(** Server-side [EMOVED] bounces issued. *)
+
 val dram : t -> Hare_mem.Dram.t
 
 val register_program : t -> string -> Hare_proc.Program.body -> unit

@@ -17,6 +17,9 @@ type result = {
   engine : World.engine_stats;
       (* simulator event-loop counters for the whole run (boot + setup +
          timed region); all zero on the Linux baseline *)
+  loads : (int * int * int) list;
+      (* per physical server (sid, ops, peak queue); empty on Linux *)
+  imbalance : float;
 }
 
 (* Per-class latency distributions of the root syscall spans that began
@@ -149,5 +152,20 @@ module Make (W : World.WORLD) = struct
         | None -> []);
       robust = W.robustness w;
       engine = W.engine_stats w;
+      loads = W.server_loads w;
+      imbalance =
+        (let served =
+           List.filter_map
+             (fun (_, ops, _) ->
+               if ops > 0 then Some (float_of_int ops) else None)
+             (W.server_loads w)
+         in
+         match served with
+         | [] -> 1.0
+         | l ->
+             let mean =
+               List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+             in
+             List.fold_left max 0.0 l /. mean);
     }
 end

@@ -31,6 +31,12 @@ type result = {
   engine : World.engine_stats;
       (** Simulator event-loop counters for the whole run (boot + setup
           + timed region); all zero on the Linux baseline. *)
+  loads : (int * int * int) list;
+      (** Per physical file server [(sid, ops served, peak queue depth)]
+          over the whole run; empty on the Linux baseline. *)
+  imbalance : float;
+      (** Max/mean served-operation ratio over the servers that served
+          anything (1.0 = perfectly even; 1.0 when [loads] is empty). *)
 }
 
 val latencies_of_trace :

@@ -48,6 +48,11 @@ module type WORLD = sig
   val engine_stats : world -> engine_stats
   (** Simulator event-loop counters for this run (zero for the Linux
       baseline). *)
+
+  val server_loads : world -> (int * int * int) list
+  (** Per physical file server: [(sid, ops served, peak queue depth)] —
+      the load-distribution report behind the sharding imbalance gate.
+      Empty for worlds without file servers (the Linux baseline). *)
 end
 
 module Hare_w = struct
@@ -124,6 +129,8 @@ module Hare_w = struct
       es_peak_fibers = Hare_sim.Engine.peak_fibers e;
       es_spawned = Hare_sim.Engine.spawned_fibers e;
     }
+
+  let server_loads = M.server_loads
 end
 
 module Linux_w = struct
@@ -156,6 +163,8 @@ module Linux_w = struct
   let robustness _ = Hare_stats.Robust.create ()
 
   let engine_stats _ = { es_events = 0; es_peak_fibers = 0; es_spawned = 0 }
+
+  let server_loads _ = []
 end
 
 let unfs_config (base : Config.t) =

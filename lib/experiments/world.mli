@@ -50,6 +50,10 @@ module type WORLD = sig
 
   val engine_stats : world -> engine_stats
   (** Simulator event-loop counters for this run. *)
+
+  val server_loads : world -> (int * int * int) list
+  (** Per physical file server: [(sid, ops served, peak queue depth)].
+      Empty for worlds without file servers (the Linux baseline). *)
 end
 
 module Hare_w : WORLD with type world = Hare.Machine.t and type proc = Hare_proc.Process.t

@@ -16,10 +16,15 @@ type ('req, 'resp) envelope = {
 type ('req, 'resp) t = {
   mailbox : ('req, 'resp) envelope Mailbox.t;
   costs : Hare_config.Costs.t;
+  mutable peak : int; (* deepest queue observed at send time (host-side) *)
 }
 
 let endpoint ?name ?capacity ?faults ~owner ~costs () =
-  { mailbox = Mailbox.create ?name ?capacity ?faults ~owner ~costs (); costs }
+  {
+    mailbox = Mailbox.create ?name ?capacity ?faults ~owner ~costs ();
+    costs;
+    peak = 0;
+  }
 
 let owner t = Mailbox.owner t.mailbox
 
@@ -56,6 +61,8 @@ let call_async_sp t ~from ?payload_lines ?meta ?(abs_deadline = 0L)
   let unreliable = meta <> None in
   Mailbox.send t.mailbox ~from ?payload_lines ~unreliable ~span
     { body = req; reply_ivar = reply; meta; span; deadline = abs_deadline; prio };
+  let depth = Mailbox.pending t.mailbox in
+  if depth > t.peak then t.peak <- depth;
   (reply, span)
 
 let call_async t ~from ?payload_lines ?meta req =
@@ -184,6 +191,10 @@ let drain_pending t =
            env.prio ))
 
 let pending t = Mailbox.pending t.mailbox
+
+let peak_pending t = t.peak
+
+let reset_peak t = t.peak <- 0
 
 let flow_blocked t = Mailbox.flow_blocked t.mailbox
 

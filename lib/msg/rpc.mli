@@ -183,6 +183,13 @@ val drain_pending :
 
 val pending : ('req, 'resp) t -> int
 
+val peak_pending : ('req, 'resp) t -> int
+(** Deepest request queue observed at any send to this endpoint since
+    the last {!reset_peak} — host-side bookkeeping only (per-server
+    load-distribution statistics); charges nothing. *)
+
+val reset_peak : ('req, 'resp) t -> unit
+
 val flow_blocked : ('req, 'resp) t -> int
 (** Requests whose senders waited for a mailbox credit (bounded
     endpoints only). *)

@@ -17,6 +17,7 @@ type t =
   | EACCES
   | EBUSY
   | EIO
+  | EMOVED
 
 exception Error of t * string
 
@@ -39,6 +40,7 @@ let to_string = function
   | EACCES -> "EACCES"
   | EBUSY -> "EBUSY"
   | EIO -> "EIO"
+  | EMOVED -> "EMOVED"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

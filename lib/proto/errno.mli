@@ -21,6 +21,13 @@ type t =
   | EIO
       (** a server was unreachable past the retry budget, crashed while
           holding parked state, or a broadcast could not complete *)
+  | EMOVED
+      (** the logical home this request addresses no longer lives on the
+          contacted physical server (shard migration in progress). Never
+          surfaced to applications: the client library re-resolves the
+          ring route and retries. Replied {e before} any execution or
+          dedup recording, so resending with the same (client, seq) tag
+          is always safe. *)
 
 exception Error of t * string
 (** Raised by the [*_exn] convenience wrappers; the string names the

@@ -1,8 +1,13 @@
 open Types
 
+(* Extensible so [Hare_server] can define the concrete migration payload
+   (it references server-internal types) without a dependency cycle. *)
+type pack = ..
+
 type fs_req =
-  | Lookup of { dir : ino; name : string; client : client_id }
+  | Lookup of { home : int; dir : ino; name : string; client : client_id }
   | Add_map of {
+      home : int;
       dir : ino;
       name : string;
       target : ino;
@@ -12,21 +17,29 @@ type fs_req =
       client : client_id;
     }
   | Rm_map of {
+      home : int;
       dir : ino;
       name : string;
       only_if : ino option;
       client : client_id;
     }
-  | Readdir_shard of { dir : ino }
+  | Readdir_shard of { home : int; dir : ino }
   | Create_open of {
+      home : int;
       dir : ino;
       name : string;
       excl : bool;
       trunc : bool;
       client : client_id;
     }
-  | Create_inode of { ftype : ftype; dist : bool; and_open : bool }
-  | Create_dir of { dir : ino; name : string; dist : bool; client : client_id }
+  | Create_inode of { home : int; ftype : ftype; dist : bool; and_open : bool }
+  | Create_dir of {
+      home : int;
+      dir : ino;
+      name : string;
+      dist : bool;
+      client : client_id;
+    }
   | Open_inode of { ino : ino; trunc : bool; client : client_id }
   | Close_fd of { token : fd_token; size : int option }
   | Read_fd of { token : fd_token; off : int option; len : int }
@@ -42,14 +55,16 @@ type fs_req =
   | Inc_fd_ref of { token : fd_token; offset : int option }
   | Rmdir_lock of { dir : ino }
   | Rmdir_unlock of { dir : ino }
-  | Rmdir_prepare of { dir : ino }
-  | Rmdir_commit of { dir : ino; client : client_id }
-  | Rmdir_abort of { dir : ino }
+  | Rmdir_prepare of { home : int; dir : ino }
+  | Rmdir_commit of { home : int; dir : ino; client : client_id }
+  | Rmdir_abort of { home : int; dir : ino }
   | Rmdir_local of { dir : ino; client : client_id }
-  | Pipe_create of { client : client_id }
+  | Pipe_create of { home : int; client : client_id }
   | Pipe_read of { token : fd_token; len : int }
   | Pipe_write of { token : fd_token; data : string }
   | Steal_blocks of { count : int }
+  | Migrate_out of { home : int }
+  | Install_shard of { home : int; pack : pack }
 
 type open_info = { token : fd_token; blocks : int array; isize : int }
 
@@ -76,6 +91,7 @@ type fs_payload =
   | P_removed of { target : ino; ftype : ftype }
   | P_pipe of { pipe_ino : ino; rd : fd_token; wr : fd_token }
   | P_open_ino of { oi : open_info; ino : ino }
+  | P_pack of pack
 
 type fs_resp = (fs_payload, Errno.t) result
 
@@ -144,6 +160,8 @@ let req_name = function
   | Pipe_read _ -> "PIPE_READ"
   | Pipe_write _ -> "PIPE_WRITE"
   | Steal_blocks _ -> "STEAL_BLOCKS"
+  | Migrate_out _ -> "MIGRATE_OUT"
+  | Install_shard _ -> "INSTALL_SHARD"
 
 (* Span names for server-side trace contexts. Literal per constructor —
    ["srv:" ^ req_name req] would allocate a fresh string on every traced
@@ -179,6 +197,8 @@ let req_srv_name = function
   | Pipe_read _ -> "srv:PIPE_READ"
   | Pipe_write _ -> "srv:PIPE_WRITE"
   | Steal_blocks _ -> "srv:STEAL_BLOCKS"
+  | Migrate_out _ -> "srv:MIGRATE_OUT"
+  | Install_shard _ -> "srv:INSTALL_SHARD"
 
 (* Overload priority class: metadata RPCs (0) are never shed, data RPCs
    (1) move bulk bytes, background RPCs (2) are deferrable housekeeping.
@@ -202,7 +222,7 @@ let req_args req =
   | Lookup { dir = d; name; _ } -> dir d @ [ ("name", name) ]
   | Add_map { dir = d; name; _ } -> dir d @ [ ("name", name) ]
   | Rm_map { dir = d; name; _ } -> dir d @ [ ("name", name) ]
-  | Readdir_shard { dir = d } -> dir d
+  | Readdir_shard { dir = d; _ } -> dir d
   | Create_open { dir = d; name; _ } -> dir d @ [ ("name", name) ]
   | Create_inode _ -> []
   | Create_dir { dir = d; name; _ } -> dir d @ [ ("name", name) ]
@@ -219,14 +239,16 @@ let req_args req =
   | Link_ino { ino = i } -> ino i
   | Rmdir_lock { dir = d }
   | Rmdir_unlock { dir = d }
-  | Rmdir_prepare { dir = d }
-  | Rmdir_abort { dir = d } ->
+  | Rmdir_prepare { dir = d; _ }
+  | Rmdir_abort { dir = d; _ } ->
       dir d
   | Rmdir_commit { dir = d; _ } | Rmdir_local { dir = d; _ } -> dir d
   | Pipe_create _ -> []
   | Pipe_read { len; _ } -> [ ("len", string_of_int len) ]
   | Pipe_write { data; _ } -> [ ("len", string_of_int (String.length data)) ]
   | Steal_blocks { count } -> [ ("count", string_of_int count) ]
+  | Migrate_out { home } | Install_shard { home; _ } ->
+      [ ("home", string_of_int home) ]
 
 let pp_fs_req ppf req =
   match req with
@@ -239,5 +261,5 @@ let pp_fs_req ppf req =
   | Create_open { dir; name; _ } ->
       Format.fprintf ppf "CREATE_OPEN(%a, %s)" pp_ino dir name
   | Open_inode { ino; _ } -> Format.fprintf ppf "OPEN(%a)" pp_ino ino
-  | Readdir_shard { dir } -> Format.fprintf ppf "READDIR(%a)" pp_ino dir
+  | Readdir_shard { dir; _ } -> Format.fprintf ppf "READDIR(%a)" pp_ino dir
   | _ -> Format.pp_print_string ppf (req_name req)

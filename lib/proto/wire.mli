@@ -12,10 +12,27 @@
 
 open Types
 
+type pack = ..
+(** Opaque shard-migration payload: the whole state of one logical home
+    (inodes, dentry shards, open descriptors, dedup memory, block
+    ownership). Extensible so [Hare_server] can define the concrete
+    constructor — it references server-internal types — without a
+    dependency cycle. *)
+
+(** Requests that address a directory-entry shard or mint an inode carry
+    the {e logical home} ([home]) they are aimed at: under [Sharded]
+    placement several homes can share a physical server (and move between
+    servers mid-run), so the receiving server cannot infer the home from
+    its own id. A server answers [EMOVED] — before execution, before
+    dedup recording — when it does not currently host the request's home;
+    clients then re-resolve the ring route and resend. Inode, token and
+    rmdir-lock requests derive their home from the [ino]/[token]/[dir]
+    field instead. *)
 type fs_req =
   (* directory-entry (shard) operations *)
-  | Lookup of { dir : ino; name : string; client : client_id }
+  | Lookup of { home : int; dir : ino; name : string; client : client_id }
   | Add_map of {
+      home : int;
       dir : ino;
       name : string;
       target : ino;
@@ -26,6 +43,7 @@ type fs_req =
       client : client_id;
     }
   | Rm_map of {
+      home : int;
       dir : ino;
       name : string;
       only_if : ino option;
@@ -33,8 +51,9 @@ type fs_req =
               compensation relies on inode ids never being reused. *)
       client : client_id;
     }
-  | Readdir_shard of { dir : ino }
+  | Readdir_shard of { home : int; dir : ino }
   | Create_open of {
+      home : int;
       dir : ino;
       name : string;
       excl : bool;
@@ -42,8 +61,14 @@ type fs_req =
       client : client_id;
     }  (** coalesced create-inode + add-map + open for regular files. *)
   (* inode (home server) operations *)
-  | Create_inode of { ftype : ftype; dist : bool; and_open : bool }
-  | Create_dir of { dir : ino; name : string; dist : bool; client : client_id }
+  | Create_inode of { home : int; ftype : ftype; dist : bool; and_open : bool }
+  | Create_dir of {
+      home : int;
+      dir : ino;
+      name : string;
+      dist : bool;
+      client : client_id;
+    }
       (** coalesced mkdir: inode + entry when both land on one server
           (§3.6.3). *)
   | Open_inode of { ino : ino; trunc : bool; client : client_id }
@@ -69,20 +94,32 @@ type fs_req =
   (* three-phase rmdir *)
   | Rmdir_lock of { dir : ino }
   | Rmdir_unlock of { dir : ino }
-  | Rmdir_prepare of { dir : ino }
-  | Rmdir_commit of { dir : ino; client : client_id }
-  | Rmdir_abort of { dir : ino }
+  | Rmdir_prepare of { home : int; dir : ino }
+  | Rmdir_commit of { home : int; dir : ino; client : client_id }
+  | Rmdir_abort of { home : int; dir : ino }
   | Rmdir_local of { dir : ino; client : client_id }
       (** coalesced rmdir of a {e centralized} directory: emptiness check
           and inode removal are atomic at the home server, so the
           three-phase protocol is unnecessary. *)
   (* pipes *)
-  | Pipe_create of { client : client_id }
+  | Pipe_create of { home : int; client : client_id }
   | Pipe_read of { token : fd_token; len : int }
   | Pipe_write of { token : fd_token; data : string }
   | Steal_blocks of { count : int }
       (** server→server ({e extension}, §3.2): ask a peer to donate free
           buffer-cache blocks when this server's partition is dry. *)
+  (* shard migration (coordinator→server, {e extension}) *)
+  | Migrate_out of { home : int }
+      (** pack up logical home [home] and stop hosting it. Replies
+          [P_pack] with the home's entire state, or [EBUSY] if the home
+          holds parked continuations (pipe waiters, rmdir marks/locks)
+          that cannot move. Sent reliably (no idempotency tag), so fault
+          plans never drop it and a crashed server replays it at
+          restart. *)
+  | Install_shard of { home : int; pack : pack }
+      (** adopt a packed home: install its inodes, dentry shards, open
+          descriptors and dedup memory, and take ownership of its
+          buffer-cache blocks. Also reliable. *)
 
 type open_info = { token : fd_token; blocks : int array; isize : int }
 
@@ -111,6 +148,7 @@ type fs_payload =
   | P_removed of { target : ino; ftype : ftype }
   | P_pipe of { pipe_ino : ino; rd : fd_token; wr : fd_token }
   | P_open_ino of { oi : open_info; ino : ino }
+  | P_pack of pack  (** reply to [Migrate_out]. *)
 
 type fs_resp = (fs_payload, Errno.t) result
 

@@ -4,6 +4,7 @@ type t = {
   free : int Queue.t;
   allocated : (int, unit) Hashtbl.t;
   adopted : (int, unit) Hashtbl.t;
+  exported : (int, unit) Hashtbl.t;
 }
 
 let create ~first ~count =
@@ -12,7 +13,14 @@ let create ~first ~count =
   for b = first to first + count - 1 do
     Queue.push b free
   done;
-  { first; count; free; allocated = Hashtbl.create 64; adopted = Hashtbl.create 16 }
+  {
+    first;
+    count;
+    free;
+    allocated = Hashtbl.create 64;
+    adopted = Hashtbl.create 16;
+    exported = Hashtbl.create 16;
+  }
 
 let first t = t.first
 
@@ -21,7 +29,9 @@ let count t = t.count
 let available t = Queue.length t.free
 
 let owns t block =
-  (block >= t.first && block < t.first + t.count) || Hashtbl.mem t.adopted block
+  (block >= t.first && block < t.first + t.count
+  && not (Hashtbl.mem t.exported block))
+  || Hashtbl.mem t.adopted block
 
 let alloc t =
   match Queue.take_opt t.free with
@@ -81,7 +91,8 @@ let rebuild t ~live =
       Hashtbl.replace t.allocated b ())
     adopted_live;
   for b = t.first to t.first + t.count - 1 do
-    if Hashtbl.mem live b then Hashtbl.replace t.allocated b ()
+    if Hashtbl.mem t.exported b then ()
+    else if Hashtbl.mem live b then Hashtbl.replace t.allocated b ()
     else Queue.push b t.free
   done;
   leaked
@@ -91,4 +102,22 @@ let adopt t blocks =
     (fun b ->
       if not (owns t b) then Hashtbl.replace t.adopted b ();
       Queue.push b t.free)
+    blocks
+
+let export t blocks =
+  Array.iter
+    (fun b ->
+      Hashtbl.remove t.allocated b;
+      Hashtbl.remove t.adopted b;
+      if b >= t.first && b < t.first + t.count then
+        Hashtbl.replace t.exported b ())
+    blocks
+
+let adopt_allocated t blocks =
+  Array.iter
+    (fun b ->
+      Hashtbl.remove t.exported b;
+      if not (b >= t.first && b < t.first + t.count) then
+        Hashtbl.replace t.adopted b ();
+      Hashtbl.replace t.allocated b ())
     blocks

@@ -38,6 +38,18 @@ val donate : t -> int -> int array
     server now owns them. *)
 val adopt : t -> int array -> unit
 
+(** [export t blocks] relinquishes in-use blocks to another server
+    (shard migration): they leave this partition's allocated set without
+    entering its free list, and in-range exported blocks are excluded
+    from [owns] and from crash [rebuild] until re-adopted. The data
+    itself never moves — only ownership does. *)
+val export : t -> int array -> unit
+
+(** [adopt_allocated t blocks] takes ownership of blocks that are
+    already backing a migrated inode: they become owned {e and}
+    allocated here (unlike {!adopt}, which receives free blocks). *)
+val adopt_allocated : t -> int array -> unit
+
 (** [rebuild t ~live] reconstructs the free list after a crash: every
     block of the partition not in [live] (the set referenced by surviving
     inodes) becomes free again. Returns the number of previously-allocated

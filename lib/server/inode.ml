@@ -1,5 +1,6 @@
 type t = {
   lid : int;
+  home : int;
   ftype : Hare_proto.Types.ftype;
   dist : bool;
   mutable size : int;
@@ -11,9 +12,10 @@ type t = {
   pipe : Pipe_state.t option;
 }
 
-let make ~lid ~ftype ~dist ~pipe =
+let make ~lid ~home ~ftype ~dist ~pipe =
   {
     lid;
+    home;
     ftype;
     dist;
     size = 0;
@@ -25,22 +27,24 @@ let make ~lid ~ftype ~dist ~pipe =
     pipe;
   }
 
-let file ~lid = make ~lid ~ftype:Hare_proto.Types.Reg ~dist:false ~pipe:None
+let file ~lid ~home =
+  make ~lid ~home ~ftype:Hare_proto.Types.Reg ~dist:false ~pipe:None
 
-let dir ~lid ~dist = make ~lid ~ftype:Hare_proto.Types.Dir ~dist ~pipe:None
+let dir ~lid ~home ~dist =
+  make ~lid ~home ~ftype:Hare_proto.Types.Dir ~dist ~pipe:None
 
-let fifo ~lid ~capacity =
-  make ~lid ~ftype:Hare_proto.Types.Fifo ~dist:false
+let fifo ~lid ~home ~capacity =
+  make ~lid ~home ~ftype:Hare_proto.Types.Fifo ~dist:false
     ~pipe:(Some (Pipe_state.create ~capacity))
 
 let blocks_for ~size =
   if size <= 0 then 0
   else ((size - 1) / Hare_mem.Layout.block_size) + 1
 
-let attr t ~server =
+let attr t =
   Hare_proto.Types.
     {
-      a_ino = { server; ino = t.lid };
+      a_ino = { server = t.home; ino = t.lid };
       a_ftype = t.ftype;
       a_size = t.size;
       a_nlink = t.nlink;

@@ -8,7 +8,12 @@
     blocks whose reuse is deferred until the last descriptor closes. *)
 
 type t = {
-  lid : int;  (** per-server inode number. *)
+  lid : int;  (** per-home inode number. *)
+  home : int;
+      (** the {e logical} home this inode belongs to — its global id is
+          [{ server = home; ino = lid }] forever, even when shard
+          migration moves the record to another physical server. Under
+          static placements this is simply the owning server's id. *)
   ftype : Hare_proto.Types.ftype;
   dist : bool;  (** directories: distributed entries (immutable). *)
   mutable size : int;
@@ -20,14 +25,14 @@ type t = {
   pipe : Pipe_state.t option;
 }
 
-val file : lid:int -> t
+val file : lid:int -> home:int -> t
 
-val dir : lid:int -> dist:bool -> t
+val dir : lid:int -> home:int -> dist:bool -> t
 
-val fifo : lid:int -> capacity:int -> t
+val fifo : lid:int -> home:int -> capacity:int -> t
 
 (** [blocks_for ~size] is the number of blocks needed to back [size]
     bytes. *)
 val blocks_for : size:int -> int
 
-val attr : t -> server:int -> Hare_proto.Types.attr
+val attr : t -> Hare_proto.Types.attr

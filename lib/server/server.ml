@@ -37,6 +37,22 @@ type dedup_entry = Pending of reply list ref | Done of Wire.fs_resp
 
 type dirlock = { mutable held : bool; lock_waiters : reply Queue.t }
 
+(* Shard-migration payload: the whole state of one logical home, moved
+   between physical servers by reference (host-side values; the block
+   contents never leave DRAM). Defined as a [Wire.pack] extension because
+   it mentions server-internal types. *)
+type Wire.pack +=
+  | Pack of {
+      p_inodes : (int * Inode.t) list; (* lid, record *)
+      p_tokens : (int * ofd) list; (* namespaced token, ofd *)
+      p_dirs : (ino * (string, Wire.entry_info) Hashtbl.t) list; (* dkey *)
+      p_dead : ino list; (* tombstone dkeys *)
+      p_blocks : int array; (* buffer-cache ownership to adopt *)
+      p_next_lid : int;
+      p_next_token : int;
+      p_dedup : (int * int * Wire.fs_resp) list; (* client, seq, resp *)
+    }
+
 type t = {
   sid : int;
   engine : Engine.t;
@@ -47,13 +63,24 @@ type t = {
   dram : Hare_mem.Dram.t;
   blocks : Blocklist.t;
   endpoint : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t;
+  (* Consistent-hash sharding: [migratory] is true iff the machine has a
+     ring-membership plan; only then do key namespacing, ownership checks
+     and EMOVED rejections exist. [hosted] is the set of logical homes
+     this physical server currently serves — one home per server (its own
+     id) under every static placement. *)
+  migratory : bool;
+  hosted : (int, unit) Hashtbl.t;
+  mutable homes_in : int; (* homes adopted via Install_shard *)
+  mutable homes_out : int; (* homes packed via Migrate_out *)
+  mutable moved_rejects : int; (* EMOVED replies sent *)
+  (* keyed by [ikey]: the inode's lid, home-namespaced when migratory *)
   inodes : (int, Inode.t) Hashtbl.t;
-  mutable next_lid : int;
+  next_lids : (int, int) Hashtbl.t; (* per-home lid counters *)
   tokens : (int, ofd) Hashtbl.t;
-  mutable next_token : int;
-  (* directory-entry shards: dir ino -> name -> dentry *)
+  next_tokens : (int, int) Hashtbl.t; (* per-home token counters *)
+  (* directory-entry shards: dkey -> name -> dentry *)
   dirs : (ino, (string, Wire.entry_info) Hashtbl.t) Hashtbl.t;
-  (* invalidation tracking lists: dir ino -> name -> client set *)
+  (* invalidation tracking lists: dkey -> name -> client set *)
   tracking : (ino, (string, (int, unit) Hashtbl.t) Hashtbl.t) Hashtbl.t;
   marks : (ino, mark) Hashtbl.t;
   locks : (ino, dirlock) Hashtbl.t;
@@ -88,7 +115,20 @@ type t = {
 let bs = Hare_mem.Layout.block_size
 
 let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
-    ~inval_ports ?faults () =
+    ~inval_ports ?place ?faults () =
+  let migratory =
+    match place with
+    | Some p -> Hare_place.Place.migratory p
+    | None -> false
+  in
+  let hosted = Hashtbl.create 4 in
+  (* A spare server (physical id beyond the logical home space) boots
+     hosting nothing; it acquires homes via Install_shard when its ring
+     Add event fires. Everyone else starts as its own home. *)
+  (match place with
+  | Some p when migratory ->
+      if sid < Hare_place.Place.nhomes p then Hashtbl.replace hosted sid ()
+  | _ -> Hashtbl.replace hosted sid ());
   {
     sid;
     engine;
@@ -106,10 +146,15 @@ let create ~engine ~config ~sid ~core ~pcache ~dram ~blocks_first ~blocks_count
              Some config.Hare_config.Config.mailbox_capacity
            else None)
         ?faults ~owner:core ~costs:config.Hare_config.Config.costs ();
+    migratory;
+    hosted;
+    homes_in = 0;
+    homes_out = 0;
+    moved_rejects = 0;
     inodes = Hashtbl.create 1024;
-    next_lid = 1;
+    next_lids = Hashtbl.create 4;
     tokens = Hashtbl.create 256;
-    next_token = 1;
+    next_tokens = Hashtbl.create 4;
     dirs = Hashtbl.create 256;
     tracking = Hashtbl.create 256;
     marks = Hashtbl.create 16;
@@ -160,23 +205,78 @@ let robust t = t.robust
 
 let is_down t = t.down
 
+(* ---------- home namespacing ------------------------------------------- *)
+
+(* Under a migratory placement several logical homes can share one
+   physical server, so every home-scoped key is namespaced by the home
+   id. With a static ring membership the encodings are the identity:
+   byte-for-byte the tables (and their iteration order) of the
+   pre-sharding code. *)
+
+let home_shift = 40
+let home_mask = (1 lsl home_shift) - 1
+
+(* inode-table key: the inode's lid, home-qualified when migratory *)
+let ikey t ~home lid = if t.migratory then (home lsl home_shift) lor lid else lid
+
+(* directory-table key: which home's shard of [dir] this is. The real
+   directory ino is recoverable ({!dkey_dir}) for invalidation messages. *)
+let dkey t ~home (dir : ino) =
+  if t.migratory then
+    { server = home; ino = (dir.server lsl home_shift) lor dir.ino }
+  else dir
+
+let dkey_dir t (key : ino) =
+  if t.migratory then
+    { server = key.ino lsr home_shift; ino = key.ino land home_mask }
+  else key
+
+let hosts t h = Hashtbl.mem t.hosted h
+
+let hosted_homes t =
+  Hashtbl.fold (fun h () acc -> h :: acc) t.hosted [] |> List.sort compare
+
+let homes_migrated_in t = t.homes_in
+
+let homes_migrated_out t = t.homes_out
+
+let moved_rejects t = t.moved_rejects
+
+let peak_queue t = Hare_msg.Rpc.peak_pending t.endpoint
+
+let reset_peak_queue t = Hare_msg.Rpc.reset_peak t.endpoint
+
 (* ---------- inode and token helpers ----------------------------------- *)
 
-let alloc_lid t =
-  let lid = t.next_lid in
-  t.next_lid <- t.next_lid + 1;
+let alloc_lid t ~home =
+  let lid =
+    match Hashtbl.find_opt t.next_lids home with Some n -> n | None -> 1
+  in
+  Hashtbl.replace t.next_lids home (lid + 1);
   lid
 
-let register_inode t inode = Hashtbl.replace t.inodes inode.Inode.lid inode
+let register_inode t inode =
+  Hashtbl.replace t.inodes
+    (ikey t ~home:inode.Inode.home inode.Inode.lid)
+    inode
 
-let find_inode t ino =
-  if ino.server <> t.sid then None else Hashtbl.find_opt t.inodes ino.ino
+let find_inode t (ino : ino) =
+  if not (hosts t ino.server) then None
+  else Hashtbl.find_opt t.inodes (ikey t ~home:ino.server ino.ino)
 
-let global t (inode : Inode.t) = { server = t.sid; ino = inode.lid }
+let global (inode : Inode.t) =
+  { server = inode.Inode.home; ino = inode.Inode.lid }
 
-let new_token t inode ~pipe_end =
-  let token = t.next_token in
-  t.next_token <- t.next_token + 1;
+let new_token t (inode : Inode.t) ~pipe_end =
+  let home = inode.Inode.home in
+  let k =
+    match Hashtbl.find_opt t.next_tokens home with Some n -> n | None -> 1
+  in
+  Hashtbl.replace t.next_tokens home (k + 1);
+  (* Namespaced so tokens minted by different homes never collide when
+     the homes later share a physical server; the home is recoverable
+     (token lsr shift) for the ownership check. *)
+  let token = if t.migratory then (home lsl home_shift) lor k else k in
   let ofd = { token; inode; refcount = 1; shared_offset = None; pipe_end } in
   Hashtbl.replace t.tokens token ofd;
   inode.Inode.open_tokens <- inode.Inode.open_tokens + 1;
@@ -195,7 +295,7 @@ let maybe_release t (inode : Inode.t) =
     if inode.unlinked && inode.nlink <= 0 then begin
       free_blocks t inode.blocks;
       inode.blocks <- [||];
-      Hashtbl.remove t.inodes inode.lid
+      Hashtbl.remove t.inodes (ikey t ~home:inode.home inode.lid)
     end
   end
 
@@ -290,34 +390,47 @@ let write_data t (inode : Inode.t) ~off data =
 
 (* ---------- directory shards and invalidation ------------------------- *)
 
-let shard t dir =
-  match Hashtbl.find_opt t.dirs dir with
+(* [key] below is always a [dkey]: the caller resolves the request's home
+   once and threads the namespaced key through. *)
+
+let shard t key =
+  match Hashtbl.find_opt t.dirs key with
   | Some s -> s
   | None ->
       let s = Hashtbl.create 16 in
-      Hashtbl.replace t.dirs dir s;
+      Hashtbl.replace t.dirs key s;
       s
 
 let shard_entries t dir =
-  match Hashtbl.find_opt t.dirs dir with
-  | None -> []
-  | Some s ->
-      Hashtbl.fold
-        (fun name (e : Wire.entry_info) acc -> (name, e.t_ino) :: acc)
-        s []
+  let collect s acc =
+    Hashtbl.fold
+      (fun name (e : Wire.entry_info) acc -> (name, e.t_ino) :: acc)
+      s acc
+  in
+  if not t.migratory then
+    match Hashtbl.find_opt t.dirs dir with None -> [] | Some s -> collect s []
+  else
+    (* introspection path: gather this directory's shard across every
+       home hosted here *)
+    Hashtbl.fold
+      (fun key s acc -> if dkey_dir t key = dir then collect s acc else acc)
+      t.dirs []
 
-let shard_size t dir =
-  match Hashtbl.find_opt t.dirs dir with
+let shard_size t key =
+  match Hashtbl.find_opt t.dirs key with
   | None -> 0
   | Some s -> Hashtbl.length s
 
-let track t ~dir ~name ~client =
+let dentry_count t =
+  Hashtbl.fold (fun _ s n -> n + Hashtbl.length s) t.dirs 0
+
+let track t ~key ~name ~client =
   let per_dir =
-    match Hashtbl.find_opt t.tracking dir with
+    match Hashtbl.find_opt t.tracking key with
     | Some m -> m
     | None ->
         let m = Hashtbl.create 16 in
-        Hashtbl.replace t.tracking dir m;
+        Hashtbl.replace t.tracking key m;
         m
   in
   let clients =
@@ -334,8 +447,8 @@ let track t ~dir ~name ~client =
    the originator, then forget them — a client re-registers by looking the
    name up again. Atomic message delivery means the server proceeds as
    soon as the sends return. *)
-let send_invals t ~dir ~name ~except =
-  match Hashtbl.find_opt t.tracking dir with
+let send_invals t ~key ~dir ~name ~except =
+  match Hashtbl.find_opt t.tracking key with
   | None -> ()
   | Some per_dir -> (
       match Hashtbl.find_opt per_dir name with
@@ -362,9 +475,14 @@ let send_invals t ~dir ~name ~except =
 
 let install_root t ~dist =
   assert (t.sid = root_ino.server);
-  let inode = Inode.dir ~lid:root_ino.ino ~dist in
+  let inode = Inode.dir ~lid:root_ino.ino ~home:root_ino.server ~dist in
   register_inode t inode;
-  t.next_lid <- max t.next_lid (root_ino.ino + 1)
+  let cur =
+    match Hashtbl.find_opt t.next_lids root_ino.server with
+    | Some n -> n
+    | None -> 1
+  in
+  Hashtbl.replace t.next_lids root_ino.server (max cur (root_ino.ino + 1))
 
 (* ---------- request handlers ------------------------------------------ *)
 
@@ -397,6 +515,8 @@ let op_cost (req : Wire.fs_req) =
   | Wire.Pipe_read _ -> 200
   | Wire.Pipe_write _ -> 200
   | Wire.Steal_blocks _ -> 300
+  | Wire.Migrate_out _ -> 800
+  | Wire.Install_shard _ -> 800
 
 let open_info (ofd : ofd) : Wire.open_info =
   {
@@ -418,14 +538,15 @@ let demotion ofd =
       Some off
   | _ -> None
 
-let handle_lookup t ~dir ~name ~client (reply : reply) =
-  match Hashtbl.find_opt t.dirs dir with
+let handle_lookup t ~home ~dir ~name ~client (reply : reply) =
+  let key = dkey t ~home dir in
+  match Hashtbl.find_opt t.dirs key with
   | None -> reply (Error Errno.ENOENT)
   | Some s -> (
       match Hashtbl.find_opt s name with
       | None -> reply (Error Errno.ENOENT)
       | Some e ->
-          track t ~dir ~name ~client;
+          track t ~key ~name ~client;
           reply (Ok (Wire.P_lookup { target = e.t_ino; ftype = e.t_ftype; dist = e.t_dist })))
 
 (* For a centralized directory the entries live with the inode, so we can
@@ -433,15 +554,16 @@ let handle_lookup t ~dir ~name ~client (reply : reply) =
    distributed directories this server may hold only a shard: the rmdir
    mark protocol delays concurrent creates, and the tombstone catches the
    ones that arrive after the commit. *)
-let dir_alive t (dir : ino) =
-  (not (Hashtbl.mem t.dead_dirs dir))
-  && (dir.server <> t.sid || Hashtbl.mem t.inodes dir.ino)
+let dir_alive t ~home (dir : ino) =
+  (not (Hashtbl.mem t.dead_dirs (dkey t ~home dir)))
+  && ((not (hosts t dir.server)) || find_inode t dir <> None)
 
-let handle_add_map t ~dir ~name ~target ~ftype ~dist ~replace ~client
+let handle_add_map t ~home ~dir ~name ~target ~ftype ~dist ~replace ~client
     (reply : reply) =
-  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+  if not (dir_alive t ~home dir) then reply (Error Errno.ENOENT)
   else
-  let s = shard t dir in
+  let key = dkey t ~home dir in
+  let s = shard t key in
   let entry = { Wire.t_ino = target; t_ftype = ftype; t_dist = dist } in
   match Hashtbl.find_opt s name with
   | Some old ->
@@ -455,17 +577,18 @@ let handle_add_map t ~dir ~name ~target ~ftype ~dist ~replace ~client
         reply (Error Errno.ENOTDIR)
       else begin
         Hashtbl.replace s name entry;
-        send_invals t ~dir ~name ~except:client;
-        track t ~dir ~name ~client;
+        send_invals t ~key ~dir ~name ~except:client;
+        track t ~key ~name ~client;
         reply (Ok (Wire.P_removed { target = old.t_ino; ftype = old.t_ftype }))
       end
   | None ->
       Hashtbl.replace s name entry;
-      track t ~dir ~name ~client;
+      track t ~key ~name ~client;
       reply (Ok Wire.P_unit)
 
-let handle_rm_map t ~dir ~name ~only_if ~client (reply : reply) =
-  match Hashtbl.find_opt t.dirs dir with
+let handle_rm_map t ~home ~dir ~name ~only_if ~client (reply : reply) =
+  let key = dkey t ~home dir in
+  match Hashtbl.find_opt t.dirs key with
   | None -> reply (Error Errno.ENOENT)
   | Some s -> (
       match Hashtbl.find_opt s name with
@@ -476,12 +599,12 @@ let handle_rm_map t ~dir ~name ~only_if ~client (reply : reply) =
           reply (Error Errno.ENOENT)
       | Some e ->
           Hashtbl.remove s name;
-          send_invals t ~dir ~name ~except:client;
+          send_invals t ~key ~dir ~name ~except:client;
           reply (Ok (Wire.P_removed { target = e.t_ino; ftype = e.t_ftype })))
 
-let handle_readdir t ~dir (reply : reply) =
+let handle_readdir t ~home ~dir (reply : reply) =
   let entries =
-    match Hashtbl.find_opt t.dirs dir with
+    match Hashtbl.find_opt t.dirs (dkey t ~home dir) with
     | None -> []
     | Some s ->
         Hashtbl.fold
@@ -493,19 +616,20 @@ let handle_readdir t ~dir (reply : reply) =
   let payload_lines = (List.length entries / 2) + 1 in
   reply ~payload_lines (Ok (Wire.P_entries entries))
 
-let handle_create_open t ~dir ~name ~excl ~trunc ~client (reply : reply) =
-  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+let handle_create_open t ~home ~dir ~name ~excl ~trunc ~client (reply : reply) =
+  if not (dir_alive t ~home dir) then reply (Error Errno.ENOENT)
   else
-  let s = shard t dir in
+  let key = dkey t ~home dir in
+  let s = shard t key in
   match Hashtbl.find_opt s name with
   | Some e ->
       if excl then reply (Error Errno.EEXIST)
       else if e.t_ftype = Dir then reply (Error Errno.EISDIR)
-      else if e.t_ino.server = t.sid then begin
-        match Hashtbl.find_opt t.inodes e.t_ino.ino with
+      else if hosts t e.t_ino.server then begin
+        match find_inode t e.t_ino with
         | None -> reply (Error Errno.ENOENT)
         | Some inode ->
-            track t ~dir ~name ~client;
+            track t ~key ~name ~client;
             let ofd = do_open t inode ~trunc in
             reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino = e.t_ino }))
       end
@@ -514,71 +638,74 @@ let handle_create_open t ~dir ~name ~excl ~trunc ~client (reply : reply) =
         reply
           (Ok (Wire.P_lookup { target = e.t_ino; ftype = e.t_ftype; dist = e.t_dist }))
   | None ->
-      let inode = Inode.file ~lid:(alloc_lid t) in
+      let inode = Inode.file ~lid:(alloc_lid t ~home) ~home in
       register_inode t inode;
-      let ino = global t inode in
+      let ino = global inode in
       Hashtbl.replace s name { Wire.t_ino = ino; t_ftype = Reg; t_dist = false };
-      track t ~dir ~name ~client;
+      track t ~key ~name ~client;
       let ofd = do_open t inode ~trunc:false in
       reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino }))
 
-let handle_create_inode t ~ftype ~dist ~and_open (reply : reply) =
-  let lid = alloc_lid t in
+let handle_create_inode t ~home ~ftype ~dist ~and_open (reply : reply) =
+  let lid = alloc_lid t ~home in
   let inode =
     match (ftype : ftype) with
-    | Reg -> Inode.file ~lid
-    | Dir -> Inode.dir ~lid ~dist
+    | Reg -> Inode.file ~lid ~home
+    | Dir -> Inode.dir ~lid ~home ~dist
     | Fifo -> invalid_arg "Create_inode: use Pipe_create for fifos"
   in
   register_inode t inode;
-  let ino = global t inode in
+  let ino = global inode in
   if and_open && ftype = Reg then
     let ofd = do_open t inode ~trunc:false in
     reply (Ok (Wire.P_open_ino { oi = open_info ofd; ino }))
   else reply (Ok (Wire.P_created_ino ino))
 
-let drop_dir_state t dir =
-  Hashtbl.remove t.dirs dir;
-  Hashtbl.remove t.tracking dir;
-  Hashtbl.remove t.locks dir
+let drop_dir_state t key =
+  Hashtbl.remove t.dirs key;
+  Hashtbl.remove t.tracking key;
+  Hashtbl.remove t.locks key
 
 (* Coalesced mkdir (§3.6.3): directory inode + parent entry in one
    message, when creation affinity placed both on this server. *)
-let handle_create_dir t ~dir ~name ~dist ~client (reply : reply) =
-  if not (dir_alive t dir) then reply (Error Errno.ENOENT)
+let handle_create_dir t ~home ~dir ~name ~dist ~client (reply : reply) =
+  if not (dir_alive t ~home dir) then reply (Error Errno.ENOENT)
   else begin
-    let s = shard t dir in
+    let key = dkey t ~home dir in
+    let s = shard t key in
     match Hashtbl.find_opt s name with
     | Some _ -> reply (Error Errno.EEXIST)
     | None ->
-        let inode = Inode.dir ~lid:(alloc_lid t) ~dist in
+        let inode = Inode.dir ~lid:(alloc_lid t ~home) ~home ~dist in
         register_inode t inode;
-        let ino = global t inode in
+        let ino = global inode in
         Hashtbl.replace s name { Wire.t_ino = ino; t_ftype = Dir; t_dist = dist };
-        track t ~dir ~name ~client;
+        track t ~key ~name ~client;
         reply (Ok (Wire.P_created_ino ino))
   end
 
 (* Coalesced rmdir for centralized directories: all entries live here, so
    the emptiness check and removal are one atomic step — no marks, no
-   lock phase. *)
+   lock phase. The request home is the directory's own home. *)
 let handle_rmdir_local t ~dir (reply : reply) =
-  match Hashtbl.find_opt t.inodes dir.ino with
+  let home = dir.server in
+  let key = dkey t ~home dir in
+  match find_inode t dir with
   | None -> reply (Error Errno.ENOENT)
   | Some inode when inode.Inode.ftype <> Dir -> reply (Error Errno.ENOTDIR)
   | Some _ ->
-      if shard_size t dir > 0 then reply (Error Errno.ENOTEMPTY)
+      if shard_size t key > 0 then reply (Error Errno.ENOTEMPTY)
       else begin
-        (match Hashtbl.find_opt t.locks dir with
+        (match Hashtbl.find_opt t.locks key with
         | Some l ->
             Queue.iter
               (fun (waiter : reply) -> waiter (Error Errno.ENOENT))
               l.lock_waiters;
             Queue.clear l.lock_waiters
         | None -> ());
-        drop_dir_state t dir;
-        Hashtbl.replace t.dead_dirs dir ();
-        Hashtbl.remove t.inodes dir.ino;
+        drop_dir_state t key;
+        Hashtbl.replace t.dead_dirs key ();
+        Hashtbl.remove t.inodes (ikey t ~home dir.ino);
         reply (Ok Wire.P_unit)
       end
 
@@ -711,13 +838,14 @@ let handle_unlink_ino t ~ino (reply : reply) =
       if inode.ftype = Dir then begin
         (* Only mkdir's rollback unlinks a directory inode: it was never
            linked anywhere, so it must have no entries and no users. *)
+        let key = dkey t ~home:ino.server ino in
         if
-          shard_size t ino = 0
+          shard_size t key = 0
           && inode.open_tokens = 0
           && inode.nlink <= 1
         then begin
-          drop_dir_state t ino;
-          Hashtbl.remove t.inodes ino.ino;
+          drop_dir_state t key;
+          Hashtbl.remove t.inodes (ikey t ~home:ino.server ino.ino);
           reply (Ok Wire.P_unit)
         end
         else reply (Error Errno.EISDIR)
@@ -757,20 +885,21 @@ let handle_inc_fd_ref t ~token ~offset (reply : reply) =
 
 (* --- three-phase rmdir (§3.3) ----------------------------------------- *)
 
-let dirlock t dir =
-  match Hashtbl.find_opt t.locks dir with
+let dirlock t key =
+  match Hashtbl.find_opt t.locks key with
   | Some l -> l
   | None ->
       let l = { held = false; lock_waiters = Queue.create () } in
-      Hashtbl.replace t.locks dir l;
+      Hashtbl.replace t.locks key l;
       l
 
+(* The lock/unlock phases address the directory's own home. *)
 let handle_rmdir_lock t ~dir (reply : reply) =
-  if not (Hashtbl.mem t.inodes dir.ino) then
+  if find_inode t dir = None then
     (* The directory was removed while (or before) we asked. *)
     reply (Error Errno.ENOENT)
   else begin
-    let l = dirlock t dir in
+    let l = dirlock t (dkey t ~home:dir.server dir) in
     if l.held then Queue.push reply l.lock_waiters
     else begin
       l.held <- true;
@@ -779,47 +908,49 @@ let handle_rmdir_lock t ~dir (reply : reply) =
   end
 
 let handle_rmdir_unlock t ~dir (reply : reply) =
-  let l = dirlock t dir in
+  let l = dirlock t (dkey t ~home:dir.server dir) in
   (match Queue.take_opt l.lock_waiters with
   | Some waiter -> waiter (Ok Wire.P_unit) (* lock passes to the next rmdir *)
   | None -> l.held <- false);
   reply (Ok Wire.P_unit)
 
-let handle_rmdir_prepare t ~dir (reply : reply) =
-  if Hashtbl.mem t.marks dir then reply (Error Errno.EBUSY)
-  else if shard_size t dir > 0 then reply (Error Errno.ENOTEMPTY)
+let handle_rmdir_prepare t ~home ~dir (reply : reply) =
+  let key = dkey t ~home dir in
+  if Hashtbl.mem t.marks key then reply (Error Errno.EBUSY)
+  else if shard_size t key > 0 then reply (Error Errno.ENOTEMPTY)
   else begin
-    Hashtbl.replace t.marks dir { parked = Queue.create () };
+    Hashtbl.replace t.marks key { parked = Queue.create () };
     reply (Ok Wire.P_unit)
   end
 
-let handle_rmdir_commit t ~dir (reply : reply) =
-  (match Hashtbl.find_opt t.marks dir with
+let handle_rmdir_commit t ~home ~dir (reply : reply) =
+  let key = dkey t ~home dir in
+  (match Hashtbl.find_opt t.marks key with
   | None -> ()
   | Some m ->
-      Hashtbl.remove t.marks dir;
+      Hashtbl.remove t.marks key;
       (* Creates delayed behind the mark fail: the directory is gone. *)
       Queue.iter
         (fun ((_ : Wire.fs_req), (parked_reply : reply)) ->
           parked_reply (Error Errno.ENOENT))
         m.parked);
   (* rmdirs serialized behind the lock lose: the directory is gone. *)
-  (match Hashtbl.find_opt t.locks dir with
+  (match Hashtbl.find_opt t.locks key with
   | Some l ->
       Queue.iter (fun (waiter : reply) -> waiter (Error Errno.ENOENT)) l.lock_waiters;
       Queue.clear l.lock_waiters
   | None -> ());
-  drop_dir_state t dir;
-  Hashtbl.replace t.dead_dirs dir ();
-  if dir.server = t.sid then
-    (* Home server: destroy the directory inode itself. *)
-    Hashtbl.remove t.inodes dir.ino;
+  drop_dir_state t key;
+  Hashtbl.replace t.dead_dirs key ();
+  if dir.server = home then
+    (* The directory's own home: destroy the inode itself. *)
+    Hashtbl.remove t.inodes (ikey t ~home dir.ino);
   reply (Ok Wire.P_unit)
 
 (* --- pipes (§5.2: make's jobserver) ----------------------------------- *)
 
-let handle_pipe_create t (reply : reply) =
-  let inode = Inode.fifo ~lid:(alloc_lid t) ~capacity:65536 in
+let handle_pipe_create t ~home (reply : reply) =
+  let inode = Inode.fifo ~lid:(alloc_lid t ~home) ~home ~capacity:65536 in
   register_inode t inode;
   let pipe = Option.get inode.pipe in
   Pipe_state.add_reader pipe;
@@ -827,7 +958,7 @@ let handle_pipe_create t (reply : reply) =
   let rd = new_token t inode ~pipe_end:(Some `R) in
   let wr = new_token t inode ~pipe_end:(Some `W) in
   reply
-    (Ok (Wire.P_pipe { pipe_ino = global t inode; rd = rd.token; wr = wr.token }))
+    (Ok (Wire.P_pipe { pipe_ino = global inode; rd = rd.token; wr = wr.token }))
 
 let handle_pipe_read t ~token ~len (reply : reply) =
   with_ofd t token reply (fun ofd ->
@@ -853,11 +984,217 @@ let handle_pipe_write t ~token ~data (reply : reply) =
 (* ---------- dispatch --------------------------------------------------- *)
 
 (* Creates in a directory marked for deletion are delayed until the
-   two-phase outcome is known (§3.3). *)
-let creation_dir (req : Wire.fs_req) =
+   two-phase outcome is known (§3.3). The mark lives under the request's
+   home-namespaced key. *)
+let creation_dir t (req : Wire.fs_req) =
   match req with
-  | Wire.Add_map { dir; _ } | Wire.Create_open { dir; _ } -> Some dir
+  | Wire.Add_map { dir; home; _ } | Wire.Create_open { dir; home; _ } ->
+      Some (dkey t ~home dir)
   | _ -> None
+
+(* ---------- idempotency memory ----------------------------------------- *)
+
+let dedup_table t client =
+  match Hashtbl.find_opt t.dedup client with
+  | Some m -> m
+  | None ->
+      let m = Hashtbl.create 64 in
+      Hashtbl.replace t.dedup client m;
+      m
+
+(* ---------- shard migration (consistent-hash rebalancing) -------------- *)
+
+(* A home with parked continuations cannot be packed: the closures are
+   bound to this server's endpoint and would answer from the wrong
+   mailbox after the move. The coordinator backs off and retries. *)
+let home_busy t h =
+  let busy = ref false in
+  Hashtbl.iter
+    (fun (k : ino) (_ : mark) -> if k.server = h then busy := true)
+    t.marks;
+  Hashtbl.iter
+    (fun (k : ino) (l : dirlock) ->
+      if k.server = h && (l.held || not (Queue.is_empty l.lock_waiters)) then
+        busy := true)
+    t.locks;
+  if t.steal_inflight || not (Queue.is_empty t.steal_parked) then busy := true;
+  Hashtbl.iter
+    (fun _ (inode : Inode.t) ->
+      if inode.Inode.home = h then
+        match inode.Inode.pipe with
+        | Some p
+          when Pipe_state.parked_readers p > 0 || Pipe_state.parked_writers p > 0
+          ->
+            busy := true
+        | _ -> ())
+    t.inodes;
+  !busy
+
+(* Pack the whole state of logical home [home] and hand it to the
+   coordinator. The route was flipped before this message was sent, and
+   the mailbox is FIFO, so everything that arrives after it finds the
+   home absent and is bounced with EMOVED. *)
+let handle_migrate_out t ~home (reply : reply) =
+  if not t.migratory then reply (Error Errno.EINVAL)
+  else if not (Hashtbl.mem t.hosted home) then reply (Error Errno.EINVAL)
+  else if home_busy t home then reply (Error Errno.EBUSY)
+  else begin
+    Hashtbl.remove t.hosted home;
+    (* inodes (and with them pipes, sizes, block references) *)
+    let moved = ref [] in
+    Hashtbl.iter
+      (fun k (inode : Inode.t) ->
+        if inode.Inode.home = home then moved := (k, inode) :: !moved)
+      t.inodes;
+    List.iter (fun (k, _) -> Hashtbl.remove t.inodes k) !moved;
+    let p_inodes =
+      List.map (fun ((_ : int), (i : Inode.t)) -> (i.Inode.lid, i)) !moved
+    in
+    (* Buffer-cache ownership follows the inodes; the block bytes stay in
+       DRAM. Flush our private cached lines so the new owner reads
+       current data through its own cache. *)
+    let blocks = ref [] in
+    List.iter
+      (fun ((_ : int), (i : Inode.t)) ->
+        Array.iter (fun b -> blocks := b :: !blocks) i.Inode.blocks;
+        Array.iter (fun b -> blocks := b :: !blocks) i.Inode.orphans)
+      !moved;
+    let p_blocks = Array.of_list !blocks in
+    Array.iter
+      (fun b ->
+        Hare_mem.Pcache.writeback_block t.pcache b;
+        Hare_mem.Pcache.invalidate_block t.pcache b)
+      p_blocks;
+    Blocklist.export t.blocks p_blocks;
+    (* open descriptors: tokens are home-namespaced, so they transplant *)
+    let p_tokens = ref [] in
+    Hashtbl.iter
+      (fun tok (ofd : ofd) ->
+        if ofd.inode.Inode.home = home then p_tokens := (tok, ofd) :: !p_tokens)
+      t.tokens;
+    List.iter (fun (tok, _) -> Hashtbl.remove t.tokens tok) !p_tokens;
+    (* directory shards and tombstones of this home *)
+    let p_dirs = ref [] and p_dead = ref [] in
+    Hashtbl.iter
+      (fun (k : ino) s -> if k.server = home then p_dirs := (k, s) :: !p_dirs)
+      t.dirs;
+    List.iter (fun (k, _) -> Hashtbl.remove t.dirs k) !p_dirs;
+    Hashtbl.iter
+      (fun (k : ino) () -> if k.server = home then p_dead := k :: !p_dead)
+      t.dead_dirs;
+    List.iter (Hashtbl.remove t.dead_dirs) !p_dead;
+    (* Invalidation tracking does not transplant: fire every registered
+       callback now (one-shot semantics — clients re-register at the new
+       owner on their next lookup), so no client can sit on a cached
+       entry this server would have been responsible for invalidating. *)
+    let tracked = ref [] in
+    Hashtbl.iter
+      (fun (k : ino) per_dir ->
+        if k.server = home then tracked := (k, per_dir) :: !tracked)
+      t.tracking;
+    List.iter
+      (fun ((k : ino), per_dir) ->
+        let dir = dkey_dir t k in
+        Hashtbl.iter
+          (fun name clients ->
+            Hashtbl.iter
+              (fun client () ->
+                Hare_msg.Mailbox.send t.inval_ports.(client) ~from:t.core
+                  (Wire.Inval_entry { i_dir = dir; i_name = name });
+                (match Engine.checker (Core_res.engine t.core) with
+                | Some chk ->
+                    Check.dircache_sent chk ~client ~server:dir.Types.server
+                      ~ino:dir.Types.ino ~name
+                | None -> ());
+                t.invals_sent <- t.invals_sent + 1)
+              clients)
+          per_dir;
+        Hashtbl.remove t.tracking k)
+      !tracked;
+    (* idle lock records (not held, no waiters — checked above) *)
+    let lock_keys =
+      Hashtbl.fold
+        (fun (k : ino) _ acc -> if k.server = home then k :: acc else acc)
+        t.locks []
+    in
+    List.iter (Hashtbl.remove t.locks) lock_keys;
+    (* allocation counters *)
+    let take tbl =
+      let v = match Hashtbl.find_opt tbl home with Some n -> n | None -> 1 in
+      Hashtbl.remove tbl home;
+      v
+    in
+    let p_next_lid = take t.next_lids in
+    let p_next_token = take t.next_tokens in
+    (* Completed idempotency entries travel with the shard: a client
+       retrying a request the old owner already executed must replay the
+       cached response at the new owner, not re-execute. (client, seq)
+       is globally unique, so shipping the whole table is safe; pending
+       entries cannot exist for this home — parked work refused the
+       migration above. *)
+    let p_dedup = ref [] in
+    Hashtbl.iter
+      (fun client table ->
+        Hashtbl.iter
+          (fun seq entry ->
+            match entry with
+            | Done resp -> p_dedup := (client, seq, resp) :: !p_dedup
+            | Pending _ -> ())
+          table)
+      t.dedup;
+    t.homes_out <- t.homes_out + 1;
+    let items =
+      List.length p_inodes + List.length !p_tokens + List.length !p_dirs
+      + List.length !p_dedup
+    in
+    reply ~payload_lines:(items + 1)
+      (Ok
+         (Wire.P_pack
+            (Pack
+               {
+                 p_inodes;
+                 p_tokens = !p_tokens;
+                 p_dirs = !p_dirs;
+                 p_dead = !p_dead;
+                 p_blocks;
+                 p_next_lid;
+                 p_next_token;
+                 p_dedup = !p_dedup;
+               })))
+  end
+
+let handle_install_shard t ~home ~pack (reply : reply) =
+  if not t.migratory then reply (Error Errno.EINVAL)
+  else
+    match pack with
+    | Pack p ->
+        List.iter
+          (fun (lid, inode) -> Hashtbl.replace t.inodes (ikey t ~home lid) inode)
+          p.p_inodes;
+        Blocklist.adopt_allocated t.blocks p.p_blocks;
+        List.iter
+          (fun (tok, (ofd : ofd)) -> Hashtbl.replace t.tokens tok ofd)
+          p.p_tokens;
+        List.iter (fun (k, s) -> Hashtbl.replace t.dirs k s) p.p_dirs;
+        List.iter (fun k -> Hashtbl.replace t.dead_dirs k ()) p.p_dead;
+        let bump tbl v =
+          let cur =
+            match Hashtbl.find_opt tbl home with Some n -> n | None -> 1
+          in
+          Hashtbl.replace tbl home (max cur v)
+        in
+        bump t.next_lids p.p_next_lid;
+        bump t.next_tokens p.p_next_token;
+        List.iter
+          (fun (client, seq, resp) ->
+            let table = dedup_table t client in
+            if not (Hashtbl.mem table seq) then
+              Hashtbl.replace table seq (Done resp))
+          p.p_dedup;
+        Hashtbl.replace t.hosted home ();
+        t.homes_in <- t.homes_in + 1;
+        reply (Ok Wire.P_unit)
+    | _ -> reply (Error Errno.EINVAL)
 
 let handle_steal_blocks t ~count (reply : reply) =
   (* Donate at most half of what is free: stay useful to local files. *)
@@ -866,9 +1203,9 @@ let handle_steal_blocks t ~count (reply : reply) =
   else reply (Ok (Wire.P_blocks { blocks = give; bsize = 0 }))
 
 let rec handle t (req : Wire.fs_req) (reply : reply) =
-  match creation_dir req with
-  | Some dir when Hashtbl.mem t.marks dir ->
-      let m = Hashtbl.find t.marks dir in
+  match creation_dir t req with
+  | Some key when Hashtbl.mem t.marks key ->
+      let m = Hashtbl.find t.marks key in
       Queue.push (req, reply) m.parked
   | _ -> (
       try dispatch t req reply with Out_of_blocks -> on_enospc t req reply)
@@ -926,18 +1263,20 @@ and kick_steal t =
 
 and dispatch t (req : Wire.fs_req) (reply : reply) =
   match req with
-  | Wire.Lookup { dir; name; client } -> handle_lookup t ~dir ~name ~client reply
-  | Wire.Add_map { dir; name; target; ftype; dist; replace; client } ->
-      handle_add_map t ~dir ~name ~target ~ftype ~dist ~replace ~client reply
-  | Wire.Rm_map { dir; name; only_if; client } ->
-      handle_rm_map t ~dir ~name ~only_if ~client reply
-  | Wire.Readdir_shard { dir } -> handle_readdir t ~dir reply
-  | Wire.Create_open { dir; name; excl; trunc; client } ->
-      handle_create_open t ~dir ~name ~excl ~trunc ~client reply
-  | Wire.Create_inode { ftype; dist; and_open } ->
-      handle_create_inode t ~ftype ~dist ~and_open reply
-  | Wire.Create_dir { dir; name; dist; client } ->
-      handle_create_dir t ~dir ~name ~dist ~client reply
+  | Wire.Lookup { dir; name; client; home } ->
+      handle_lookup t ~home ~dir ~name ~client reply
+  | Wire.Add_map { dir; name; target; ftype; dist; replace; client; home } ->
+      handle_add_map t ~home ~dir ~name ~target ~ftype ~dist ~replace ~client
+        reply
+  | Wire.Rm_map { dir; name; only_if; client; home } ->
+      handle_rm_map t ~home ~dir ~name ~only_if ~client reply
+  | Wire.Readdir_shard { dir; home } -> handle_readdir t ~home ~dir reply
+  | Wire.Create_open { dir; name; excl; trunc; client; home } ->
+      handle_create_open t ~home ~dir ~name ~excl ~trunc ~client reply
+  | Wire.Create_inode { ftype; dist; and_open; home } ->
+      handle_create_inode t ~home ~ftype ~dist ~and_open reply
+  | Wire.Create_dir { dir; name; dist; client; home } ->
+      handle_create_dir t ~home ~dir ~name ~dist ~client reply
   | Wire.Rmdir_local { dir; client = _ } -> handle_rmdir_local t ~dir reply
   | Wire.Open_inode { ino; trunc; client = _ } -> handle_open_inode t ~ino ~trunc reply
   | Wire.Close_fd { token; size } -> handle_close t ~token ~size reply
@@ -953,7 +1292,7 @@ and dispatch t (req : Wire.fs_req) (reply : reply) =
   | Wire.Get_attr { ino } -> (
       match find_inode t ino with
       | None -> reply (Error Errno.ENOENT)
-      | Some inode -> reply (Ok (Wire.P_attr (Inode.attr inode ~server:t.sid))))
+      | Some inode -> reply (Ok (Wire.P_attr (Inode.attr inode))))
   | Wire.Truncate { ino; size } -> (
       match find_inode t ino with
       | None -> reply (Error Errno.ENOENT)
@@ -965,23 +1304,26 @@ and dispatch t (req : Wire.fs_req) (reply : reply) =
   | Wire.Inc_fd_ref { token; offset } -> handle_inc_fd_ref t ~token ~offset reply
   | Wire.Rmdir_lock { dir } -> handle_rmdir_lock t ~dir reply
   | Wire.Rmdir_unlock { dir } -> handle_rmdir_unlock t ~dir reply
-  | Wire.Rmdir_prepare { dir } -> handle_rmdir_prepare t ~dir reply
-  | Wire.Rmdir_commit { dir; client = _ } -> handle_rmdir_commit t ~dir reply
-  | Wire.Rmdir_abort { dir } -> (
-      match Hashtbl.find_opt t.marks dir with
+  | Wire.Rmdir_prepare { dir; home } -> handle_rmdir_prepare t ~home ~dir reply
+  | Wire.Rmdir_commit { dir; client = _; home } ->
+      handle_rmdir_commit t ~home ~dir reply
+  | Wire.Rmdir_abort { dir; home } -> (
+      match Hashtbl.find_opt t.marks (dkey t ~home dir) with
       | None -> reply (Ok Wire.P_unit)
       | Some m ->
-          Hashtbl.remove t.marks dir;
+          Hashtbl.remove t.marks (dkey t ~home dir);
           reply (Ok Wire.P_unit);
           (* Replay the creates that were delayed behind the mark. *)
           Queue.iter
             (fun (parked_req, (parked_reply : reply)) ->
               handle t parked_req parked_reply)
             m.parked)
-  | Wire.Pipe_create _ -> handle_pipe_create t reply
+  | Wire.Pipe_create { home; _ } -> handle_pipe_create t ~home reply
   | Wire.Pipe_read { token; len } -> handle_pipe_read t ~token ~len reply
   | Wire.Pipe_write { token; data } -> handle_pipe_write t ~token ~data reply
   | Wire.Steal_blocks { count } -> handle_steal_blocks t ~count reply
+  | Wire.Migrate_out { home } -> handle_migrate_out t ~home reply
+  | Wire.Install_shard { home; pack } -> handle_install_shard t ~home ~pack reply
 
 (* ---------- execution, idempotency, crash/recovery --------------------- *)
 
@@ -1033,14 +1375,6 @@ let execute ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
       close ();
       raise e
 
-let dedup_table t client =
-  match Hashtbl.find_opt t.dedup client with
-  | Some m -> m
-  | None ->
-      let m = Hashtbl.create 64 in
-      Hashtbl.replace t.dedup client m;
-      m
-
 (* Sequence numbers are monotonic per client and a client has at most a
    handful of RPCs outstanding, so cached responses far behind the
    current sequence can never be asked for again. *)
@@ -1050,8 +1384,65 @@ let prune_dedup table ~before =
       match entry with Done _ when seq < before -> None | e -> Some e)
     table
 
+(* Which logical home a request addresses; -1 for requests with no home
+   affinity (block stealing, the migration protocol itself). Entry
+   operations carry it explicitly; inode and token operations encode it
+   in the target id. *)
+let home_of (req : Wire.fs_req) =
+  match req with
+  | Wire.Lookup { home; _ }
+  | Wire.Add_map { home; _ }
+  | Wire.Rm_map { home; _ }
+  | Wire.Readdir_shard { home; _ }
+  | Wire.Create_open { home; _ }
+  | Wire.Create_inode { home; _ }
+  | Wire.Create_dir { home; _ }
+  | Wire.Rmdir_prepare { home; _ }
+  | Wire.Rmdir_commit { home; _ }
+  | Wire.Rmdir_abort { home; _ }
+  | Wire.Pipe_create { home; _ } ->
+      home
+  | Wire.Open_inode { ino; _ }
+  | Wire.Alloc_blocks { ino; _ }
+  | Wire.Get_blocks { ino }
+  | Wire.Get_attr { ino }
+  | Wire.Truncate { ino; _ }
+  | Wire.Unlink_ino { ino }
+  | Wire.Link_ino { ino } ->
+      ino.server
+  | Wire.Rmdir_lock { dir } | Wire.Rmdir_unlock { dir } ->
+      dir.server
+  | Wire.Rmdir_local { dir; _ } -> dir.server
+  | Wire.Close_fd { token; _ }
+  | Wire.Read_fd { token; _ }
+  | Wire.Write_fd { token; _ }
+  | Wire.Lseek_fd { token; _ }
+  | Wire.Update_size { token; _ }
+  | Wire.Inc_fd_ref { token; _ }
+  | Wire.Pipe_read { token; _ }
+  | Wire.Pipe_write { token; _ } ->
+      token lsr home_shift
+  | Wire.Steal_blocks _ | Wire.Migrate_out _ | Wire.Install_shard _ -> -1
+
 let process ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
     (meta : Hare_msg.Rpc.meta option) =
+  if
+    t.migratory
+    && (let h = home_of req in
+        h >= 0 && not (hosts t h))
+  then begin
+    (* The addressed home moved away. Bounce with EMOVED *before* any
+       execution or dedup recording: the reject must never be cached as
+       this request's outcome (the cached entry would migrate with the
+       shard and shadow the real execution), and the retry — same
+       idempotency tag, new owner — must be free to execute. *)
+    ignore span;
+    t.moved_rejects <- t.moved_rejects + 1;
+    Core_res.compute t.core
+      (if dispatch then t.costs.server_dispatch else 0);
+    reply (Error Errno.EMOVED)
+  end
+  else
   match meta with
   | None -> execute ~dispatch ~span t req reply
   | Some m -> (

@@ -21,11 +21,15 @@ val create :
   blocks_first:int ->
   blocks_count:int ->
   inval_ports:Hare_proto.Wire.inval Hare_msg.Mailbox.t array ->
+  ?place:Hare_place.Place.t ->
   ?faults:Hare_fault.Injector.link ->
   unit ->
   t
 (** [faults] attaches this server's fault-injector link (also routed into
-    the request mailbox) so crashes blackhole unreliable traffic. *)
+    the request mailbox) so crashes blackhole unreliable traffic.
+    [place] is the consistent-hash ring shared by the whole machine;
+    when its membership plan is non-empty the server namespaces all
+    home-scoped state so whole logical homes can migrate in and out. *)
 
 val sid : t -> int
 
@@ -88,6 +92,25 @@ val available_blocks : t -> int
 val inode_count : t -> int
 
 val open_tokens : t -> int
+
+val dentry_count : t -> int
+(** Directory entries across every shard hosted here (cost-free). *)
+
+val hosted_homes : t -> int list
+(** The logical homes this physical server currently serves, sorted.
+    A singleton [[sid]] under every static placement. *)
+
+val homes_migrated_in : t -> int
+
+val homes_migrated_out : t -> int
+
+val moved_rejects : t -> int
+(** Requests bounced with [EMOVED] because their home had migrated away. *)
+
+val peak_queue : t -> int
+(** Deepest request queue observed since the last {!reset_peak_queue}. *)
+
+val reset_peak_queue : t -> unit
 
 (** [shard_entries t dir] lists this server's entries for directory [dir]
     (cost-free; for tests). *)

@@ -24,4 +24,5 @@ let () =
          Test_trace.suites;
          Test_check.suites;
          Test_overload.suites;
+         Test_shard.suites;
        ])

@@ -78,18 +78,18 @@ let test_req_names_distinct () =
   let dummy_ino = Types.root_ino in
   let reqs =
     [
-      Wire.Lookup { dir = dummy_ino; name = "x"; client = 0 };
-      Wire.Rm_map { dir = dummy_ino; name = "x"; only_if = None; client = 0 };
-      Wire.Readdir_shard { dir = dummy_ino };
-      Wire.Create_inode { ftype = Types.Reg; dist = false; and_open = false };
-      Wire.Create_dir { dir = dummy_ino; name = "d"; dist = false; client = 0 };
+      Wire.Lookup { dir = dummy_ino; name = "x"; client = 0; home = 0 };
+      Wire.Rm_map { dir = dummy_ino; name = "x"; only_if = None; client = 0; home = 0 };
+      Wire.Readdir_shard { dir = dummy_ino; home = 0 };
+      Wire.Create_inode { ftype = Types.Reg; dist = false; and_open = false; home = 0 };
+      Wire.Create_dir { dir = dummy_ino; name = "d"; dist = false; client = 0; home = 0 };
       Wire.Open_inode { ino = dummy_ino; trunc = false; client = 0 };
       Wire.Close_fd { token = 1; size = None };
       Wire.Read_fd { token = 1; off = None; len = 1 };
       Wire.Write_fd { token = 1; off = None; data = "" };
       Wire.Rmdir_local { dir = dummy_ino; client = 0 };
       Wire.Steal_blocks { count = 1 };
-      Wire.Pipe_create { client = 0 };
+      Wire.Pipe_create { client = 0; home = 0 };
     ]
   in
   let names = List.map Wire.req_name reqs in
@@ -100,7 +100,7 @@ let test_pp_smoke () =
   let s =
     Format.asprintf "%a / %a / %a" Types.pp_ino Types.root_ino Types.pp_ftype
       Types.Fifo Wire.pp_fs_req
-      (Wire.Lookup { dir = Types.root_ino; name = "f"; client = 3 })
+      (Wire.Lookup { dir = Types.root_ino; name = "f"; client = 3; home = 0 })
   in
   Alcotest.(check bool) "pp renders" true (String.length s > 5)
 

@@ -57,7 +57,7 @@ let in_fiber rig body =
 let root = Types.root_ino
 
 let mkdir_raw rig name =
-  match call rig (Wire.Create_dir { dir = root; name; dist = false; client = 1 }) with
+  match call rig (Wire.Create_dir { dir = root; name; dist = false; client = 1; home = 0 }) with
   | Ok (Wire.P_created_ino ino) -> ino
   | _ -> Alcotest.fail "mkdir_raw"
 
@@ -69,19 +69,19 @@ let test_create_parked_during_mark_abort () =
       (match call rig (Wire.Rmdir_lock { dir = d }) with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "lock");
-      (match call rig (Wire.Rmdir_prepare { dir = d }) with
+      (match call rig (Wire.Rmdir_prepare { dir = d; home = 0 }) with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "prepare");
       (* a create in the marked directory parks... *)
       let parked =
         Rpc.call_async rig.ep ~from:rig.client_core
           (Wire.Create_open
-             { dir = d; name = "late"; excl = false; trunc = false; client = 1 })
+             { dir = d; name = "late"; excl = false; trunc = false; client = 1; home = 0 })
       in
       Core_res.compute rig.client_core 100_000;
       Alcotest.(check bool) "still parked" true (Ivar.peek parked = None);
       (* ...abort releases it and it succeeds *)
-      (match call rig (Wire.Rmdir_abort { dir = d }) with
+      (match call rig (Wire.Rmdir_abort { dir = d; home = 0 }) with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "abort");
       (match Rpc.await ~from:rig.client_core
@@ -98,13 +98,13 @@ let test_create_parked_during_mark_commit () =
   in_fiber rig (fun () ->
       let d = mkdir_raw rig "dir" in
       ignore (call rig (Wire.Rmdir_lock { dir = d }));
-      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
+      ignore (call rig (Wire.Rmdir_prepare { dir = d; home = 0 }));
       let parked =
         Rpc.call_async rig.ep ~from:rig.client_core
           (Wire.Create_open
-             { dir = d; name = "late"; excl = false; trunc = false; client = 1 })
+             { dir = d; name = "late"; excl = false; trunc = false; client = 1; home = 0 })
       in
-      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1 }));
+      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1; home = 0 }));
       match Rpc.await ~from:rig.client_core
               ~costs:config.Hare_config.Config.costs parked
       with
@@ -125,8 +125,8 @@ let test_rmdir_lock_serializes () =
       Core_res.compute rig.client_core 100_000;
       Alcotest.(check bool) "second lock parked" true (Ivar.peek second = None);
       (* winner commits; loser's lock must resolve with ENOENT *)
-      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
-      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1 }));
+      ignore (call rig (Wire.Rmdir_prepare { dir = d; home = 0 }));
+      ignore (call rig (Wire.Rmdir_commit { dir = d; client = 1; home = 0 }));
       match Rpc.await ~from:rig.client_core
               ~costs:config.Hare_config.Config.costs second
       with
@@ -140,19 +140,19 @@ let test_prepare_nonempty_refuses () =
       (match
          call rig
            (Wire.Create_open
-              { dir = d; name = "f"; excl = false; trunc = false; client = 1 })
+              { dir = d; name = "f"; excl = false; trunc = false; client = 1; home = 0 })
        with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "create");
       ignore (call rig (Wire.Rmdir_lock { dir = d }));
-      (match call rig (Wire.Rmdir_prepare { dir = d }) with
+      (match call rig (Wire.Rmdir_prepare { dir = d; home = 0 }) with
       | Error Errno.ENOTEMPTY -> ()
       | Ok _ | Error _ -> Alcotest.fail "prepare must refuse");
       (* no mark was set: creates proceed immediately *)
       match
         call rig
           (Wire.Create_open
-             { dir = d; name = "g"; excl = false; trunc = false; client = 1 })
+             { dir = d; name = "g"; excl = false; trunc = false; client = 1; home = 0 })
       with
       | Ok _ -> ()
       | Error _ -> Alcotest.fail "create after refused prepare")
@@ -161,8 +161,8 @@ let test_double_prepare_ebusy () =
   let rig = make_rig () in
   in_fiber rig (fun () ->
       let d = mkdir_raw rig "dir" in
-      ignore (call rig (Wire.Rmdir_prepare { dir = d }));
-      match call rig (Wire.Rmdir_prepare { dir = d }) with
+      ignore (call rig (Wire.Rmdir_prepare { dir = d; home = 0 }));
+      match call rig (Wire.Rmdir_prepare { dir = d; home = 0 }) with
       | Error Errno.EBUSY -> ()
       | Ok _ | Error _ -> Alcotest.fail "second prepare must be EBUSY")
 
@@ -173,7 +173,7 @@ let test_fd_refcount_keeps_unlinked_inode () =
         match
           call rig
             (Wire.Create_open
-               { dir = root; name = "f"; excl = true; trunc = false; client = 1 })
+               { dir = root; name = "f"; excl = true; trunc = false; client = 1; home = 0 })
         with
         | Ok (Wire.P_open_ino { oi; ino }) -> (oi.Wire.token, ino)
         | _ -> Alcotest.fail "create"
@@ -181,7 +181,7 @@ let test_fd_refcount_keeps_unlinked_inode () =
       ignore (call rig (Wire.Write_fd { token; off = Some 0; data = "keep" }));
       (* share it, unlink it *)
       ignore (call rig (Wire.Inc_fd_ref { token; offset = Some 0 }));
-      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 1 }));
+      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 1; home = 0 }));
       ignore (call rig (Wire.Unlink_ino { ino }));
       (* first close: refcount 2 -> 1, inode must survive *)
       ignore (call rig (Wire.Close_fd { token; size = None }));
@@ -205,7 +205,7 @@ let test_shared_offset_demotion_reply () =
         match
           call rig
             (Wire.Create_open
-               { dir = root; name = "f"; excl = true; trunc = false; client = 1 })
+               { dir = root; name = "f"; excl = true; trunc = false; client = 1; home = 0 })
         with
         | Ok (Wire.P_open_ino { oi; _ }) -> oi.Wire.token
         | _ -> Alcotest.fail "create"
@@ -232,11 +232,11 @@ let test_lookup_tracks_and_invalidates () =
       ignore
         (call rig
            (Wire.Create_open
-              { dir = root; name = "f"; excl = true; trunc = false; client = 1 }));
+              { dir = root; name = "f"; excl = true; trunc = false; client = 1; home = 0 }));
       (* the create tracked client 1; an unlink by client 0 must push an
          invalidation to client 1's port *)
       let before = Server.invals_sent rig.server in
-      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 0 }));
+      ignore (call rig (Wire.Rm_map { dir = root; name = "f"; only_if = None; client = 0; home = 0 }));
       Alcotest.(check int) "one invalidation" (before + 1)
         (Server.invals_sent rig.server))
 
