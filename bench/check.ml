@@ -33,6 +33,12 @@ let gated =
     (* Sharding balance gate: max/mean per-server ops ratio; a consistent-
        hash regression shows up as one server soaking up the ring. *)
     ("imbalance", `Lower);
+    (* Saturation knee of the overload rows (PR 9): the cycle at which
+       p99 latency leaves the flat regime. Deterministic, but windowed
+       at 8x the sampling grid, so a one-window shift is a large
+       relative move — treated as `Higher (earlier knee = saturates
+       sooner = regression) to get the wide band. *)
+    ("knee_cycles", `Higher);
   ]
 
 let higher_tolerance tolerance = Float.max 40.0 tolerance

@@ -14,6 +14,9 @@ module Figures = Hare_experiments.Figures
 module Driver = Hare_experiments.Driver
 module World = Hare_experiments.World
 module Config = Hare_config.Config
+module Metrics = Hare_metrics.Metrics
+module Knee = Hare_metrics.Knee
+module Blame = Hare_metrics.Blame
 module HD = Driver.Make (World.Hare_w)
 module LD = Driver.Make (World.Linux_w)
 
@@ -163,6 +166,12 @@ let json_cases quick =
         (Driver.default_config ~ncores) with
         Config.placement = Config.Split 1;
         trace_enabled = true;
+        (* PR 9: sample the control-plane gauges on a 20k-cycle grid
+           and retain the 32 slowest span trees per class, so this row
+           also exports a timeseries and a blame report. Both are
+           host-side only — the gated cycle counts are unchanged. *)
+        trace_retain = 32;
+        metrics_interval = 20_000;
         rpc_deadline = 60_000;
         rpc_retries = 6;
         rpc_deadline_max = 240_000;
@@ -178,6 +187,40 @@ let json_cases quick =
        earlier requests are still queued, so the server queue actually
        builds depth and the watermark/credit/deadline machinery engages. *)
     (name, "overload", ncores, Some (3 * ncores), config)
+  in
+  (* Saturation-knee sweep (PR 9): the open-loop overload workload at
+     each machine size, one file server per 8 cores, the metrics
+     sampler and tail retention on. Each row's time series yields the
+     knee — the first window whose p99 latency leaves the flat regime —
+     reported per machine size as "knee_cycles". *)
+  let knee_case ncores =
+    let config =
+      {
+        (Driver.default_config ~ncores) with
+        Config.placement = Config.Split (max 1 (ncores / 8));
+        trace_enabled = true;
+        trace_retain = 32;
+        metrics_interval = 20_000;
+        rpc_deadline = 60_000;
+        rpc_retries = 6;
+        rpc_deadline_max = 240_000;
+        deadline_propagation = true;
+        mailbox_capacity = 24;
+        retry_budget = 12;
+        breaker_threshold = 6;
+        breaker_cooldown = 150_000;
+        shed_watermark = 8;
+      }
+    in
+    ( Printf.sprintf "overload@%d/knee" ncores,
+      "overload",
+      ncores,
+      Some (3 * ncores),
+      config )
+  in
+  let knee_cases =
+    if quick then [ knee_case 64 ]
+    else List.map knee_case [ 64; 128; 256; 512 ]
   in
   (* Engine-scalability sweep (PR 7): machines of 64..512 cores, one
      file server per 8 cores (placement scaling with Config.nservers).
@@ -232,7 +275,7 @@ let json_cases quick =
       case ~window:8 ~batch:8 ~extent:8 "writes@8/pipelined" "writes" 8;
       overload_case "overload@8/open" 8;
     ]
-  @ scale_cases @ sharded_cases
+  @ scale_cases @ sharded_cases @ knee_cases
 
 let run_json ~quick ~out () =
   let cases = json_cases quick in
@@ -365,6 +408,56 @@ let run_json ~quick ~out () =
                (if j > 0 then ", " else "")
                sid ops peak)
            r.Driver.loads;
+         add " ],\n"
+       end);
+      (* Time-series telemetry (PR 9): sampling grid, sample count and a
+         per-gauge summary. Present only on rows whose config enabled
+         the sampler (metrics_interval > 0). *)
+      (if r.Driver.gauges <> [] then begin
+         add "      \"timeseries\": { \"interval\": %d, \"samples\": %d, \"gauges\": [ "
+           r.Driver.metrics_interval r.Driver.metrics_samples;
+         (* "gauge", not "name": check.exe attributes gated metrics to
+            the most recent "name" field, which must stay the workload
+            row's. *)
+         List.iteri
+           (fun j (g : Metrics.summary) ->
+             add
+               "%s{ \"gauge\": \"%s\", \"n\": %d, \"min\": %d, \"max\": %d, \
+                \"mean\": %.2f, \"last\": %d }"
+               (if j > 0 then ", " else "")
+               g.Metrics.s_name g.Metrics.s_n g.Metrics.s_min g.Metrics.s_max
+               g.Metrics.s_mean g.Metrics.s_last)
+           r.Driver.gauges;
+         add " ] },\n"
+       end);
+      (* Saturation knee of the overload rows: the first window whose
+         p99 left the flat regime. "knee_cycles" is regression-gated
+         (Higher = the machine endures longer before saturating). *)
+      (match r.Driver.knee with
+      | Some k when wname = "overload" ->
+          add "      \"knee_cycles\": %d,\n" k.Knee.k_at;
+          add
+            "      \"knee\": { \"window\": %d, \"p99_before\": %Ld, \
+             \"p99_after\": %Ld, \"windows\": %d },\n"
+            k.Knee.k_window k.Knee.k_before k.Knee.k_after k.Knee.k_windows
+      | _ -> ());
+      (* Per-class tail blame (PR 9): what made the slowest retained ops
+         slow. Present only when trace_retain > 0. *)
+      (if r.Driver.blame <> [] then begin
+         add "      \"blame\": [ ";
+         List.iteri
+           (fun j (b : Blame.t) ->
+             add
+               "%s{ \"class\": \"%s\", \"n\": %d, \"p99\": %Ld, \"bucket\": \
+                \"%s\", \"bucket_share\": %.3f, \"srv\": %d, \"srv_share\": \
+                %.3f, \"qdepth_mean\": %.2f, \"qdepth_max\": %d, \
+                \"worst_op\": \"%s\", \"worst_dur\": %d }"
+               (if j > 0 then ", " else "")
+               b.Blame.b_class b.Blame.b_n b.Blame.b_p99 b.Blame.b_bucket
+               b.Blame.b_bucket_share b.Blame.b_srv b.Blame.b_srv_share
+               b.Blame.b_qdepth_mean b.Blame.b_qdepth_max b.Blame.b_worst_op
+               b.Blame.b_worst_dur)
+           r.Driver.blame;
          add " ],\n"
        end);
       (* Per-opcode cycle attribution of the timed region: each row's

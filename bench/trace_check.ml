@@ -1,4 +1,5 @@
-(* bench/trace_check.exe FILE [--tracks N]
+(* bench/trace_check.exe FILE [--tracks N] [--counters N]
+   bench/trace_check.exe --bench FILE
 
    Validates a Chrome trace-event JSON file produced by `hare_cli trace`
    without any JSON library: the exporter writes one event per line, so
@@ -8,8 +9,17 @@
    - every event line carries a "ph" phase and a "tid";
    - every non-metadata event carries a "ts", and timestamps are
      monotonically non-decreasing within each track (tid);
+   - every counter event (ph "C") carries a parseable numeric "value";
    - with --tracks N: exactly N thread_name metadata records exist
-     (one Perfetto track per core plus the DRAM track).
+     (one Perfetto track per core plus the DRAM track);
+   - with --counters N: at least N counter events exist (the metrics
+     sampler's gauge mirror, PR 9).
+
+   With --bench, FILE is a bench --json output instead: the scanner
+   requires at least one workload carrying a well-formed "timeseries"
+   object (interval/samples/gauges) and one carrying a "blame" array
+   (class/bucket fields), and that any "knee_cycles" key is followed by
+   its "knee" detail object.
 
    Exit 0 when the file is well-formed, 1 with a message otherwise. *)
 
@@ -37,13 +47,69 @@ let int_at line i =
   done;
   if !j = v0 then None else Some (Int64.of_string (String.sub line i (!j - i)))
 
+(* --bench mode: structural checks on a bench --json file. Substring
+   scans are enough — our own writer emits each object on known lines —
+   but every required key is checked so a silently dropped section
+   fails CI rather than shrinking the artifact. *)
+let check_bench file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let contains pat =
+    let plen = String.length pat and len = String.length s in
+    let rec scan i =
+      i + plen <= len && (String.sub s i plen = pat || scan (i + 1))
+    in
+    scan 0
+  in
+  let count pat =
+    let plen = String.length pat and len = String.length s in
+    let rec scan i acc =
+      if i + plen > len then acc
+      else if String.sub s i plen = pat then scan (i + 1) (acc + 1)
+      else scan (i + 1) acc
+    in
+    scan 0 0
+  in
+  if not (contains "\"schema\": \"hare-bench-pr2/1\"") then
+    fail "%s: not a hare bench JSON (no schema key)" file;
+  if not (contains "\"timeseries\":") then
+    fail "%s: no workload carries a \"timeseries\" object" file;
+  List.iter
+    (fun key ->
+      if not (contains key) then
+        fail "%s: \"timeseries\" object lacks %s" file key)
+    [ "\"interval\":"; "\"samples\":"; "\"gauges\":" ];
+  if not (contains "\"blame\":") then
+    fail "%s: no workload carries a \"blame\" array" file;
+  List.iter
+    (fun key ->
+      if not (contains key) then fail "%s: \"blame\" entries lack %s" file key)
+    [ "\"class\":"; "\"bucket\":"; "\"bucket_share\":"; "\"qdepth_max\":" ];
+  let knees = count "\"knee_cycles\":" and details = count "\"knee\":" in
+  if knees <> details then
+    fail "%s: %d \"knee_cycles\" keys but %d \"knee\" detail objects" file
+      knees details;
+  Printf.printf
+    "trace_check: OK: bench JSON carries timeseries, blame and %d knee(s)\n"
+    knees;
+  exit 0
+
 let () =
-  let file, want_tracks =
+  let file, want_tracks, want_counters =
     match Array.to_list Sys.argv with
-    | [ _; f ] -> (f, None)
-    | [ _; f; "--tracks"; n ] -> (f, Some (int_of_string n))
+    | [ _; "--bench"; f ] -> check_bench f
+    | [ _; f ] -> (f, None, None)
+    | [ _; f; "--tracks"; n ] -> (f, Some (int_of_string n), None)
+    | [ _; f; "--counters"; n ] -> (f, None, Some (int_of_string n))
+    | [ _; f; "--tracks"; n; "--counters"; c ]
+    | [ _; f; "--counters"; c; "--tracks"; n ] ->
+        (f, Some (int_of_string n), Some (int_of_string c))
     | _ ->
-        prerr_endline "usage: trace_check.exe FILE [--tracks N]";
+        prerr_endline
+          "usage: trace_check.exe FILE [--tracks N] [--counters N]\n\
+          \       trace_check.exe --bench FILE";
         exit 2
   in
   let lines =
@@ -72,6 +138,7 @@ let () =
   in
   let last_ts : (int64, int64) Hashtbl.t = Hashtbl.create 16 in
   let events = ref 0 and metas = ref 0 and tracks = ref 0 in
+  let counters = ref 0 in
   List.iteri
     (fun i line ->
       let lineno = i + 2 in
@@ -106,6 +173,15 @@ let () =
       end
       else begin
         incr events;
+        if ph = 'C' then begin
+          incr counters;
+          match find_key line "value" with
+          | None -> fail "line %d: counter without \"value\": %s" lineno line
+          | Some j -> (
+              match int_at line j with
+              | None -> fail "line %d: unparsable counter value" lineno
+              | Some _ -> ())
+        end;
         match find_key line "ts" with
         | None -> fail "line %d: event without \"ts\": %s" lineno line
         | Some j -> (
@@ -126,5 +202,10 @@ let () =
   | Some n when !tracks <> n ->
       fail "expected %d named tracks, found %d" n !tracks
   | _ -> ());
-  Printf.printf "trace_check: OK: %d events, %d metadata records, %d tracks\n"
-    !events !metas !tracks
+  (match want_counters with
+  | Some n when !counters < n ->
+      fail "expected at least %d counter events, found %d" n !counters
+  | _ -> ());
+  Printf.printf
+    "trace_check: OK: %d events (%d counters), %d metadata records, %d tracks\n"
+    !events !counters !metas !tracks

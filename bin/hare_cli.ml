@@ -871,7 +871,7 @@ module Trace = Hare_trace.Trace
 (* Boot a machine with tracing on, run the whole workload (setup
    included), and hand back the machine. Shared by `trace` (span export)
    and `profile` (cycle attribution). *)
-let run_traced name cores nprocs scale cap seed =
+let run_traced ?(metrics = 0) name cores nprocs scale cap seed =
   match Hare_workloads.All.find name with
   | exception Not_found ->
       Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
@@ -886,6 +886,7 @@ let run_traced name cores nprocs scale cap seed =
           Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
           trace_enabled = true;
           trace_cap = cap;
+          metrics_interval = metrics;
           seed = Int64.of_int seed;
         }
       in
@@ -939,8 +940,29 @@ let seed_arg' =
     & info [ "seed" ] ~docv:"S"
         ~doc:"Simulation seed; same seed => byte-identical trace.")
 
-let run_trace name out cores nprocs scale cap seed =
-  match run_traced name cores nprocs scale cap seed with
+(* Dropped ring events mean the export (or profile) is missing the
+   oldest spans: shout on stderr so a truncated artifact is never
+   mistaken for a complete one, and fail outright under --strict. *)
+let dropped_verdict ~strict ~what tr =
+  let d = Trace.dropped tr in
+  if d = 0 then 0
+  else begin
+    Printf.eprintf
+      "WARNING: %d trace event(s) dropped by ring rotation — this %s is \
+       incomplete (raise --trace-cap)\n"
+      d what;
+    if strict then begin
+      Printf.eprintf "--strict: failing on dropped events\n";
+      1
+    end
+    else 0
+  end
+
+let strict_arg =
+  flag "strict" "Exit 1 when any trace events were dropped by ring rotation."
+
+let run_trace name out cores nprocs scale cap metrics seed strict =
+  match run_traced ~metrics name cores nprocs scale cap seed with
   | Error rc -> rc
   | Ok (spec, m) -> (
       match Hare.Machine.trace m with
@@ -960,7 +982,7 @@ let run_trace name out cores nprocs scale cap seed =
             (Trace.dropped tr) out;
           print_endline
             "open in https://ui.perfetto.dev or chrome://tracing";
-          0)
+          dropped_verdict ~strict ~what:"export" tr)
 
 let trace_cmd =
   let name_arg =
@@ -975,18 +997,28 @@ let trace_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Where to write the Chrome trace-event JSON.")
   in
+  let metrics_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "metrics" ] ~docv:"CYCLES"
+          ~doc:
+            "Also sample the telemetry gauges every $(docv) simulated \
+             cycles, mirrored as Perfetto counter tracks (metric:*) in \
+             the export (0 = off).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run one benchmark with span tracing on and export a \
           Perfetto-compatible (Chrome trace-event) JSON file: one track \
           per core plus a DRAM track, with counter tracks for CPU \
-          busy, mailbox depth, cache misses and DRAM traffic.")
+          busy, mailbox depth, cache misses and DRAM traffic (and, with \
+          $(b,--metrics), the telemetry gauges).")
     Term.(
       const run_trace $ name_arg $ out_arg $ cores_arg $ nprocs_arg
-      $ scale_arg $ cap_arg $ seed_arg')
+      $ scale_arg $ cap_arg $ metrics_arg $ seed_arg' $ strict_arg)
 
-let run_profile name cores nprocs scale cap seed =
+let run_profile name cores nprocs scale cap seed strict =
   match run_traced name cores nprocs scale cap seed with
   | Error rc -> rc
   | Ok (spec, m) -> (
@@ -1026,10 +1058,8 @@ let run_profile name cores nprocs scale cap seed =
           Printf.printf "unattributed cycles: %Ld (of %Ld)\n"
             (Int64.sub !grand bucket_sum)
             !grand;
-          if Trace.dropped tr > 0 then
-            Printf.printf "note: %d events dropped (raise --trace-cap)\n"
-              (Trace.dropped tr);
-          if Int64.sub !grand bucket_sum <> 0L then 1 else 0)
+          let drop_rc = dropped_verdict ~strict ~what:"profile" tr in
+          if Int64.sub !grand bucket_sum <> 0L then 1 else drop_rc)
 
 let profile_cmd =
   let name_arg =
@@ -1047,7 +1077,253 @@ let profile_cmd =
           cycles.")
     Term.(
       const run_profile $ name_arg $ cores_arg $ nprocs_arg $ scale_arg
-      $ cap_arg $ seed_arg')
+      $ cap_arg $ seed_arg' $ strict_arg)
+
+(* ---------- metrics command --------------------------------------------- *)
+
+module Metrics = Hare_metrics.Metrics
+module Knee = Hare_metrics.Knee
+module Blame = Hare_metrics.Blame
+
+(* Run one benchmark with the PR 9 telemetry on — the gauge sampler on a
+   fixed simulated-cycle grid plus tail-based span retention — and
+   report the time series (per-gauge summary table, optional raw JSON
+   dump), the saturation knee, and with --blame the per-class
+   tail-latency forensics. *)
+let run_metrics name cores split nprocs scale interval retain cap blame out
+    seed =
+  match Hare_workloads.All.find name with
+  | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S; try `hare_cli list`\n" name;
+      1
+  | spec ->
+      let module Machine = Hare.Machine in
+      let module Posix = Hare.Posix in
+      let module Api = Hare_api.Api in
+      if interval <= 0 then begin
+        Printf.eprintf "--interval must be positive\n";
+        exit 1
+      end;
+      let config =
+        let c = Driver.default_config ~ncores:cores in
+        let c =
+          match split with
+          | Some s -> { c with Config.placement = Config.Split s }
+          | None -> c
+        in
+        {
+          c with
+          Config.exec_policy = spec.Hare_workloads.Spec.exec_policy;
+          trace_enabled = true;
+          trace_cap = cap;
+          trace_retain = retain;
+          metrics_interval = interval;
+          seed = Int64.of_int seed;
+        }
+      in
+      let m = Machine.boot config in
+      let api = World.Hare_w.api m in
+      let nprocs =
+        match nprocs with
+        | Some n -> n
+        | None -> List.length (Config.app_cores config)
+      in
+      List.iter
+        (fun (prog, body) -> api.Api.register_program prog body)
+        (spec.Hare_workloads.Spec.programs api);
+      api.Api.register_program "bench-worker" (fun p args ->
+          let idx = match args with a :: _ -> int_of_string a | [] -> 0 in
+          spec.Hare_workloads.Spec.worker api p ~idx ~nprocs ~scale;
+          0);
+      let init, _ =
+        Machine.spawn_init m
+          ~name:("metrics-" ^ spec.Hare_workloads.Spec.name)
+          (fun p _ ->
+            spec.Hare_workloads.Spec.setup api p ~nprocs ~scale;
+            let workers =
+              match spec.Hare_workloads.Spec.mode with
+              | Hare_workloads.Spec.Workers -> nprocs
+              | Hare_workloads.Spec.Make -> 1
+            in
+            let pids =
+              List.init workers (fun i ->
+                  Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+            in
+            List.fold_left
+              (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+              0 pids)
+      in
+      Machine.run m;
+      ignore init;
+      match Machine.metrics m with
+      | None ->
+          prerr_endline "internal error: metrics registry missing";
+          1
+      | Some mt ->
+          Printf.printf
+            "%s: %.6f simulated seconds; %d gauges sampled every %d cycles \
+             (%d samples, %d overwritten)\n"
+            spec.Hare_workloads.Spec.name (Machine.seconds m)
+            (Metrics.ngauges mt) (Metrics.interval mt) (Metrics.samples mt)
+            (Metrics.dropped mt);
+          Hare_stats.Table.print
+            ~headers:[ "gauge"; "n"; "min"; "max"; "mean"; "last" ]
+            (List.map
+               (fun (g : Metrics.summary) ->
+                 [
+                   g.Metrics.s_name;
+                   string_of_int g.Metrics.s_n;
+                   string_of_int g.Metrics.s_min;
+                   string_of_int g.Metrics.s_max;
+                   Printf.sprintf "%.1f" g.Metrics.s_mean;
+                   string_of_int g.Metrics.s_last;
+                 ])
+               (Metrics.summaries mt));
+          (match Machine.trace m with
+          | Some tr -> (
+              let spans =
+                List.map
+                  (fun (_, t0, dur) -> (Int64.to_int t0, Int64.to_int dur))
+                  (Trace.root_spans tr)
+              in
+              match Knee.detect ~window:(8 * interval) spans with
+              | Some k ->
+                  Printf.printf
+                    "knee: p99 left the flat regime at cycle %d (window %d: \
+                     %Ld -> %Ld cycles over %d judged windows)\n"
+                    k.Knee.k_at k.Knee.k_window k.Knee.k_before k.Knee.k_after
+                    k.Knee.k_windows
+              | None -> print_endline "knee: none (p99 stayed flat)")
+          | None -> ());
+          (if blame then
+             match Machine.trace m with
+             | None -> ()
+             | Some tr -> (
+                 match Blame.of_trace tr with
+                 | [] ->
+                     print_endline
+                       "blame: nothing retained (is --retain positive and \
+                        the run long enough?)"
+                 | reports ->
+                     print_newline ();
+                     Hare_stats.Table.print
+                       ~headers:
+                         [ "class"; "n"; "p99"; "bucket"; "srv";
+                           "qdepth mean/max"; "worst op"; "worst cycles" ]
+                       (List.map
+                          (fun (b : Blame.t) ->
+                            [
+                              b.Blame.b_class;
+                              string_of_int b.Blame.b_n;
+                              Int64.to_string b.Blame.b_p99;
+                              Printf.sprintf "%s (%.0f%%)" b.Blame.b_bucket
+                                (100. *. b.Blame.b_bucket_share);
+                              (if b.Blame.b_srv < 0 then "-"
+                               else
+                                 Printf.sprintf "fs%d (%.0f%%)" b.Blame.b_srv
+                                   (100. *. b.Blame.b_srv_share));
+                              (if b.Blame.b_qdepth_max < 0 then "-"
+                               else
+                                 Printf.sprintf "%.1f/%d"
+                                   b.Blame.b_qdepth_mean b.Blame.b_qdepth_max);
+                              b.Blame.b_worst_op;
+                              string_of_int b.Blame.b_worst_dur;
+                            ])
+                          reports);
+                     (* Critical path of the slowest retained op overall:
+                        the exact bucket decomposition of its cycles. *)
+                     match Trace.retained tr with
+                     | [] -> ()
+                     | worst :: _ ->
+                         Printf.printf
+                           "\ncritical path of slowest op (%s, %d cycles):\n"
+                           worst.Trace.rt_op worst.Trace.rt_dur;
+                         List.iter
+                           (fun (bucket, cy) ->
+                             Printf.printf "  %-10s %10d  (%.0f%%)\n" bucket cy
+                               (100. *. float_of_int cy
+                               /. float_of_int (max 1 worst.Trace.rt_dur)))
+                           (Blame.critical_path worst)));
+          (match out with
+          | None -> ()
+          | Some file ->
+              (* Raw time series as JSON: one [stamp, value] pair array
+                 per gauge, on the sampling grid. *)
+              let buf = Buffer.create 4096 in
+              let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+              add "{\n";
+              add "  \"schema\": \"hare-metrics/1\",\n";
+              add "  \"interval\": %d,\n" (Metrics.interval mt);
+              add "  \"samples\": %d,\n" (Metrics.samples mt);
+              add "  \"dropped\": %d,\n" (Metrics.dropped mt);
+              add "  \"series\": {\n";
+              let series = Metrics.series mt in
+              List.iteri
+                (fun i (gname, points) ->
+                  add "    \"%s\": [ " gname;
+                  List.iteri
+                    (fun j (ts, v) ->
+                      add "%s[%d, %d]" (if j > 0 then ", " else "") ts v)
+                    points;
+                  add " ]%s\n"
+                    (if i < List.length series - 1 then "," else ""))
+                series;
+              add "  }\n";
+              add "}\n";
+              Out_channel.with_open_bin file (fun oc ->
+                  Out_channel.output_string oc (Buffer.contents buf));
+              Printf.printf "wrote %s\n" file);
+          0
+
+let metrics_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "overload"
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark name (see `hare_cli list`; default: overload).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "interval" ] ~docv:"CYCLES"
+          ~doc:"Sampling grid in simulated cycles.")
+  in
+  let retain_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "retain" ] ~docv:"K"
+          ~doc:
+            "Keep the complete span trees of the $(docv) slowest ops per \
+             latency class for the blame report (0 = off).")
+  in
+  let blame_flag =
+    flag "blame"
+      "Print the per-class tail-latency blame report (dominant bucket, \
+       dominant server, queue depth at admission) and the slowest op's \
+       critical path."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also dump the raw per-gauge time series as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one benchmark with continuous time-series telemetry: gauges \
+          (queue depths, credits, breakers, sheds, retries, cache hit \
+          rate, live fibers, load imbalance) sampled on a simulated-cycle \
+          grid, the saturation knee of the latency series, and with \
+          $(b,--blame) the tail-latency forensics from retained span \
+          trees. Sampling is zero-perturbation: the simulated clock is \
+          bit-identical with telemetry on or off.")
+    Term.(
+      const run_metrics $ name_arg $ cores_arg $ split_arg $ nprocs_arg
+      $ scale_arg $ interval_arg $ retain_arg $ cap_arg $ blame_flag $ out_arg
+      $ seed_arg')
 
 (* ---------- check command ----------------------------------------------- *)
 
@@ -1480,7 +1756,7 @@ let main =
           simulation: benchmarks and paper-figure reproduction.")
     [
       bench_cmd; fig_cmd; faults_cmd; overload_cmd; perf_cmd; trace_cmd;
-      profile_cmd; check_cmd; shard_cmd; list_cmd; shell_cmd;
+      profile_cmd; metrics_cmd; check_cmd; shard_cmd; list_cmd; shell_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

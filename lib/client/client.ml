@@ -98,6 +98,9 @@ type t = {
   breakers : breaker array;  (* one per physical server *)
   budget_tokens : int array;  (* retry tokens left, per physical server *)
   budget_successes : int array;  (* successes since last refill *)
+  mutable open_breakers : int;
+      (* breakers currently in [Br_open], maintained at every transition
+         so the metrics gauge is an O(1) read, not an O(nservers) scan *)
 }
 
 let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
@@ -159,6 +162,7 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
     budget_tokens =
       Array.make (Array.length servers) config.Hare_config.Config.retry_budget;
     budget_successes = Array.make (Array.length servers) 0;
+    open_breakers = 0;
   }
 
 let cid t = t.cid
@@ -178,6 +182,8 @@ let moved_retries t = t.moved_retries
 let robust t = t.robust
 
 let perf t = t.perf
+
+let open_breakers t = t.open_breakers
 
 (* The hashing space: placement decisions (dentry_server, shard_servers,
    choose_inode_server) distribute over logical homes, never physical
@@ -211,6 +217,21 @@ let syscall t name =
 let sink t = Engine.sink t.engine
 
 let checker t = Engine.checker t.engine
+
+(* Admission annotation for tail retention (PR 9): stamp the current
+   root span with the physical server this RPC is headed to and the
+   queue depth it meets at admission. The trace freezes the first
+   stamp; later stamps only update the last-server hint used for
+   blocked-wait attribution. Skipped entirely unless retention is on,
+   so plain traced runs pay no extra host cost per send. *)
+let note_send t ep =
+  match sink t with
+  | Some tr when Trace.retain_enabled tr ->
+      Trace.note_send tr
+        ~fid:(Engine.current_fid t.engine)
+        ~srv:ep
+        ~depth:(Hare_msg.Rpc.pending t.servers.(ep))
+  | _ -> ()
 
 (* Wrap a public syscall body in a root trace span on this client's core
    track. The close folds any bucket-uncovered wall time into Queue, so
@@ -274,6 +295,7 @@ let breaker_admit t srv =
   | Br_open until ->
       if Engine.now t.engine >= until then begin
         br.br_state <- Br_half_open;
+        t.open_breakers <- t.open_breakers - 1;
         t.robust.Hare_stats.Robust.breaker_half_opens <-
           t.robust.Hare_stats.Robust.breaker_half_opens + 1;
         breaker_instant t "breaker-half-open" srv;
@@ -291,7 +313,8 @@ let breaker_success t srv =
         t.robust.Hare_stats.Robust.breaker_closes <-
           t.robust.Hare_stats.Robust.breaker_closes + 1;
         breaker_instant t "breaker-close" srv
-    | Br_closed | Br_open _ -> ());
+    | Br_open _ -> t.open_breakers <- t.open_breakers - 1
+    | Br_closed -> ());
     br.br_state <- Br_closed;
     br.br_fails <- 0
   end
@@ -307,6 +330,9 @@ let breaker_failure t srv =
           (Int64.add (Engine.now t.engine)
              (Int64.of_int t.config.Hare_config.Config.breaker_cooldown));
       br.br_fails <- 0;
+      (* only reached from Br_closed / Br_half_open, so this is a new
+         open, never a re-count *)
+      t.open_breakers <- t.open_breakers + 1;
       t.robust.Hare_stats.Robust.breaker_opens <-
         t.robust.Hare_stats.Robust.breaker_opens + 1;
       breaker_instant t "breaker-open" srv
@@ -399,6 +425,7 @@ let rpc_result t ?payload_lines srv req =
       let meta = { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq } in
       let rec attempt ~moved n deadline =
         let ep = phys t srv in
+        note_send t ep;
         match
           Hare_msg.Rpc.call_deadline t.servers.(ep) ~engine:t.engine
             ~from:t.core ?payload_lines ~meta
@@ -457,9 +484,10 @@ let rpc_result t ?payload_lines srv req =
       (* Reliable path (no fault plan): sends are exactly-once, so an
          EMOVED bounce is simply re-sent to the re-resolved owner. *)
       let rec go moved =
+        let ep = phys t srv in
+        note_send t ep;
         match
-          Hare_msg.Rpc.call t.servers.(phys t srv) ~from:t.core ?payload_lines
-            req
+          Hare_msg.Rpc.call t.servers.(ep) ~from:t.core ?payload_lines req
         with
         | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
             t.rpc_count <- t.rpc_count + 1;
@@ -541,9 +569,10 @@ let await_pending_once t (pd : pending) =
               | None -> ());
               Engine.sleep_cycles back;
               let next_deadline = min (deadline * 2) rt.rt_cap in
+              let ep = phys t pd.pd_srv in
+              note_send t ep;
               let future, span =
-                Hare_msg.Rpc.call_async_sp t.servers.(phys t pd.pd_srv)
-                  ~from:t.core ~meta
+                Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core ~meta
                   ~abs_deadline:(propagated_deadline t next_deadline)
                   ~prio:(Wire.req_prio pd.pd_req) pd.pd_req
               in
@@ -563,8 +592,10 @@ let await_pending t (pd : pending) =
     | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
         t.rpc_count <- t.rpc_count + 1;
         moved_wait t pd.pd_req;
+        let ep = phys t pd.pd_srv in
+        note_send t ep;
         let future, span =
-          Hare_msg.Rpc.call_async_sp t.servers.(phys t pd.pd_srv) ~from:t.core
+          Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core
             ?meta:pd.pd_meta ~prio:(Wire.req_prio pd.pd_req) pd.pd_req
         in
         go (moved + 1) { pd with pd_future = future; pd_span = span }
@@ -620,8 +651,10 @@ let rpc_deferred t srv ~what ?ino req =
     done;
     t.rpc_count <- t.rpc_count + 1;
     let meta = alloc_meta t req in
+    let ep = phys t srv in
+    note_send t ep;
     let future, span =
-      Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core ?meta
+      Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core ?meta
         ~prio:(Wire.req_prio req) req
     in
     Queue.push
@@ -707,8 +740,10 @@ let multicast t ids (mk : int -> Wire.fs_req) =
       | Error Errno.EMOVED when t.place <> None && moved < moved_cap ->
           t.rpc_count <- t.rpc_count + 1;
           moved_wait t req;
+          let ep = phys t srv in
+          note_send t ep;
           let future, span =
-            Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core req
+            Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core req
           in
           settle (moved + 1) srv req
             (Hare_msg.Rpc.await ~from:t.core ~costs:t.costs ~span future)
@@ -719,8 +754,10 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         (fun srv ->
           t.rpc_count <- t.rpc_count + 1;
           let req = mk srv in
+          let ep = phys t srv in
+          note_send t ep;
           let future, span =
-            Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core req
+            Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core req
           in
           (srv, req, future, span))
         ids
@@ -744,8 +781,10 @@ let multicast t ids (mk : int -> Wire.fs_req) =
         let req = mk srv in
         t.rpc_count <- t.rpc_count + 1;
         let meta = alloc_meta t req in
+        let ep = phys t srv in
+        note_send t ep;
         let future, span =
-          Hare_msg.Rpc.call_async_sp t.servers.(phys t srv) ~from:t.core ?meta
+          Hare_msg.Rpc.call_async_sp t.servers.(ep) ~from:t.core ?meta
             ~prio:(Wire.req_prio req) req
         in
         Queue.push

@@ -56,6 +56,11 @@ val moved_retries : t -> int
 val robust : t -> Hare_stats.Robust.t
 (** Timeout/retry/recovery counters (all zero without a fault plan). *)
 
+val open_breakers : t -> int
+(** Circuit breakers of this client currently sitting in the open
+    state — an O(1) read maintained at every breaker transition, for
+    the metrics sampler (PR 9). Always 0 when breakers are off. *)
+
 val mutate_skip_open_inval : bool ref
 (** Sanitizer self-test hook: when set, direct-mode open skips the
     close-to-open invalidation, so the sanitizer's open-inval lint (and,

@@ -39,6 +39,9 @@ type t = {
   trace_enabled : bool;
   trace_cap : int;
   trace_ring : bool;
+  trace_retain : int;
+  metrics_interval : int;
+  metrics_cap : int;
   check_enabled : bool;
   seed : int64;
   costs : Costs.t;
@@ -95,6 +98,13 @@ let default =
     trace_enabled = false;
     trace_cap = 65536;
     trace_ring = true;
+    (* Tail-based span retention off: the trace keeps no slow-op trees
+       and the clients skip the admission annotations entirely. *)
+    trace_retain = 0;
+    (* Time-series telemetry off: no sampler is attached to the event
+       loop, so the per-step check reduces to a None match. *)
+    metrics_interval = 0;
+    metrics_cap = 1024;
     (* Sanitizer off by default: no checker is attached, so every hook
        site reduces to a None check. *)
     check_enabled = false;
@@ -147,6 +157,13 @@ let validate t =
   else if t.dircache_capacity < 0 then
     Error "dircache_capacity must be non-negative (0 = unbounded)"
   else if t.trace_cap <= 0 then Error "trace_cap must be positive"
+  else if t.trace_retain < 0 then
+    Error "trace_retain must be non-negative (0 = retention off)"
+  else if t.trace_retain > 0 && not t.trace_enabled then
+    Error "trace_retain requires trace_enabled (retention lives in the trace)"
+  else if t.metrics_interval < 0 then
+    Error "metrics_interval must be non-negative (0 = metrics off)"
+  else if t.metrics_cap <= 0 then Error "metrics_cap must be positive"
   else if
     t.shard_plan <> ""
     && match t.placement with Sharded _ -> false | _ -> true

@@ -161,6 +161,25 @@ type t = {
           the host-side cost of a traced run. Benchmark runs that only
           consume the profile use this mode. Either way the simulated
           clock is untouched. *)
+  trace_retain : int;
+      (** {e extension} (PR 9): tail-based span retention — keep the
+          complete span trees (bucket vector, admission server, queue
+          depth at admission, per-server blocked-wait grants) of the
+          slowest this-many root syscalls {e per latency class},
+          immune to ring overwrite, for the blame report
+          ([Hare_metrics.Blame]). [0] (default) = off; requires
+          [trace_enabled]. Host-side only — zero simulated cycles. *)
+  metrics_interval : int;
+      (** {e extension} (PR 9): sample the machine's gauges (mailbox
+          depths, flow credits, breaker states, shed/retry counters,
+          pcache hit rate, live fibers, per-server load, ring
+          imbalance) every this-many simulated cycles into
+          [Hare_metrics.Metrics] ring buffers. [0] (default) = no
+          sampler attached. Sampling is pure host-side bookkeeping:
+          clocks are bit-identical with it on or off. *)
+  metrics_cap : int;
+      (** per-gauge ring capacity, in samples; the oldest samples are
+          overwritten when it fills. *)
   check_enabled : bool;
       (** {e extension}: attach the coherence sanitizer at boot
           ([Hare_check.Check]): vector-clock happens-before race

@@ -8,6 +8,7 @@ module Fdtable = Hare_client.Fdtable
 module Process = Hare_proc.Process
 module Program = Hare_proc.Program
 module Place = Hare_place.Place
+module Metrics = Hare_metrics.Metrics
 
 type t = {
   engine : Engine.t;
@@ -21,6 +22,7 @@ type t = {
   kctx : Process.kctx;
   injector : Hare_fault.Injector.t option;
   place : Place.t option;
+  metrics : Metrics.t option;
 }
 
 let boot (config : Config.t) =
@@ -35,7 +37,8 @@ let boot (config : Config.t) =
      it never charges simulated cycles. *)
   if config.trace_enabled then begin
     let tr =
-      Hare_trace.Trace.create ~ring:config.trace_ring ~cap:config.trace_cap ()
+      Hare_trace.Trace.create ~ring:config.trace_ring ~cap:config.trace_cap
+        ~retain:config.trace_retain ()
     in
     for i = 0 to ncores - 1 do
       Hare_trace.Trace.declare_track tr ~track:i
@@ -288,8 +291,86 @@ let boot (config : Config.t) =
       in
       ignore (Engine.spawn engine ~daemon:true ~name:"rebalancer" body)
   | _ -> ());
+  (* Time-series telemetry (PR 9): register the machine's gauges and arm
+     the engine's sampling hook. Every gauge is a cost-free host-side
+     accessor, and the hook runs between events without charging cycles,
+     scheduling events or drawing RNG — metered and unmetered runs of
+     the same seed are bit-identical (asserted in test_metrics). *)
+  let metrics =
+    if config.metrics_interval = 0 then None
+    else begin
+      let m =
+        Metrics.create ~cap:config.metrics_cap
+          ~interval:config.metrics_interval ()
+      in
+      Array.iteri
+        (fun s srv ->
+          Metrics.register m
+            ~name:(Printf.sprintf "fs%d.qdepth" s)
+            (fun () -> Server.queue_depth srv);
+          if config.mailbox_capacity > 0 then
+            Metrics.register m
+              ~name:(Printf.sprintf "fs%d.credits" s)
+              (fun () ->
+                max 0 (config.mailbox_capacity - Server.queue_depth srv));
+          Metrics.register m
+            ~name:(Printf.sprintf "fs%d.ops" s)
+            (fun () -> Hare_stats.Opcount.total (Server.ops srv));
+          Metrics.register m
+            ~name:(Printf.sprintf "fs%d.shed" s)
+            (fun () ->
+              let r = Server.robust srv in
+              r.Hare_stats.Robust.shed_load
+              + r.Hare_stats.Robust.shed_expired))
+        servers;
+      Metrics.register m ~name:"client.retries" (fun () ->
+          Array.fold_left
+            (fun n c -> n + (Client.robust c).Hare_stats.Robust.retries)
+            0 clients);
+      if config.breaker_threshold > 0 then
+        Metrics.register m ~name:"breakers.open" (fun () ->
+            Array.fold_left (fun n c -> n + Client.open_breakers c) 0 clients);
+      Metrics.register m ~name:"pcache.hit_permille" (fun () ->
+          let h = ref 0 and ms = ref 0 in
+          Array.iter
+            (fun pc ->
+              let st = Hare_mem.Pcache.stats pc in
+              h := !h + st.Hare_mem.Pcache.hits;
+              ms := !ms + st.Hare_mem.Pcache.misses)
+            pcaches;
+          if !h + !ms = 0 then 0 else !h * 1000 / (!h + !ms));
+      Metrics.register m ~name:"fibers.live" (fun () ->
+          Engine.live_fibers engine);
+      (match place with
+      | Some p ->
+          Metrics.register m ~name:"ring.epoch" (fun () -> Place.epoch p);
+          Metrics.register m ~name:"ring.migrations" (fun () ->
+              Place.migrations p)
+      | None -> ());
+      Metrics.register m ~name:"load.imbalance_permille" (fun () ->
+          (* max/mean served-ops ratio, over servers that did any work,
+             in integer permille (gauges are ints) *)
+          let n = ref 0 and sum = ref 0 and mx = ref 0 in
+          Array.iter
+            (fun srv ->
+              let ops = Hare_stats.Opcount.total (Server.ops srv) in
+              if ops > 0 then begin
+                incr n;
+                sum := !sum + ops;
+                if ops > !mx then mx := ops
+              end)
+            servers;
+          if !sum = 0 then 1000 else !mx * 1000 * !n / !sum);
+      (match Engine.sink engine with
+      | Some tr -> Metrics.attach_sink m tr ~track_base:(ncores + 1)
+      | None -> ());
+      Engine.set_sampler engine ~interval:config.metrics_interval (fun now ->
+          Metrics.sample m ~now);
+      Some m
+    end
+  in
   { engine; config; cores; dram; servers; clients; scheds; registry; kctx;
-    injector; place }
+    injector; place; metrics }
 
 let engine t = t.engine
 
@@ -302,6 +383,8 @@ let servers t = t.servers
 let clients t = t.clients
 
 let place t = t.place
+
+let metrics t = t.metrics
 
 let server_loads t =
   Array.to_list t.servers

@@ -103,6 +103,13 @@ val trace : t -> Hare_trace.Trace.t option
     clocks and operation counts are bit-identical with tracing on or
     off. *)
 
+val metrics : t -> Hare_metrics.Metrics.t option
+(** The time-series gauge registry installed at boot when
+    [config.metrics_interval > 0], or [None]. Sampling happens on the
+    engine's event-loop hook and is host-side bookkeeping only:
+    simulated clocks and operation counts are bit-identical with
+    metrics on or off. *)
+
 val check : t -> Hare_check.Check.t option
 (** The coherence sanitizer installed at boot when
     [config.check_enabled], or [None]. Like the trace sink it is

@@ -20,6 +20,17 @@ type result = {
   loads : (int * int * int) list;
       (* per physical server (sid, ops, peak queue); empty on Linux *)
   imbalance : float;
+  (* telemetry (PR 9); all empty/None unless the config enabled the
+     metrics sampler and/or tail retention *)
+  gauges : Hare_metrics.Metrics.summary list;
+      (* per-gauge time-series summaries, in registration order *)
+  metrics_interval : int;  (* sampling grid, cycles; 0 = metrics off *)
+  metrics_samples : int;  (* samples taken over the whole run *)
+  knee : Hare_metrics.Knee.t option;
+      (* first window of the timed region where the p99 latency slope
+         exceeded the threshold; None when flat or untraced *)
+  blame : Hare_metrics.Blame.t list;
+      (* per-class tail blame reports; empty unless trace_retain > 0 *)
 }
 
 (* Per-class latency distributions of the root syscall spans that began
@@ -122,6 +133,18 @@ module Make (W : World.WORLD) = struct
     | None -> failwith (spec.Spec.name ^ ": init never finished"));
     let elapsed = !t1 -. !t0 in
     let ops = spec.Spec.ops ~nprocs ~scale in
+    (* Start of the timed region on the cycle clock the spans carry. *)
+    let cycles_per_s =
+      float_of_int config.Config.costs.Hare_config.Costs.cycles_per_us *. 1e6
+    in
+    let since = Int64.of_float ((!t0 *. cycles_per_s) +. 0.5) in
+    (* Knee window: a handful of sampling grid points when metrics are
+       on, a fixed quarter-million cycles otherwise. *)
+    let knee_window =
+      if config.Config.metrics_interval > 0 then
+        8 * config.Config.metrics_interval
+      else 250_000
+    in
     {
       bench = spec.Spec.name;
       world = W.name;
@@ -137,18 +160,9 @@ module Make (W : World.WORLD) = struct
         | Some tr -> Hare_trace.Trace.profile tr
         | None -> []);
       latencies =
+        (* Only spans of the timed region. *)
         (match W.trace w with
-        | Some tr ->
-            (* Only spans of the timed region: convert its start from
-               seconds back to the cycle clock the spans carry. *)
-            let cycles_per_s =
-              float_of_int
-                config.Config.costs.Hare_config.Costs.cycles_per_us
-              *. 1e6
-            in
-            latencies_of_trace
-              ~since:(Int64.of_float ((!t0 *. cycles_per_s) +. 0.5))
-              tr
+        | Some tr -> latencies_of_trace ~since tr
         | None -> []);
       robust = W.robustness w;
       engine = W.engine_stats w;
@@ -167,5 +181,31 @@ module Make (W : World.WORLD) = struct
                List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
              in
              List.fold_left max 0.0 l /. mean);
+      gauges =
+        (match W.metrics w with
+        | Some m -> Hare_metrics.Metrics.summaries m
+        | None -> []);
+      metrics_interval = config.Config.metrics_interval;
+      metrics_samples =
+        (match W.metrics w with
+        | Some m -> Hare_metrics.Metrics.samples m
+        | None -> 0);
+      knee =
+        (match W.trace w with
+        | Some tr ->
+            let spans =
+              List.filter_map
+                (fun (_, s0, dur) ->
+                  if s0 >= since then
+                    Some (Int64.to_int s0, Int64.to_int dur)
+                  else None)
+                (Hare_trace.Trace.root_spans tr)
+            in
+            Hare_metrics.Knee.detect ~window:knee_window spans
+        | None -> None);
+      blame =
+        (match W.trace w with
+        | Some tr -> Hare_metrics.Blame.of_trace tr
+        | None -> []);
     }
 end

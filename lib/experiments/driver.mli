@@ -37,6 +37,19 @@ type result = {
   imbalance : float;
       (** Max/mean served-operation ratio over the servers that served
           anything (1.0 = perfectly even; 1.0 when [loads] is empty). *)
+  gauges : Hare_metrics.Metrics.summary list;
+      (** Per-gauge time-series summaries over the whole run, in
+          registration order. Empty unless [metrics_interval > 0]. *)
+  metrics_interval : int;
+      (** The sampling grid, simulated cycles; 0 = metrics were off. *)
+  metrics_samples : int;  (** Samples taken over the whole run. *)
+  knee : Hare_metrics.Knee.t option;
+      (** First window of the timed region whose p99 latency exceeded
+          1.5x the previous judged window's — the saturation knee.
+          [None] when the series stays flat or tracing was off. *)
+  blame : Hare_metrics.Blame.t list;
+      (** Per-class tail-latency blame reports from the retained span
+          trees. Empty unless [trace_retain > 0]. *)
 }
 
 val latencies_of_trace :

@@ -37,6 +37,10 @@ module type WORLD = sig
   (** The trace sink, when the world was booted with tracing enabled.
       The Linux baseline never traces. *)
 
+  val metrics : world -> Hare_metrics.Metrics.t option
+  (** The time-series gauge registry, when the world was booted with
+      [metrics_interval > 0]. The Linux baseline never samples. *)
+
   val reset_perf : world -> unit
   (** Zero the world's pipelining/batching counters (no-op for worlds
       without them), so a timed region reports only its own activity. *)
@@ -118,6 +122,8 @@ module Hare_w = struct
 
   let trace = M.trace
 
+  let metrics = M.metrics
+
   let reset_perf = M.reset_perf
 
   let robustness = M.robustness
@@ -157,6 +163,8 @@ module Linux_w = struct
   let exit_status = L.exit_status
 
   let trace _ = None
+
+  let metrics _ = None
 
   let reset_perf _ = ()
 

@@ -40,6 +40,10 @@ module type WORLD = sig
   (** The trace sink, when the world was booted with tracing enabled.
       Worlds that never trace (the Linux baseline) return [None]. *)
 
+  val metrics : world -> Hare_metrics.Metrics.t option
+  (** The time-series gauge registry, when the world was booted with
+      [metrics_interval > 0]. Worlds without a sampler return [None]. *)
+
   val reset_perf : world -> unit
   (** Zero the world's pipelining/batching counters (no-op for worlds
       without them), so a timed region reports only its own activity. *)

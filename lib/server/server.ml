@@ -246,6 +246,8 @@ let peak_queue t = Hare_msg.Rpc.peak_pending t.endpoint
 
 let reset_peak_queue t = Hare_msg.Rpc.reset_peak t.endpoint
 
+let queue_depth t = Hare_msg.Rpc.pending t.endpoint
+
 (* ---------- inode and token helpers ----------------------------------- *)
 
 let alloc_lid t ~home =

@@ -112,6 +112,10 @@ val peak_queue : t -> int
 
 val reset_peak_queue : t -> unit
 
+val queue_depth : t -> int
+(** Requests queued at this server's mailbox right now (cost-free;
+    read by the metrics sampler). *)
+
 (** [shard_entries t dir] lists this server's entries for directory [dir]
     (cost-free; for tests). *)
 val shard_entries : t -> Hare_proto.Types.ino -> (string * Hare_proto.Types.ino) list

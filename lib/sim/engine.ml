@@ -36,6 +36,13 @@ type t = {
       (* trace sink; presence doubles as the "tracing enabled" flag *)
   mutable checker : Hare_check.Check.t option;
       (* coherence sanitizer; presence doubles as the "check enabled" flag *)
+  (* Time-series sampler (PR 9): a host-side hook the event loop fires
+     when the simulated clock crosses a sampling-grid boundary. Like the
+     sink and the checker it never schedules events, charges cycles, or
+     draws from an RNG — sampled and unsampled runs are bit-identical. *)
+  mutable sampler : (int64 -> unit) option;
+  mutable sample_every : int; (* grid interval in cycles; 0 = off *)
+  mutable sample_next : int; (* next due grid stamp *)
 }
 
 exception Deadlock of string
@@ -69,6 +76,9 @@ let create ?(seed = 1L) () =
     probe_free = [];
     sink = None;
     checker = None;
+    sampler = None;
+    sample_every = 0;
+    sample_next = max_int;
   }
 
 let now t = t.time
@@ -86,6 +96,14 @@ let checker t = t.checker
 let set_checker t c = t.checker <- Some c
 
 let set_sink t tr = t.sink <- Some tr
+
+let set_sampler t ~interval f =
+  if interval <= 0 then invalid_arg "Engine.set_sampler: interval must be positive";
+  t.sampler <- Some f;
+  t.sample_every <- interval;
+  (* First sample one full interval after attachment (boot state at time
+     zero is all-idle and uninteresting). *)
+  t.sample_next <- Int64.to_int t.time + interval
 
 let fiber_name f = f.name
 
@@ -263,6 +281,19 @@ let step t =
   (* Plain callbacks (timers) run outside any fiber; fiber starts and
      resumes re-set [cur] themselves before continuing. *)
   t.cur <- None;
+  (* Fire the time-series sampler before the event's effects land, so a
+     sample at grid stamp g reflects the state after every event strictly
+     before g. One sample per step, stamped at the latest due grid point:
+     a long quiet gap (no events) yields no intermediate samples — the
+     gauges could not have changed while nothing ran. Host-side only;
+     the heap, clock, and RNGs are untouched. *)
+  (match t.sampler with
+  | Some sample when time >= t.sample_next ->
+      let k = (time - t.sample_next) / t.sample_every in
+      let stamp = t.sample_next + (k * t.sample_every) in
+      t.sample_next <- stamp + t.sample_every;
+      sample (Int64.of_int stamp)
+  | _ -> ());
   f ()
 
 let check_deadlock t =

@@ -126,6 +126,17 @@ val set_checker : t -> Hare_check.Check.t -> unit
 (** Attach the coherence sanitizer. Checking never perturbs the
     simulated clock ({!Hare_check.Check}). *)
 
+val set_sampler : t -> interval:int -> (int64 -> unit) -> unit
+(** Attach a time-series sampler: the event loop calls [f stamp] from
+    {e outside} any fiber whenever the simulated clock first reaches or
+    crosses a multiple of [interval] cycles (one call per event-loop
+    step, stamped at the latest grid point due — quiet gaps, during
+    which no state can change, produce no samples). The callback must be
+    pure host-side bookkeeping: it runs between events and must not
+    schedule work, charge cycles, or draw from an RNG, so sampled and
+    unsampled runs of the same seed stay bit-identical. [interval] must
+    be positive. *)
+
 (** {1 Deadlock diagnostics} *)
 
 val register_probe : t -> name:string -> (unit -> int) -> int

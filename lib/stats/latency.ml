@@ -14,11 +14,26 @@ type dist = {
 
 let empty = { n = 0; p50 = 0L; p95 = 0L; p99 = 0L; lmax = 0L }
 
-(* Nearest-rank percentile of a sorted array: the smallest value such
-   that at least q% of samples are <= it. *)
+let is_empty d = d.n = 0
+
+(* Nearest-rank index into a sorted array of [n] samples: the smallest
+   value such that at least q% of samples are <= it, i.e. index
+   ceil(n*q/100) - 1. Total for every n >= 1 and 0 < q <= 100 — the
+   degenerate small-n cases (PR 9 satellite) are pinned down explicitly:
+   n = 1 maps every q to the single sample, and n = 0 is a caller error
+   rather than a silent zero that idle classes could not distinguish
+   from a genuine zero-cycle latency. *)
 let rank n q =
+  if n <= 0 then invalid_arg "Latency.rank: no samples";
+  if not (q > 0. && q <= 100.) then
+    invalid_arg "Latency.rank: percentile must be in (0, 100]";
   let r = int_of_float (ceil (float_of_int n *. q /. 100.)) in
   max 0 (min (n - 1) (r - 1))
+
+let percentile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Latency.percentile: no samples";
+  a.(rank n q)
 
 let of_durations ds =
   match ds with
@@ -29,9 +44,9 @@ let of_durations ds =
       let n = Array.length a in
       {
         n;
-        p50 = a.(rank n 50.);
-        p95 = a.(rank n 95.);
-        p99 = a.(rank n 99.);
+        p50 = percentile a 50.;
+        p95 = percentile a 95.;
+        p99 = percentile a 99.;
         lmax = a.(n - 1);
       }
 
@@ -44,7 +59,6 @@ let class_of_op = function
   | "open" | "close" | "stat" | "fstat" | "mkdir" | "rmdir" | "readdir"
   | "rename" | "dup" | "dup2" | "pipe" | "fork" ->
       Some "meta"
-  | "unlink" -> Some "background"
-  | _ -> None
+  | "unlink" -> Some "background" | _ -> None
 
 let class_names = [ "meta"; "data"; "background" ]

@@ -15,10 +15,26 @@ type dist = {
 }
 
 val empty : dist
+(** The zero-sample distribution. Its percentile fields are 0 only as
+    placeholders — an idle class has {e no} latency, not zero latency —
+    so consumers must branch on {!is_empty} (or [n = 0]) before printing
+    or comparing them. *)
+
+val is_empty : dist -> bool
+(** [true] iff the distribution summarizes no samples (run start, idle
+    classes). *)
 
 val of_durations : int64 list -> dist
 (** Nearest-rank percentiles of the given cycle durations ({!empty} for
-    the empty list). *)
+    the empty list). One sample maps every percentile (and [lmax]) to
+    that sample; two samples map p50 to the smaller and p95/p99 to the
+    larger, per the nearest-rank definition. *)
+
+val percentile : int64 array -> float -> int64
+(** [percentile a q] is the nearest-rank q-th percentile of the {e
+    sorted} array [a]: the smallest element such that at least q% of
+    samples are <= it. Raises [Invalid_argument] on an empty array or
+    [q] outside (0, 100] — never a silent 0. *)
 
 val class_of_op : string -> string option
 (** Priority class of a client syscall span name, or [None] for spans

@@ -62,6 +62,15 @@ type ctx = {
   (* Decomposition of the fiber's next compute charge; cleared by
      [on_compute]. *)
   mutable c_pending : (bucket * int) list;
+  (* Tail forensics (PR 9): admission annotations recorded by the client
+     at RPC send time, -1 = never sent. [c_srv]/[c_qdepth] freeze at the
+     first send (the admission decision); [c_last_srv] tracks the most
+     recent send so blocked-wait grants can be attributed to a server. *)
+  mutable c_srv : int;
+  mutable c_qdepth : int;
+  mutable c_last_srv : int;
+  mutable c_children : (int * int) list;
+      (* (server, cycles granted from its breakdown), newest first *)
 }
 
 (* Per-opcode profile accumulator. *)
@@ -69,6 +78,33 @@ type agg = {
   mutable a_count : int;
   mutable a_total : int;
   a_buckets : int array;
+}
+
+(* A retained span tree (PR 9): the complete record of one slow root
+   syscall, kept only while it remains among the slowest [retain] ops of
+   its class (Dapper-style tail-based retention). The six-bucket vector
+   sums to [rt_dur] exactly (ctx_close charges the remainder to Queue),
+   so sorting it yields the critical path through the request. *)
+type retained = {
+  rt_op : string;
+  rt_cls : string;
+  rt_t0 : int;
+  rt_dur : int;
+  rt_buckets : int array;
+  rt_srv : int;  (* physical server of the first RPC; -1 = none sent *)
+  rt_qdepth : int;  (* that server's queue depth at admission; -1 *)
+  rt_children : (int * int) list;
+      (* per-RPC server grants (server, cycles), oldest first *)
+}
+
+(* Keep-k-slowest store for one class: a flat array with a tracked
+   minimum. [cap] is small (tens), so the O(cap) min rescan on evict is
+   cheaper than heap bookkeeping on the hot close path. *)
+type rstore = {
+  rs_cap : int;
+  mutable rs_items : retained array;
+  mutable rs_len : int;
+  mutable rs_min : int;  (* index of the smallest rt_dur when full *)
 }
 
 (* Event kind tags for the flattened ring. *)
@@ -125,10 +161,15 @@ type t = {
   mutable lat_t0 : int array;
   mutable lat_dur : int array;
   mutable lat_len : int;
+  (* Tail-based retention: slowest-[retain] root spans per class, with
+     their full bucket vectors and admission annotations. 0 = off. *)
+  retain : int;
+  retained_tbl : (string, rstore) Hashtbl.t;
 }
 
-let create ?(ring = true) ~cap () =
+let create ?(ring = true) ?(retain = 0) ~cap () =
   if cap <= 0 then invalid_arg "Trace.create: cap must be positive";
+  if retain < 0 then invalid_arg "Trace.create: retain must be non-negative";
   let rcap = if ring then cap else 0 in
   {
     cap;
@@ -158,6 +199,8 @@ let create ?(ring = true) ~cap () =
     lat_t0 = [||];
     lat_dur = [||];
     lat_len = 0;
+    retain;
+    retained_tbl = Hashtbl.create 4;
   }
 
 (* Fiber ids index [ctxs] directly: contexts open and close on every
@@ -290,7 +333,11 @@ let ctx_open t ~fid ~op ~track ~parent ~now ~args =
         c.c_t0 <- Int64.to_int now;
         c.c_args <- args;
         Array.fill c.c_buckets 0 nbuckets 0;
-        c.c_pending <- []
+        c.c_pending <- [];
+        c.c_srv <- -1;
+        c.c_qdepth <- -1;
+        c.c_last_srv <- -1;
+        c.c_children <- []
     | None ->
         ctx_set t fid
           (Some
@@ -304,6 +351,10 @@ let ctx_open t ~fid ~op ~track ~parent ~now ~args =
                c_args = args;
                c_buckets = Array.make nbuckets 0;
                c_pending = [];
+               c_srv = -1;
+               c_qdepth = -1;
+               c_last_srv = -1;
+               c_children = [];
              }));
     span
   end
@@ -344,6 +395,24 @@ let on_wait t ~fid ~cycles =
   match ctx_find t fid with
   | Some ctx -> charge ctx Queue cycles
   | None -> ()
+
+let retain_enabled t = t.retain > 0
+
+let retain_k t = t.retain
+
+(* Client hook, called at RPC send time: freeze the admission target and
+   queue depth on the first send of the open context, and remember the
+   most recent target so the blocked-wait grant can be attributed. Only
+   meaningful under tail retention; host-side only. *)
+let note_send t ~fid ~srv ~depth =
+  match ctx_find t fid with
+  | None -> ()
+  | Some ctx ->
+      if ctx.c_srv < 0 then begin
+        ctx.c_srv <- srv;
+        ctx.c_qdepth <- depth
+      end;
+      ctx.c_last_srv <- srv
 
 (* --- the server-done table ------------------------------------------ *)
 
@@ -441,6 +510,14 @@ let on_blocked t ~fid ~span ~elapsed =
               remaining := !remaining - grant)
             blocked_priority
       | None -> ());
+      (* Under tail retention, remember which server the grant came from
+         (the last send target): this is the span tree the blame report
+         walks. The grant is exact for synchronous RPCs (rpc_window 1);
+         with a wider window it attributes to the most recent send. *)
+      (if t.retain > 0 && ctx.c_last_srv >= 0 then
+         let granted = elapsed - !remaining in
+         if granted > 0 then
+           ctx.c_children <- (ctx.c_last_srv, granted) :: ctx.c_children);
       charge ctx Queue !remaining
 
 let bucket_sum buckets = Array.fold_left ( + ) 0 buckets
@@ -499,6 +576,82 @@ let lat_push t op t0 dur =
   t.lat_dur.(t.lat_len) <- dur;
   t.lat_len <- t.lat_len + 1
 
+(* --- tail-based retention (PR 9) ------------------------------------ *)
+
+let rs_rescan_min rs =
+  let m = ref 0 in
+  for i = 1 to rs.rs_len - 1 do
+    if rs.rs_items.(i).rt_dur < rs.rs_items.(!m).rt_dur then m := i
+  done;
+  rs.rs_min <- !m
+
+(* Admit [ctx]'s completed root span to its class store iff it is among
+   the slowest [retain] seen so far; the bucket vector is copied because
+   the context (and its array) is recycled on the fiber's next open. *)
+let retain_push t ctx elapsed =
+  match Hare_stats.Latency.class_of_op ctx.c_op with
+  | None -> ()
+  | Some cls ->
+      let rs =
+        match Hashtbl.find_opt t.retained_tbl cls with
+        | Some rs -> rs
+        | None ->
+            let rs =
+              {
+                rs_cap = t.retain;
+                rs_items = [||];
+                rs_len = 0;
+                rs_min = 0;
+              }
+            in
+            Hashtbl.replace t.retained_tbl cls rs;
+            rs
+      in
+      let full = rs.rs_len >= rs.rs_cap in
+      if (not full) || elapsed > rs.rs_items.(rs.rs_min).rt_dur then begin
+        let item =
+          {
+            rt_op = ctx.c_op;
+            rt_cls = cls;
+            rt_t0 = ctx.c_t0;
+            rt_dur = elapsed;
+            rt_buckets = Array.copy ctx.c_buckets;
+            rt_srv = ctx.c_srv;
+            rt_qdepth = ctx.c_qdepth;
+            rt_children = List.rev ctx.c_children;
+          }
+        in
+        if full then begin
+          rs.rs_items.(rs.rs_min) <- item;
+          rs_rescan_min rs
+        end
+        else begin
+          (if rs.rs_len = Array.length rs.rs_items then
+             let n = Array.length rs.rs_items in
+             let n' = min rs.rs_cap (max 8 (n * 2)) in
+             let items' = Array.make n' item in
+             Array.blit rs.rs_items 0 items' 0 n;
+             rs.rs_items <- items');
+          rs.rs_items.(rs.rs_len) <- item;
+          rs.rs_len <- rs.rs_len + 1;
+          if rs.rs_len = rs.rs_cap then rs_rescan_min rs
+        end
+      end
+
+let retained t =
+  Hashtbl.fold
+    (fun _ rs acc ->
+      let items = ref acc in
+      for i = rs.rs_len - 1 downto 0 do
+        items := rs.rs_items.(i) :: !items
+      done;
+      !items)
+    t.retained_tbl []
+  |> List.sort (fun a b ->
+         match compare b.rt_dur a.rt_dur with
+         | 0 -> compare a.rt_t0 b.rt_t0
+         | c -> c)
+
 let ctx_close_syscall t ~fid ~now =
   close_common t ~fid ~now ~cat:"syscall" (fun ctx ->
       let elapsed = Int64.to_int now - ctx.c_t0 in
@@ -507,7 +660,10 @@ let ctx_close_syscall t ~fid ~now =
          sum equal elapsed exactly, by construction. *)
       charge ctx Queue (elapsed - bucket_sum ctx.c_buckets);
       profile_add t ctx elapsed;
-      if ctx.c_parent = 0 then lat_push t ctx.c_op ctx.c_t0 elapsed)
+      if ctx.c_parent = 0 then begin
+        lat_push t ctx.c_op ctx.c_t0 elapsed;
+        if t.retain > 0 then retain_push t ctx elapsed
+      end)
 
 let ctx_close_server t ~fid ~now =
   close_common t ~fid ~now ~cat:"server" (fun ctx ->
@@ -550,7 +706,10 @@ let profile t =
 
 let reset_profile t =
   Hashtbl.reset t.profile;
-  t.lat_len <- 0
+  t.lat_len <- 0;
+  (* Retention follows the latency log: a timed region blames only its
+     own tail, not setup's. *)
+  Hashtbl.reset t.retained_tbl
 
 let root_spans t =
   List.init t.lat_len (fun i ->

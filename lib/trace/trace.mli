@@ -67,13 +67,18 @@ type event =
     }
   | Counter of { name : string; track : int; ts : int64; value : int }
 
-val create : ?ring:bool -> cap:int -> unit -> t
+val create : ?ring:bool -> ?retain:int -> cap:int -> unit -> t
 (** [create ~cap ()] makes a sink whose ring holds at most [cap] events.
     [cap] must be positive. With [~ring:false] the sink is profile-only:
     attribution (contexts, buckets, the per-opcode profile) runs as
     usual, but {!instant}, {!counter} and span emission become no-ops
     and {!events} is always empty — about half the host-side overhead,
-    for consumers (benchmarks) that never export the event stream. *)
+    for consumers (benchmarks) that never export the event stream.
+    [retain] (default 0 = off) turns on tail-based retention: the
+    complete record of the slowest [retain] root spans {e per latency
+    class} is kept — bucket vector, admission server, queue depth at
+    admission, per-server blocked-wait grants — regardless of ring
+    overwrite; see {!retained}. *)
 
 val declare_track : t -> track:int -> name:string -> unit
 (** Name a track (one per simulated core, plus auxiliary tracks); the
@@ -143,6 +148,42 @@ val on_blocked : t -> fid:int -> span:int -> elapsed:int -> unit
     [span]. If a server context was recorded for [span], its buckets are
     granted — capped at [elapsed] — in priority order (dispatch, compute,
     cache, DRAM, send, queue); the remainder is {!Queue}. *)
+
+(** {1 Tail-based retention (PR 9)} *)
+
+val retain_enabled : t -> bool
+(** Whether this sink retains slow span trees ([retain > 0]). *)
+
+val retain_k : t -> int
+(** The per-class retention bound given at {!create}. *)
+
+val note_send : t -> fid:int -> srv:int -> depth:int -> unit
+(** Client hook at RPC send time: annotate fiber [fid]'s open context
+    with the physical server targeted and its mailbox depth. The first
+    send of a context freezes the {e admission} pair ([rt_srv],
+    [rt_qdepth]); every send updates the attribution target for the next
+    {!on_blocked} grant. A no-op without an open context. *)
+
+(** A retained span tree: one slow root syscall with its complete
+    attribution. [rt_buckets] (indexed by {!bucket_index}) sums to
+    [rt_dur] exactly, so its descending sort is the critical path
+    through the request. [rt_children] lists the blocked-wait grants
+    [(server, cycles)] in send order; [rt_srv]/[rt_qdepth] are -1 when
+    the operation never sent an RPC. *)
+type retained = {
+  rt_op : string;
+  rt_cls : string;  (** latency class ({!Hare_stats.Latency.class_of_op}) *)
+  rt_t0 : int;
+  rt_dur : int;
+  rt_buckets : int array;
+  rt_srv : int;
+  rt_qdepth : int;
+  rt_children : (int * int) list;
+}
+
+val retained : t -> retained list
+(** The retained (slowest-k per class) span trees since the last
+    {!reset_profile}, slowest first. Empty when retention is off. *)
 
 val ctx_close_syscall : t -> fid:int -> now:int64 -> unit
 (** Close fiber [fid]'s context as a root (client-syscall) span: any

@@ -1,0 +1,425 @@
+(* Time-series telemetry PR: the metrics sampler must observe without
+   perturbing — same seed gives bit-identical simulations with
+   telemetry on or off, including under fault plans and a sharded
+   migration run — the gauge rings must bound memory by dropping
+   oldest, knee detection must find the saturation point of a synthetic
+   series, tail retention must keep the slowest-k per class, and the
+   Latency percentile helpers must be exact (and loud) on tiny inputs. *)
+
+open Test_util
+module Api = Hare_api.Api
+module World = Hare_experiments.World
+module Spec = Hare_workloads.Spec
+module Trace = Hare_trace.Trace
+module Opcount = Hare_stats.Opcount
+module Latency = Hare_stats.Latency
+module Metrics = Hare_metrics.Metrics
+module Knee = Hare_metrics.Knee
+module Blame = Hare_metrics.Blame
+module Place = Hare_place.Place
+
+(* Boot a machine from [config], run one paper workload to completion
+   (setup + workers), and return the machine for inspection. *)
+let run_workload ?(wname = "creates") config =
+  let m = Machine.boot config in
+  let api = World.Hare_w.api m in
+  let spec = Hare_workloads.All.find wname in
+  let nprocs = List.length (Config.app_cores config) in
+  List.iter
+    (fun (prog, body) -> api.Api.register_program prog body)
+    (spec.Spec.programs api);
+  api.Api.register_program "bench-worker" (fun p args ->
+      let idx = int_of_string (List.hd args) in
+      spec.Spec.worker api p ~idx ~nprocs ~scale:1;
+      0);
+  let init, _ =
+    Machine.spawn_init m ~name:"metrics-test" (fun p _ ->
+        spec.Spec.setup api p ~nprocs ~scale:1;
+        let pids =
+          List.init nprocs (fun i ->
+              Posix.spawn p ~prog:"bench-worker" ~args:[ string_of_int i ])
+        in
+        List.fold_left
+          (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+          0 pids)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int)) "workers ok" (Some 0) (Machine.exit_status m init);
+  m
+
+(* [metered] turns on the full PR 9 surface — sampler, trace sink, tail
+   retention — which is exactly what must be inert. *)
+let base_config ?(metered = false) ?plan () =
+  let c = { (small_config ~ncores:4 ()) with Config.seed = 7L } in
+  let c =
+    if metered then
+      {
+        c with
+        Config.metrics_interval = 5_000;
+        trace_enabled = true;
+        trace_retain = 16;
+      }
+    else c
+  in
+  match plan with
+  | None -> c
+  | Some p ->
+      { c with Config.fault_plan = p; rpc_deadline = 25_000; rpc_retries = 12 }
+
+let sharded_config ?(metered = false) () =
+  let c =
+    {
+      (small_config ~ncores:8 ~placement:(Config.Sharded { servers = 2; vnodes = 32 }) ())
+      with
+      Config.shard_plan = "add@1000";
+      seed = 42L;
+    }
+  in
+  if metered then
+    {
+      c with
+      Config.metrics_interval = 5_000;
+      trace_enabled = true;
+      trace_retain = 16;
+    }
+  else c
+
+(* Everything externally observable about a run, for telemetry-is-inert
+   comparisons. *)
+let fingerprint m =
+  ( Machine.now m,
+    Opcount.to_list (Machine.total_syscalls m),
+    Opcount.to_list (Machine.total_server_ops m),
+    Machine.total_rpcs m,
+    Machine.total_invals m )
+
+let fp :
+    (int64 * (string * int) list * (string * int) list * int * int)
+    Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (now, _, _, rpcs, invals) ->
+      Format.fprintf ppf "now=%Ld rpcs=%d invals=%d" now rpcs invals)
+    ( = )
+
+(* ---------- zero perturbation ------------------------------------------- *)
+
+let test_onoff_identical () =
+  let off = run_workload (base_config ()) in
+  let on = run_workload (base_config ~metered:true ()) in
+  Alcotest.check fp "telemetry changes nothing observable" (fingerprint off)
+    (fingerprint on);
+  Alcotest.(check bool) "registry present when on" true
+    (Machine.metrics on <> None);
+  Alcotest.(check bool) "no registry when off" true (Machine.metrics off = None)
+
+let test_onoff_identical_under_faults () =
+  (* Retry backoff draws from an RNG right where the sampler hooks sit;
+     the draw order must be unchanged under drops and a crash/restart. *)
+  let plan = "drop:fs:0.05;crash:1@200000+150000" in
+  let off = run_workload ~wname:"writes" (base_config ~plan ()) in
+  let on = run_workload ~wname:"writes" (base_config ~metered:true ~plan ()) in
+  Alcotest.check fp "telemetry inert under faults" (fingerprint off)
+    (fingerprint on);
+  Alcotest.(check (list (pair string int)))
+    "identical robustness counters"
+    (Hare_stats.Robust.to_list (Machine.robustness off))
+    (Hare_stats.Robust.to_list (Machine.robustness on))
+
+let test_onoff_identical_under_migration () =
+  (* A live rebalance moves homes mid-run; sampling the ring gauges
+     (epoch, migrations, imbalance) must not shift the migration. *)
+  let off = run_workload (sharded_config ()) in
+  let on = run_workload (sharded_config ~metered:true ()) in
+  Alcotest.check fp "telemetry inert across a migration" (fingerprint off)
+    (fingerprint on);
+  let migs m =
+    match Machine.place m with
+    | Some p -> Place.migrations p
+    | None -> Alcotest.fail "sharded machine has no placement ring"
+  in
+  Alcotest.(check bool) "a home actually moved" true (migs off >= 1);
+  Alcotest.(check int) "identical migration count" (migs off) (migs on)
+
+(* ---------- sampling and the bounded ring ------------------------------- *)
+
+let test_samples_recorded () =
+  let m = run_workload (base_config ~metered:true ()) in
+  match Machine.metrics m with
+  | None -> Alcotest.fail "no registry"
+  | Some mt ->
+      Alcotest.(check bool) "gauges registered" true (Metrics.ngauges mt > 0);
+      Alcotest.(check bool) "samples taken" true (Metrics.samples mt > 0);
+      Alcotest.(check int) "interval as configured" 5_000 (Metrics.interval mt);
+      let series = Metrics.series mt in
+      Alcotest.(check int) "one series per gauge" (Metrics.ngauges mt)
+        (List.length series);
+      (* Stamps lie on the sampling grid and increase strictly. *)
+      List.iter
+        (fun (name, points) ->
+          Alcotest.(check bool) (name ^ ": nonempty") true (points <> []);
+          ignore
+            (List.fold_left
+               (fun prev (ts, _) ->
+                 Alcotest.(check int) (name ^ ": on grid") 0 (ts mod 5_000);
+                 Alcotest.(check bool) (name ^ ": increasing") true (ts > prev);
+                 ts)
+               (-1) points))
+        series;
+      (* Summaries agree with the raw points. *)
+      List.iter2
+        (fun (name, points) (s : Metrics.summary) ->
+          Alcotest.(check string) "summary order matches series" name
+            s.Metrics.s_name;
+          Alcotest.(check int) (name ^ ": n") (List.length points)
+            s.Metrics.s_n;
+          let vs = List.map snd points in
+          Alcotest.(check int) (name ^ ": min")
+            (List.fold_left min max_int vs)
+            s.Metrics.s_min;
+          Alcotest.(check int) (name ^ ": max")
+            (List.fold_left max min_int vs)
+            s.Metrics.s_max;
+          Alcotest.(check int) (name ^ ": last")
+            (List.nth vs (List.length vs - 1))
+            s.Metrics.s_last)
+        series (Metrics.summaries mt)
+
+let test_ring_drops_oldest () =
+  let mt = Metrics.create ~cap:4 ~interval:10 () in
+  let v = ref 0 in
+  Metrics.register mt ~name:"g" (fun () -> !v);
+  for i = 1 to 10 do
+    v := i;
+    Metrics.sample mt ~now:(Int64.of_int (i * 10))
+  done;
+  Alcotest.(check int) "all samples counted" 10 (Metrics.samples mt);
+  Alcotest.(check int) "overflow counted" 6 (Metrics.dropped mt);
+  match Metrics.series mt with
+  | [ ("g", points) ] ->
+      Alcotest.(check (list (pair int int)))
+        "ring keeps the newest cap samples"
+        [ (70, 7); (80, 8); (90, 9); (100, 10) ]
+        points
+  | _ -> Alcotest.fail "expected exactly one series"
+
+let test_register_after_sample_rejected () =
+  let mt = Metrics.create ~interval:10 () in
+  Metrics.register mt ~name:"g" (fun () -> 0);
+  Metrics.sample mt ~now:10L;
+  Alcotest.check_raises "late registration rejected"
+    (Invalid_argument "Metrics.register: gauges must be registered before sampling")
+    (fun () ->
+      Metrics.register mt ~name:"h" (fun () -> 0))
+
+(* ---------- knee detection ---------------------------------------------- *)
+
+(* [burst t0 n dur] is n spans of duration [dur] starting in the window
+   at [t0]. *)
+let burst t0 n dur = List.init n (fun i -> (t0 + i, dur))
+
+let test_knee_detects_rise () =
+  (* Five flat windows at p99=100, then the series jumps to 1000. *)
+  let spans =
+    List.concat_map (fun w -> burst (w * 100) 10 100) [ 0; 1; 2; 3; 4 ]
+    @ burst 500 10 1000 @ burst 600 10 1000
+  in
+  match Knee.detect ~window:100 spans with
+  | None -> Alcotest.fail "knee not found"
+  | Some k ->
+      Alcotest.(check int) "knee at first rising window" 500 k.Knee.k_at;
+      Alcotest.(check int) "window width echoed" 100 k.Knee.k_window;
+      Alcotest.(check int64) "flat p99" 100L k.Knee.k_before;
+      Alcotest.(check int64) "risen p99" 1000L k.Knee.k_after
+
+let test_knee_gradual_climb () =
+  (* Each window is only 1.3x its neighbour — under the 1.5 factor — but
+     the climb leaves the flat floor far behind; judging against the
+     floor (not the previous window) must still find the knee. *)
+  let spans =
+    List.concat_map (fun w -> burst (w * 100) 10 100) [ 0; 1; 2 ]
+    @ List.concat
+        (List.mapi
+           (fun i w ->
+             burst (w * 100) 10
+               (int_of_float (100. *. (1.3 ** float_of_int (i + 1)))))
+           [ 3; 4; 5; 6 ])
+  in
+  match Knee.detect ~window:100 spans with
+  | None -> Alcotest.fail "gradual climb missed"
+  | Some k ->
+      (* floor 100; 130 is under 1.5x, 169 crosses it *)
+      Alcotest.(check int) "knee at the window crossing the floor factor" 400
+        k.Knee.k_at;
+      Alcotest.(check int64) "baseline is the flat floor" 100L k.Knee.k_before
+
+let test_knee_flat_none () =
+  let spans = List.concat_map (fun w -> burst (w * 100) 10 100) [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "flat series has no knee" true
+    (Knee.detect ~window:100 spans = None)
+
+let test_knee_skips_sparse_windows () =
+  (* The rising window has only 3 completions — below min_samples — so
+     it must neither trigger nor reset the reference p99. *)
+  let spans =
+    List.concat_map (fun w -> burst (w * 100) 10 100) [ 0; 1; 2 ]
+    @ burst 300 3 100_000
+    @ burst 400 10 100
+  in
+  Alcotest.(check bool) "sparse spike ignored" true
+    (Knee.detect ~window:100 spans = None)
+
+(* ---------- tail retention and blame ------------------------------------ *)
+
+let retained_config () =
+  {
+    (small_config ~ncores:4 ()) with
+    Config.trace_enabled = true;
+    trace_retain = 4;
+    seed = 7L;
+  }
+
+let test_retention_keeps_k_slowest () =
+  let m = run_workload ~wname:"writes" (retained_config ()) in
+  match Machine.trace m with
+  | None -> Alcotest.fail "no sink"
+  | Some tr ->
+      let kept = Trace.retained tr in
+      Alcotest.(check bool) "something retained" true (kept <> []);
+      (* slowest-first ordering, and at most k per class *)
+      ignore
+        (List.fold_left
+           (fun prev (r : Trace.retained) ->
+             Alcotest.(check bool) "sorted slowest first" true
+               (r.Trace.rt_dur <= prev);
+             r.Trace.rt_dur)
+           max_int kept);
+      let per_class = Hashtbl.create 4 in
+      List.iter
+        (fun (r : Trace.retained) ->
+          Hashtbl.replace per_class r.Trace.rt_cls
+            (1 + Option.value ~default:0 (Hashtbl.find_opt per_class r.Trace.rt_cls)))
+        kept;
+      Hashtbl.iter
+        (fun cls n ->
+          Alcotest.(check bool) (cls ^ ": bounded by k") true (n <= 4))
+        per_class;
+      (* every retained tree attributes exactly *)
+      List.iter
+        (fun (r : Trace.retained) ->
+          Alcotest.(check int)
+            (r.Trace.rt_op ^ ": buckets sum to duration")
+            r.Trace.rt_dur
+            (Array.fold_left ( + ) 0 r.Trace.rt_buckets))
+        kept
+
+let test_blame_reports () =
+  let m = run_workload ~wname:"writes" (retained_config ()) in
+  match Machine.trace m with
+  | None -> Alcotest.fail "no sink"
+  | Some tr ->
+      let reports = Blame.of_trace tr in
+      Alcotest.(check bool) "blame produced" true (reports <> []);
+      List.iter
+        (fun (b : Blame.t) ->
+          Alcotest.(check bool) (b.Blame.b_class ^ ": examined ops") true
+            (b.Blame.b_n > 0);
+          Alcotest.(check bool) (b.Blame.b_class ^ ": share in (0,1]") true
+            (b.Blame.b_bucket_share > 0. && b.Blame.b_bucket_share <= 1.);
+          Alcotest.(check bool) (b.Blame.b_class ^ ": worst op nonempty") true
+            (b.Blame.b_worst_op <> ""))
+        reports;
+      (* the critical path of any retained op sums exactly *)
+      List.iter
+        (fun (r : Trace.retained) ->
+          Alcotest.(check int)
+            (r.Trace.rt_op ^ ": critical path sums to duration")
+            r.Trace.rt_dur
+            (List.fold_left (fun acc (_, cy) -> acc + cy) 0
+               (Blame.critical_path r)))
+        (Trace.retained tr)
+
+(* ---------- Latency on tiny inputs (satellite) -------------------------- *)
+
+let test_latency_empty () =
+  let d = Latency.of_durations [] in
+  Alcotest.(check bool) "empty is empty" true (Latency.is_empty d);
+  Alcotest.(check int) "n = 0" 0 d.Latency.n;
+  Alcotest.(check bool) "Latency.empty is empty" true
+    (Latency.is_empty Latency.empty);
+  (* percentile never invents a 0 from nothing *)
+  (match Latency.percentile [||] 99. with
+  | _ -> Alcotest.fail "percentile of [||] should raise"
+  | exception Invalid_argument _ -> ());
+  match Latency.percentile [| 1L |] 0. with
+  | _ -> Alcotest.fail "percentile at q=0 should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_latency_one () =
+  let d = Latency.of_durations [ 42L ] in
+  Alcotest.(check bool) "not empty" false (Latency.is_empty d);
+  Alcotest.(check int) "n = 1" 1 d.Latency.n;
+  Alcotest.(check int64) "p50 is the sample" 42L d.Latency.p50;
+  Alcotest.(check int64) "p95 is the sample" 42L d.Latency.p95;
+  Alcotest.(check int64) "p99 is the sample" 42L d.Latency.p99;
+  Alcotest.(check int64) "max is the sample" 42L d.Latency.lmax
+
+let test_latency_two () =
+  let d = Latency.of_durations [ 9L; 5L ] in
+  Alcotest.(check int) "n = 2" 2 d.Latency.n;
+  Alcotest.(check int64) "p50 is the smaller (nearest rank)" 5L d.Latency.p50;
+  Alcotest.(check int64) "p95 is the larger" 9L d.Latency.p95;
+  Alcotest.(check int64) "p99 is the larger" 9L d.Latency.p99;
+  Alcotest.(check int64) "max is the larger" 9L d.Latency.lmax
+
+let test_latency_hundred () =
+  let d =
+    Latency.of_durations (List.init 100 (fun i -> Int64.of_int (100 - i)))
+  in
+  Alcotest.(check int) "n = 100" 100 d.Latency.n;
+  Alcotest.(check int64) "p50 = 50" 50L d.Latency.p50;
+  Alcotest.(check int64) "p95 = 95" 95L d.Latency.p95;
+  Alcotest.(check int64) "p99 = 99" 99L d.Latency.p99;
+  Alcotest.(check int64) "max = 100" 100L d.Latency.lmax
+
+let tc = Alcotest.test_case
+
+let suites : (string * unit Alcotest.test_case list) list =
+  [
+    ( "metrics.zero-perturbation",
+      [
+        tc "telemetry on/off bit-identical" `Quick test_onoff_identical;
+        tc "inert under fault plans" `Quick test_onoff_identical_under_faults;
+        tc "inert across a sharded migration" `Quick
+          test_onoff_identical_under_migration;
+      ] );
+    ( "metrics.sampling",
+      [
+        tc "gauges sampled on the grid" `Quick test_samples_recorded;
+        tc "ring overwrites oldest, counts" `Quick test_ring_drops_oldest;
+        tc "late registration rejected" `Quick
+          test_register_after_sample_rejected;
+      ] );
+    ( "metrics.knee",
+      [
+        tc "finds the saturation knee" `Quick test_knee_detects_rise;
+        tc "catches a gradual climb via the floor" `Quick
+          test_knee_gradual_climb;
+        tc "flat series has none" `Quick test_knee_flat_none;
+        tc "sparse windows skipped" `Quick test_knee_skips_sparse_windows;
+      ] );
+    ( "metrics.tail",
+      [
+        tc "retention keeps slowest-k per class" `Quick
+          test_retention_keeps_k_slowest;
+        tc "blame reports and exact critical paths" `Quick test_blame_reports;
+      ] );
+    ( "metrics.latency",
+      [
+        tc "zero samples: empty, loud percentiles" `Quick test_latency_empty;
+        tc "one sample pins every percentile" `Quick test_latency_one;
+        tc "two samples split by nearest rank" `Quick test_latency_two;
+        tc "hundred samples: exact ranks" `Quick test_latency_hundred;
+      ] );
+  ]
