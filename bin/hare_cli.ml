@@ -932,7 +932,8 @@ let cap_arg =
     & info [ "trace-cap" ] ~docv:"N"
         ~doc:
           "Trace ring-buffer capacity in events; the oldest events are \
-           dropped (and counted) beyond it.")
+           dropped (and counted) beyond it. 0 = no span ring: the export \
+           is a clean metadata-only artifact (never fails --strict).")
 
 let seed_arg' =
   Arg.(
@@ -980,8 +981,13 @@ let run_trace name out cores nprocs scale cap metrics seed strict =
             (List.length (Trace.events tr))
             (List.length (Trace.tracks tr))
             (Trace.dropped tr) out;
-          print_endline
-            "open in https://ui.perfetto.dev or chrome://tracing";
+          if not (Trace.ring_enabled tr) then
+            print_endline
+              "span ring empty by request (--trace-cap 0): metadata-only \
+               export"
+          else
+            print_endline
+              "open in https://ui.perfetto.dev or chrome://tracing";
           dropped_verdict ~strict ~what:"export" tr)
 
 let trace_cmd =
@@ -1732,6 +1738,133 @@ let shard_cmd =
       const run_shard $ name_arg $ cores_arg $ servers_arg $ vnodes_arg
       $ plan_arg $ nprocs_arg $ scale_arg $ seed_arg $ check_flag)
 
+(* ---------- explore: systematic schedule exploration --------------------- *)
+
+let run_explore list_only scenario strategy seed budget mutate replay =
+  let module R = Hare_explore.Runner in
+  let module S = Hare_explore.Scenario in
+  if list_only then begin
+    print_endline "scenarios:";
+    List.iter
+      (fun sc -> Printf.printf "  %-8s %s\n" sc.S.sc_name sc.S.sc_doc)
+      S.all;
+    print_endline "mutations (--mutate):";
+    List.iter (fun m -> Printf.printf "  %s\n" m) S.mutations;
+    0
+  end
+  else
+    match S.find scenario with
+    | exception Not_found ->
+        Printf.eprintf
+          "unknown scenario %S (hare_cli explore --list shows them)\n" scenario;
+        2
+    | sc -> (
+        match mutate with
+        | Some m when not (List.mem m S.mutations) ->
+            Printf.eprintf
+              "unknown mutation %S (hare_cli explore --list shows them)\n" m;
+            2
+        | _ ->
+            let strategy =
+              match replay with
+              | Some csv ->
+                  R.Replay
+                    (String.split_on_char ',' csv
+                    |> List.filter (fun s -> s <> "")
+                    |> List.map int_of_string)
+              | None -> (
+                  match strategy with
+                  | "dpor" -> R.Dpor
+                  | "pct" -> R.Pct seed
+                  | "rand" -> R.Rand seed
+                  | "det" -> R.Deterministic
+                  | s ->
+                      raise
+                        (Invalid_argument
+                           ("unknown strategy " ^ s
+                          ^ " (dpor, pct, rand, det)")))
+            in
+            let st = R.explore ~scenario:sc ?mutate ~strategy ~budget () in
+            Printf.printf
+              "%s strategy=%s%s: %d schedule(s), %d choice point(s), depth \
+               %d, %d sleep-set prune(s)%s\n"
+              sc.S.sc_name (R.strategy_name strategy)
+              (match mutate with Some m -> " mutate=" ^ m | None -> "")
+              st.R.schedules st.R.choice_points st.R.max_depth
+              st.R.sleep_blocked
+              (if st.R.complete then ", exhaustive" else "");
+            List.iter
+              (fun (v : R.violation) ->
+                Printf.printf "VIOLATION [%s]\n%s\n" v.R.v_kind v.R.v_detail;
+                Printf.printf "  reproduce: hare_cli explore %s%s --replay %s\n"
+                  sc.S.sc_name
+                  (match mutate with Some m -> " --mutate " ^ m | None -> "")
+                  (match v.R.v_choices with
+                  | [] -> "0"
+                  | cs -> String.concat "," (List.map string_of_int cs)))
+              st.R.violations;
+            if st.R.violations = [] then begin
+              print_endline "no violations";
+              0
+            end
+            else 1)
+
+let explore_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & pos 0 string "collide"
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Exploration scenario (see $(b,--list)).")
+  in
+  let strategy_arg =
+    Arg.(
+      value & opt string "dpor"
+      & info [ "strategy" ] ~docv:"STRAT"
+          ~doc:
+            "Schedule strategy: $(b,dpor) (exhaustive, sleep-set reduced), \
+             $(b,pct) (seeded random priorities), $(b,rand) (seeded uniform), \
+             $(b,det) (the engine's deterministic order; one run).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Seed for pct/rand strategies.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum executions before giving up.")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"M"
+          ~doc:"Run with a seeded protocol mutation switched on.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"CSV"
+          ~doc:
+            "Replay one schedule: comma-separated choice ordinals as printed \
+             in a violation report (overrides $(b,--strategy)).")
+  in
+  let list_flag = flag "list" "List scenarios and mutations, then exit." in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically explore same-cycle event orderings of a tiny \
+          workload, checking every schedule with the coherence sanitizer and \
+          a close-to-open linearizability oracle. Exit 0: clean; 1: \
+          violation found (with a $(b,--replay) recipe); 2: bad arguments.")
+    Term.(
+      const run_explore $ list_flag $ scenario_arg $ strategy_arg $ seed_arg
+      $ budget_arg $ mutate_arg $ replay_arg)
+
 let run_list () =
   List.iter
     (fun (s : Hare_workloads.Spec.t) ->
@@ -1756,7 +1889,8 @@ let main =
           simulation: benchmarks and paper-figure reproduction.")
     [
       bench_cmd; fig_cmd; faults_cmd; overload_cmd; perf_cmd; trace_cmd;
-      profile_cmd; metrics_cmd; check_cmd; shard_cmd; list_cmd; shell_cmd;
+      profile_cmd; metrics_cmd; check_cmd; shard_cmd; explore_cmd; list_cmd;
+      shell_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -39,7 +39,27 @@ type retry = {
   rt_cap : int;  (** ceiling on per-attempt deadline growth *)
   rt_rng : Rng.t;
   mutable rt_seq : int;
+  mutable rt_ack : int;
+      (* completed low-water mark: every seq <= rt_ack has a final
+         outcome (reply in hand or given up) and will never be resent.
+         Rides outgoing metas so servers can bound their dedup tables. *)
+  rt_done : (int, unit) Hashtbl.t;
+      (* completed seqs above the low-water mark, waiting for the gap
+         below them (a still-inflight deferred request) to close *)
 }
+
+(* Record that [seq]'s outcome is final. The low-water mark only
+   advances contiguously: a deferred request still in flight below a
+   completed one pins the ack until it too resolves, because its tag
+   could still be retransmitted at await time. *)
+let note_done rt seq =
+  if seq > rt.rt_ack then begin
+    Hashtbl.replace rt.rt_done seq ();
+    while Hashtbl.mem rt.rt_done (rt.rt_ack + 1) do
+      Hashtbl.remove rt.rt_done (rt.rt_ack + 1);
+      rt.rt_ack <- rt.rt_ack + 1
+    done
+  end
 
 (* Per-server circuit breaker (PR 6): consecutive give-ups trip it open,
    and while open every retryable RPC to that server fast-fails with
@@ -124,6 +144,8 @@ let create ~engine ~config ~cid ~core ~pcache ~servers ~server_sockets
                 (Int64.add config.Hare_config.Config.seed
                    (Int64.of_int ((cid * 2654435761) + 0x5e7)));
           rt_seq = 0;
+          rt_ack = 0;
+          rt_done = Hashtbl.create 16;
         }
     else None
   in
@@ -346,6 +368,28 @@ let breaker_failure t srv =
     | Br_open _ -> ()
   end
 
+(* Test hook: force [srv]'s breaker open right now, as if its give-up
+   threshold had just been crossed. Lets a test pit an in-flight EMOVED
+   chase against a breaker-open destination without scripting the
+   timeouts a real open would need. No-op when breakers are disabled or
+   the breaker is already open. *)
+let trip_breaker t srv =
+  if breaker_enabled t then begin
+    let br = t.breakers.(srv) in
+    match br.br_state with
+    | Br_open _ -> ()
+    | Br_closed | Br_half_open ->
+        br.br_state <-
+          Br_open
+            (Int64.add (Engine.now t.engine)
+               (Int64.of_int t.config.Hare_config.Config.breaker_cooldown));
+        br.br_fails <- 0;
+        t.open_breakers <- t.open_breakers + 1;
+        t.robust.Hare_stats.Robust.breaker_opens <-
+          t.robust.Hare_stats.Robust.breaker_opens + 1;
+        breaker_instant t "breaker-open" srv
+  end
+
 let fast_fail t srv req =
   t.robust.Hare_stats.Robust.fast_fails <-
     t.robust.Hare_stats.Robust.fast_fails + 1;
@@ -422,7 +466,9 @@ let rpc_result t ?payload_lines srv req =
          the ring route, so a retry lands at the shard's current owner
          under the same tag. *)
       rt.rt_seq <- rt.rt_seq + 1;
-      let meta = { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq } in
+      let meta =
+        { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq; m_ack = rt.rt_ack }
+      in
       let rec attempt ~moved n deadline =
         let ep = phys t srv in
         note_send t ep;
@@ -478,7 +524,11 @@ let rpc_result t ?payload_lines srv req =
               attempt ~moved (n + 1) (min (deadline * 2) rt.rt_cap)
             end
       in
-      attempt ~moved:0 0 rt.rt_base
+      let resp = attempt ~moved:0 0 rt.rt_base in
+      (* Whatever [resp] is — success, bounce cap, or give-up — this tag
+         is finished: no further copy will ever be sent. *)
+      note_done rt meta.Hare_msg.Rpc.m_seq;
+      resp
       end
   | _ ->
       (* Reliable path (no fault plan): sends are exactly-once, so an
@@ -511,7 +561,8 @@ let alloc_meta t req =
   match t.retry with
   | Some rt when retryable req ->
       rt.rt_seq <- rt.rt_seq + 1;
-      Some { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq }
+      Some
+        { Hare_msg.Rpc.m_client = t.cid; m_seq = rt.rt_seq; m_ack = rt.rt_ack }
   | _ -> None
 
 (* Await a deferred request, applying the same deadline/backoff/dedup
@@ -601,7 +652,13 @@ let await_pending t (pd : pending) =
         go (moved + 1) { pd with pd_future = future; pd_span = span }
     | resp -> resp
   in
-  go 0 pd
+  let resp = go 0 pd in
+  (* The deferred tag's outcome is final — it leaves the window and is
+     never resent, so the ack low-water mark may advance over it. *)
+  (match (pd.pd_meta, t.retry) with
+  | Some m, Some rt -> note_done rt m.Hare_msg.Rpc.m_seq
+  | _ -> ());
+  resp
 
 (* True when [e] means the token is stale and recovery should be tried:
    only under a fault plan, never in a fault-free run. *)

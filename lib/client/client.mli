@@ -61,6 +61,15 @@ val open_breakers : t -> int
     state — an O(1) read maintained at every breaker transition, for
     the metrics sampler (PR 9). Always 0 when breakers are off. *)
 
+val trip_breaker : t -> int -> unit
+(** [trip_breaker t sid] forces this client's breaker for physical
+    server [sid] open right now (cooldown from the current instant), as
+    if its give-up threshold had just been crossed — counted in
+    [open_breakers] and the robust counters like a real open. A test
+    hook: lets a test race an in-flight EMOVED chase against a
+    breaker-open destination without scripting real timeouts. No-op
+    when breakers are disabled or the breaker is already open. *)
+
 val mutate_skip_open_inval : bool ref
 (** Sanitizer self-test hook: when set, direct-mode open skips the
     close-to-open invalidation, so the sanitizer's open-inval lint (and,

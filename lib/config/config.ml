@@ -156,7 +156,8 @@ let validate t =
   else if t.alloc_extent < 1 then Error "alloc_extent must be at least 1"
   else if t.dircache_capacity < 0 then
     Error "dircache_capacity must be non-negative (0 = unbounded)"
-  else if t.trace_cap <= 0 then Error "trace_cap must be positive"
+  else if t.trace_cap < 0 then
+    Error "trace_cap must be non-negative (0 = empty span ring, profile-only)"
   else if t.trace_retain < 0 then
     Error "trace_retain must be non-negative (0 = retention off)"
   else if t.trace_retain > 0 && not t.trace_enabled then

@@ -152,7 +152,9 @@ type t = {
           of the same seed are bit-identical; off by default. *)
   trace_cap : int;
       (** trace ring-buffer capacity in events; when full, the oldest
-          event is dropped and a dropped-events counter incremented. *)
+          event is dropped and a dropped-events counter incremented.
+          0 = an empty span ring: profile-only tracing, exports are
+          cleanly metadata-only (same as [trace_ring = false]). *)
   trace_ring : bool;
       (** record individual events (spans, instants, counters) in the
           ring for Perfetto export; on by default. When off, tracing is

@@ -74,7 +74,8 @@ let default_config ~ncores =
   }
 
 module Make (W : World.WORLD) = struct
-  let run ?config ?nprocs ?(scale = 1) (spec : Spec.t) =
+  let run ?config ?nprocs ?(scale = 1) ?(null_explorer = false)
+      (spec : Spec.t) =
     let config =
       match config with Some c -> c | None -> default_config ~ncores:4
     in
@@ -85,6 +86,20 @@ module Make (W : World.WORLD) = struct
       | None -> List.length (Config.app_cores config)
     in
     let w = W.boot config in
+    (* Zero-perturbation proof hook: a trivial explorer that always
+       answers ordinal 0 routes every same-cycle tie through the
+       exploration plumbing yet must leave clocks and opcounts
+       bit-identical (the golden-clock test runs both ways). *)
+    if null_explorer then
+      Option.iter
+        (fun eng ->
+          Hare_sim.Engine.set_explorer eng
+            {
+              Hare_sim.Engine.ex_choose = (fun ~time:_ _ -> 0);
+              ex_step = (fun ~time:_ ~seq:_ ~tag:_ -> ());
+              ex_access = ignore;
+            })
+        (W.engine w);
     let api = W.api w in
     List.iter
       (fun (prog, body) -> api.Api.register_program prog body)

@@ -69,10 +69,14 @@ module Make (W : World.WORLD) : sig
     ?config:Hare_config.Config.t ->
     ?nprocs:int ->
     ?scale:int ->
+    ?null_explorer:bool ->
     Hare_workloads.Spec.t ->
     result
   (** [run spec] executes the benchmark. [nprocs] defaults to the number
       of application cores; the benchmark's exec-placement policy
-      overrides the configuration's. Raises [Failure] if any worker
+      overrides the configuration's. [null_explorer] (default false)
+      attaches an always-ordinal-0 schedule explorer to the engine: the
+      run must stay bit-identical to an unexplored one — the golden-clock
+      test's zero-perturbation proof. Raises [Failure] if any worker
       exits nonzero. *)
 end

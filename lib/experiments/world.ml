@@ -53,6 +53,10 @@ module type WORLD = sig
   (** Simulator event-loop counters for this run (zero for the Linux
       baseline). *)
 
+  val engine : world -> Hare_sim.Engine.t option
+  (** The discrete-event engine, for worlds that have one — the schedule
+      explorer attaches here. [None] for the Linux baseline. *)
+
   val server_loads : world -> (int * int * int) list
   (** Per physical file server: [(sid, ops served, peak queue depth)] —
       the load-distribution report behind the sharding imbalance gate.
@@ -137,6 +141,8 @@ module Hare_w = struct
     }
 
   let server_loads = M.server_loads
+
+  let engine m = Some (M.engine m)
 end
 
 module Linux_w = struct
@@ -173,6 +179,8 @@ module Linux_w = struct
   let engine_stats _ = { es_events = 0; es_peak_fibers = 0; es_spawned = 0 }
 
   let server_loads _ = []
+
+  let engine _ = None
 end
 
 let unfs_config (base : Config.t) =

@@ -55,6 +55,10 @@ module type WORLD = sig
   val engine_stats : world -> engine_stats
   (** Simulator event-loop counters for this run. *)
 
+  val engine : world -> Hare_sim.Engine.t option
+  (** The discrete-event engine, for worlds that have one — the schedule
+      explorer attaches here. [None] for the Linux baseline. *)
+
   val server_loads : world -> (int * int * int) list
   (** Per physical file server: [(sid, ops served, peak queue depth)].
       Empty for worlds without file servers (the Linux baseline). *)

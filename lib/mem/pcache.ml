@@ -95,6 +95,10 @@ let checker t = Engine.checker (Core_res.engine t.core)
 
 let cid t = Core_res.id t.core
 
+(* Footprint hook for the schedule explorer: the currently executing
+   event touched DRAM line [key]. No-op unless an explorer is attached. *)
+let note_line t key = Engine.note_line (Core_res.engine t.core) key
+
 (* --- open-addressed table -------------------------------------------- *)
 
 (* Multiplicative spread of the (sequential) line keys; [land] with a
@@ -221,6 +225,7 @@ let[@inline] touch t l =
 
 let flush_line t l =
   if l.dirty then begin
+    note_line t l.key;
     Dram.write_line t.dram ~block:(block_of_key l.key)
       ~line:(line_of_key l.key) ~src:l.data ~src_off:0;
     l.dirty <- false;
@@ -295,6 +300,7 @@ let access t ~block ~off ~len ~write ~(per_line : line -> unit) =
   for line = first to last do
     let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    note_line t l.key;
     (match checker t with
     | Some chk ->
         Check.cache_access chk ~core:(cid t) ~key:l.key ~write
@@ -350,6 +356,7 @@ let invalidate_block t block =
   let lines = lines_of_block t block in
   List.iter
     (fun l ->
+      note_line t l.key;
       (match checker t with
       | Some chk ->
           Check.cache_invalidate chk ~core:(cid t) ~key:l.key ~dirty:l.dirty
@@ -389,6 +396,7 @@ let read_coherent t ~block ~off ~len ~dst ~dst_off =
   for line = first to last do
     let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    note_line t l.key;
     (match checker t with
     | Some chk ->
         Check.coherent_access chk ~core:(cid t) ~key:l.key ~write:false
@@ -415,6 +423,7 @@ let write_coherent t ~block ~off ~len ~src ~src_off =
   for line = first to last do
     let m0 = t.misses in
     let l, cc, dc = ensure_line t ~block ~line in
+    note_line t l.key;
     (match checker t with
     | Some chk ->
         Check.coherent_access chk ~core:(cid t) ~key:l.key ~write:true

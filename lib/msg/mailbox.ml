@@ -10,6 +10,9 @@ type 'a t = {
   name : string option;
   chan : int;
       (* sanitizer stamp-FIFO id mirroring [queue]; -1 = checking off *)
+  uid : int;
+      (* engine shared-object uid: the schedule explorer's footprint
+         identity for this mailbox (delivery/dequeue conflicts) *)
   mutable sent : int;
   mutable received : int;
   mutable flow_blocked : int;
@@ -36,6 +39,7 @@ let create ?name ?capacity ?faults ~owner ~costs () =
       faults;
       name;
       chan;
+      uid = Engine.new_object (Core_res.engine owner);
       sent = 0;
       received = 0;
       flow_blocked = 0;
@@ -51,6 +55,8 @@ let create ?name ?capacity ?faults ~owner ~costs () =
   t
 
 let owner t = t.owner
+
+let uid t = t.uid
 
 (* Crashed endpoints stop advertising their depth: a dead server's
    mailbox in a deadlock report is noise, and the engine should not scan
@@ -77,6 +83,7 @@ let checker t = Engine.checker (Core_res.engine t.owner)
    stamp FIFO evolves in lockstep with the real queue (pushed exactly
    where the message enters it), so a plain pop realigns. *)
 let note_recv t =
+  Engine.note_mailbox (Core_res.engine t.owner) t.uid;
   if t.chan >= 0 then
     match checker t with
     | Some chk -> Check.chan_pop chk ~chan:t.chan ~core:(Core_res.id t.owner)
@@ -108,6 +115,7 @@ let fault_instant t verdict ~span =
    callbacks, and a duplicate verdict's second copy rides the same
    credit (bounded overshoot, like a retransmission on a real wire). *)
 let enqueue t ?stamp msg =
+  Engine.note_mailbox (Core_res.engine t.owner) t.uid;
   Bqueue.push_overflow t.queue msg;
   (match stamp with
   | Some s when t.chan >= 0 -> (
@@ -183,7 +191,10 @@ let send t ~from ?(payload_lines = 0) ?(unreliable = false) ?(span = 0) msg =
         let deliver_at = function
           | None -> enqueue t ?stamp msg
           | Some time ->
-              Engine.schedule_at engine time (fun () -> enqueue t ?stamp msg)
+              Engine.schedule_at engine
+                ~tag:(Engine.tag_deliver t.uid)
+                time
+                (fun () -> enqueue t ?stamp msg)
         in
         match I.on_send link ~unreliable with
         | I.Drop -> fault_instant t "drop" ~span

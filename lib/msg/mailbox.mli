@@ -30,6 +30,10 @@ val create :
 
 val owner : 'a t -> Hare_sim.Core_res.t
 
+val uid : 'a t -> int
+(** The engine shared-object uid identifying this mailbox to the
+    schedule explorer's footprint relation. *)
+
 val unwatch : 'a t -> unit
 (** Deregister this mailbox's engine depth probe (no-op if unnamed or
     already unwatched). Called when the owning endpoint crashes so

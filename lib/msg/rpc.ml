@@ -2,7 +2,14 @@ open Hare_sim
 module Trace = Hare_trace.Trace
 module Check = Hare_check.Check
 
-type meta = { m_client : int; m_seq : int }
+type meta = {
+  m_client : int;
+  m_seq : int;
+  m_ack : int;
+      (* the client's completed low-water mark: every seq <= m_ack has
+         its final outcome and will never be retransmitted, so servers
+         may purge those dedup entries (bounded idempotency memory) *)
+}
 
 type ('req, 'resp) envelope = {
   body : 'req;

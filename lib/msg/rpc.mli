@@ -12,10 +12,12 @@
     {!call_deadline} bounds the wait so a lost message surfaces as
     [Error `Timeout] instead of a hang. *)
 
-type meta = { m_client : int; m_seq : int }
+type meta = { m_client : int; m_seq : int; m_ack : int }
 (** Idempotency tag: the sending client's id and its private, monotonic
     request sequence number. Retries of one logical request reuse one
-    tag. *)
+    tag. [m_ack] is the client's completed low-water mark — every seq at
+    or below it has a final client-side outcome and will never be
+    retransmitted, so the server can purge those dedup entries. *)
 
 type ('req, 'resp) t
 

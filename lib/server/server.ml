@@ -35,6 +35,15 @@ type mark = { parked : (Wire.fs_req * reply) Queue.t }
    retransmissions. *)
 type dedup_entry = Pending of reply list ref | Done of Wire.fs_resp
 
+(* Per-client idempotency memory, bounded by the ack low-water mark the
+   client rides on every tagged request: every seq at or below
+   [de_pruned] has a final client-side outcome, can never be
+   retransmitted, and has been evicted. *)
+type dedup_client = {
+  de_tbl : (int, dedup_entry) Hashtbl.t;
+  mutable de_pruned : int;
+}
+
 type dirlock = { mutable held : bool; lock_waiters : reply Queue.t }
 
 (* Shard-migration payload: the whole state of one logical home, moved
@@ -101,7 +110,7 @@ type t = {
   boot_queue :
     (Wire.fs_req * reply * Hare_msg.Rpc.meta option * int * int64 * int)
     Queue.t;
-  dedup : (int, (int, dedup_entry) Hashtbl.t) Hashtbl.t;
+  dedup : (int, dedup_client) Hashtbl.t;
   robust : Hare_stats.Robust.t;
   (* block stealing (extension) *)
   mutable peers : (Wire.fs_req, Wire.fs_resp) Hare_msg.Rpc.t array;
@@ -1000,9 +1009,26 @@ let dedup_table t client =
   match Hashtbl.find_opt t.dedup client with
   | Some m -> m
   | None ->
-      let m = Hashtbl.create 64 in
+      let m = { de_tbl = Hashtbl.create 64; de_pruned = 0 } in
       Hashtbl.replace t.dedup client m;
       m
+
+(* Advance the client's eviction mark to [ack], dropping every entry it
+   covers. A [Pending] below the mark means the client gave up on the
+   request (EIO after the retry budget) while the original is still
+   parked here; its eventual reply fills an ivar nobody reads, and
+   [reply'] will not re-cache it (guarded by [de_pruned]). *)
+let dedup_ack t dc ~ack =
+  if ack > dc.de_pruned then begin
+    for seq = dc.de_pruned + 1 to ack do
+      if Hashtbl.mem dc.de_tbl seq then begin
+        Hashtbl.remove dc.de_tbl seq;
+        t.perf.Hare_stats.Perf.dedup_evicted <-
+          t.perf.Hare_stats.Perf.dedup_evicted + 1
+      end
+    done;
+    dc.de_pruned <- ack
+  end
 
 (* ---------- shard migration (consistent-hash rebalancing) -------------- *)
 
@@ -1136,13 +1162,13 @@ let handle_migrate_out t ~home (reply : reply) =
        migration above. *)
     let p_dedup = ref [] in
     Hashtbl.iter
-      (fun client table ->
+      (fun client dc ->
         Hashtbl.iter
           (fun seq entry ->
             match entry with
             | Done resp -> p_dedup := (client, seq, resp) :: !p_dedup
             | Pending _ -> ())
-          table)
+          dc.de_tbl)
       t.dedup;
     t.homes_out <- t.homes_out + 1;
     let items =
@@ -1189,9 +1215,9 @@ let handle_install_shard t ~home ~pack (reply : reply) =
         bump t.next_tokens p.p_next_token;
         List.iter
           (fun (client, seq, resp) ->
-            let table = dedup_table t client in
-            if not (Hashtbl.mem table seq) then
-              Hashtbl.replace table seq (Done resp))
+            let dc = dedup_table t client in
+            if seq > dc.de_pruned && not (Hashtbl.mem dc.de_tbl seq) then
+              Hashtbl.replace dc.de_tbl seq (Done resp))
           p.p_dedup;
         Hashtbl.replace t.hosted home ();
         t.homes_in <- t.homes_in + 1;
@@ -1448,8 +1474,11 @@ let process ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
   match meta with
   | None -> execute ~dispatch ~span t req reply
   | Some m -> (
-      let table = dedup_table t m.m_client in
-      match Hashtbl.find_opt table m.m_seq with
+      let dc = dedup_table t m.m_client in
+      (* The envelope's ack mark bounds the table: everything at or
+         below it is client-complete and can never be retransmitted. *)
+      dedup_ack t dc ~ack:m.m_ack;
+      match Hashtbl.find_opt dc.de_tbl m.m_seq with
       | Some (Done resp) ->
           (* Retransmission of a completed request: replay the cached
              response without re-executing the operation. *)
@@ -1463,14 +1492,18 @@ let process ?(dispatch = true) ?(span = 0) t (req : Wire.fs_req) (reply : reply)
           extras := reply :: !extras
       | None ->
           let extras = ref [] in
-          Hashtbl.replace table m.m_seq (Pending extras);
-          if Hashtbl.length table > 256 then
-            prune_dedup table ~before:(m.m_seq - 128);
+          Hashtbl.replace dc.de_tbl m.m_seq (Pending extras);
+          if Hashtbl.length dc.de_tbl > 256 then
+            prune_dedup dc.de_tbl ~before:(m.m_seq - 128);
           let once = ref false in
           let reply' ?payload_lines resp =
             if not !once then begin
               once := true;
-              Hashtbl.replace table m.m_seq (Done resp);
+              (* Skip the cache when the client acked this seq while the
+                 original was parked — the entry would outlive every
+                 possible retransmission. *)
+              if m.m_seq > dc.de_pruned then
+                Hashtbl.replace dc.de_tbl m.m_seq (Done resp);
               reply ?payload_lines resp;
               List.iter (fun (r : reply) -> r resp) !extras;
               extras := []
@@ -1640,8 +1673,9 @@ let start t =
       Core_res.compute t.core t.costs.server_dispatch;
       (match meta with
       | Some m ->
-          Hashtbl.replace (dedup_table t m.m_client) m.m_seq
-            (Done (Error Errno.EBUSY))
+          let dc = dedup_table t m.m_client in
+          dedup_ack t dc ~ack:m.m_ack;
+          Hashtbl.replace dc.de_tbl m.m_seq (Done (Error Errno.EBUSY))
       | None -> ());
       reply (Error Errno.EBUSY)
     end

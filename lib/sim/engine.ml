@@ -43,6 +43,22 @@ type t = {
   mutable sampler : (int64 -> unit) option;
   mutable sample_every : int; (* grid interval in cycles; 0 = off *)
   mutable sample_next : int; (* next due grid stamp *)
+  (* Schedule explorer (PR 10): when attached, every tie between events
+     due at the same simulated cycle is routed through [ex_choose]
+     instead of the deterministic lowest-seq pop. Like the sink, checker
+     and sampler, an absent explorer leaves the hot path untouched. *)
+  mutable explore : explorer option;
+  mutable next_obj : int; (* shared-object uid allocator (mailboxes) *)
+}
+
+and explorer = {
+  ex_choose : time:int -> (int * int) array -> int;
+      (* pick an index into the [(seq, tag)] candidates (sorted by seq;
+         index 0 = the default deterministic order) *)
+  ex_step : time:int -> seq:int -> tag:int -> unit;
+      (* fired for every executed event, just before it runs *)
+  ex_access : int -> unit;
+      (* a shared object was touched while the current event ran *)
 }
 
 exception Deadlock of string
@@ -79,6 +95,8 @@ let create ?(seed = 1L) () =
     sampler = None;
     sample_every = 0;
     sample_next = max_int;
+    explore = None;
+    next_obj = 0;
   }
 
 let now t = t.time
@@ -105,6 +123,48 @@ let set_sampler t ~interval f =
      zero is all-idle and uninteresting). *)
   t.sample_next <- Int64.to_int t.time + interval
 
+(* --- schedule exploration (PR 10) ------------------------------------- *)
+
+(* Action tags ride heap entries so the explorer can tell what kind of
+   event each same-cycle candidate is. Packed into one non-negative int:
+   0 is an opaque event (timer, injector callback — anything whose
+   effects the footprint hooks cannot see), odd tags resume a fiber,
+   even tags >= 2 deliver into a mailbox. *)
+let tag_opaque = 0
+
+let tag_resume fid = (2 * fid) + 1
+
+let tag_deliver obj = (2 * obj) + 2
+
+type tag_kind = Opaque | Resume of int | Deliver of int
+
+let tag_kind tag =
+  if tag <= 0 then Opaque
+  else if tag land 1 = 1 then Resume (tag lsr 1)
+  else Deliver ((tag - 2) / 2)
+
+let set_explorer t ex = t.explore <- Some ex
+
+let clear_explorer t = t.explore <- None
+
+let exploring t = t.explore <> None
+
+let new_object t =
+  let o = t.next_obj in
+  t.next_obj <- o + 1;
+  o
+
+(* Footprint objects live in one int space: mailbox uids map to odd
+   ints, DRAM line keys to even ints, so the two families never
+   collide. Pure host-side bookkeeping — no cycles, no RNG. *)
+let note_mailbox t uid =
+  match t.explore with
+  | Some ex when uid >= 0 -> ex.ex_access ((uid lsl 1) lor 1)
+  | _ -> ()
+
+let note_line t key =
+  match t.explore with Some ex -> ex.ex_access (key lsl 1) | None -> ()
+
 let fiber_name f = f.name
 
 let fiber_id f = f.fid
@@ -125,13 +185,13 @@ let events_executed t = t.steps
    [Self] effect on hot paths like [Core_res.compute]. *)
 let current_fid t = match t.cur with Some f -> f.fid | None -> -1
 
-let schedule_at t time f =
+let schedule_at t ?(tag = 0) time f =
   if time < t.time then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %Ld is in the past (now %Ld)"
          time t.time);
   t.seq <- t.seq + 1;
-  Heap.push t.events ~time:(Int64.to_int time) ~seq:t.seq f
+  Heap.push t.events ~tag ~time:(Int64.to_int time) ~seq:t.seq f
 
 let spawn t ?(daemon = false) ~name body =
   let fiber = { fid = t.next_fid; name; daemon; state = `Created } in
@@ -174,7 +234,8 @@ let spawn t ?(daemon = false) ~name body =
                     if d < 0L then
                       discontinue k (Invalid_argument "Engine.sleep: negative")
                     else
-                      schedule_at t (Int64.add t.time d) (fun () ->
+                      schedule_at t ~tag:(tag_resume fiber.fid)
+                        (Int64.add t.time d) (fun () ->
                           t.cur <- Some fiber;
                           continue k ()))
             | Sleep_cycles d ->
@@ -188,6 +249,7 @@ let spawn t ?(daemon = false) ~name body =
                     else begin
                       t.seq <- t.seq + 1;
                       Heap.push t.events
+                        ~tag:(tag_resume fiber.fid)
                         ~time:(Int64.to_int t.time + d)
                         ~seq:t.seq
                         (fun () ->
@@ -207,7 +269,8 @@ let spawn t ?(daemon = false) ~name body =
                       else begin
                         fired := true;
                         fiber.state <- `Runnable;
-                        schedule_at t t.time (fun () ->
+                        schedule_at t ~tag:(tag_resume fiber.fid) t.time
+                          (fun () ->
                             t.cur <- Some fiber;
                             continue k ())
                       end
@@ -216,7 +279,7 @@ let spawn t ?(daemon = false) ~name body =
             | _ -> None);
       }
   in
-  schedule_at t t.time start;
+  schedule_at t ~tag:(tag_resume fiber.fid) t.time start;
   fiber
 
 let register_probe t ~name depth =
@@ -274,8 +337,7 @@ let blocked_names t =
   |> List.map (fun f -> Printf.sprintf "%s[%d]" f.name f.fid)
   |> String.concat ", "
 
-let step t =
-  let time, _seq, f = Heap.pop_min t.events in
+let exec_event t time f =
   t.time <- Int64.of_int time;
   t.steps <- t.steps + 1;
   (* Plain callbacks (timers) run outside any fiber; fiber starts and
@@ -295,6 +357,27 @@ let step t =
       sample (Int64.of_int stamp)
   | _ -> ());
   f ()
+
+let step t =
+  match t.explore with
+  | None ->
+      let time, _seq, f = Heap.pop_min t.events in
+      exec_event t time f
+  | Some ex ->
+      (* Choice point: every event due at the minimum cycle is a
+         candidate; the strategy picks which one the "hardware" lands
+         first. With a single candidate there is no choice, and index 0
+         (the lowest seq) reproduces the deterministic order exactly. *)
+      let cands = Heap.min_entries t.events in
+      let idx =
+        if Array.length cands > 1 then
+          ex.ex_choose ~time:(Heap.min_time t.events) cands
+        else 0
+      in
+      let seq, tag = cands.(idx) in
+      let time, _tag, f = Heap.remove_seq t.events seq in
+      ex.ex_step ~time ~seq ~tag;
+      exec_event t time f
 
 let check_deadlock t =
   if t.live > 0 then begin

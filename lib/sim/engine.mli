@@ -90,10 +90,13 @@ val sleep_cycles : int -> unit
     immediate-int effect payload makes it allocation-free, so hot paths
     ([Core_res.compute]) prefer it. *)
 
-val schedule_at : t -> int64 -> (unit -> unit) -> unit
-(** [schedule_at t time f] runs the callback [f] at absolute simulated
+val schedule_at : t -> ?tag:int -> int64 -> (unit -> unit) -> unit
+(** [schedule_at t ?tag time f] runs the callback [f] at absolute simulated
     [time] (which must be [>= now t]). [f] runs outside any fiber and must
-    not perform simulation effects; it may wake fibers via wakers. *)
+    not perform simulation effects; it may wake fibers via wakers. [tag]
+    (default {!tag_opaque}) labels the event for the schedule explorer —
+    callers scheduling a mailbox delivery pass {!tag_deliver} so the
+    explorer knows the event's footprint family. *)
 
 type waker = unit -> unit
 (** Calling a waker reschedules its suspended fiber at the simulated time
@@ -136,6 +139,69 @@ val set_sampler : t -> interval:int -> (int64 -> unit) -> unit
     schedule work, charge cycles, or draw from an RNG, so sampled and
     unsampled runs of the same seed stay bit-identical. [interval] must
     be positive. *)
+
+(** {1 Schedule exploration}
+
+    A pluggable strategy over the engine's only source of schedule
+    freedom: the order among events due at the {e same} simulated cycle.
+    The deterministic engine always runs them in insertion (seq) order;
+    a real non-cache-coherent machine guarantees no such order. An
+    attached explorer is offered every such tie and picks which event
+    lands first — index 0 reproduces the deterministic order
+    bit-identically. Everything here is host-side bookkeeping: an
+    explorer that always answers 0 leaves clocks and opcounts
+    untouched. *)
+
+type explorer = {
+  ex_choose : time:int -> (int * int) array -> int;
+      (** [ex_choose ~time cands] picks an index into [cands], the
+          [(seq, tag)] pairs of every event due at cycle [time], sorted
+          by ascending seq. Called only when two or more are due. *)
+  ex_step : time:int -> seq:int -> tag:int -> unit;
+      (** Fired for every executed event just before it runs, choice
+          point or not — the explorer's step log. *)
+  ex_access : int -> unit;
+      (** A shared object (mailbox or DRAM line) was touched while the
+          current event ran; the int is the encoded footprint object
+          ({!note_mailbox} / {!note_line}). *)
+}
+
+val set_explorer : t -> explorer -> unit
+val clear_explorer : t -> unit
+
+val exploring : t -> bool
+(** Whether an explorer is attached. *)
+
+val tag_opaque : int
+(** Action tag for events whose effects the footprint hooks cannot see
+    (timers, fault-injector callbacks). The explorer must treat them as
+    conflicting with everything. *)
+
+val tag_resume : int -> int
+(** [tag_resume fid]: the event resumes (or starts) fiber [fid]. *)
+
+val tag_deliver : int -> int
+(** [tag_deliver uid]: the event delivers into mailbox object [uid]
+    (from {!new_object}). *)
+
+type tag_kind = Opaque | Resume of int | Deliver of int
+
+val tag_kind : int -> tag_kind
+(** Decode an action tag. *)
+
+val new_object : t -> int
+(** Allocate a shared-object uid (used by mailboxes at creation).
+    Host-side counter only. *)
+
+val note_mailbox : t -> int -> unit
+(** [note_mailbox t uid] records, when an explorer is attached, that the
+    currently executing event touched mailbox [uid] (enqueue or
+    dequeue). No-op otherwise, and for negative uids. *)
+
+val note_line : t -> int -> unit
+(** [note_line t key] records, when an explorer is attached, that the
+    currently executing event touched DRAM line [key] (cache fill,
+    write-back, or invalidate). No-op otherwise. *)
 
 (** {1 Deadlock diagnostics} *)
 

@@ -7,11 +7,15 @@
 type 'a t = {
   mutable times : int array;
   mutable seqs : int array;
+  mutable tags : int array;
+      (* opaque per-entry label (the engine's action tag); rides along
+         through swaps but never participates in ordering *)
   mutable values : 'a array;
   mutable size : int;
 }
 
-let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
+let create () =
+  { times = [||]; seqs = [||]; tags = [||]; values = [||]; size = 0 }
 
 let length h = h.size
 
@@ -28,12 +32,15 @@ let grow h time seq value =
     let capacity' = if capacity = 0 then 64 else capacity * 2 in
     let times' = Array.make capacity' time in
     let seqs' = Array.make capacity' seq in
+    let tags' = Array.make capacity' 0 in
     let values' = Array.make capacity' value in
     Array.blit h.times 0 times' 0 h.size;
     Array.blit h.seqs 0 seqs' 0 h.size;
+    Array.blit h.tags 0 tags' 0 h.size;
     Array.blit h.values 0 values' 0 h.size;
     h.times <- times';
     h.seqs <- seqs';
+    h.tags <- tags';
     h.values <- values'
   end
 
@@ -48,6 +55,9 @@ let[@inline] swap h i j =
   let s = h.seqs.(i) in
   h.seqs.(i) <- h.seqs.(j);
   h.seqs.(j) <- s;
+  let g = h.tags.(i) in
+  h.tags.(i) <- h.tags.(j);
+  h.tags.(j) <- g;
   let v = h.values.(i) in
   h.values.(i) <- h.values.(j);
   h.values.(j) <- v
@@ -71,12 +81,13 @@ let rec sift_down h i =
     sift_down h !smallest
   end
 
-let push h ~time ~seq value =
+let push h ?(tag = 0) ~time ~seq value =
   if time < 0 then invalid_arg "Heap.push: negative time";
   grow h time seq value;
   let i = h.size in
   h.times.(i) <- time;
   h.seqs.(i) <- seq;
+  h.tags.(i) <- tag;
   h.values.(i) <- value;
   h.size <- h.size + 1;
   sift_up h i
@@ -97,7 +108,56 @@ let pop_min h =
   if last > 0 then begin
     h.times.(0) <- h.times.(last);
     h.seqs.(0) <- h.seqs.(last);
+    h.tags.(0) <- h.tags.(last);
     h.values.(0) <- h.values.(last);
     sift_down h 0
   end;
   (time, seq, v)
+
+(* --- schedule-exploration support (cold paths) -------------------------
+   The model checker needs to see every event due at the minimum time and
+   to remove an arbitrary one of them. Both are linear scans: they only
+   run when an explorer is attached, on deliberately small configurations,
+   and never on the default pop_min path. *)
+
+let min_entries h =
+  if h.size = 0 then [||]
+  else begin
+    let tmin = h.times.(0) in
+    let n = ref 0 in
+    for i = 0 to h.size - 1 do
+      if Array.unsafe_get h.times i = tmin then incr n
+    done;
+    let out = Array.make !n (0, 0) in
+    let j = ref 0 in
+    for i = 0 to h.size - 1 do
+      if Array.unsafe_get h.times i = tmin then begin
+        out.(!j) <- (h.seqs.(i), h.tags.(i));
+        incr j
+      end
+    done;
+    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) out;
+    out
+  end
+
+let remove_seq h seq =
+  let idx = ref (-1) in
+  for i = 0 to h.size - 1 do
+    if Array.unsafe_get h.seqs i = seq then idx := i
+  done;
+  if !idx < 0 then raise Not_found;
+  let i = !idx in
+  let time = h.times.(i) and tag = h.tags.(i) and v = h.values.(i) in
+  let last = h.size - 1 in
+  h.size <- last;
+  if i < last then begin
+    h.times.(i) <- h.times.(last);
+    h.seqs.(i) <- h.seqs.(last);
+    h.tags.(i) <- h.tags.(last);
+    h.values.(i) <- h.values.(last);
+    (* The migrated tail entry may violate the heap property in either
+       direction relative to its new neighbourhood. *)
+    sift_down h i;
+    sift_up h i
+  end;
+  (time, tag, v)

@@ -18,9 +18,12 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [push h ~time ~seq v] inserts [v] with key [(time, seq)].
-    Raises [Invalid_argument] if [time] is negative. *)
-val push : 'a t -> time:int -> seq:int -> 'a -> unit
+(** [push h ?tag ~time ~seq v] inserts [v] with key [(time, seq)].
+    [tag] (default 0) is an opaque label carried alongside the entry —
+    the engine stores its action tag there for the schedule explorer;
+    it never affects ordering. Raises [Invalid_argument] if [time] is
+    negative. *)
+val push : 'a t -> ?tag:int -> time:int -> seq:int -> 'a -> unit
 
 (** [pop_min h] removes and returns the minimum element together with its
     key. Raises [Not_found] when the heap is empty. *)
@@ -33,3 +36,17 @@ val peek_min : 'a t -> int * int * 'a
 (** [min_time h] returns the minimum key's time without any allocation.
     Raises [Not_found] when the heap is empty. *)
 val min_time : 'a t -> int
+
+(** {1 Schedule-exploration support}
+
+    Cold-path scans used only when a schedule explorer drives the
+    engine; the default event loop never calls them. *)
+
+(** [min_entries h] returns every entry due at the minimum time as
+    [(seq, tag)] pairs, sorted by ascending [seq] (index 0 is the entry
+    {!pop_min} would return). Empty array on an empty heap. *)
+val min_entries : 'a t -> (int * int) array
+
+(** [remove_seq h seq] removes the entry with insertion sequence [seq]
+    and returns [(time, tag, value)]. Raises [Not_found] if absent. *)
+val remove_seq : 'a t -> int -> int * int * 'a

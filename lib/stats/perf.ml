@@ -18,6 +18,7 @@ type t = {
   mutable lease_hits : int;  (* block needs met by a held extent lease *)
   mutable lease_misses : int;  (* block needs that required an Alloc RPC *)
   mutable lease_blocks : int;  (* blocks allocated ahead of need *)
+  mutable dedup_evicted : int;  (* dedup entries purged under the ack mark *)
 }
 
 let create () =
@@ -31,6 +32,7 @@ let create () =
     lease_hits = 0;
     lease_misses = 0;
     lease_blocks = 0;
+    dedup_evicted = 0;
   }
 
 let reset t =
@@ -42,7 +44,8 @@ let reset t =
   Array.fill t.batch_hist 0 hist_buckets 0;
   t.lease_hits <- 0;
   t.lease_misses <- 0;
-  t.lease_blocks <- 0
+  t.lease_blocks <- 0;
+  t.dedup_evicted <- 0
 
 let note_window t depth = if depth > t.window_hwm then t.window_hwm <- depth
 
@@ -63,7 +66,8 @@ let merge ~into src =
     src.batch_hist;
   into.lease_hits <- into.lease_hits + src.lease_hits;
   into.lease_misses <- into.lease_misses + src.lease_misses;
-  into.lease_blocks <- into.lease_blocks + src.lease_blocks
+  into.lease_blocks <- into.lease_blocks + src.lease_blocks;
+  into.dedup_evicted <- into.dedup_evicted + src.dedup_evicted
 
 let mean_batch t =
   if t.batches = 0 then 0.0
@@ -83,6 +87,7 @@ let to_list t =
     ("extent-lease hits", t.lease_hits);
     ("extent-lease misses", t.lease_misses);
     ("blocks allocated ahead", t.lease_blocks);
+    ("dedup entries evicted", t.dedup_evicted);
   ]
 
 let is_zero t =

@@ -24,6 +24,10 @@ type t = {
       (** block needs satisfied by a held extent lease, no RPC *)
   mutable lease_misses : int;  (** block needs that required an Alloc RPC *)
   mutable lease_blocks : int;  (** blocks allocated ahead of need *)
+  mutable dedup_evicted : int;
+      (** server dedup entries purged under the client's acked low-water
+          mark (PR 10) — hygiene, not loss: an acked tag can never be
+          retransmitted. Zero when requests carry no idempotency tags. *)
 }
 
 val create : unit -> t

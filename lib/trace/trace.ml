@@ -168,8 +168,12 @@ type t = {
 }
 
 let create ?(ring = true) ?(retain = 0) ~cap () =
-  if cap <= 0 then invalid_arg "Trace.create: cap must be positive";
+  if cap < 0 then invalid_arg "Trace.create: cap must be non-negative";
   if retain < 0 then invalid_arg "Trace.create: retain must be non-negative";
+  (* cap 0 = an empty span ring by request: identical to [~ring:false]
+     (profile-only), so exports are cleanly metadata-only instead of a
+     validation failure. *)
+  let ring = ring && cap > 0 in
   let rcap = if ring then cap else 0 in
   {
     cap;

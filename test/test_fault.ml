@@ -77,7 +77,8 @@ let rec snapshot p path acc =
 
 (* Run the paper's fsstress benchmark (every worker in its own subtree)
    on a machine booted with [config]; return the final tree, the merged
-   robustness counters and the final simulated time. *)
+   robustness counters, the final simulated time and the machine for
+   post-mortem counter inspection. *)
 let run_fsstress config =
   let m = Machine.boot config in
   let api = World.Hare_w.api m in
@@ -113,19 +114,19 @@ let run_fsstress config =
      end exactly where it began (no leaked or lost probe slots). *)
   Alcotest.(check int) "probe registry restored" probes0
     (Hare_sim.Engine.probe_count (Machine.engine m));
-  (!tree, Machine.robustness m, Machine.now m)
+  (!tree, Machine.robustness m, Machine.now m, m)
 
 (* The fault-free oracle, computed once and shared by every soak case. *)
 let oracle = lazy (run_fsstress (soak_config ()))
 
 let check_tree name faulted =
-  let expect, _, _ = Lazy.force oracle in
+  let expect, _, _, _ = Lazy.force oracle in
   Alcotest.(check (list string)) (name ^ ": tree matches oracle") expect faulted
 
 (* ---------- soak cases -------------------------------------------------- *)
 
 let test_fault_free_counters () =
-  let _, robust, _ = Lazy.force oracle in
+  let _, robust, _, _ = Lazy.force oracle in
   Alcotest.(check bool)
     (Fmt.str "no fault plan => all counters zero (got: %a)" Robust.pp robust)
     true (Robust.is_zero robust)
@@ -133,7 +134,7 @@ let test_fault_free_counters () =
 let test_machinery_armed_but_idle () =
   (* Deadlines and dedup tags on, but an empty plan: nothing may change
      in the produced state and no fault counter may move. *)
-  let tree, robust, _ = run_fsstress (soak_config ~deadline:1_000_000 ()) in
+  let tree, robust, _, _ = run_fsstress (soak_config ~deadline:1_000_000 ()) in
   check_tree "armed-idle" tree;
   Alcotest.(check bool)
     (Fmt.str "empty plan => counters zero (got: %a)" Robust.pp robust)
@@ -144,7 +145,7 @@ let lossy_config () =
     ~deadline:25_000 ()
 
 let test_message_faults () =
-  let tree, r, _ = run_fsstress (lossy_config ()) in
+  let tree, r, _, _ = run_fsstress (lossy_config ()) in
   check_tree "lossy" tree;
   Alcotest.(check bool) "some drops" true (r.Robust.drops > 0);
   Alcotest.(check bool) "some dups" true (r.Robust.dups > 0);
@@ -156,8 +157,8 @@ let test_message_faults () =
 let test_determinism () =
   (* Same seed, same plan: bit-identical fault sequence, counters and
      final clock. *)
-  let tree1, r1, end1 = run_fsstress (lossy_config ()) in
-  let tree2, r2, end2 = run_fsstress (lossy_config ()) in
+  let tree1, r1, end1, _ = run_fsstress (lossy_config ()) in
+  let tree2, r2, end2, _ = run_fsstress (lossy_config ()) in
   Alcotest.(check (list string)) "same tree" tree1 tree2;
   Alcotest.(check bool)
     (Fmt.str "same counters (%a vs %a)" Robust.pp r1 Robust.pp r2)
@@ -167,18 +168,29 @@ let test_determinism () =
 let test_dedup_exactly_once () =
   (* Duplicate every single request: without (client, seq) dedup this
      would double-apply creates and unlinks everywhere. *)
-  let tree, r, _ =
+  let tree, r, _, _ =
     run_fsstress (soak_config ~plan:"dup:fs:1.0" ~deadline:50_000 ())
   in
   check_tree "dup-everything" tree;
   Alcotest.(check bool) "dedup absorbed the copies" true
     (r.Robust.dedup_hits > 0)
 
+let test_dedup_bounded () =
+  (* The cumulative-ack low-water mark riding every tagged request must
+     actually evict server dedup entries — otherwise the table grows
+     with every RPC for the life of the client. An idle-armed run (tags
+     on, no faults) already acks continuously, so evictions must be
+     plentiful; under heavy duplication they must happen too, without
+     breaking exactly-once (checked by test_dedup_exactly_once). *)
+  let _, _, _, m = run_fsstress (soak_config ~deadline:1_000_000 ()) in
+  Alcotest.(check bool) "acked dedup entries evicted" true
+    ((Machine.perf m).Hare_stats.Perf.dedup_evicted > 0)
+
 let test_crash_recovery () =
   (* Kill a file server mid-run for 300k cycles. Clients must ride it
      out with retries and token recovery; the server must rebuild its
      volatile state from the DRAM-resident structures. *)
-  let tree, r, _ =
+  let tree, r, _, _ =
     run_fsstress
       (soak_config ~plan:"crash:2@1000000+300000" ~deadline:25_000 ())
   in
@@ -303,6 +315,7 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "drop/dup/delay" `Quick test_message_faults;
         tc "deterministic replay" `Quick test_determinism;
         tc "dup everything: exactly-once" `Quick test_dedup_exactly_once;
+        tc "ack mark bounds the dedup table" `Quick test_dedup_bounded;
         tc "crash + recovery" `Quick test_crash_recovery;
       ] );
     ( "fault.targeted",

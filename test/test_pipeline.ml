@@ -289,7 +289,7 @@ let test_fault_soak_pipelined_lossy () =
          ~plan:"drop:fs:0.04;dup:fs:0.04;delay:fs:0.06:4000" ~deadline:25_000
          ())
   in
-  let tree, r, _ = Test_fault.run_fsstress config in
+  let tree, r, _, _ = Test_fault.run_fsstress config in
   Test_fault.check_tree "pipelined-lossy" tree;
   Alcotest.(check bool) "retries happened" true
     (r.Hare_stats.Robust.retries > 0);
@@ -303,7 +303,7 @@ let test_fault_soak_pipelined_crash () =
       (Test_fault.soak_config ~plan:"crash:2@1000000+300000" ~deadline:25_000
          ())
   in
-  let tree, r, _ = Test_fault.run_fsstress config in
+  let tree, r, _, _ = Test_fault.run_fsstress config in
   Test_fault.check_tree "pipelined-crash" tree;
   Alcotest.(check int) "one crash" 1 r.Hare_stats.Robust.crashes;
   Alcotest.(check int) "nobody gave up" 0 r.Hare_stats.Robust.giveups

@@ -326,6 +326,99 @@ let test_sharded_clean_migrating () =
     (Place.migrations p >= 2);
   Alcotest.(check int) "both changes committed" 2 (Place.epoch p)
 
+(* ---------- EMOVED chase vs. an open circuit breaker -------------------- *)
+
+(* A bounce chase must bypass the breaker's fast-fail: EMOVED means the
+   shard *moved*, not that the destination is sick, so the re-resolved
+   resend goes out even while the destination's breaker is open (the
+   reply then closes it — any delivered reply proves the server alive).
+   The race: probers' stats are admitted just after the route flip,
+   while the destination has not yet installed the shard, so they bounce
+   and chase; a helper then trips every prober client's breaker for the
+   destination while those chases are mid-flight. A regression that
+   re-checked admission on the resend would fast-fail the chase into
+   EIO, failing the probers and the counters below. *)
+let test_moved_chase_bypasses_breaker () =
+  (* Late enough that setup (16 creates, 17 spawns) has finished and
+     every prober is parked on its own core waiting for the flip. *)
+  let flip = 1_200_000L in
+  let nfiles = 16 in
+  let config =
+    {
+      (* 18 app cores: every prober gets its own core, so all second
+         stats enter at the same simulated instant. *)
+      (sharded_config ~ncores:21 ~plan:"add@1200000" ~check:true ()) with
+      Config.rpc_deadline = 25_000;
+      rpc_retries = 12;
+      breaker_threshold = 1;
+    }
+  in
+  let m = Machine.boot config in
+  let path i = Printf.sprintf "/mv/f%d" i in
+  Machine.register_program m "prober" (fun p args ->
+      let i = int_of_string (List.hd args) in
+      (* Warm the dircache well before the flip so the post-flip stat is
+         a single direct RPC entering exactly at its wake time. The
+         warm-ups are staggered: sixteen simultaneous lookups of the
+         same parent would queue past the RPC deadline and trip real
+         give-ups before the part of the run under test. *)
+      Posix.sleep_until p (Int64.of_int (1_000_000 + (5_000 * i)));
+      ignore (Posix.stat p (path i));
+      Posix.sleep_until p (Int64.add flip 50L);
+      match (Posix.stat p (path i)).Hare_proto.Types.a_size with
+      | 7 -> 0
+      | _ -> 1
+      | exception e ->
+          (* Printed only on regression, to name the errno that killed
+             the chase. *)
+          Printf.eprintf "prober %d: %s\n%!" i (Printexc.to_string e);
+          2);
+  Machine.register_program m "tripper" (fun p _ ->
+      (* After every prober's stat is in flight, before the first chase
+         resend completes: force the destination's breaker open on every
+         client. The rebalancing coordinator is unaffected (it calls the
+         endpoints directly, not through a client). *)
+      Posix.sleep_until p (Int64.add flip 300L);
+      let dst = Place.nhomes (ring m) in
+      Array.iter
+        (fun c -> Hare_client.Client.trip_breaker c dst)
+        (Machine.clients m);
+      0);
+  let init, _ =
+    Machine.spawn_init m ~name:"moved-vs-breaker" (fun p _ ->
+        Posix.mkdir p "/mv";
+        for i = 0 to nfiles - 1 do
+          let fd = Posix.openf p (path i) Hare_proto.Types.flags_w in
+          Posix.write_all p fd "payload";
+          Posix.close p fd
+        done;
+        let pids =
+          List.init nfiles (fun i ->
+              Posix.spawn p ~prog:"prober" ~args:[ string_of_int i ])
+          @ [ Posix.spawn p ~prog:"tripper" ~args:[] ]
+        in
+        List.fold_left
+          (fun acc pid -> if Posix.waitpid p pid <> 0 then acc + 1 else acc)
+          0 pids)
+  in
+  (match Machine.run m with
+  | () -> ()
+  | exception Hare_sim.Engine.Fiber_failure (_, e) -> raise e);
+  Alcotest.(check (option int))
+    "every prober's stat succeeded despite the open breaker" (Some 0)
+    (Machine.exit_status m init);
+  Alcotest.(check bool) "a home actually moved" true
+    (Place.migrations (ring m) >= 1);
+  Alcotest.(check bool) "at least one stat bounced and chased" true
+    (Machine.total_moved_retries m >= 1);
+  let r = Machine.robustness m in
+  Alcotest.(check bool) "the tripped breakers really opened" true
+    (r.Hare_stats.Robust.breaker_opens >= 1);
+  Alcotest.(check int) "no chase was fast-failed" 0
+    r.Hare_stats.Robust.fast_fails;
+  Alcotest.(check int) "no request gave up" 0 r.Hare_stats.Robust.giveups;
+  assert_clean "moved-vs-breaker" m
+
 (* ---------- suites ------------------------------------------------------- *)
 
 let tc = Alcotest.test_case
@@ -350,6 +443,8 @@ let suites : (string * unit Alcotest.test_case list) list =
           test_migrate_remove;
         tc "migration under drop+dup faults" `Quick test_migrate_under_drop_dup;
         tc "migration under crash/restart" `Quick test_migrate_under_crash;
+        tc "EMOVED chase bypasses an open breaker" `Quick
+          test_moved_chase_bypasses_breaker;
       ] );
     ( "shard.sanitizer",
       [

@@ -124,6 +124,33 @@ let golden_determinism () =
         expect cycles)
     golden_clocks
 
+(* The exploration hook's zero-perturbation contract (PR 10): with a
+   trivial explorer attached (always ordinal 0), every same-cycle tie is
+   routed through the choice-point plumbing, yet the simulated clock
+   must stay bit-identical to the unexplored golden value. *)
+let golden_with_null_explorer () =
+  let name, ncores, expect = ("creates", 4, 6447400L) in
+  let config =
+    {
+      (Driver.default_config ~ncores) with
+      Hare_config.Config.rpc_window = 1;
+      batch_max = 1;
+      alloc_extent = 1;
+    }
+  in
+  let r =
+    HareD.run ~config ~null_explorer:true (Hare_workloads.All.find name)
+  in
+  let cycles =
+    Int64.of_float
+      (r.Driver.elapsed
+       *. float_of_int
+            config.Hare_config.Config.costs.Hare_config.Costs.cycles_per_us
+       *. 1e6
+      +. 0.5)
+  in
+  Alcotest.(check int64) "creates @4 cores under a null explorer" expect cycles
+
 let tc = Alcotest.test_case
 
 let suites : (string * unit Alcotest.test_case list) list =
@@ -142,5 +169,6 @@ let suites : (string * unit Alcotest.test_case list) list =
         tc "scaling sanity" `Quick scaling_sanity;
         tc "all techniques off" `Quick dist_off_still_correct;
         tc "golden simulated clocks" `Quick golden_determinism;
+        tc "golden clock under null explorer" `Quick golden_with_null_explorer;
       ] );
   ]
